@@ -1,0 +1,136 @@
+// Ablation A8: driver-level defenses against AmpereBleed, beyond the paper's
+// all-or-nothing access restriction (Sec V). Each defense degrades the
+// hwmon measurement path; we measure (a) how many RSA Hamming-weight classes
+// the attacker can still separate and (b) the reporting error inflicted on
+// benign monitoring — the security/utility trade-off an integrator faces.
+
+#include <cmath>
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/crypto/rsa.hpp"
+#include "amperebleed/fpga/rsa_circuit.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/stats/separability.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/strings.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+struct Outcome {
+  std::size_t separable_groups = 0;
+  double monitoring_error_ma = 0.0;  // mean |reported - true| for root tools
+};
+
+Outcome evaluate(const hwmon::HwmonPolicy& policy, std::size_t samples,
+                 const std::vector<std::size_t>& weights) {
+  Outcome outcome;
+  std::vector<std::vector<double>> classes;
+  double err_sum = 0.0;
+  std::size_t err_count = 0;
+
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    crypto::RsaKey key;
+    key.modulus = crypto::rsa1024_test_modulus();
+    key.private_exponent = crypto::exponent_with_hamming_weight(
+        1024, weights[k], util::hash_combine(0xdef3, weights[k]));
+    fpga::RsaCircuit circuit(fpga::RsaCircuitConfig{}, std::move(key));
+
+    soc::SocConfig config = soc::zcu102_config(util::hash_combine(0xab8, k));
+    config.hwmon_policy = policy;
+    soc::Soc soc(config);
+    soc.fabric().deploy(circuit.descriptor());
+    const sim::TimeNs start = sim::milliseconds(200);
+    const sim::TimeNs end{start.ns +
+                          sim::milliseconds(1).ns *
+                              static_cast<std::int64_t>(samples) +
+                          sim::milliseconds(100).ns};
+    soc.add_activity(
+        circuit.schedule(sim::milliseconds(50), end).activity);
+    soc.finalize();
+
+    core::Sampler sampler(soc);
+    core::SamplerConfig sc;
+    sc.period = sim::milliseconds(1);
+    sc.sample_count = samples;
+    const auto trace = sampler.collect(
+        {power::Rail::FpgaLogic, core::Quantity::Current}, start, sc);
+    classes.emplace_back(trace.values().begin(), trace.values().end());
+
+    // Benign-monitoring fidelity: reported value vs ground-truth rail
+    // current, probed at a human cadence (1 Hz).
+    for (int probe = 0; probe < 5; ++probe) {
+      const sim::TimeNs t{start.ns + sim::seconds(1).ns * probe / 2};
+      soc.advance_to(std::max(t, soc.now()));
+      const double reported = sampler.read_now(
+          {power::Rail::FpgaLogic, core::Quantity::Current});
+      const double truth =
+          soc.rail_current(power::Rail::FpgaLogic).value_at(soc.now()) * 1e3;
+      err_sum += std::abs(reported - truth);
+      ++err_count;
+    }
+  }
+
+  outcome.separable_groups = stats::count_separable_groups(classes, 0.95);
+  outcome.monitoring_error_ma =
+      err_count == 0 ? 0.0 : err_sum / static_cast<double>(err_count);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto samples =
+      static_cast<std::size_t>(args.get_int("samples", 2'000));
+  const std::vector<std::size_t> weights = {1,   128, 256, 384, 512,
+                                            640, 768, 896, 1024};
+
+  std::printf("Ablation: driver-level hwmon defenses vs the RSA HW attack\n"
+              "(%zu keys, %zu samples each; monitoring error = cost to "
+              "benign root tooling)\n\n",
+              weights.size(), samples);
+
+  core::TextTable table({"Defense", "Separable HW groups",
+                         "Monitoring error (mA)"});
+  const auto row = [&](const char* name, const hwmon::HwmonPolicy& policy) {
+    const Outcome o = evaluate(policy, samples, weights);
+    table.add_row({name, util::format("%zu / %zu", o.separable_groups,
+                                      weights.size()),
+                   core::fmt(o.monitoring_error_ma, 1)});
+  };
+
+  row("none (stock driver)", hwmon::HwmonPolicy{});
+
+  hwmon::HwmonPolicy quantize;
+  quantize.quantize_factor = 100;  // report at 100 mA granularity
+  row("quantize to 100 mA", quantize);
+
+  hwmon::HwmonPolicy noise;
+  noise.noise_lsb = 60.0;  // +/-60 mA uniform driver noise
+  row("inject +/-60 mA noise", noise);
+
+  hwmon::HwmonPolicy rate;
+  rate.min_read_interval = sim::milliseconds(1000);
+  row("rate-limit to 1 Hz", rate);
+
+  hwmon::HwmonPolicy combo;
+  combo.quantize_factor = 100;
+  combo.min_read_interval = sim::milliseconds(1000);
+  row("quantize + rate-limit", combo);
+
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: rate-limiting alone only slows the (already patient)");
+  std::puts("attacker — every class stays separable. Quantization collapses");
+  std::puts("the keys at sub-100 mA monitoring cost. Injected noise widens");
+  std::puts("the distributions past the separability threshold at this trace");
+  std::puts("length, but sample means stay unbiased, so a longer collection");
+  std::puts("defeats it unless reads are also rate-limited.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation A4: the mitigation the paper proposes (Sec V) — restrict hwmon
+// sensor attributes to privileged users. Demonstrates that the unprivileged
+// attack dies completely while root-level monitoring keeps working, and
+// quantifies the residual signal an attacker retains (none).
+
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/util/strings.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+struct Outcome {
+  bool attack_succeeded = false;
+  double observed_step_ma = 0.0;
+  bool root_monitoring_ok = false;
+};
+
+Outcome run_scenario(bool unprivileged_access) {
+  fpga::PowerVirus virus;
+  virus.set_active_groups(sim::seconds(1), 100);
+
+  soc::SocConfig config = soc::zcu102_config(0xab4);
+  config.hwmon_policy.unprivileged_sensor_read = unprivileged_access;
+  soc::Soc soc(config);
+  soc.fabric().deploy(virus.descriptor());
+  soc.add_activity(virus.activity());
+  soc.finalize();
+
+  core::Sampler sampler(soc);
+  core::SamplerConfig sc;
+  sc.sample_count = 15;
+  const core::Channel channel{power::Rail::FpgaLogic,
+                              core::Quantity::Current};
+  Outcome outcome;
+  try {
+    const auto before = sampler.collect(channel, sim::milliseconds(40), sc);
+    const auto after = sampler.collect(channel, sim::seconds(2), sc);
+    outcome.observed_step_ma =
+        stats::mean(after.values()) - stats::mean(before.values());
+    outcome.attack_succeeded = outcome.observed_step_ma > 1000.0;
+  } catch (const core::SamplingError&) {
+    outcome.attack_succeeded = false;
+  }
+
+  // Root-side health monitoring must keep working either way.
+  try {
+    core::SamplerConfig root = sc;
+    root.privileged = true;
+    const auto t = sampler.collect(channel, sim::seconds(3), root);
+    outcome.root_monitoring_ok = !t.empty();
+  } catch (const core::SamplingError&) {
+    outcome.root_monitoring_ok = false;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: hwmon access-control mitigation (paper Sec V)\n");
+
+  core::TextTable table({"hwmon policy", "Unprivileged attack",
+                         "Observed victim step", "Root monitoring"});
+  const Outcome open = run_scenario(true);
+  const Outcome restricted = run_scenario(false);
+  table.add_row({"world-readable (default)",
+                 open.attack_succeeded ? "SUCCEEDS" : "fails",
+                 util::format("%.0f mA", open.observed_step_ma),
+                 open.root_monitoring_ok ? "works" : "broken"});
+  table.add_row({"root-only (mitigated)",
+                 restricted.attack_succeeded ? "SUCCEEDS" : "fails",
+                 "denied (EACCES)",
+                 restricted.root_monitoring_ok ? "works" : "broken"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: chmod 0400 on the measurement attributes stops the");
+  std::puts("unprivileged attack outright, at the cost of breaking every");
+  std::puts("unprivileged consumer (the deployment tension Sec V discusses).");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation A2: why the current channel beats the power channel. Sweep the
+// sensor's current LSB (1 / 5 / 25 mA) and count how many of the 17 RSA
+// Hamming-weight classes stay distinguishable. The paper's power channel is
+// equivalent to a 25x-coarser current channel (power LSB = 25 x current
+// LSB), which is exactly where the 17 classes collapse to a handful.
+
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/rsa_attack.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/crypto/rsa.hpp"
+#include "amperebleed/fpga/rsa_circuit.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/stats/separability.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+  const auto samples =
+      static_cast<std::size_t>(args.get_int("samples", 4'000));
+  const auto weights = core::default_hamming_weights();
+
+  std::printf("Ablation: distinguishable RSA Hamming-weight groups vs "
+              "current-sensor LSB\n(17 keys, %zu samples per key)\n\n",
+              samples);
+
+  core::TextTable table(
+      {"Current LSB", "Separable groups (of 17)", "Comment"});
+
+  for (double lsb_ma : {1.0, 5.0, 25.0}) {
+    std::vector<std::vector<double>> classes;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      crypto::RsaKey key;
+      key.modulus = crypto::rsa1024_test_modulus();
+      key.private_exponent = crypto::exponent_with_hamming_weight(
+          1024, weights[k], util::hash_combine(0xab2, weights[k]));
+      fpga::RsaCircuit circuit(fpga::RsaCircuitConfig{}, std::move(key));
+
+      soc::SocConfig config = soc::zcu102_config(util::hash_combine(17, k));
+      config.sensor[power::rail_index(power::Rail::FpgaLogic)]
+          .current_lsb_amps = lsb_ma * 1e-3;
+      soc::Soc soc(config);
+      soc.fabric().deploy(circuit.descriptor());
+      const sim::TimeNs start = sim::milliseconds(50);
+      const sim::TimeNs end{start.ns +
+                            sim::milliseconds(1).ns *
+                                static_cast<std::int64_t>(samples) +
+                            sim::milliseconds(100).ns};
+      soc.add_activity(circuit.schedule(start, end).activity);
+      soc.finalize();
+
+      core::Sampler sampler(soc);
+      core::SamplerConfig sc;
+      sc.period = sim::milliseconds(1);
+      sc.sample_count = samples;
+      const auto trace = sampler.collect(
+          {power::Rail::FpgaLogic, core::Quantity::Current}, start, sc);
+      classes.emplace_back(trace.values().begin(), trace.values().end());
+    }
+    const std::size_t groups = stats::count_separable_groups(classes, 0.95);
+    const char* comment =
+        lsb_ma == 1.0
+            ? "hwmon current channel (paper default)"
+            : (lsb_ma == 25.0 ? "equivalent to the 25 mW power channel"
+                              : "intermediate resolution");
+    table.add_row({util::format("%.0f mA", lsb_ma),
+                   util::format("%zu", groups), comment});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: the 25x resolution gap between the CURRENT and POWER");
+  std::puts("registers (INA226 datasheet) is alone enough to collapse the");
+  std::puts("HW classes — matching Fig 4's current-vs-power comparison.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation A3: why circuit-free beats crafted circuits on modern boards.
+// Sweep the PDN stabilizer gain from 0 (legacy shared PDN) to 1 (ideal
+// regulation) and measure how much victim signal each sensing channel keeps:
+// the RO's per-level response collapses with stabilization while the hwmon
+// current channel is untouched — the paper's core motivation (Sec III-B).
+
+#include <cstdio>
+
+#include "amperebleed/core/characterize.hpp"
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+
+  std::puts("Ablation: sensing-channel response vs PDN stabilizer gain");
+  std::puts("(17 activity levels, 40 mA per level)\n");
+
+  core::TextTable table({"Stabilizer gain", "Current LSB/level",
+                         "Current r", "RO counts/level", "RO r",
+                         "TDC taps/level", "TDC r", "Current/RO ratio"});
+
+  for (double gain : {0.0, 0.5, 0.9, 0.9875, 1.0}) {
+    core::CharacterizationConfig config;
+    config.levels = 17;
+    config.samples_per_level =
+        static_cast<std::size_t>(args.get_int("samples", 800));
+    config.ro_samples_per_level = config.samples_per_level;
+    config.virus.group_count = 16;
+    config.virus.dynamic_current_per_instance_amps = 4e-6;  // 40 mA/group
+    config.with_tdc = true;  // second crafted-circuit baseline
+    config.seed = 0xab1a;
+
+    // run_characterization builds the SoC internally from zcu102_config();
+    // we mirror that here by adjusting the shared default through the
+    // config's dedicated hook.
+    config.stabilizer_gain_override = gain;
+
+    const auto result = core::run_characterization(config);
+    table.add_row({
+        core::fmt(gain, 4),
+        core::fmt(result.current.variation_lsb_per_level, 1),
+        core::fmt(result.current.pearson_vs_level, 3),
+        core::fmt(result.ro.variation_lsb_per_level, 3),
+        core::fmt(result.ro.pearson_vs_level, 3),
+        core::fmt(result.tdc->variation_lsb_per_level, 3),
+        core::fmt(result.tdc->pearson_vs_level, 3),
+        core::fmt(result.current_over_ro_variation, 1),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: on a legacy PDN (gain 0) the RO is a usable sensor;");
+  std::puts("as boards stabilize the rail, the RO loses its signal while the");
+  std::puts("hwmon current channel keeps the full 40 LSB/level response.");
+  return 0;
+}

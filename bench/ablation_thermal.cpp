@@ -1,0 +1,92 @@
+// Ablation A5: the temperature side channel (SYSMON/AMS) vs AmpereBleed's
+// current channel. The paper's related work (ThermalScope, ThermalBleed)
+// exploits thermal sensors; here both channels observe the same victim and
+// the ~8 s thermal RC shows why current resolves victim activity orders of
+// magnitude faster than temperature.
+
+#include <cmath>
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main() {
+  using namespace amperebleed;
+
+  // Victim: alternate between 0 and 120 active groups with several dwell
+  // times; measure how much of the square wave each channel preserves.
+  std::puts("Ablation: current (INA226) vs temperature (SYSMON) channel "
+            "response\nto a 0 <-> 120-group victim square wave\n");
+
+  core::TextTable table({"Dwell time", "Current swing (mA)",
+                         "Temp swing (mC)", "Temp/steady (%)"});
+
+  // Reference steady-state temperature swing for the same load delta,
+  // measured with a very long dwell below.
+  double steady_temp_swing_mc = 0.0;
+
+  for (double dwell_s : {64.0, 16.0, 4.0, 1.0, 0.25}) {
+    fpga::PowerVirus virus;
+    const int cycles = 3;
+    const sim::TimeNs dwell = sim::from_seconds(dwell_s);
+    for (int i = 0; i < 2 * cycles; ++i) {
+      virus.set_active_groups(
+          sim::TimeNs{dwell.ns * (i + 1)}, (i % 2 == 0) ? 120 : 0);
+    }
+
+    soc::SocConfig config = soc::zcu102_config(0xab5);
+    config.with_sysmon = true;
+    soc::Soc soc(config);
+    soc.fabric().deploy(virus.descriptor());
+    soc.add_activity(virus.activity());
+    soc.finalize();
+
+    core::Sampler sampler(soc);
+    // Observe the last full cycle (thermal transients settled as much as
+    // they will).
+    const sim::TimeNs obs_start{dwell.ns * (2 * cycles - 1)};
+    const sim::TimeNs obs_end{dwell.ns * (2 * cycles + 1)};
+
+    double curr_lo = 1e18;
+    double curr_hi = -1e18;
+    double temp_lo = 1e18;
+    double temp_hi = -1e18;
+    const int probes = 64;
+    for (int i = 0; i <= probes; ++i) {
+      const sim::TimeNs t{obs_start.ns +
+                          (obs_end.ns - obs_start.ns) * i / probes};
+      soc.advance_to(t);
+      const double ma = sampler.read_now(
+          {power::Rail::FpgaLogic, core::Quantity::Current});
+      curr_lo = std::min(curr_lo, ma);
+      curr_hi = std::max(curr_hi, ma);
+      const auto temp_attr = soc.hwmon().fs().read(
+          soc.hwmon().attr_path(soc.sysmon_hwmon_index(), "temp1_input"),
+          /*privileged=*/false);
+      const double mc =
+          static_cast<double>(*util::parse_ll(temp_attr.data));
+      temp_lo = std::min(temp_lo, mc);
+      temp_hi = std::max(temp_hi, mc);
+    }
+
+    const double temp_swing = temp_hi - temp_lo;
+    if (steady_temp_swing_mc == 0.0) steady_temp_swing_mc = temp_swing;
+    table.add_row({
+        util::format("%.2f s", dwell_s),
+        core::fmt(curr_hi - curr_lo, 0),
+        core::fmt(temp_swing, 0),
+        core::fmt(100.0 * temp_swing / steady_temp_swing_mc, 1),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: the current channel keeps its full ~4800 mA swing at");
+  std::puts("every dwell time, while the thermal RC (~8 s) crushes the");
+  std::puts("temperature channel as soon as the victim switches faster than");
+  std::puts("seconds — why AmpereBleed samples current, not temperature.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Application bench: capacity of the INA226 covert channel (FPGA sender ->
+// unprivileged CPU receiver). Sweeps the bit period and reports bit error
+// rate and goodput; the ~35 ms sensor conversion interval — not the fabric —
+// is the bandwidth bottleneck, mirroring the eavesdropping results.
+
+#include <cstdio>
+
+#include "amperebleed/core/covert.hpp"
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+  const std::string message =
+      args.get_string("message", "AmpereBleed covert channel");
+  const auto payload = core::bytes_to_bits(message);
+
+  std::printf("Covert channel over hwmon current: %zu-bit payload "
+              "(\"%s\")\n\n",
+              payload.size(), message.c_str());
+
+  core::TextTable table({"Bit period", "Raw rate (b/s)", "BER",
+                         "Message recovered"});
+
+  for (std::int64_t period_ms : {250, 140, 105, 70, 35, 20}) {
+    core::CovertChannelConfig config;
+    config.bit_period = sim::milliseconds(period_ms);
+
+    const sim::TimeNs tx_start = sim::milliseconds(200);
+    auto virus = core::encode_transmission(config, payload, tx_start);
+
+    soc::Soc soc(soc::zcu102_config(0xc0 + static_cast<std::uint64_t>(period_ms)));
+    soc.fabric().deploy(virus.descriptor());
+    soc.add_activity(virus.activity());
+    soc.finalize();
+
+    core::Sampler receiver(soc);
+    core::SamplerConfig sc;
+    sc.period = sim::milliseconds(5);
+    const sim::TimeNs span =
+        core::transmission_duration(config, payload.size());
+    sc.sample_count = static_cast<std::size_t>(span.ns / sc.period.ns) + 60;
+    const auto trace = receiver.collect(
+        {power::Rail::FpgaLogic, core::Quantity::Current}, tx_start, sc);
+
+    const auto decoded =
+        core::decode_transmission(config, trace, tx_start, payload.size());
+    const double ber = core::bit_error_rate(payload, decoded.bits);
+    const std::string recovered = core::bits_to_bytes(decoded.bits);
+
+    table.add_row({
+        util::format("%lld ms", static_cast<long long>(period_ms)),
+        core::fmt(config.raw_bits_per_second(), 1),
+        core::fmt(ber, 3),
+        ber == 0.0 ? "yes" : (recovered == message ? "yes" : "no"),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: the channel is clean down to ~2 sensor conversions");
+  std::puts("per bit (~14 b/s) and collapses once bits outrun the 35 ms");
+  std::puts("conversion interval — the same resolution limit that shapes the");
+  std::puts("eavesdropping attacks.");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Fig 3: current patterns leaked from the four hwmon sensors
+// while the DPU runs the six example DNN models (MobileNet-V1, SqueezeNet,
+// EfficientNet-Lite, Inception-V3, ResNet-50, VGG-19). Each trace is drawn
+// as an ASCII sparkline; --csv dumps the raw series for plotting.
+
+#include <cstdio>
+#include <string>
+
+#include "amperebleed/core/fingerprint.hpp"
+#include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/stats/spectral.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/csv.hpp"
+#include "amperebleed/util/strings.hpp"
+
+namespace {
+
+std::string sparkline(std::span<const double> values) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const auto s = amperebleed::stats::summarize(values);
+  std::string out;
+  for (double v : values) {
+    const double t =
+        s.max > s.min ? (v - s.min) / (s.max - s.min) : 0.0;
+    out += levels[static_cast<int>(t * 7.0 + 0.5)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+
+  core::FingerprintConfig config;
+  config.trace_duration =
+      sim::from_seconds(args.get_double("duration", 5.0));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0xf163));
+
+  std::printf("Fig 3: current traces during DNN inference (%.1f s, 35 ms "
+              "hwmon cadence)\n",
+              config.trace_duration.seconds());
+
+  const auto traces = core::collect_fig3_traces(config);
+
+  const dpu::DpuAccelerator dpu(config.dpu);
+  for (const auto& t : traces) {
+    std::printf("\n%s (%.1f MB INT8 weights)\n", t.model_name.c_str(),
+                static_cast<double>(t.model_size_bytes) / 1e6);
+    for (std::size_t r = 0; r < t.rail_current.size(); ++r) {
+      const auto& trace = t.rail_current[r];
+      const auto s = stats::summarize(trace.values());
+      std::printf("  %-10s [%7.0f..%7.0f mA] %s\n",
+                  std::string(power::rail_name(power::kAllRails[r])).c_str(),
+                  s.min, s.max, sparkline(trace.values()).c_str());
+    }
+    // Secondary analysis: recover the inference period from the FPGA trace
+    // alone and compare with the victim's ground truth.
+    const auto& fpga_trace =
+        t.rail_current[power::rail_index(power::Rail::FpgaLogic)];
+    const std::size_t period_samples = stats::dominant_period(
+        fpga_trace.values(), fpga_trace.size() / 2);
+    const double truth_ms =
+        dpu.inference_period(dnn::build_model(t.model_name)).millis();
+    const double cadence_ms = config.sample_period.millis();
+    if (period_samples == 0) {
+      std::printf("  no periodicity resolvable at the %.0f ms cadence "
+                  "(ground truth %.1f ms)\n",
+                  cadence_ms, truth_ms);
+    } else if (truth_ms < 4.0 * cadence_ms) {
+      // Sub-Nyquist inference period: the ACF peak is the alias/beat of the
+      // true period against the sampling grid, still a stable fingerprint.
+      std::printf("  aliased periodicity: %.0f ms (true period %.1f ms is "
+                  "below 4x the %.0f ms cadence)\n",
+                  static_cast<double>(period_samples) * cadence_ms, truth_ms,
+                  cadence_ms);
+    } else {
+      std::printf("  recovered inference period: %.0f ms (ground truth "
+                  "%.1f ms)\n",
+                  static_cast<double>(period_samples) * cadence_ms, truth_ms);
+    }
+  }
+
+  std::puts("\nEach model's layer schedule produces a distinct periodic");
+  std::puts("current pattern on the FPGA/DRAM/CPU rails — the signal the");
+  std::puts("Table III classifier consumes.");
+
+  const std::string csv_path = args.get_string("csv", "");
+  if (!csv_path.empty()) {
+    util::CsvWriter csv(csv_path);
+    csv.row({"model", "rail", "sample_index", "time_ms", "current_ma"});
+    for (const auto& t : traces) {
+      for (std::size_t r = 0; r < t.rail_current.size(); ++r) {
+        const auto& trace = t.rail_current[r];
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+          csv.row({t.model_name,
+                   std::string(power::rail_name(power::kAllRails[r])),
+                   util::format("%zu", i),
+                   util::format("%.1f", trace.time_of(i).millis()),
+                   util::format("%.0f", trace[i])});
+        }
+      }
+    }
+    std::printf("Raw traces written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+// google-benchmark micro-benchmarks of the library's hot primitives:
+// signal integration, INA226 conversion, the hwmon read path, bignum modular
+// arithmetic, and random-forest training/inference.
+
+#include <benchmark/benchmark.h>
+
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/crypto/modexp.hpp"
+#include "amperebleed/crypto/montgomery.hpp"
+#include "amperebleed/crypto/rsa.hpp"
+#include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+#include "amperebleed/sim/signal.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+void BM_SignalIntegrate(benchmark::State& state) {
+  sim::PiecewiseConstant signal(0.5);
+  for (int i = 1; i <= state.range(0); ++i) {
+    signal.append(sim::microseconds(100 * i), 0.5 + (i % 7) * 0.1);
+  }
+  const sim::TimeNs t0 = sim::microseconds(50);
+  const sim::TimeNs t1 =
+      sim::microseconds(100 * static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signal.integrate(t0, t1));
+  }
+}
+BENCHMARK(BM_SignalIntegrate)->Arg(100)->Arg(10'000);
+
+void BM_SignalValueAt(benchmark::State& state) {
+  sim::PiecewiseConstant signal(0.5);
+  for (int i = 1; i <= 10'000; ++i) {
+    signal.append(sim::microseconds(100 * i), (i % 13) * 0.1);
+  }
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 37'119) % 1'000'000'000;
+    benchmark::DoNotOptimize(signal.value_at(sim::TimeNs{t}));
+  }
+}
+BENCHMARK(BM_SignalValueAt);
+
+void BM_Ina226Conversion(benchmark::State& state) {
+  sim::PiecewiseConstant current(1.5);
+  sim::PiecewiseConstant voltage(0.85);
+  sensors::Ina226 dev(sensors::Ina226Config{}, power::RailNoiseConfig{}, 1);
+  dev.bind(&current, &voltage);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 35'200'000;  // one full conversion per iteration
+    dev.advance_to(sim::TimeNs{t});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ina226Conversion);
+
+void BM_HwmonReadPath(benchmark::State& state) {
+  soc::Soc soc(soc::zcu102_config(1));
+  fpga::PowerVirus virus;
+  soc.add_activity(virus.activity());
+  soc.finalize();
+  core::Sampler sampler(soc);
+  std::int64_t t = 40'000'000;
+  for (auto _ : state) {
+    t += 1'000'000;
+    soc.advance_to(sim::TimeNs{t});
+    benchmark::DoNotOptimize(
+        sampler.read_now({power::Rail::FpgaLogic, core::Quantity::Current}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HwmonReadPath);
+
+void BM_ModMul1024(benchmark::State& state) {
+  const crypto::BigUInt m = crypto::rsa1024_test_modulus();
+  const crypto::BigUInt a =
+      crypto::exponent_with_hamming_weight(1024, 512, 1).mod(m);
+  const crypto::BigUInt b =
+      crypto::exponent_with_hamming_weight(1024, 512, 2).mod(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::modmul(a, b, m));
+  }
+}
+BENCHMARK(BM_ModMul1024);
+
+void BM_MontgomeryMul1024(benchmark::State& state) {
+  const crypto::BigUInt m = crypto::rsa1024_test_modulus();
+  const crypto::MontgomeryContext ctx(m);
+  const crypto::BigUInt a =
+      ctx.to_mont(crypto::exponent_with_hamming_weight(1024, 512, 1).mod(m));
+  const crypto::BigUInt b =
+      ctx.to_mont(crypto::exponent_with_hamming_weight(1024, 512, 2).mod(m));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.mul(a, b));
+  }
+}
+BENCHMARK(BM_MontgomeryMul1024);
+
+void BM_MontgomeryModExp1024(benchmark::State& state) {
+  const crypto::BigUInt m = crypto::rsa1024_test_modulus();
+  const crypto::MontgomeryContext ctx(m);
+  const crypto::BigUInt base =
+      crypto::exponent_with_hamming_weight(1024, 512, 3).mod(m);
+  const crypto::BigUInt exp =
+      crypto::exponent_with_hamming_weight(1024, 512, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.modexp(base, exp));
+  }
+}
+BENCHMARK(BM_MontgomeryModExp1024)->Unit(benchmark::kMillisecond);
+
+void BM_ModExp64(benchmark::State& state) {
+  const crypto::BigUInt m(0xffffffffffffffc5ULL);
+  const crypto::BigUInt base(0x123456789abcdefULL);
+  const crypto::BigUInt exp =
+      crypto::exponent_with_hamming_weight(64, 32, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::modexp(base, exp, m));
+  }
+}
+BENCHMARK(BM_ModExp64);
+
+ml::Dataset synthetic_dataset(int classes, int per_class, int features) {
+  util::Rng rng(42);
+  ml::Dataset d(static_cast<std::size_t>(features));
+  std::vector<double> row(static_cast<std::size_t>(features));
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      for (int f = 0; f < features; ++f) {
+        row[static_cast<std::size_t>(f)] =
+            rng.gaussian(c * ((f % 5) + 1) * 0.3, 1.0);
+      }
+      d.add(row, c);
+    }
+  }
+  return d;
+}
+
+void BM_ForestTrain(benchmark::State& state) {
+  const ml::Dataset data = synthetic_dataset(10, 20, 140);
+  ml::ForestConfig config;
+  config.n_trees = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest forest(config);
+    forest.fit(data);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_ForestTrain)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const ml::Dataset data = synthetic_dataset(10, 20, 140);
+  ml::RandomForest forest;
+  forest.fit(data);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_top_k(data.row(i), 5));
+    i = (i + 1) % data.size();
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+}  // namespace

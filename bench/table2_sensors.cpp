@@ -1,0 +1,45 @@
+// Reproduces Table II: the four security-sensitive INA226 sensors on the
+// ZCU102 that allow unprivileged access through hwmon — verified live
+// against the simulated SoC's sysfs tree.
+
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/sensors/board.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main() {
+  using namespace amperebleed;
+
+  std::puts("Table II: Sensitive sensors with unprivileged hwmon access "
+            "(ZCU102)");
+  std::puts("");
+
+  core::TextTable table({"Sensor", "Rail", "Description"});
+  for (const auto& s : sensors::zcu102_sensitive_sensors()) {
+    table.add_row({s.designator, std::string(power::rail_name(s.rail)),
+                   s.description});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Live check: boot the simulated SoC and list the hwmon tree with an
+  // unprivileged identity, confirming each sensor's attributes are readable.
+  soc::Soc soc(soc::zcu102_config());
+  soc.finalize();
+  soc.advance_to(sim::milliseconds(40));
+
+  std::puts("");
+  std::puts("Unprivileged /sys/class/hwmon walk (live, simulated SoC):");
+  const auto& fs = soc.hwmon().fs();
+  for (const auto& dev : fs.list("/sys/class/hwmon")) {
+    const std::string base = "/sys/class/hwmon/" + dev;
+    const auto name = fs.read(base + "/name", /*privileged=*/false);
+    const auto curr = fs.read(base + "/curr1_input", false);
+    std::printf("  %s: name=%s curr1_input=%s mA (mode %04o)\n", base.c_str(),
+                std::string(util::trim(name.data)).c_str(),
+                std::string(util::trim(curr.data)).c_str(),
+                fs.mode_of(base + "/curr1_input"));
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Example: a reduced Fig 2 characterization sweep. Shows how to use
+// core::run_characterization() directly and how to interpret the per-channel
+// series. (The full 161-level sweep lives in bench/fig2_characterization.)
+
+#include <cstdio>
+
+#include "amperebleed/core/characterize.hpp"
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main() {
+  using namespace amperebleed;
+
+  core::CharacterizationConfig config;
+  config.levels = 17;               // 0..16 groups of 10k instances each
+  config.samples_per_level = 300;
+  config.ro_samples_per_level = 300;
+  config.virus.group_count = 16;
+  config.virus.dynamic_current_per_instance_amps = 4e-6;  // 40 mA / 10k
+  config.seed = 7;
+
+  std::puts("Mini characterization: 17 activity levels, 300 samples each\n");
+  const auto result = core::run_characterization(config);
+
+  core::TextTable table({"Level", "Current (mA)", "Voltage (mV)",
+                         "Power (mW)", "RO (counts)"});
+  for (std::size_t level = 0; level < config.levels; ++level) {
+    table.add_row({
+        util::format("%zu", level),
+        core::fmt(result.current.mean_per_level[level], 1),
+        core::fmt(result.voltage.mean_per_level[level], 3),
+        core::fmt(result.power.mean_per_level[level] * 1e-3, 1),
+        core::fmt(result.ro.mean_per_level[level], 2),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nPearson r vs level: current %.4f, voltage %.3f, power %.4f, "
+              "RO %.3f\n",
+              result.current.pearson_vs_level, result.voltage.pearson_vs_level,
+              result.power.pearson_vs_level, result.ro.pearson_vs_level);
+  std::printf("Per-level variation: current %.1f LSB, RO %.4f counts "
+              "(ratio %.0fx)\n",
+              result.current.variation_lsb_per_level,
+              result.ro.variation_lsb_per_level,
+              result.current_over_ro_variation);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Example: the two-phase DPU fingerprinting attack on a small model set,
+// using the library API directly.
+//
+//   offline phase  — collect labelled traces of known accelerators and train
+//                    a random forest per observation channel;
+//   online phase   — query a "black-box" accelerator, record one trace, and
+//                    classify it.
+//
+// The full 39-model Table III reproduction lives in bench/table3_fingerprint.
+
+#include <cstdio>
+
+#include "amperebleed/core/features.hpp"
+#include "amperebleed/core/fingerprint.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+// Record one FPGA-current trace of `model` running on a fresh SoC.
+core::Trace record_trace(const dnn::Model& model, std::size_t n_samples,
+                         std::uint64_t seed) {
+  dpu::DpuAccelerator dpu;
+  auto run = dpu.run(model, sim::TimeNs{0},
+                     sim::seconds(3) + sim::milliseconds(200), seed);
+  soc::Soc soc(soc::zcu102_config(util::hash_combine(seed, 0xe9)));
+  soc.fabric().deploy(dpu.descriptor());
+  soc.add_activity(run.activity);
+  soc.finalize();
+  core::Sampler sampler(soc);
+  core::SamplerConfig sc;
+  sc.sample_count = n_samples;
+  return sampler.collect({power::Rail::FpgaLogic, core::Quantity::Current},
+                         sim::TimeNs{0}, sc);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> victims = {
+      "MobileNet-V1", "SqueezeNet", "Inception-V1", "ResNet-18", "VGG-11"};
+  const std::size_t traces_per_model = 8;
+  const std::size_t n_samples = 85;  // ~3 s at 35 ms
+
+  std::puts("DPU fingerprinting example — 5 candidate architectures\n");
+
+  // ---- Offline phase: build the training set and fit the classifier. ----
+  std::puts("[offline] collecting labelled traces...");
+  ml::Dataset train(n_samples);
+  for (std::size_t m = 0; m < victims.size(); ++m) {
+    const dnn::Model model = dnn::build_model(victims[m]);
+    for (std::size_t rep = 0; rep < traces_per_model; ++rep) {
+      const auto trace =
+          record_trace(model, n_samples, util::hash_combine(m, rep));
+      core::add_trace(train, trace, static_cast<int>(m), n_samples);
+    }
+  }
+  ml::ForestConfig forest_config;
+  forest_config.n_trees = 60;
+  ml::RandomForest forest(forest_config);
+  forest.fit(train);
+  std::printf("[offline] trained RF(%zu trees) on %zu traces\n\n",
+              forest.tree_count(), train.size());
+
+  // ---- Online phase: fingerprint a black-box accelerator. ---------------
+  std::puts("[online] querying the black-box accelerator...");
+  const std::size_t secret = 3;  // the victim deployed ResNet-18
+  const auto observed = record_trace(dnn::build_model(victims[secret]),
+                                     n_samples, 0xb1ac14b0);
+  const auto features = observed.prefix(n_samples);
+  const auto probabilities = forest.predict_proba(features);
+  const auto ranking = forest.predict_top_k(features, victims.size());
+
+  std::puts("[online] classifier ranking:");
+  for (std::size_t r = 0; r < ranking.size(); ++r) {
+    const auto cls = static_cast<std::size_t>(ranking[r]);
+    std::printf("  %zu. %-14s p=%.3f%s\n", r + 1, victims[cls].c_str(),
+                probabilities[cls], cls == secret ? "   <-- ground truth" : "");
+  }
+  std::printf("\nFingerprinted architecture: %s (%s)\n",
+              victims[static_cast<std::size_t>(ranking[0])].c_str(),
+              static_cast<std::size_t>(ranking[0]) == secret ? "correct"
+                                                             : "incorrect");
+  return static_cast<std::size_t>(ranking[0]) == secret ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Example: inferring RSA key Hamming weights from hwmon current readings.
+// Runs a reduced version of the Fig 4 experiment (5 keys) and shows how the
+// attacker turns raw curr1_input polls into a key-space reduction.
+
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/rsa_attack.hpp"
+#include "amperebleed/stats/histogram.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main() {
+  using namespace amperebleed;
+
+  core::RsaAttackConfig config;
+  config.hamming_weights = {1, 128, 256, 384, 512};
+  config.sample_count = 3'000;  // 3 s at 1 kHz per key
+  config.seed = 0xe5a;
+
+  std::puts("RSA-1024 Hamming-weight attack example — 5 keys, 3 s each\n");
+  const auto result = core::run_rsa_attack(config);
+
+  core::TextTable table({"Hamming weight", "Current mean (mA)",
+                         "Power mean (mW)", "Separable (current)"});
+  for (std::size_t k = 0; k < result.keys.size(); ++k) {
+    const auto& key = result.keys[k];
+    table.add_row({util::format("%zu", key.hamming_weight),
+                   core::fmt(key.current_ma.mean, 1),
+                   core::fmt(key.power_mw.mean, 1),
+                   util::format("group %zu", result.current_group_ids[k])});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Render the extreme keys' current distributions to show the separation.
+  const auto& lo = result.keys.front();
+  const auto& hi = result.keys.back();
+  const double bin_lo = lo.current_ma.min - 5.0;
+  const double bin_hi = hi.current_ma.max + 5.0;
+  stats::Histogram hist_lo(bin_lo, bin_hi, 12);
+  stats::Histogram hist_hi(bin_lo, bin_hi, 12);
+  hist_lo.add_all(lo.current_samples_ma);
+  hist_hi.add_all(hi.current_samples_ma);
+  std::printf("\ncurrent distribution, HW=%zu:\n%s", lo.hamming_weight,
+              hist_lo.render(40).c_str());
+  std::printf("\ncurrent distribution, HW=%zu:\n%s", hi.hamming_weight,
+              hist_hi.render(40).c_str());
+
+  std::printf("\n%zu of %zu keys separable via current; power alone gives "
+              "%zu groups.\n",
+              result.current_groups, result.keys.size(), result.power_groups);
+  std::puts("Knowing HW(d) cuts brute-force search space and enables");
+  std::puts("statistical key-recovery attacks (paper Sec IV-C).");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Example: explore the victim model zoo — per-model compute/traffic totals
+// and predicted DPU timing. Useful for understanding *why* the fingerprints
+// in Fig 3 / Table III are distinguishable: every architecture occupies a
+// distinct point in (latency, MACs, traffic) space.
+//
+// Pass --json to emit the table machine-readably.
+
+#include <cstdio>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/json.hpp"
+#include "amperebleed/util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+
+  const auto zoo = dnn::build_zoo();
+  const dpu::DpuAccelerator dpu;
+
+  if (args.has("json")) {
+    util::Json out = util::Json::array();
+    for (const auto& m : zoo) {
+      util::Json entry = util::Json::object();
+      entry.set("name", util::Json::string(m.name));
+      entry.set("family",
+                util::Json::string(std::string(dnn::family_name(m.family))));
+      entry.set("layers", util::Json::integer(
+                              static_cast<std::int64_t>(m.layer_count())));
+      entry.set("macs", util::Json::integer(
+                            static_cast<std::int64_t>(m.total_macs())));
+      entry.set("weight_bytes",
+                util::Json::integer(
+                    static_cast<std::int64_t>(m.total_weight_bytes())));
+      entry.set("inference_ms",
+                util::Json::number(dpu.inference_period(m).millis()));
+      out.push_back(std::move(entry));
+    }
+    std::puts(out.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("Victim model zoo: %zu architectures, 7 families\n\n",
+              zoo.size());
+  core::TextTable table({"Model", "Family", "Layers", "GMACs", "Weights (MB)",
+                         "DPU period (ms)"});
+  for (const auto& m : zoo) {
+    table.add_row({
+        m.name,
+        std::string(dnn::family_name(m.family)),
+        util::format("%zu", m.layer_count()),
+        core::fmt(static_cast<double>(m.total_macs()) / 1e9, 2),
+        core::fmt(static_cast<double>(m.total_weight_bytes()) / 1e6, 1),
+        core::fmt(dpu.inference_period(m).millis(), 1),
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nDistinct (latency, compute, traffic) signatures are what the");
+  std::puts("current side channel picks up during inference.");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "amperebleed/core/characterize.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/sensors/ina226.hpp"
+#include "amperebleed/stats/correlation.hpp"
+#include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::core {
+
+namespace {
+
+ChannelSeries finish_series(std::vector<double> means,
+                            const std::vector<double>& level_axis,
+                            double lsb) {
+  ChannelSeries s;
+  s.mean_per_level = std::move(means);
+  s.lsb = lsb;
+  s.pearson_vs_level = stats::pearson(level_axis, s.mean_per_level);
+  s.fit = stats::linear_fit(level_axis, s.mean_per_level);
+  s.variation_lsb_per_level = std::abs(s.fit.slope) / lsb;
+  s.noisy_variation_lsb_per_level =
+      stats::mean_abs_successive_diff(s.mean_per_level) / lsb;
+  return s;
+}
+
+}  // namespace
+
+CharacterizationResult run_characterization(
+    const CharacterizationConfig& config) {
+  if (config.levels < 2) {
+    throw std::invalid_argument("characterization: need at least 2 levels");
+  }
+  if (config.levels > config.virus.group_count + 1) {
+    throw std::invalid_argument(
+        "characterization: more levels than virus groups + 1");
+  }
+
+  // --- Victim side: deploy the virus and schedule one level per window. ---
+  fpga::PowerVirus virus(config.virus);
+  fpga::RingOscillatorBank ro(config.ro,
+                              util::hash_combine(config.seed, 0x20));
+  std::optional<fpga::TdcSensor> tdc;
+  if (config.with_tdc) {
+    tdc.emplace(config.tdc, util::hash_combine(config.seed, 0x7dc));
+  }
+
+  const sim::TimeNs window{
+      config.sample_period.ns *
+      static_cast<std::int64_t>(config.samples_per_level +
+                                config.settle_samples + 1)};
+  for (std::size_t level = 1; level < config.levels; ++level) {
+    virus.set_active_groups(
+        sim::TimeNs{window.ns * static_cast<std::int64_t>(level)}, level);
+  }
+
+  soc::SocConfig soc_config = soc::zcu102_config(config.seed);
+  if (config.stabilizer_gain_override) {
+    soc_config.pdn[power::rail_index(power::Rail::FpgaLogic)]
+        .stabilizer_gain = *config.stabilizer_gain_override;
+  }
+  soc::Soc soc(soc_config);
+  soc.fabric().deploy(virus.descriptor());
+  soc.fabric().deploy(ro.descriptor());
+  if (tdc) soc.fabric().deploy(tdc->descriptor());
+  soc.add_activity(virus.activity());
+  soc.finalize();
+
+  // --- Attacker side: poll hwmon per level; RO sampled on-fabric. ---
+  Sampler sampler(soc);
+  const std::vector<Channel> channels = {
+      {power::Rail::FpgaLogic, Quantity::Current},
+      {power::Rail::FpgaLogic, Quantity::Voltage},
+      {power::Rail::FpgaLogic, Quantity::Power},
+  };
+
+  CharacterizationResult result;
+  std::vector<double> mean_current;
+  std::vector<double> mean_voltage;
+  std::vector<double> mean_power;
+  std::vector<double> mean_ro;
+  std::vector<double> mean_tdc;
+
+  const auto& voltage_signal = soc.rail_voltage(power::Rail::FpgaLogic);
+
+  for (std::size_t level = 0; level < config.levels; ++level) {
+    const sim::TimeNs level_start{window.ns *
+                                  static_cast<std::int64_t>(level)};
+    const sim::TimeNs sampling_start{
+        level_start.ns + config.sample_period.ns *
+                             static_cast<std::int64_t>(config.settle_samples)};
+
+    SamplerConfig sc;
+    sc.period = config.sample_period;
+    sc.sample_count = config.samples_per_level;
+    const auto traces = sampler.collect_multi(channels, sampling_start, sc);
+    mean_current.push_back(stats::mean(traces[0].values()));
+    mean_voltage.push_back(stats::mean(traces[1].values()));
+    mean_power.push_back(stats::mean(traces[2].values()));
+
+    // Crafted-circuit sensors, spread evenly across the level window.
+    double ro_sum = 0.0;
+    double tdc_sum = 0.0;
+    const sim::TimeNs level_sampling_span{
+        config.sample_period.ns *
+        static_cast<std::int64_t>(config.samples_per_level)};
+    for (std::size_t i = 0; i < config.ro_samples_per_level; ++i) {
+      const sim::TimeNs t{
+          sampling_start.ns +
+          static_cast<std::int64_t>(
+              (static_cast<double>(i) /
+               static_cast<double>(config.ro_samples_per_level)) *
+              static_cast<double>(level_sampling_span.ns))};
+      ro_sum += ro.sample(voltage_signal, t);
+      if (tdc) tdc_sum += tdc->sample(voltage_signal, t);
+    }
+    mean_ro.push_back(ro_sum /
+                      static_cast<double>(config.ro_samples_per_level));
+    if (tdc) {
+      mean_tdc.push_back(tdc_sum /
+                         static_cast<double>(config.ro_samples_per_level));
+    }
+
+    result.level_axis.push_back(static_cast<double>(level));
+  }
+
+  const double power_lsb_uw =
+      soc.sensor(power::Rail::FpgaLogic).power_lsb_watts() * 1e6;
+  result.current = finish_series(std::move(mean_current), result.level_axis,
+                                 /*lsb=*/1.0);  // trace unit mA, LSB 1 mA
+  result.voltage = finish_series(std::move(mean_voltage), result.level_axis,
+                                 /*lsb=*/1.25);  // mV unit, LSB 1.25 mV
+  result.power = finish_series(std::move(mean_power), result.level_axis,
+                               power_lsb_uw);  // uW unit, LSB 25 mW
+  result.ro = finish_series(std::move(mean_ro), result.level_axis,
+                            /*lsb=*/1.0);  // one counter tick
+  if (config.with_tdc) {
+    result.tdc = finish_series(std::move(mean_tdc), result.level_axis,
+                               /*lsb=*/1.0);  // one tap
+  }
+
+  result.current_over_ro_variation =
+      result.ro.variation_lsb_per_level > 0.0
+          ? result.current.variation_lsb_per_level /
+                result.ro.variation_lsb_per_level
+          : 0.0;
+  return result;
+}
+
+}  // namespace amperebleed::core

@@ -1,0 +1,74 @@
+#pragma once
+// Fig 2 experiment: characterize how the four observation channels (hwmon
+// current/voltage/power of the FPGA rail + a distributed RO sensor bank)
+// respond to 161 victim activity levels produced by the power virus, and
+// quantify the per-level variation of each channel in units of its own LSB
+// — the basis of the paper's "261x greater variation than RO" claim.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/fpga/ring_oscillator.hpp"
+#include "amperebleed/fpga/tdc_sensor.hpp"
+#include "amperebleed/sim/time.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/stats/regression.hpp"
+
+namespace amperebleed::core {
+
+struct CharacterizationConfig {
+  /// Activity levels 0..levels-1 (paper: 161, i.e. 0..160 active groups).
+  std::size_t levels = 161;
+  /// hwmon samples averaged per level (paper collects 10k; the default is
+  /// reduced because repeated reads of the same conversion add no
+  /// information in simulation — see EXPERIMENTS.md).
+  std::size_t samples_per_level = 1000;
+  /// RO counter reads averaged per level.
+  std::size_t ro_samples_per_level = 1000;
+  sim::TimeNs sample_period = sim::milliseconds(35);
+  /// Conversions discarded after each level switch (settling).
+  std::size_t settle_samples = 2;
+  fpga::PowerVirusConfig virus{};
+  fpga::RingOscillatorConfig ro{};
+  /// Also deploy a TDC delay-line sensor (second crafted-circuit baseline,
+  /// sampled at the RO cadence).
+  bool with_tdc = false;
+  fpga::TdcConfig tdc{};
+  /// Override the FPGA rail's PDN stabilizer gain (0 = legacy unstabilized
+  /// PDN, 1 = ideal regulation). Used by the stabilizer ablation.
+  std::optional<double> stabilizer_gain_override;
+  std::uint64_t seed = 0xf162;
+};
+
+/// One channel's response across levels.
+struct ChannelSeries {
+  std::vector<double> mean_per_level;  // hwmon units (mA/mV/uW) or RO counts
+  double pearson_vs_level = 0.0;
+  stats::LinearFit fit;  // mean vs level
+  double lsb = 1.0;      // channel LSB in the series' unit
+  /// |fitted response slope| per activity level, in units of the channel's
+  /// own LSB — the paper's "variation per setting" (~40 LSB for current,
+  /// ~0.006 LSB for voltage, 1-2 LSB for power).
+  double variation_lsb_per_level = 0.0;
+  /// Mean |delta| between consecutive level means in LSBs (response plus
+  /// level-to-level noise); diagnostic companion to the fitted variation.
+  double noisy_variation_lsb_per_level = 0.0;
+};
+
+struct CharacterizationResult {
+  std::vector<double> level_axis;  // 0..levels-1
+  ChannelSeries current;           // mA, LSB 1 mA
+  ChannelSeries voltage;           // mV, LSB 1.25 mV
+  ChannelSeries power;             // uW, LSB 25 mW
+  ChannelSeries ro;                // counts, LSB 1 count
+  /// Present when config.with_tdc is set; taps, LSB 1 tap.
+  std::optional<ChannelSeries> tdc;
+  /// current.variation / ro.variation — the paper reports ~261x.
+  double current_over_ro_variation = 0.0;
+};
+
+CharacterizationResult run_characterization(const CharacterizationConfig& config);
+
+}  // namespace amperebleed::core

@@ -1,0 +1,150 @@
+#include "amperebleed/core/covert.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "amperebleed/stats/descriptive.hpp"
+
+namespace amperebleed::core {
+
+std::vector<bool> bytes_to_bits(const std::string& payload) {
+  std::vector<bool> bits;
+  bits.reserve(payload.size() * 8);
+  for (unsigned char byte : payload) {
+    for (int b = 7; b >= 0; --b) {
+      bits.push_back(((byte >> b) & 1u) != 0);
+    }
+  }
+  return bits;
+}
+
+std::string bits_to_bytes(const std::vector<bool>& bits) {
+  std::string out;
+  for (std::size_t i = 0; i + 8 <= bits.size(); i += 8) {
+    unsigned char byte = 0;
+    for (int b = 0; b < 8; ++b) {
+      byte = static_cast<unsigned char>((byte << 1) | (bits[i + static_cast<std::size_t>(b)] ? 1 : 0));
+    }
+    out.push_back(static_cast<char>(byte));
+  }
+  return out;
+}
+
+sim::TimeNs transmission_duration(const CovertChannelConfig& config,
+                                  std::size_t payload_bits) {
+  return sim::TimeNs{config.bit_period.ns *
+                     static_cast<std::int64_t>(config.preamble_bits +
+                                               payload_bits)};
+}
+
+fpga::PowerVirus encode_transmission(const CovertChannelConfig& config,
+                                     const std::vector<bool>& payload,
+                                     sim::TimeNs start) {
+  if (config.bit_period.ns <= 0) {
+    throw std::invalid_argument("covert: bit_period must be > 0");
+  }
+  fpga::PowerVirus virus;
+  if (config.groups_high > virus.config().group_count) {
+    throw std::invalid_argument("covert: groups_high exceeds virus groups");
+  }
+
+  std::vector<bool> frame;
+  frame.reserve(config.preamble_bits + payload.size());
+  for (std::size_t i = 0; i < config.preamble_bits; ++i) {
+    frame.push_back(i % 2 == 0);  // 1,0,1,0,...
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  bool level = false;  // virus starts inactive
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    if (frame[i] == level) continue;  // PiecewiseConstant coalesces anyway
+    const sim::TimeNs at{start.ns +
+                         config.bit_period.ns * static_cast<std::int64_t>(i)};
+    virus.set_active_groups(at, frame[i] ? config.groups_high : 0);
+    level = frame[i];
+  }
+  // Return to idle after the frame.
+  if (level) {
+    virus.set_active_groups(
+        sim::TimeNs{start.ns + config.bit_period.ns *
+                                   static_cast<std::int64_t>(frame.size())},
+        0);
+  }
+  return virus;
+}
+
+namespace {
+
+// Mean of the samples whose timestamps fall in the second half of bit i's
+// window. hwmon registers lag by one conversion interval (~35 ms), so the
+// late part of the bit is where readings reflect conversions fully inside
+// the bit — provided bit_period >= 2 conversion intervals.
+double bit_window_mean(const CovertChannelConfig& config, const Trace& trace,
+                       sim::TimeNs tx_start, std::size_t bit_index) {
+  const sim::TimeNs bit_start{
+      tx_start.ns +
+      config.bit_period.ns * static_cast<std::int64_t>(bit_index)};
+  const sim::TimeNs lo{bit_start.ns + config.bit_period.ns / 2};
+  const sim::TimeNs hi{bit_start.ns + config.bit_period.ns};
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const sim::TimeNs t = trace.time_of(i);
+    if (t < lo || t >= hi) continue;
+    sum += trace[i];
+    ++n;
+  }
+  if (n == 0) {
+    throw std::invalid_argument(
+        "covert: trace does not cover a bit window (sample too sparse or "
+        "trace too short)");
+  }
+  return sum / static_cast<double>(n);
+}
+
+}  // namespace
+
+DecodeResult decode_transmission(const CovertChannelConfig& config,
+                                 const Trace& trace, sim::TimeNs tx_start,
+                                 std::size_t payload_bits) {
+  if (config.preamble_bits < 2) {
+    throw std::invalid_argument("covert: need at least 2 preamble bits");
+  }
+  DecodeResult result;
+
+  // Calibrate on the alternating preamble.
+  std::vector<double> highs;
+  std::vector<double> lows;
+  for (std::size_t i = 0; i < config.preamble_bits; ++i) {
+    const double level = bit_window_mean(config, trace, tx_start, i);
+    if (i % 2 == 0) {
+      highs.push_back(level);
+    } else {
+      lows.push_back(level);
+    }
+  }
+  result.high_level_ma = stats::mean(highs);
+  result.low_level_ma = stats::mean(lows);
+  result.threshold_ma = 0.5 * (result.high_level_ma + result.low_level_ma);
+
+  result.bits.reserve(payload_bits);
+  for (std::size_t i = 0; i < payload_bits; ++i) {
+    const double level = bit_window_mean(config, trace, tx_start,
+                                         config.preamble_bits + i);
+    result.bits.push_back(level > result.threshold_ma);
+  }
+  return result;
+}
+
+double bit_error_rate(const std::vector<bool>& sent,
+                      const std::vector<bool>& received) {
+  if (sent.empty() && received.empty()) return 0.0;
+  const std::size_t n = std::max(sent.size(), received.size());
+  std::size_t errors = n - std::min(sent.size(), received.size());
+  for (std::size_t i = 0; i < std::min(sent.size(), received.size()); ++i) {
+    if (sent[i] != received[i]) ++errors;
+  }
+  return static_cast<double>(errors) / static_cast<double>(n);
+}
+
+}  // namespace amperebleed::core

@@ -1,0 +1,72 @@
+#pragma once
+// Covert channel over the INA226 current sensor: a circuit on the FPGA (the
+// sender, e.g. malicious IP inside an encrypted bitstream) modulates its
+// power draw; an unprivileged CPU process (the receiver) demodulates it from
+// /sys/class/hwmon current readings. This is the constructive twin of the
+// eavesdropping attack and shows the channel's bandwidth is bounded by the
+// sensor's 35 ms conversion interval, not by the fabric.
+//
+// Modulation: on-off keying with a calibration preamble (alternating 1/0)
+// that the receiver uses to derive its decision threshold.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amperebleed/core/trace.hpp"
+#include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::core {
+
+struct CovertChannelConfig {
+  /// One bit per period; needs >= 3 sensor conversions (~105 ms at the
+  /// 35 ms default) for reliable decoding — the register lags by one full
+  /// conversion interval.
+  sim::TimeNs bit_period = sim::milliseconds(105);
+  /// Power-virus groups activated for a '1' (0 groups encode '0').
+  std::size_t groups_high = 80;
+  /// Alternating 1,0,1,0,... calibration prefix.
+  std::size_t preamble_bits = 8;
+
+  [[nodiscard]] double raw_bits_per_second() const {
+    return 1.0 / bit_period.seconds();
+  }
+};
+
+/// Bit/byte packing helpers (MSB-first).
+std::vector<bool> bytes_to_bits(const std::string& payload);
+std::string bits_to_bytes(const std::vector<bool>& bits);
+
+/// The sender: compile preamble + payload bits into a power-virus
+/// activation schedule starting at `start`. The returned virus carries the
+/// whole transmission; deploy it and add its activity to the SoC.
+fpga::PowerVirus encode_transmission(const CovertChannelConfig& config,
+                                     const std::vector<bool>& payload,
+                                     sim::TimeNs start);
+
+/// Total transmission span (preamble + payload).
+sim::TimeNs transmission_duration(const CovertChannelConfig& config,
+                                  std::size_t payload_bits);
+
+struct DecodeResult {
+  std::vector<bool> bits;       // decoded payload (preamble consumed)
+  double threshold_ma = 0.0;    // decision threshold from the preamble
+  double high_level_ma = 0.0;   // preamble '1' mean
+  double low_level_ma = 0.0;    // preamble '0' mean
+};
+
+/// The receiver: demodulate `payload_bits` bits from a current trace that
+/// covers the transmission. `tx_start` is the sender's start time (found in
+/// practice by preamble correlation; passed explicitly here). The trace must
+/// span the whole transmission; throws otherwise.
+DecodeResult decode_transmission(const CovertChannelConfig& config,
+                                 const Trace& trace, sim::TimeNs tx_start,
+                                 std::size_t payload_bits);
+
+/// Fraction of differing bits (compared up to the shorter length; length
+/// mismatch counts as errors).
+double bit_error_rate(const std::vector<bool>& sent,
+                      const std::vector<bool>& received);
+
+}  // namespace amperebleed::core

@@ -1,0 +1,40 @@
+#include "amperebleed/core/features.hpp"
+
+#include <cmath>
+
+#include "amperebleed/stats/descriptive.hpp"
+
+namespace amperebleed::core {
+
+std::size_t samples_for_duration(sim::TimeNs duration, sim::TimeNs period) {
+  if (period.ns <= 0) return 0;
+  return static_cast<std::size_t>(duration.ns / period.ns);
+}
+
+void standardize(std::vector<double>& xs) {
+  const auto s = stats::summarize(xs);
+  if (s.stddev == 0.0) {
+    for (double& x : xs) x = 0.0;
+    return;
+  }
+  for (double& x : xs) x = (x - s.mean) / s.stddev;
+}
+
+void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
+               std::size_t feature_count) {
+  dataset.add(trace.prefix(feature_count), label);
+}
+
+ml::Dataset build_dataset(
+    const std::vector<std::vector<Trace>>& traces_by_label,
+    std::size_t feature_count) {
+  ml::Dataset dataset(feature_count);
+  for (std::size_t label = 0; label < traces_by_label.size(); ++label) {
+    for (const auto& trace : traces_by_label[label]) {
+      add_trace(dataset, trace, static_cast<int>(label), feature_count);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace amperebleed::core

@@ -1,0 +1,29 @@
+#pragma once
+// Feature engineering for the fingerprinting classifier. The paper feeds the
+// (fixed-cadence) hwmon traces to a random forest directly; we keep the raw
+// prefix as the feature vector and provide the helpers to assemble labelled
+// datasets and to evaluate shorter observation windows by truncation.
+
+#include <vector>
+
+#include "amperebleed/core/trace.hpp"
+#include "amperebleed/ml/dataset.hpp"
+
+namespace amperebleed::core {
+
+/// Number of samples that fit in `duration` at `period` (floor).
+std::size_t samples_for_duration(sim::TimeNs duration, sim::TimeNs period);
+
+/// Z-score standardization in place; constant vectors become all zeros.
+void standardize(std::vector<double>& xs);
+
+/// Append a labelled trace (first `feature_count` samples) to a dataset.
+void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
+               std::size_t feature_count);
+
+/// Assemble a dataset from per-label trace groups, using each trace's first
+/// `feature_count` samples. Throws if any trace is too short.
+ml::Dataset build_dataset(const std::vector<std::vector<Trace>>& traces_by_label,
+                          std::size_t feature_count);
+
+}  // namespace amperebleed::core

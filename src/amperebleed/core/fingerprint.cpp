@@ -1,0 +1,195 @@
+#include "amperebleed/core/fingerprint.hpp"
+
+#include <stdexcept>
+
+#include "amperebleed/core/features.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/util/parallel.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::core {
+
+const std::vector<Channel>& table3_channels() {
+  static const std::vector<Channel> channels = {
+      {power::Rail::FpdCpu, Quantity::Current},
+      {power::Rail::LpdCpu, Quantity::Current},
+      {power::Rail::Ddr, Quantity::Current},
+      {power::Rail::FpgaLogic, Quantity::Current},
+      {power::Rail::FpgaLogic, Quantity::Voltage},
+      {power::Rail::FpgaLogic, Quantity::Power},
+  };
+  return channels;
+}
+
+namespace {
+
+std::vector<dnn::Model> limited_zoo(std::size_t limit) {
+  auto zoo = dnn::build_zoo();
+  if (limit != 0 && limit < zoo.size()) {
+    zoo.resize(limit);
+  }
+  return zoo;
+}
+
+/// One victim run: fresh SoC, DPU inference loop of `model`, traces from all
+/// table3 channels starting at a jittered trigger offset.
+std::vector<Trace> record_run(const dnn::Model& model,
+                              const FingerprintConfig& config,
+                              std::size_t n_samples, std::uint64_t run_seed) {
+  util::Rng rng(run_seed);
+  const sim::TimeNs jitter{static_cast<std::int64_t>(
+      rng.uniform() *
+      static_cast<double>(config.max_trigger_jitter.ns))};
+
+  dpu::DpuAccelerator dpu(config.dpu);
+  // The victim keeps inferring a little past the observation window.
+  const sim::TimeNs run_end{config.trace_duration.ns + jitter.ns +
+                            sim::milliseconds(200).ns};
+  auto run = dpu.run(model, sim::TimeNs{0}, run_end,
+                     util::hash_combine(run_seed, 0xd9));
+  const power::RailActivity background = soc::make_background_os_activity(
+      config.background, run_end, util::hash_combine(run_seed, 0x05));
+
+  soc::SocConfig soc_config =
+      soc::zcu102_config(util::hash_combine(run_seed, 0x50c));
+  if (config.sensor_avg_override) {
+    for (auto& sensor : soc_config.sensor) {
+      sensor.avg_count = *config.sensor_avg_override;
+    }
+  }
+  soc::Soc soc(soc_config);
+  soc.fabric().deploy(dpu.descriptor());
+  soc.add_activity(run.activity);
+  soc.add_activity(background);
+  soc.finalize();
+
+  Sampler sampler(soc);
+  SamplerConfig sc;
+  sc.period = config.sample_period;
+  sc.sample_count = n_samples;
+  return sampler.collect_multi(table3_channels(), jitter, sc);
+}
+
+}  // namespace
+
+FingerprintTraceSet collect_fingerprint_traces(
+    const FingerprintConfig& config) {
+  if (config.traces_per_model < config.folds) {
+    throw std::invalid_argument(
+        "fingerprint: traces_per_model must be >= folds for stratified CV");
+  }
+  const auto zoo = limited_zoo(config.model_limit);
+  if (zoo.empty()) throw std::invalid_argument("fingerprint: empty zoo");
+
+  FingerprintTraceSet out;
+  out.sample_period = config.sample_period;
+  out.samples_per_trace =
+      samples_for_duration(config.trace_duration, config.sample_period);
+  for (const auto& m : zoo) out.model_names.push_back(m.name);
+
+  const std::size_t runs = zoo.size() * config.traces_per_model;
+  // Record runs in parallel into pre-sized slots, then assemble datasets in
+  // deterministic order.
+  std::vector<std::vector<Trace>> recorded(runs);
+  util::parallel_for(
+      runs,
+      [&](std::size_t r) {
+        const std::size_t model_idx = r / config.traces_per_model;
+        recorded[r] = record_run(zoo[model_idx], config, out.samples_per_trace,
+                                 util::hash_combine(config.seed, r));
+      },
+      config.threads);
+
+  out.per_channel.assign(table3_channels().size(),
+                         ml::Dataset(out.samples_per_trace));
+  for (std::size_t r = 0; r < runs; ++r) {
+    const int label = static_cast<int>(r / config.traces_per_model);
+    for (std::size_t c = 0; c < out.per_channel.size(); ++c) {
+      add_trace(out.per_channel[c], recorded[r][c], label,
+                out.samples_per_trace);
+    }
+  }
+  return out;
+}
+
+Table3Result evaluate_fingerprint(const FingerprintTraceSet& traces,
+                                  const FingerprintConfig& config) {
+  Table3Result result;
+  result.durations_s = config.durations_s;
+  result.class_count = traces.model_names.size();
+  for (const auto& c : table3_channels()) {
+    result.channel_names.push_back(channel_name(c));
+  }
+
+  const std::size_t n_channels = traces.per_channel.size();
+  const std::size_t n_durations = config.durations_s.size();
+  result.cells.assign(n_channels,
+                      std::vector<Table3Cell>(n_durations));
+
+  // Each (channel, duration) cell is an independent CV job.
+  util::parallel_for(
+      n_channels * n_durations,
+      [&](std::size_t job) {
+        const std::size_t c = job / n_durations;
+        const std::size_t d = job % n_durations;
+        const std::size_t features = samples_for_duration(
+            sim::from_seconds(config.durations_s[d]), traces.sample_period);
+        if (features == 0 || features > traces.samples_per_trace) {
+          throw std::invalid_argument("fingerprint: bad duration");
+        }
+        const ml::Dataset data =
+            traces.per_channel[c].truncated_features(features);
+        ml::ForestConfig fc = config.forest;
+        fc.seed = util::hash_combine(config.seed, 0xf0 + job);
+        const auto cv = ml::cross_validate(
+            data, fc, config.folds, util::hash_combine(config.seed, job));
+        result.cells[c][d] = Table3Cell{cv.top1_accuracy, cv.top5_accuracy};
+      },
+      config.threads);
+
+  return result;
+}
+
+std::vector<Fig3Trace> collect_fig3_traces(const FingerprintConfig& config) {
+  std::vector<Fig3Trace> out;
+  const std::size_t n_samples =
+      samples_for_duration(config.trace_duration, config.sample_period);
+
+  for (const auto& name : dnn::fig3_model_names()) {
+    const dnn::Model model = dnn::build_model(name);
+
+    dpu::DpuAccelerator dpu(config.dpu);
+    const sim::TimeNs run_end{config.trace_duration.ns +
+                              sim::milliseconds(200).ns};
+    auto run = dpu.run(model, sim::TimeNs{0}, run_end,
+                       util::hash_combine(config.seed, model.total_macs()));
+
+    soc::Soc soc(soc::zcu102_config(
+        util::hash_combine(config.seed, 0xf13 + out.size())));
+    soc.fabric().deploy(dpu.descriptor());
+    soc.add_activity(run.activity);
+    soc.add_activity(soc::make_background_os_activity(
+        config.background, run_end,
+        util::hash_combine(config.seed, 0xb05 + out.size())));
+    soc.finalize();
+
+    Sampler sampler(soc);
+    SamplerConfig sc;
+    sc.period = config.sample_period;
+    sc.sample_count = n_samples;
+
+    std::vector<Channel> channels;
+    for (power::Rail rail : power::kAllRails) {
+      channels.push_back(Channel{rail, Quantity::Current});
+    }
+    Fig3Trace ft;
+    ft.model_name = name;
+    ft.model_size_bytes = model.total_weight_bytes();
+    ft.rail_current = sampler.collect_multi(channels, sim::TimeNs{0}, sc);
+    out.push_back(std::move(ft));
+  }
+  return out;
+}
+
+}  // namespace amperebleed::core

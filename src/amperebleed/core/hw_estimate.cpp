@@ -1,0 +1,89 @@
+#include "amperebleed/core/hw_estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "amperebleed/stats/regression.hpp"
+
+namespace amperebleed::core {
+
+HammingWeightEstimator HammingWeightEstimator::fit(
+    std::span<const HwCalibrationPoint> points, std::size_t key_bits) {
+  if (points.size() < 2) {
+    throw std::invalid_argument(
+        "HammingWeightEstimator: need at least 2 calibration points");
+  }
+  std::vector<double> hw;
+  std::vector<double> ma;
+  hw.reserve(points.size());
+  ma.reserve(points.size());
+  for (const auto& p : points) {
+    hw.push_back(static_cast<double>(p.hamming_weight));
+    ma.push_back(p.mean_current_ma);
+  }
+  const stats::LinearFit f = stats::linear_fit(hw, ma);
+  if (f.slope <= 0.0) {
+    throw std::invalid_argument(
+        "HammingWeightEstimator: no positive current/HW response");
+  }
+  return HammingWeightEstimator(f.slope, f.intercept, key_bits);
+}
+
+double HammingWeightEstimator::predict_current_ma(double hamming_weight) const {
+  return slope_ * hamming_weight + intercept_;
+}
+
+HammingWeightEstimator::Estimate HammingWeightEstimator::estimate(
+    const stats::Summary& trace_summary,
+    std::size_t independent_samples) const {
+  if (independent_samples == 0) {
+    throw std::invalid_argument(
+        "HammingWeightEstimator: need at least one independent sample");
+  }
+  const auto clamp_hw = [this](double hw) {
+    return std::clamp(hw, 0.0, static_cast<double>(key_bits_));
+  };
+  Estimate e;
+  e.hamming_weight = clamp_hw((trace_summary.mean - intercept_) / slope_);
+  // 95% interval on the trace mean, mapped through the linear inverse.
+  const double se_mean = trace_summary.stddev /
+                         std::sqrt(static_cast<double>(independent_samples));
+  const double hw_halfwidth = 1.96 * se_mean / slope_;
+  e.ci_low = clamp_hw(e.hamming_weight - hw_halfwidth);
+  e.ci_high = clamp_hw(e.hamming_weight + hw_halfwidth);
+  return e;
+}
+
+double log2_binomial(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("log2_binomial: k > n");
+  const double ln_c = std::lgamma(static_cast<double>(n) + 1.0) -
+                      std::lgamma(static_cast<double>(k) + 1.0) -
+                      std::lgamma(static_cast<double>(n - k) + 1.0);
+  return ln_c / std::log(2.0);
+}
+
+double log2_search_space(std::size_t bits, double hw_low, double hw_high) {
+  const auto lo = static_cast<std::size_t>(
+      std::clamp(std::ceil(hw_low), 0.0, static_cast<double>(bits)));
+  const auto hi = static_cast<std::size_t>(
+      std::clamp(std::floor(hw_high), 0.0, static_cast<double>(bits)));
+  if (lo > hi) {
+    // Empty interval: by convention the caller rounded past each other;
+    // fall back to the nearest single weight.
+    return log2_binomial(bits, std::min(lo, bits));
+  }
+  // log2(sum C(bits, k)) via log-sum-exp for numerical stability.
+  double max_term = -1e300;
+  std::vector<double> terms;
+  terms.reserve(hi - lo + 1);
+  for (std::size_t k = lo; k <= hi; ++k) {
+    terms.push_back(log2_binomial(bits, k));
+    max_term = std::max(max_term, terms.back());
+  }
+  double sum = 0.0;
+  for (double t : terms) sum += std::exp2(t - max_term);
+  return max_term + std::log2(sum);
+}
+
+}  // namespace amperebleed::core

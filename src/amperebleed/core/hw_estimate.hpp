@@ -1,0 +1,69 @@
+#pragma once
+// Turning Fig 4's distributions into an attack primitive: a calibrated
+// estimator that maps an observed FPGA-current trace to the Hamming weight
+// of the victim's RSA exponent, plus the search-space arithmetic behind the
+// paper's claim that "knowledge of the Hamming weight can greatly reduce
+// the search space of RSA's key brute force attack".
+//
+// Calibration is realistic: the attacker deploys probe keys with known
+// weights on an identical board (or the same board at another time), fits
+// the linear current-vs-HW response, and inverts it for the victim trace.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "amperebleed/stats/descriptive.hpp"
+
+namespace amperebleed::core {
+
+struct HwCalibrationPoint {
+  std::size_t hamming_weight = 0;
+  double mean_current_ma = 0.0;
+};
+
+/// Linear current(HW) model fitted from probe keys.
+class HammingWeightEstimator {
+ public:
+  /// Least-squares fit. Throws if fewer than 2 points or all weights equal
+  /// or the fitted slope is not positive (no usable leakage).
+  static HammingWeightEstimator fit(
+      std::span<const HwCalibrationPoint> points, std::size_t key_bits = 1024);
+
+  /// Expected trace mean for a hypothetical weight.
+  [[nodiscard]] double predict_current_ma(double hamming_weight) const;
+
+  struct Estimate {
+    double hamming_weight = 0.0;  // point estimate, clamped to [0, key_bits]
+    double ci_low = 0.0;          // 95% interval bounds (clamped)
+    double ci_high = 0.0;
+  };
+
+  /// Invert the calibration for an observed trace. `independent_samples`
+  /// is the number of *distinct sensor conversions* in the trace (polling
+  /// faster than the update interval repeats register values and must not
+  /// shrink the interval).
+  [[nodiscard]] Estimate estimate(const stats::Summary& trace_summary,
+                                  std::size_t independent_samples) const;
+
+  [[nodiscard]] double slope_ma_per_bit() const { return slope_; }
+  [[nodiscard]] double intercept_ma() const { return intercept_; }
+  [[nodiscard]] std::size_t key_bits() const { return key_bits_; }
+
+ private:
+  HammingWeightEstimator(double slope, double intercept, std::size_t key_bits)
+      : slope_(slope), intercept_(intercept), key_bits_(key_bits) {}
+  double slope_;
+  double intercept_;
+  std::size_t key_bits_;
+};
+
+/// log2(C(n, k)); exact via lgamma. Throws if k > n.
+double log2_binomial(std::size_t n, std::size_t k);
+
+/// log2 of the number of n-bit exponents whose Hamming weight lies in
+/// [hw_low, hw_high] — the attacker's residual brute-force space after the
+/// side channel constrains the weight. Bounds are clamped into [0, n].
+double log2_search_space(std::size_t bits, double hw_low, double hw_high);
+
+}  // namespace amperebleed::core

@@ -1,0 +1,71 @@
+#include "amperebleed/core/online.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amperebleed::core {
+
+OnlineFingerprinter::OnlineFingerprinter(OnlineFingerprinterConfig config)
+    : config_(config), forest_(config.forest) {}
+
+void OnlineFingerprinter::enroll(const Trace& trace,
+                                 const std::string& model_name) {
+  if (trained_) {
+    throw std::logic_error("OnlineFingerprinter: already trained");
+  }
+  if (trace.empty()) {
+    throw std::invalid_argument("OnlineFingerprinter: empty trace");
+  }
+  if (feature_count_ == 0) {
+    feature_count_ = trace.size();
+    data_ = ml::Dataset(feature_count_);
+  }
+  const auto it =
+      std::find(class_names_.begin(), class_names_.end(), model_name);
+  int label = 0;
+  if (it == class_names_.end()) {
+    label = static_cast<int>(class_names_.size());
+    class_names_.push_back(model_name);
+  } else {
+    label = static_cast<int>(std::distance(class_names_.begin(), it));
+  }
+  data_.add(trace.prefix(feature_count_), label);
+}
+
+void OnlineFingerprinter::train() {
+  if (trained_) throw std::logic_error("OnlineFingerprinter: already trained");
+  if (class_names_.size() < 2) {
+    throw std::logic_error(
+        "OnlineFingerprinter: need at least 2 enrolled classes");
+  }
+  forest_ = ml::RandomForest(config_.forest);
+  forest_.fit(data_);
+  trained_ = true;
+}
+
+OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
+    const Trace& trace) const {
+  if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
+  const auto features = trace.prefix(feature_count_);
+  const auto proba = forest_.predict_proba(features);
+
+  Verdict verdict;
+  verdict.ranking.reserve(proba.size());
+  for (std::size_t c = 0; c < proba.size(); ++c) {
+    verdict.ranking.emplace_back(class_names_[c], proba[c]);
+  }
+  std::stable_sort(verdict.ranking.begin(), verdict.ranking.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  verdict.model_name = verdict.ranking[0].first;
+  verdict.confidence = verdict.ranking[0].second;
+  verdict.margin = verdict.ranking.size() > 1
+                       ? verdict.confidence - verdict.ranking[1].second
+                       : verdict.confidence;
+  verdict.known = verdict.confidence >= config_.min_confidence &&
+                  verdict.margin >= config_.min_margin;
+  return verdict;
+}
+
+}  // namespace amperebleed::core

@@ -1,0 +1,68 @@
+#pragma once
+// The deployable form of the fingerprinting attack, mirroring the paper's
+// two phases as a stateful service:
+//   * offline: enroll labelled traces of known accelerators, train once;
+//   * online:  classify black-box traces, with open-set rejection so that a
+//     model outside the enrolled zoo yields "unknown" rather than a
+//     confidently wrong answer.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "amperebleed/core/trace.hpp"
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+
+namespace amperebleed::core {
+
+struct OnlineFingerprinterConfig {
+  ml::ForestConfig forest{};
+  /// Reject when the winner's averaged forest probability is below this.
+  double min_confidence = 0.30;
+  /// Reject when (top1 - top2) probability margin is below this.
+  double min_margin = 0.05;
+};
+
+class OnlineFingerprinter {
+ public:
+  explicit OnlineFingerprinter(OnlineFingerprinterConfig config = {});
+
+  /// Offline phase: add one labelled trace. The first enrollment fixes the
+  /// feature width; later traces must be at least as long (extra samples
+  /// are ignored). Throws after train().
+  void enroll(const Trace& trace, const std::string& model_name);
+
+  /// Fit the forest. Throws if fewer than 2 classes are enrolled.
+  void train();
+
+  struct Verdict {
+    bool known = false;       // false = rejected as outside the enrolled set
+    std::string model_name;   // winner (also set when rejected, for triage)
+    double confidence = 0.0;  // winner's probability
+    double margin = 0.0;      // top1 - top2 probability
+    /// Full (name, probability) ranking, most probable first.
+    std::vector<std::pair<std::string, double>> ranking;
+  };
+
+  /// Online phase: classify one observed trace. Throws if not trained or
+  /// the trace is shorter than the enrolled feature width.
+  [[nodiscard]] Verdict classify(const Trace& trace) const;
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] std::size_t enrolled_traces() const { return data_.size(); }
+  [[nodiscard]] std::size_t feature_count() const { return feature_count_; }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+
+ private:
+  OnlineFingerprinterConfig config_;
+  std::size_t feature_count_ = 0;
+  std::vector<std::string> class_names_;
+  ml::Dataset data_;
+  ml::RandomForest forest_;
+  bool trained_ = false;
+};
+
+}  // namespace amperebleed::core

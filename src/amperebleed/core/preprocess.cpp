@@ -1,0 +1,110 @@
+#include "amperebleed/core/preprocess.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "amperebleed/stats/correlation.hpp"
+#include "amperebleed/stats/regression.hpp"
+
+namespace amperebleed::core {
+
+void detrend(std::vector<double>& xs) {
+  if (xs.size() < 2) return;
+  std::vector<double> t(xs.size());
+  std::iota(t.begin(), t.end(), 0.0);
+  const stats::LinearFit fit = stats::linear_fit(t, xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] -= fit.slope * static_cast<double>(i) + fit.intercept;
+  }
+}
+
+std::vector<double> resample(std::span<const double> xs,
+                             std::size_t target_len) {
+  if (xs.empty()) throw std::invalid_argument("resample: empty input");
+  if (target_len == 0) throw std::invalid_argument("resample: zero target");
+  std::vector<double> out(target_len);
+  if (xs.size() == 1 || target_len == 1) {
+    std::fill(out.begin(), out.end(), xs[0]);
+    return out;
+  }
+  const double scale = static_cast<double>(xs.size() - 1) /
+                       static_cast<double>(target_len - 1);
+  for (std::size_t i = 0; i < target_len; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  }
+  return out;
+}
+
+std::vector<double> deduplicate_runs(std::span<const double> xs) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i == 0 || xs[i] != xs[i - 1]) out.push_back(xs[i]);
+  }
+  return out;
+}
+
+int best_alignment_shift(std::span<const double> reference,
+                         std::span<const double> probe,
+                         std::size_t max_shift) {
+  if (reference.size() < 4 || probe.size() < 4) return 0;
+  const auto overlap_corr = [&](int lag) -> double {
+    // Overlap of probe[i] with reference[i - lag]: a positive result means
+    // the probe is the reference delayed by `lag` samples, i.e.
+    // shift(reference, lag) ~ probe.
+    std::vector<double> a;
+    std::vector<double> b;
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      const std::int64_t j = static_cast<std::int64_t>(i) - lag;
+      if (j < 0 || j >= static_cast<std::int64_t>(reference.size())) continue;
+      a.push_back(reference[static_cast<std::size_t>(j)]);
+      b.push_back(probe[i]);
+    }
+    if (a.size() < 4) return -2.0;
+    return stats::pearson(a, b);
+  };
+  int best_lag = 0;
+  double best = overlap_corr(0);
+  for (int lag = 1; lag <= static_cast<int>(max_shift); ++lag) {
+    for (int signed_lag : {lag, -lag}) {
+      const double r = overlap_corr(signed_lag);
+      if (r > best) {
+        best = r;
+        best_lag = signed_lag;
+      }
+    }
+  }
+  return best_lag;
+}
+
+std::vector<double> shift(std::span<const double> xs, int lag) {
+  std::vector<double> out(xs.size());
+  if (xs.empty()) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::int64_t j = static_cast<std::int64_t>(i) - lag;
+    const std::int64_t clamped = std::clamp<std::int64_t>(
+        j, 0, static_cast<std::int64_t>(xs.size()) - 1);
+    out[i] = xs[static_cast<std::size_t>(clamped)];
+  }
+  return out;
+}
+
+std::vector<double> sliding_mean(std::span<const double> xs,
+                                 std::size_t window, std::size_t stride) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("sliding_mean: window/stride must be >= 1");
+  }
+  std::vector<double> out;
+  for (std::size_t start = 0; start + window <= xs.size(); start += stride) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i) sum += xs[start + i];
+    out.push_back(sum / static_cast<double>(window));
+  }
+  return out;
+}
+
+}  // namespace amperebleed::core

@@ -1,0 +1,54 @@
+#include "amperebleed/core/report.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  return util::format("%.*f", decimals, value);
+}
+
+}  // namespace amperebleed::core

@@ -1,0 +1,30 @@
+#pragma once
+// Fixed-width text tables for the bench binaries, so each reproduces the
+// paper's tables/figures as aligned terminal output.
+
+#include <string>
+#include <vector>
+
+namespace amperebleed::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Throws std::invalid_argument on column-count mismatch.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `decimals` places (helper for table cells).
+std::string fmt(double value, int decimals = 3);
+
+}  // namespace amperebleed::core

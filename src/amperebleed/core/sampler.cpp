@@ -1,0 +1,59 @@
+#include "amperebleed/core/sampler.hpp"
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::core {
+
+Sampler::Sampler(soc::Soc& soc) : soc_(soc) {
+  if (!soc.finalized()) {
+    throw std::logic_error("Sampler: SoC must be finalized first");
+  }
+}
+
+double Sampler::read_now(const Channel& channel, bool privileged) {
+  const int index = soc_.hwmon_index(channel.rail);
+  const std::string path =
+      soc_.hwmon().attr_path(index, quantity_attr(channel.quantity));
+  const auto result = soc_.hwmon().fs().read(path, privileged);
+  if (result.status == hwmon::VfsStatus::PermissionDenied) {
+    throw SamplingError("hwmon read denied: " + path);
+  }
+  if (!result.ok()) {
+    throw SamplingError("hwmon read failed (" +
+                        std::string(vfs_status_name(result.status)) +
+                        "): " + path);
+  }
+  const auto value = util::parse_ll(result.data);
+  if (!value) {
+    throw std::runtime_error("hwmon attribute not numeric: " + path);
+  }
+  return static_cast<double>(*value);
+}
+
+Trace Sampler::collect(const Channel& channel, sim::TimeNs start,
+                       const SamplerConfig& config) {
+  auto traces = collect_multi({channel}, start, config);
+  return std::move(traces.front());
+}
+
+std::vector<Trace> Sampler::collect_multi(const std::vector<Channel>& channels,
+                                          sim::TimeNs start,
+                                          const SamplerConfig& config) {
+  std::vector<Trace> traces;
+  traces.reserve(channels.size());
+  for (const auto& c : channels) {
+    traces.emplace_back(c, start, config.period);
+    traces.back().reserve(config.sample_count);
+  }
+  for (std::size_t i = 0; i < config.sample_count; ++i) {
+    const sim::TimeNs t{start.ns +
+                        config.period.ns * static_cast<std::int64_t>(i)};
+    soc_.advance_to(t);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      traces[c].push(read_now(channels[c], config.privileged));
+    }
+  }
+  return traces;
+}
+
+}  // namespace amperebleed::core

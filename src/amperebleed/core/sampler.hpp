@@ -1,0 +1,58 @@
+#pragma once
+// The attacker: an unprivileged user-space process that polls hwmon text
+// attributes at a fixed cadence. Everything it learns goes through
+// VirtualFs::read() with privileged=false — the same permission gate a real
+// /sys tree enforces — so the mitigation policy genuinely stops it.
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "amperebleed/core/trace.hpp"
+#include "amperebleed/soc/soc.hpp"
+
+namespace amperebleed::core {
+
+/// Raised when a hwmon read fails (e.g. the mitigation policy is active and
+/// the sampler is unprivileged).
+class SamplingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SamplerConfig {
+  /// Polling period. The paper uses the default 35 ms conversion cadence for
+  /// characterization/fingerprinting and 1 kHz polling for the RSA attack
+  /// (reads between conversions return the latest completed registers).
+  sim::TimeNs period = sim::milliseconds(35);
+  std::size_t sample_count = 100;
+  /// Unprivileged by assumption; set true only for root-tooling scenarios.
+  bool privileged = false;
+};
+
+class Sampler {
+ public:
+  /// The SoC must be finalized.
+  explicit Sampler(soc::Soc& soc);
+
+  /// Read one channel once at the SoC's current time. Throws SamplingError
+  /// on permission failure; throws std::runtime_error on malformed data.
+  [[nodiscard]] double read_now(const Channel& channel, bool privileged = false);
+
+  /// Poll one channel `sample_count` times starting at `start` (the SoC
+  /// clock is advanced to each sample instant).
+  [[nodiscard]] Trace collect(const Channel& channel, sim::TimeNs start,
+                              const SamplerConfig& config);
+
+  /// Poll several channels in lock-step (one pass over time, all channels
+  /// read at each instant) — how the multi-sensor fingerprinting traces are
+  /// gathered. Returns one trace per requested channel, in order.
+  [[nodiscard]] std::vector<Trace> collect_multi(
+      const std::vector<Channel>& channels, sim::TimeNs start,
+      const SamplerConfig& config);
+
+ private:
+  soc::Soc& soc_;
+};
+
+}  // namespace amperebleed::core

@@ -1,0 +1,61 @@
+#include "amperebleed/core/trace.hpp"
+
+#include <stdexcept>
+
+namespace amperebleed::core {
+
+std::string_view quantity_name(Quantity q) {
+  switch (q) {
+    case Quantity::Current:
+      return "current";
+    case Quantity::Voltage:
+      return "voltage";
+    case Quantity::Power:
+      return "power";
+  }
+  return "unknown";
+}
+
+std::string_view quantity_attr(Quantity q) {
+  switch (q) {
+    case Quantity::Current:
+      return "curr1_input";
+    case Quantity::Voltage:
+      return "in1_input";
+    case Quantity::Power:
+      return "power1_input";
+  }
+  return "unknown";
+}
+
+std::string_view quantity_unit(Quantity q) {
+  switch (q) {
+    case Quantity::Current:
+      return "mA";
+    case Quantity::Voltage:
+      return "mV";
+    case Quantity::Power:
+      return "uW";
+  }
+  return "?";
+}
+
+std::string channel_name(const Channel& c) {
+  return std::string(quantity_name(c.quantity)) + "(" +
+         std::string(power::rail_name(c.rail)) + ")";
+}
+
+Trace::Trace(Channel channel, sim::TimeNs start, sim::TimeNs period)
+    : channel_(channel), start_(start), period_(period) {
+  if (period.ns <= 0) throw std::invalid_argument("Trace: period must be > 0");
+}
+
+std::vector<double> Trace::prefix(std::size_t count) const {
+  if (count > values_.size()) {
+    throw std::invalid_argument("Trace::prefix: trace too short");
+  }
+  return {values_.begin(),
+          values_.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+}  // namespace amperebleed::core

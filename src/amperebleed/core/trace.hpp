@@ -1,0 +1,72 @@
+#pragma once
+// Side-channel traces: uniformly sampled hwmon readings from one observation
+// channel. Values are kept in hwmon units (mA / mV / uW) so quantization
+// artifacts stay visible — they are the whole point of the paper's
+// current-vs-voltage-vs-power comparison.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "amperebleed/power/rails.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::core {
+
+enum class Quantity { Current, Voltage, Power };
+
+std::string_view quantity_name(Quantity q);
+/// hwmon attribute file for a quantity (curr1_input / in1_input /
+/// power1_input).
+std::string_view quantity_attr(Quantity q);
+/// Scale from the attribute's integer unit to the trace unit (identity: we
+/// keep hwmon units; exposed for documentation value).
+std::string_view quantity_unit(Quantity q);
+
+/// One observation channel: a rail's sensor and which measurement is read.
+struct Channel {
+  power::Rail rail = power::Rail::FpgaLogic;
+  Quantity quantity = Quantity::Current;
+
+  friend bool operator==(const Channel&, const Channel&) = default;
+};
+
+std::string channel_name(const Channel& c);
+
+/// Uniformly sampled series.
+class Trace {
+ public:
+  Trace(Channel channel, sim::TimeNs start, sim::TimeNs period);
+
+  void push(double value) { values_.push_back(value); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double operator[](std::size_t i) const { return values_.at(i); }
+
+  [[nodiscard]] const Channel& channel() const { return channel_; }
+  [[nodiscard]] sim::TimeNs start() const { return start_; }
+  [[nodiscard]] sim::TimeNs period() const { return period_; }
+  /// Timestamp of sample i.
+  [[nodiscard]] sim::TimeNs time_of(std::size_t i) const {
+    return sim::TimeNs{start_.ns + period_.ns * static_cast<std::int64_t>(i)};
+  }
+  /// Total covered duration.
+  [[nodiscard]] sim::TimeNs duration() const {
+    return sim::TimeNs{period_.ns * static_cast<std::int64_t>(values_.size())};
+  }
+
+  /// The first `count` samples as a feature vector; throws if short.
+  [[nodiscard]] std::vector<double> prefix(std::size_t count) const;
+
+ private:
+  Channel channel_;
+  sim::TimeNs start_;
+  sim::TimeNs period_;
+  std::vector<double> values_;
+};
+
+}  // namespace amperebleed::core

@@ -1,0 +1,92 @@
+#include "amperebleed/core/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::core {
+
+namespace {
+
+constexpr const char* kMagic = "# amperebleed-trace";
+
+Quantity quantity_from_name(std::string_view name) {
+  if (name == "current") return Quantity::Current;
+  if (name == "voltage") return Quantity::Voltage;
+  if (name == "power") return Quantity::Power;
+  throw std::runtime_error("trace_io: unknown quantity '" +
+                           std::string(name) + "'");
+}
+
+power::Rail rail_from_name(std::string_view name) {
+  for (power::Rail rail : power::kAllRails) {
+    if (power::rail_name(rail) == name) return rail;
+  }
+  throw std::runtime_error("trace_io: unknown rail '" + std::string(name) +
+                           "'");
+}
+
+}  // namespace
+
+void save_trace_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  out << kMagic << " quantity=" << quantity_name(trace.channel().quantity)
+      << " rail=" << power::rail_name(trace.channel().rail)
+      << " start_ns=" << trace.start().ns
+      << " period_ns=" << trace.period().ns << "\n";
+  out << "index,time_ms,value\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out << i << ',' << util::format("%.3f", trace.time_of(i).millis()) << ','
+        << util::format("%.17g", trace[i]) << "\n";
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed for " + path);
+}
+
+Trace load_trace_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+
+  std::string header;
+  if (!std::getline(in, header) || !util::starts_with(header, kMagic)) {
+    throw std::runtime_error("trace_io: missing trace header in " + path);
+  }
+  Channel channel;
+  sim::TimeNs start{0};
+  sim::TimeNs period{0};
+  for (const auto& token : util::split(header, ' ')) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "quantity") {
+      channel.quantity = quantity_from_name(value);
+    } else if (key == "rail") {
+      channel.rail = rail_from_name(value);
+    } else if (key == "start_ns") {
+      start = sim::TimeNs{util::parse_ll(value).value_or(0)};
+    } else if (key == "period_ns") {
+      period = sim::TimeNs{util::parse_ll(value).value_or(0)};
+    }
+  }
+  if (period.ns <= 0) {
+    throw std::runtime_error("trace_io: invalid period in " + path);
+  }
+
+  Trace trace(channel, start, period);
+  std::string line;
+  std::getline(in, line);  // column header
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto cells = util::split(line, ',');
+    if (cells.size() != 3) {
+      throw std::runtime_error("trace_io: malformed row in " + path);
+    }
+    trace.push(std::stod(cells[2]));
+  }
+  return trace;
+}
+
+}  // namespace amperebleed::core

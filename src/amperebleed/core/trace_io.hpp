@@ -1,0 +1,20 @@
+#pragma once
+// Trace persistence: CSV with a self-describing header so collected traces
+// can be archived, diffed, and re-analyzed offline (the offline/online split
+// of the fingerprinting attack in practice spans machines and days).
+
+#include <string>
+
+#include "amperebleed/core/trace.hpp"
+
+namespace amperebleed::core {
+
+/// Write a trace as CSV: a `# amperebleed-trace ...` metadata line followed
+/// by `index,time_ms,value` rows. Throws std::runtime_error on I/O failure.
+void save_trace_csv(const Trace& trace, const std::string& path);
+
+/// Load a trace written by save_trace_csv (metadata line restores channel,
+/// start and period exactly). Throws std::runtime_error on malformed input.
+Trace load_trace_csv(const std::string& path);
+
+}  // namespace amperebleed::core

@@ -1,0 +1,255 @@
+#include "amperebleed/crypto/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace amperebleed::crypto {
+
+namespace {
+constexpr std::size_t kLimbBits = 32;
+}
+
+BigUInt::BigUInt(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  const auto high = static_cast<std::uint32_t>(value >> 32);
+  if (high != 0) limbs_.push_back(high);
+}
+
+void BigUInt::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  if (hex.size() >= 2 && (hex.substr(0, 2) == "0x" || hex.substr(0, 2) == "0X")) {
+    hex = hex.substr(2);
+  }
+  if (hex.empty()) throw std::invalid_argument("BigUInt::from_hex: empty");
+  BigUInt out;
+  for (char c : hex) {
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("BigUInt::from_hex: bad digit");
+    }
+    out = (out << 4) + BigUInt(digit);
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_limbs(std::vector<std::uint32_t> limbs) {
+  BigUInt out;
+  out.limbs_ = std::move(limbs);
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::from_bytes_be(const std::vector<std::uint8_t>& bytes) {
+  BigUInt out;
+  for (std::uint8_t b : bytes) {
+    out = (out << 8) + BigUInt(b);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BigUInt::to_bytes_be() const {
+  if (is_zero()) return {0};
+  std::vector<std::uint8_t> out;
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  out.resize(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::size_t limb = i / 4;
+    const std::size_t shift = (i % 4) * 8;
+    out[bytes - 1 - i] =
+        static_cast<std::uint8_t>((limbs_[limb] >> shift) & 0xffu);
+  }
+  return out;
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      const std::uint32_t d = (limbs_[i] >> (nib * 4)) & 0xfu;
+      if (leading && d == 0) continue;
+      leading = false;
+      out += digits[d];
+    }
+  }
+  return out;
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const auto top_bits =
+      kLimbBits - static_cast<std::size_t>(std::countl_zero(limbs_.back()));
+  return (limbs_.size() - 1) * kLimbBits + top_bits;
+}
+
+bool BigUInt::bit(std::size_t i) const {
+  const std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) return false;
+  return ((limbs_[limb] >> (i % kLimbBits)) & 1u) != 0;
+}
+
+void BigUInt::set_bit(std::size_t i) {
+  const std::size_t limb = i / kLimbBits;
+  if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
+  limbs_[limb] |= (1u << (i % kLimbBits));
+}
+
+std::size_t BigUInt::hamming_weight() const {
+  std::size_t w = 0;
+  for (std::uint32_t limb : limbs_) {
+    w += static_cast<std::size_t>(std::popcount(limb));
+  }
+  return w;
+}
+
+std::uint64_t BigUInt::low_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt operator+(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigUInt operator-(const BigUInt& a, const BigUInt& b) {
+  if (a < b) throw std::underflow_error("BigUInt: negative result");
+  BigUInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= static_cast<std::int64_t>(b.limbs_[i]);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigUInt{};
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] +
+          carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator<<(const BigUInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) return a;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(a.limbs_[i])
+                                  << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(shifted);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(shifted >> 32);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator>>(const BigUInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) return BigUInt{};
+  BigUInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.normalize();
+  return out;
+}
+
+DivMod BigUInt::divmod(const BigUInt& divisor) const {
+  if (divisor.is_zero()) throw std::domain_error("BigUInt: division by zero");
+  DivMod result;
+  if (*this < divisor) {
+    result.remainder = *this;
+    return result;
+  }
+  const std::size_t shift = bit_length() - divisor.bit_length();
+  BigUInt rem = *this;
+  BigUInt den = divisor << shift;
+  for (std::size_t i = 0; i <= shift; ++i) {
+    if (den <= rem) {
+      rem = rem - den;
+      result.quotient.set_bit(shift - i);
+    }
+    den = den >> 1;
+  }
+  result.remainder = std::move(rem);
+  return result;
+}
+
+BigUInt BigUInt::mod(const BigUInt& m) const { return divmod(m).remainder; }
+
+}  // namespace amperebleed::crypto

@@ -1,0 +1,89 @@
+#pragma once
+// Arbitrary-precision unsigned integers sized for RSA-1024. Implemented from
+// scratch (no GMP on the target) with 32-bit limbs, little-endian limb order.
+// This is the arithmetic behind the victim RSA circuit model and its
+// functional reference (tests check the circuit against modexp()).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amperebleed::crypto {
+
+/// Unsigned big integer. Canonical form: no trailing zero limbs (zero is an
+/// empty limb vector). All operations are constant-free of UB; performance is
+/// adequate for 1024/2048-bit operands.
+class BigUInt {
+ public:
+  BigUInt() = default;
+  explicit BigUInt(std::uint64_t value);
+
+  /// Parse a hex string (optionally "0x"-prefixed). Throws on bad digits.
+  static BigUInt from_hex(std::string_view hex);
+  /// Construct from little-endian 32-bit limbs (normalized internally).
+  static BigUInt from_limbs(std::vector<std::uint32_t> limbs);
+  /// Big-endian byte import/export.
+  static BigUInt from_bytes_be(const std::vector<std::uint8_t>& bytes);
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be() const;
+  [[nodiscard]] std::string to_hex() const;  // lowercase, no prefix, "0" for 0
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1u) != 0;
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Value of bit i (false beyond bit_length).
+  [[nodiscard]] bool bit(std::size_t i) const;
+  void set_bit(std::size_t i);
+  /// Population count over all limbs.
+  [[nodiscard]] std::size_t hamming_weight() const;
+  /// Low 64 bits.
+  [[nodiscard]] std::uint64_t low_u64() const;
+
+  [[nodiscard]] int compare(const BigUInt& other) const;  // -1 / 0 / +1
+  friend bool operator==(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) == 0;
+  }
+  friend bool operator!=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) != 0;
+  }
+  friend bool operator<(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) < 0;
+  }
+  friend bool operator<=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) <= 0;
+  }
+  friend bool operator>(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) > 0;
+  }
+  friend bool operator>=(const BigUInt& a, const BigUInt& b) {
+    return a.compare(b) >= 0;
+  }
+
+  friend BigUInt operator+(const BigUInt& a, const BigUInt& b);
+  /// Throws std::underflow_error if b > a.
+  friend BigUInt operator-(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator<<(const BigUInt& a, std::size_t bits);
+  friend BigUInt operator>>(const BigUInt& a, std::size_t bits);
+
+  /// Long division via binary shift-subtract; returns {quotient, remainder}.
+  /// Throws std::domain_error on division by zero.
+  [[nodiscard]] struct DivMod divmod(const BigUInt& divisor) const;
+  [[nodiscard]] BigUInt mod(const BigUInt& m) const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void normalize();
+  std::vector<std::uint32_t> limbs_;  // little-endian, canonical
+};
+
+struct DivMod {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+}  // namespace amperebleed::crypto

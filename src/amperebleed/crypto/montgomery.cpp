@@ -1,0 +1,103 @@
+#include "amperebleed/crypto/montgomery.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace amperebleed::crypto {
+
+namespace {
+
+// Inverse of odd `x` modulo 2^32 by Newton iteration (5 rounds suffice).
+std::uint32_t inverse_mod_2_32(std::uint32_t x) {
+  std::uint32_t inv = x;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2u - x * inv;
+  }
+  return inv;
+}
+
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const BigUInt& modulus) : n_(modulus) {
+  if (n_.is_zero()) {
+    throw std::invalid_argument("MontgomeryContext: zero modulus");
+  }
+  if (!n_.is_odd()) {
+    throw std::invalid_argument("MontgomeryContext: modulus must be odd");
+  }
+  k_ = n_.limbs().size();
+  n0_neg_inv_ = ~inverse_mod_2_32(n_.limbs()[0]) + 1u;  // negate mod 2^32
+  r_mod_n_ = (BigUInt(1) << (32 * k_)).mod(n_);
+  r2_mod_n_ = (r_mod_n_ * r_mod_n_).mod(n_);
+}
+
+BigUInt MontgomeryContext::mul(const BigUInt& a_mont,
+                               const BigUInt& b_mont) const {
+  // CIOS: t accumulates a*b with interleaved Montgomery reduction.
+  const auto& a = a_mont.limbs();
+  const auto& b = b_mont.limbs();
+  const auto& n = n_.limbs();
+
+  std::vector<std::uint32_t> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    const std::uint64_t ai = i < a.size() ? a[i] : 0;
+
+    // t += ai * b
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t bj = j < b.size() ? b[j] : 0;
+      const std::uint64_t cur = t[j] + ai * bj + carry;
+      t[j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[k_] + carry;
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+    // m = t[0] * (-n^-1) mod 2^32; t += m * n; t >>= 32
+    const std::uint64_t m =
+        static_cast<std::uint32_t>(t[0] * n0_neg_inv_);
+    carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t cur2 = t[j] + m * n[j] + carry;
+      if (j == 0) {
+        carry = cur2 >> 32;  // low limb becomes zero by construction
+      } else {
+        t[j - 1] = static_cast<std::uint32_t>(cur2);
+        carry = cur2 >> 32;
+      }
+    }
+    cur = t[k_] + carry;
+    t[k_ - 1] = static_cast<std::uint32_t>(cur);
+    cur = t[k_ + 1] + (cur >> 32);
+    t[k_] = static_cast<std::uint32_t>(cur);
+    t[k_ + 1] = static_cast<std::uint32_t>(cur >> 32);
+  }
+
+  // Assemble and conditionally subtract n.
+  BigUInt result = BigUInt::from_limbs(std::move(t));
+  if (result >= n_) result = result - n_;
+  return result;
+}
+
+BigUInt MontgomeryContext::to_mont(const BigUInt& x) const {
+  return mul(x >= n_ ? x.mod(n_) : x, r2_mod_n_);
+}
+
+BigUInt MontgomeryContext::from_mont(const BigUInt& x) const {
+  return mul(x, BigUInt(1));
+}
+
+BigUInt MontgomeryContext::modexp(const BigUInt& base,
+                                  const BigUInt& exp) const {
+  BigUInt result = r_mod_n_;  // 1 in the Montgomery domain
+  BigUInt square = to_mont(base);
+  const std::size_t bits = exp.is_zero() ? 0 : exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, square);
+    square = mul(square, square);
+  }
+  return from_mont(result);
+}
+
+}  // namespace amperebleed::crypto

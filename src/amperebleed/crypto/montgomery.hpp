@@ -1,0 +1,42 @@
+#pragma once
+// Montgomery modular arithmetic (CIOS) for odd moduli — the fast path for
+// RSA-sized exponentiation. Functionally identical to crypto::modexp (the
+// reference implementation tests are written against); roughly an order of
+// magnitude faster for 1024-bit operands.
+
+#include <cstdint>
+
+#include "amperebleed/crypto/biguint.hpp"
+
+namespace amperebleed::crypto {
+
+/// Precomputed Montgomery domain for a fixed odd modulus n.
+/// R = 2^(32*k) where k is n's limb count.
+class MontgomeryContext {
+ public:
+  /// Throws std::invalid_argument if the modulus is zero or even.
+  explicit MontgomeryContext(const BigUInt& modulus);
+
+  [[nodiscard]] const BigUInt& modulus() const { return n_; }
+  [[nodiscard]] std::size_t limb_count() const { return k_; }
+
+  /// x -> x*R mod n. Precondition handled internally (x reduced first).
+  [[nodiscard]] BigUInt to_mont(const BigUInt& x) const;
+  /// x*R^-1 mod n (leaves the Montgomery domain).
+  [[nodiscard]] BigUInt from_mont(const BigUInt& x) const;
+  /// Montgomery product: (a*b*R^-1) mod n, both operands in the domain.
+  [[nodiscard]] BigUInt mul(const BigUInt& a_mont, const BigUInt& b_mont) const;
+
+  /// base^exp mod n via LSB-first square-and-multiply in the Montgomery
+  /// domain — the same bit-visiting order as the victim circuit.
+  [[nodiscard]] BigUInt modexp(const BigUInt& base, const BigUInt& exp) const;
+
+ private:
+  BigUInt n_;
+  std::size_t k_;
+  std::uint32_t n0_neg_inv_;  // -n^{-1} mod 2^32
+  BigUInt r_mod_n_;           // R mod n
+  BigUInt r2_mod_n_;          // R^2 mod n
+};
+
+}  // namespace amperebleed::crypto

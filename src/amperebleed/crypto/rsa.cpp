@@ -1,0 +1,67 @@
+#include "amperebleed/crypto/rsa.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::crypto {
+
+const BigUInt& rsa1024_test_modulus() {
+  // Deterministic 1024-bit odd modulus with MSB set, expanded from a fixed
+  // seed. Generated once; stable across runs and platforms.
+  static const BigUInt modulus = [] {
+    std::uint64_t sm = 0xa3b1e5f7c9d20461ULL;
+    BigUInt n;
+    for (std::size_t bit_base = 0; bit_base < 1024; bit_base += 64) {
+      const std::uint64_t word = util::splitmix64(sm);
+      for (std::size_t b = 0; b < 64; ++b) {
+        if ((word >> b) & 1u) n.set_bit(bit_base + b);
+      }
+    }
+    n.set_bit(1023);  // full 1024-bit width
+    n.set_bit(0);     // odd, as any RSA modulus is
+    return n;
+  }();
+  return modulus;
+}
+
+BigUInt exponent_with_hamming_weight(std::size_t bits,
+                                     std::size_t hamming_weight,
+                                     std::uint64_t seed) {
+  if (hamming_weight == 0) {
+    throw std::invalid_argument(
+        "exponent_with_hamming_weight: circuit cannot exponentiate by 0 "
+        "(the paper substitutes HW=1)");
+  }
+  if (hamming_weight > bits) {
+    throw std::invalid_argument(
+        "exponent_with_hamming_weight: weight exceeds width");
+  }
+  std::vector<std::size_t> positions(bits);
+  std::iota(positions.begin(), positions.end(), std::size_t{0});
+  util::Rng rng(seed);
+  rng.shuffle(positions);
+  BigUInt e;
+  for (std::size_t i = 0; i < hamming_weight; ++i) {
+    e.set_bit(positions[i]);
+  }
+  return e;
+}
+
+std::vector<std::size_t> paper_hamming_weight_schedule(std::size_t bits) {
+  if (bits < 16 || bits % 16 != 0) {
+    throw std::invalid_argument(
+        "paper_hamming_weight_schedule: bits must be a positive multiple of 16");
+  }
+  const std::size_t step = bits / 16;
+  std::vector<std::size_t> schedule;
+  schedule.reserve(17);
+  schedule.push_back(1);  // HW=0 is unsupported by the circuit; paper uses 1
+  for (std::size_t w = step; w <= bits; w += step) {
+    schedule.push_back(w);
+  }
+  return schedule;
+}
+
+}  // namespace amperebleed::crypto

@@ -1,0 +1,41 @@
+#pragma once
+// RSA-1024 victim material. The paper embeds the private exponent in the
+// encrypted bitstream and constructs 17 keys whose Hamming weights step
+// through 1, 64, 128, ..., 1024; we build equivalent exponents
+// deterministically from a seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "amperebleed/crypto/biguint.hpp"
+
+namespace amperebleed::crypto {
+
+/// Key material for the victim circuit. Only the modulus and the private
+/// exponent matter for the power trace; the public part is kept for the
+/// functional round-trip tests.
+struct RsaKey {
+  BigUInt modulus;           // n, 1024-bit
+  BigUInt private_exponent;  // d — the secret the attack targets
+};
+
+/// A fixed odd 1024-bit RSA-like modulus used by the victim circuit model.
+/// Hard-coding it mirrors the paper's single deployed bitstream; the power
+/// side channel depends only on the exponent's bit pattern, not on the
+/// modulus' factorization.
+const BigUInt& rsa1024_test_modulus();
+
+/// Build a `bits`-wide exponent with exactly `hamming_weight` one-bits at
+/// deterministic pseudo-random positions (seeded). Positions are chosen
+/// without replacement; hamming_weight == bits sets every bit. Throws if
+/// hamming_weight == 0 (the paper substitutes HW=1, as the circuit cannot
+/// exponentiate by 0) or hamming_weight > bits.
+BigUInt exponent_with_hamming_weight(std::size_t bits,
+                                     std::size_t hamming_weight,
+                                     std::uint64_t seed);
+
+/// The paper's 17-key schedule for `bits`-bit keys: {1, s, 2s, ..., bits}
+/// where s = bits/16 (for 1024: 1, 64, 128, ..., 1024).
+std::vector<std::size_t> paper_hamming_weight_schedule(std::size_t bits = 1024);
+
+}  // namespace amperebleed::crypto

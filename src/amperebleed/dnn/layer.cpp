@@ -1,0 +1,148 @@
+#include "amperebleed/dnn/layer.hpp"
+
+#include <stdexcept>
+
+namespace amperebleed::dnn {
+
+std::string_view layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::Conv:
+      return "conv";
+    case LayerKind::DepthwiseConv:
+      return "dwconv";
+    case LayerKind::FullyConnected:
+      return "fc";
+    case LayerKind::Pool:
+      return "pool";
+    case LayerKind::GlobalPool:
+      return "gpool";
+    case LayerKind::EltwiseAdd:
+      return "add";
+    case LayerKind::Concat:
+      return "concat";
+  }
+  return "unknown";
+}
+
+std::uint64_t Layer::macs() const {
+  const std::uint64_t out_elems = output.elements();
+  const auto k2 =
+      static_cast<std::uint64_t>(kernel) * static_cast<std::uint64_t>(kernel);
+  switch (kind) {
+    case LayerKind::Conv:
+      return out_elems * k2 * static_cast<std::uint64_t>(input.channels);
+    case LayerKind::DepthwiseConv:
+      return out_elems * k2;
+    case LayerKind::FullyConnected:
+      return input.elements() * static_cast<std::uint64_t>(output.channels);
+    case LayerKind::Pool:
+      // comparisons/adds, counted as one op per kernel element
+      return out_elems * k2;
+    case LayerKind::GlobalPool:
+      return input.elements();
+    case LayerKind::EltwiseAdd:
+      return output.elements();
+    case LayerKind::Concat:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t Layer::weight_bytes() const {
+  const auto k2 =
+      static_cast<std::uint64_t>(kernel) * static_cast<std::uint64_t>(kernel);
+  switch (kind) {
+    case LayerKind::Conv:
+      return k2 * static_cast<std::uint64_t>(input.channels) *
+             static_cast<std::uint64_t>(output.channels);
+    case LayerKind::DepthwiseConv:
+      return k2 * static_cast<std::uint64_t>(output.channels);
+    case LayerKind::FullyConnected:
+      return input.elements() * static_cast<std::uint64_t>(output.channels);
+    case LayerKind::Pool:
+    case LayerKind::GlobalPool:
+    case LayerKind::EltwiseAdd:
+    case LayerKind::Concat:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t Layer::activation_bytes() const {
+  // EltwiseAdd reads two operands of the output shape.
+  if (kind == LayerKind::EltwiseAdd) {
+    return 2 * input.elements() + output.elements();
+  }
+  return input.elements() + output.elements();
+}
+
+double Layer::arithmetic_intensity() const {
+  const std::uint64_t bytes = dram_bytes();
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(macs()) / static_cast<double>(bytes);
+}
+
+namespace {
+
+int ceil_div(int a, int b) { return (a + b - 1) / b; }
+
+TensorShape strided_shape(TensorShape in, int out_channels, int stride) {
+  if (stride <= 0) throw std::invalid_argument("Layer: stride must be > 0");
+  return TensorShape{ceil_div(in.height, stride), ceil_div(in.width, stride),
+                     out_channels};
+}
+
+}  // namespace
+
+Layer make_conv(std::string name, TensorShape input, int out_channels,
+                int kernel, int stride) {
+  if (out_channels <= 0 || kernel <= 0) {
+    throw std::invalid_argument("make_conv: bad parameters");
+  }
+  return Layer{std::move(name), LayerKind::Conv, input,
+               strided_shape(input, out_channels, stride), kernel, stride};
+}
+
+Layer make_depthwise(std::string name, TensorShape input, int kernel,
+                     int stride) {
+  if (kernel <= 0) throw std::invalid_argument("make_depthwise: bad kernel");
+  return Layer{std::move(name), LayerKind::DepthwiseConv, input,
+               strided_shape(input, input.channels, stride), kernel, stride};
+}
+
+Layer make_fc(std::string name, TensorShape input, int out_features) {
+  if (out_features <= 0) throw std::invalid_argument("make_fc: bad width");
+  return Layer{std::move(name),          LayerKind::FullyConnected,
+               input,                    TensorShape{1, 1, out_features},
+               /*kernel=*/1,             /*stride=*/1};
+}
+
+Layer make_pool(std::string name, TensorShape input, int kernel, int stride) {
+  if (kernel <= 0) throw std::invalid_argument("make_pool: bad kernel");
+  return Layer{std::move(name), LayerKind::Pool, input,
+               strided_shape(input, input.channels, stride), kernel, stride};
+}
+
+Layer make_global_pool(std::string name, TensorShape input) {
+  return Layer{std::move(name),
+               LayerKind::GlobalPool,
+               input,
+               TensorShape{1, 1, input.channels},
+               /*kernel=*/1,
+               /*stride=*/1};
+}
+
+Layer make_eltwise_add(std::string name, TensorShape shape) {
+  return Layer{std::move(name), LayerKind::EltwiseAdd, shape, shape, 1, 1};
+}
+
+Layer make_concat(std::string name, TensorShape input, int added_channels) {
+  if (added_channels <= 0) {
+    throw std::invalid_argument("make_concat: bad channel count");
+  }
+  TensorShape out = input;
+  out.channels += added_channels;
+  return Layer{std::move(name), LayerKind::Concat, input, out, 1, 1};
+}
+
+}  // namespace amperebleed::dnn

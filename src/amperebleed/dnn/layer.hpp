@@ -1,0 +1,74 @@
+#pragma once
+// Layer-level IR for the DNN workloads the DPU executes. The fingerprinting
+// side channel only depends on each layer's compute intensity (MACs) and
+// memory traffic (weight + activation bytes), so that is exactly what the IR
+// captures. Weights/activations are INT8, as deployed by Vitis AI.
+
+#include <cstdint>
+#include <string>
+
+namespace amperebleed::dnn {
+
+struct TensorShape {
+  int height = 1;
+  int width = 1;
+  int channels = 1;
+
+  [[nodiscard]] std::uint64_t elements() const {
+    return static_cast<std::uint64_t>(height) *
+           static_cast<std::uint64_t>(width) *
+           static_cast<std::uint64_t>(channels);
+  }
+  friend bool operator==(const TensorShape&, const TensorShape&) = default;
+};
+
+enum class LayerKind {
+  Conv,           // standard convolution
+  DepthwiseConv,  // per-channel convolution (MobileNet/EfficientNet)
+  FullyConnected,
+  Pool,        // max/avg pooling
+  GlobalPool,  // global average pooling
+  EltwiseAdd,  // residual addition
+  Concat,      // channel concatenation (Inception/DenseNet)
+};
+
+std::string_view layer_kind_name(LayerKind kind);
+
+/// One executable layer. Shapes are fully resolved; derived quantities
+/// (MACs, bytes) are computed on demand.
+struct Layer {
+  std::string name;
+  LayerKind kind = LayerKind::Conv;
+  TensorShape input;
+  TensorShape output;
+  int kernel = 1;
+  int stride = 1;
+
+  /// Multiply-accumulate operations performed by the layer.
+  [[nodiscard]] std::uint64_t macs() const;
+  /// Parameter bytes streamed from DRAM (INT8 weights; biases ignored).
+  [[nodiscard]] std::uint64_t weight_bytes() const;
+  /// Activation bytes moved (read input + write output, INT8).
+  [[nodiscard]] std::uint64_t activation_bytes() const;
+  /// Total DRAM traffic for the layer.
+  [[nodiscard]] std::uint64_t dram_bytes() const {
+    return weight_bytes() + activation_bytes();
+  }
+  /// MACs per byte of DRAM traffic — decides whether the layer is compute-
+  /// or bandwidth-bound on the accelerator.
+  [[nodiscard]] double arithmetic_intensity() const;
+};
+
+/// Convenience constructors that resolve output shapes. All use SAME-style
+/// padding: out = ceil(in / stride).
+Layer make_conv(std::string name, TensorShape input, int out_channels,
+                int kernel, int stride);
+Layer make_depthwise(std::string name, TensorShape input, int kernel,
+                     int stride);
+Layer make_fc(std::string name, TensorShape input, int out_features);
+Layer make_pool(std::string name, TensorShape input, int kernel, int stride);
+Layer make_global_pool(std::string name, TensorShape input);
+Layer make_eltwise_add(std::string name, TensorShape shape);
+Layer make_concat(std::string name, TensorShape input, int added_channels);
+
+}  // namespace amperebleed::dnn

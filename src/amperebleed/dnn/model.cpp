@@ -1,0 +1,165 @@
+#include "amperebleed/dnn/model.hpp"
+
+#include <algorithm>
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::dnn {
+
+std::string_view family_name(Family f) {
+  switch (f) {
+    case Family::MobileNet:
+      return "MobileNet";
+    case Family::SqueezeNet:
+      return "SqueezeNet";
+    case Family::EfficientNet:
+      return "EfficientNet";
+    case Family::Inception:
+      return "Inception";
+    case Family::ResNet:
+      return "ResNet";
+    case Family::Vgg:
+      return "VGG";
+    case Family::DenseNet:
+      return "DenseNet";
+  }
+  return "unknown";
+}
+
+std::uint64_t Model::total_macs() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) total += l.macs();
+  return total;
+}
+
+std::uint64_t Model::total_weight_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) total += l.weight_bytes();
+  return total;
+}
+
+std::uint64_t Model::total_dram_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) total += l.dram_bytes();
+  return total;
+}
+
+ModelBuilder::ModelBuilder(std::string name, Family family, TensorShape input)
+    : cursor_(input) {
+  model_.name = std::move(name);
+  model_.family = family;
+  model_.input = input;
+}
+
+ModelBuilder& ModelBuilder::push(Layer layer) {
+  cursor_ = layer.output;
+  model_.layers.push_back(std::move(layer));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::conv(int out_channels, int kernel, int stride) {
+  return push(make_conv(util::format("conv%d", next_id_++), cursor_,
+                        out_channels, kernel, stride));
+}
+
+ModelBuilder& ModelBuilder::depthwise(int kernel, int stride) {
+  return push(
+      make_depthwise(util::format("dw%d", next_id_++), cursor_, kernel, stride));
+}
+
+ModelBuilder& ModelBuilder::separable(int out_channels, int kernel,
+                                      int stride) {
+  depthwise(kernel, stride);
+  return conv(out_channels, 1, 1);
+}
+
+ModelBuilder& ModelBuilder::inverted_residual(int out_channels, int expansion,
+                                              int stride) {
+  const TensorShape entry = cursor_;
+  conv(entry.channels * expansion, 1, 1);
+  depthwise(3, stride);
+  conv(out_channels, 1, 1);
+  if (stride == 1 && entry.channels == out_channels) {
+    push(make_eltwise_add(util::format("add%d", next_id_++), cursor_));
+  }
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::bottleneck(int mid_channels, int stride) {
+  conv(mid_channels, 1, 1);
+  conv(mid_channels, 3, stride);
+  conv(mid_channels * 4, 1, 1);
+  return push(make_eltwise_add(util::format("add%d", next_id_++), cursor_));
+}
+
+ModelBuilder& ModelBuilder::basic_block(int channels, int stride) {
+  conv(channels, 3, stride);
+  conv(channels, 3, 1);
+  return push(make_eltwise_add(util::format("add%d", next_id_++), cursor_));
+}
+
+ModelBuilder& ModelBuilder::fire(int squeeze_channels, int expand_channels) {
+  conv(squeeze_channels, 1, 1);
+  // Two expand branches executed sequentially, then fused by concat.
+  conv(expand_channels, 1, 1);
+  const TensorShape after_1x1 = cursor_;
+  cursor_.channels = squeeze_channels;  // the 3x3 branch reads the squeeze out
+  conv(expand_channels, 3, 1);
+  return push(make_concat(util::format("cat%d", next_id_++), cursor_,
+                          after_1x1.channels));
+}
+
+ModelBuilder& ModelBuilder::inception_mixed(int b1x1, int b3x3_reduce,
+                                            int b3x3, int b5x5_reduce,
+                                            int b5x5, int pool_proj) {
+  const TensorShape entry = cursor_;
+  conv(b1x1, 1, 1);
+  cursor_ = entry;
+  conv(b3x3_reduce, 1, 1);
+  conv(b3x3, 3, 1);
+  cursor_ = entry;
+  conv(b5x5_reduce, 1, 1);
+  conv(b5x5, 5, 1);
+  cursor_ = entry;
+  pool(3, 1);
+  conv(pool_proj, 1, 1);
+  // Fused output: channel concatenation of the four branches.
+  cursor_ = TensorShape{entry.height, entry.width,
+                        b1x1 + b3x3 + b5x5 + pool_proj};
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::dense_layer(int growth) {
+  const TensorShape entry = cursor_;
+  conv(growth * 4, 1, 1);
+  conv(growth, 3, 1);
+  return push(
+      make_concat(util::format("cat%d", next_id_++), cursor_, entry.channels));
+}
+
+ModelBuilder& ModelBuilder::se_block(int reduction) {
+  const TensorShape entry = cursor_;
+  global_pool();
+  fc(std::max(1, entry.channels / reduction));
+  fc(entry.channels);
+  // Channel-wise rescale of the saved feature map.
+  cursor_ = entry;
+  return push(make_eltwise_add(util::format("scale%d", next_id_++), cursor_));
+}
+
+ModelBuilder& ModelBuilder::pool(int kernel, int stride) {
+  return push(
+      make_pool(util::format("pool%d", next_id_++), cursor_, kernel, stride));
+}
+
+ModelBuilder& ModelBuilder::global_pool() {
+  return push(make_global_pool(util::format("gpool%d", next_id_++), cursor_));
+}
+
+ModelBuilder& ModelBuilder::fc(int out_features) {
+  return push(make_fc(util::format("fc%d", next_id_++), cursor_, out_features));
+}
+
+Model ModelBuilder::build() && { return std::move(model_); }
+
+}  // namespace amperebleed::dnn

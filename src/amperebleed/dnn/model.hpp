@@ -1,0 +1,80 @@
+#pragma once
+// Whole-model container and a fluent builder that tracks shapes so the zoo
+// definitions stay readable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amperebleed/dnn/layer.hpp"
+
+namespace amperebleed::dnn {
+
+/// The seven architecture families of the fingerprinting study.
+enum class Family {
+  MobileNet,
+  SqueezeNet,
+  EfficientNet,
+  Inception,
+  ResNet,
+  Vgg,
+  DenseNet,
+};
+
+std::string_view family_name(Family f);
+
+struct Model {
+  std::string name;
+  Family family = Family::ResNet;
+  TensorShape input;
+  std::vector<Layer> layers;
+
+  [[nodiscard]] std::uint64_t total_macs() const;
+  [[nodiscard]] std::uint64_t total_weight_bytes() const;
+  [[nodiscard]] std::uint64_t total_dram_bytes() const;
+  [[nodiscard]] std::size_t layer_count() const { return layers.size(); }
+};
+
+/// Builder with a shape cursor: each call appends a layer whose input is the
+/// previous layer's output. Residual/branch structures are modelled as the
+/// sequential layer stream the DPU actually executes.
+class ModelBuilder {
+ public:
+  ModelBuilder(std::string name, Family family, TensorShape input);
+
+  ModelBuilder& conv(int out_channels, int kernel, int stride = 1);
+  ModelBuilder& depthwise(int kernel, int stride = 1);
+  /// Depthwise-separable block: depthwise(k, s) + pointwise 1x1 conv.
+  ModelBuilder& separable(int out_channels, int kernel, int stride = 1);
+  /// Inverted residual (MobileNet-V2 style): 1x1 expand, depthwise,
+  /// 1x1 project, plus the residual add when shapes allow.
+  ModelBuilder& inverted_residual(int out_channels, int expansion, int stride);
+  /// ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand (4x), residual add.
+  ModelBuilder& bottleneck(int mid_channels, int stride);
+  /// ResNet basic block: two 3x3 convs + residual add.
+  ModelBuilder& basic_block(int channels, int stride);
+  /// SqueezeNet fire module: 1x1 squeeze then 1x1 + 3x3 expands (concat).
+  ModelBuilder& fire(int squeeze_channels, int expand_channels);
+  /// Inception-style mixed block approximated as its sequential branches.
+  ModelBuilder& inception_mixed(int b1x1, int b3x3_reduce, int b3x3,
+                                int b5x5_reduce, int b5x5, int pool_proj);
+  /// DenseNet layer: 1x1 (4*growth) + 3x3 (growth), concatenated.
+  ModelBuilder& dense_layer(int growth);
+  /// Squeeze-and-excitation block: global pool + two FCs + channel rescale;
+  /// the spatial feature map continues unchanged afterwards.
+  ModelBuilder& se_block(int reduction = 16);
+  ModelBuilder& pool(int kernel, int stride);
+  ModelBuilder& global_pool();
+  ModelBuilder& fc(int out_features);
+
+  [[nodiscard]] const TensorShape& shape() const { return cursor_; }
+  [[nodiscard]] Model build() &&;
+
+ private:
+  ModelBuilder& push(Layer layer);
+  Model model_;
+  TensorShape cursor_;
+  int next_id_ = 0;
+};
+
+}  // namespace amperebleed::dnn

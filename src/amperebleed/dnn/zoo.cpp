@@ -1,0 +1,372 @@
+#include "amperebleed/dnn/zoo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amperebleed::dnn {
+
+namespace {
+
+constexpr TensorShape kImageNet224{224, 224, 3};
+constexpr TensorShape kImageNet299{299, 299, 3};
+
+int scaled(int channels, double width_mult) {
+  const int c = static_cast<int>(std::lround(channels * width_mult));
+  return std::max(c, 8);
+}
+
+int repeats(int base, double depth_mult) {
+  return std::max(1, static_cast<int>(std::lround(base * depth_mult)));
+}
+
+// ---------------------------------------------------------------- MobileNet
+
+Model mobilenet_v1(const std::string& name, double width) {
+  ModelBuilder b(name, Family::MobileNet, kImageNet224);
+  b.conv(scaled(32, width), 3, 2);
+  b.separable(scaled(64, width), 3, 1);
+  b.separable(scaled(128, width), 3, 2);
+  b.separable(scaled(128, width), 3, 1);
+  b.separable(scaled(256, width), 3, 2);
+  b.separable(scaled(256, width), 3, 1);
+  b.separable(scaled(512, width), 3, 2);
+  for (int i = 0; i < 5; ++i) b.separable(scaled(512, width), 3, 1);
+  b.separable(scaled(1024, width), 3, 2);
+  b.separable(scaled(1024, width), 3, 1);
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+Model mobilenet_v2(const std::string& name, double width) {
+  ModelBuilder b(name, Family::MobileNet, kImageNet224);
+  b.conv(scaled(32, width), 3, 2);
+  b.inverted_residual(scaled(16, width), 1, 1);
+  b.inverted_residual(scaled(24, width), 6, 2);
+  b.inverted_residual(scaled(24, width), 6, 1);
+  for (int i = 0; i < 3; ++i) {
+    b.inverted_residual(scaled(32, width), 6, i == 0 ? 2 : 1);
+  }
+  for (int i = 0; i < 4; ++i) {
+    b.inverted_residual(scaled(64, width), 6, i == 0 ? 2 : 1);
+  }
+  for (int i = 0; i < 3; ++i) b.inverted_residual(scaled(96, width), 6, 1);
+  for (int i = 0; i < 3; ++i) {
+    b.inverted_residual(scaled(160, width), 6, i == 0 ? 2 : 1);
+  }
+  b.inverted_residual(scaled(320, width), 6, 1);
+  b.conv(scaled(1280, std::max(1.0, width)), 1, 1);
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+Model mobilenet_v3_large(const std::string& name) {
+  ModelBuilder b(name, Family::MobileNet, kImageNet224);
+  b.conv(16, 3, 2);
+  b.inverted_residual(16, 1, 1);
+  b.inverted_residual(24, 4, 2);
+  b.inverted_residual(24, 3, 1);
+  b.inverted_residual(40, 3, 2);
+  b.inverted_residual(40, 3, 1);
+  b.inverted_residual(40, 3, 1);
+  b.inverted_residual(80, 6, 2);
+  for (int i = 0; i < 3; ++i) b.inverted_residual(80, 3, 1);
+  b.inverted_residual(112, 6, 1);
+  b.inverted_residual(112, 6, 1);
+  b.inverted_residual(160, 6, 2);
+  b.inverted_residual(160, 6, 1);
+  b.inverted_residual(160, 6, 1);
+  b.conv(960, 1, 1);
+  b.global_pool().fc(1280).fc(1000);
+  return std::move(b).build();
+}
+
+// --------------------------------------------------------------- SqueezeNet
+
+Model squeezenet(const std::string& name, bool v11) {
+  ModelBuilder b(name, Family::SqueezeNet, kImageNet224);
+  if (v11) {
+    b.conv(64, 3, 2);
+    b.pool(3, 2);
+    b.fire(16, 64).fire(16, 64);
+    b.pool(3, 2);
+    b.fire(32, 128).fire(32, 128);
+    b.pool(3, 2);
+    b.fire(48, 192).fire(48, 192).fire(64, 256).fire(64, 256);
+  } else {
+    b.conv(96, 7, 2);
+    b.pool(3, 2);
+    b.fire(16, 64).fire(16, 64).fire(32, 128);
+    b.pool(3, 2);
+    b.fire(32, 128).fire(48, 192).fire(48, 192).fire(64, 256);
+    b.pool(3, 2);
+    b.fire(64, 256);
+  }
+  b.conv(1000, 1, 1);
+  b.global_pool();
+  return std::move(b).build();
+}
+
+// ------------------------------------------------------------- EfficientNet
+
+Model efficientnet(const std::string& name, double width, double depth,
+                   int resolution, bool squeeze_excite = false) {
+  // The -Lite variants strip squeeze-and-excitation (not DPU-friendly);
+  // the original B0 keeps it.
+  ModelBuilder b(name, Family::EfficientNet,
+                 TensorShape{resolution, resolution, 3});
+  b.conv(scaled(32, width), 3, 2);
+  struct Stage {
+    int channels;
+    int base_repeats;
+    int kernel;
+    int stride;
+    int expansion;
+  };
+  const Stage stages[] = {
+      {16, 1, 3, 1, 1},  {24, 2, 3, 2, 6}, {40, 2, 5, 2, 6},
+      {80, 3, 3, 2, 6},  {112, 3, 5, 1, 6}, {192, 4, 5, 2, 6},
+      {320, 1, 3, 1, 6},
+  };
+  for (const auto& s : stages) {
+    const int n = repeats(s.base_repeats, depth);
+    for (int i = 0; i < n; ++i) {
+      b.inverted_residual(scaled(s.channels, width), s.expansion,
+                          i == 0 ? s.stride : 1);
+      if (squeeze_excite) b.se_block(4);
+    }
+  }
+  b.conv(scaled(1280, width), 1, 1);
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+// ---------------------------------------------------------------- Inception
+
+Model inception_v1(const std::string& name) {
+  ModelBuilder b(name, Family::Inception, kImageNet224);
+  b.conv(64, 7, 2).pool(3, 2);
+  b.conv(64, 1, 1).conv(192, 3, 1).pool(3, 2);
+  b.inception_mixed(64, 96, 128, 16, 32, 32);
+  b.inception_mixed(128, 128, 192, 32, 96, 64);
+  b.pool(3, 2);
+  b.inception_mixed(192, 96, 208, 16, 48, 64);
+  b.inception_mixed(160, 112, 224, 24, 64, 64);
+  b.inception_mixed(128, 128, 256, 24, 64, 64);
+  b.inception_mixed(112, 144, 288, 32, 64, 64);
+  b.inception_mixed(256, 160, 320, 32, 128, 128);
+  b.pool(3, 2);
+  b.inception_mixed(256, 160, 320, 32, 128, 128);
+  b.inception_mixed(384, 192, 384, 48, 128, 128);
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+Model inception_deep(const std::string& name, int blocks_a, int blocks_b,
+                     int blocks_c, double width, TensorShape input,
+                     bool residual) {
+  ModelBuilder b(name, Family::Inception, input);
+  b.conv(scaled(32, width), 3, 2);
+  b.conv(scaled(32, width), 3, 1);
+  b.conv(scaled(64, width), 3, 1);
+  b.pool(3, 2);
+  b.conv(scaled(80, width), 1, 1);
+  b.conv(scaled(192, width), 3, 1);
+  b.pool(3, 2);
+  for (int i = 0; i < blocks_a; ++i) {
+    b.inception_mixed(scaled(64, width), scaled(48, width), scaled(64, width),
+                      scaled(64, width), scaled(96, width), scaled(64, width));
+    if (residual) {
+      // Residual variant fuses each block back into its input width.
+      b.conv(scaled(288, width), 1, 1);
+    }
+  }
+  b.pool(3, 2);
+  for (int i = 0; i < blocks_b; ++i) {
+    b.inception_mixed(scaled(192, width), scaled(128, width),
+                      scaled(192, width), scaled(128, width),
+                      scaled(192, width), scaled(192, width));
+    if (residual) b.conv(scaled(768, width), 1, 1);
+  }
+  b.pool(3, 2);
+  for (int i = 0; i < blocks_c; ++i) {
+    b.inception_mixed(scaled(320, width), scaled(384, width),
+                      scaled(384, width), scaled(448, width),
+                      scaled(384, width), scaled(192, width));
+    if (residual) b.conv(scaled(1280, width), 1, 1);
+  }
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+// ------------------------------------------------------------------- ResNet
+
+Model resnet_basic(const std::string& name, int s1, int s2, int s3, int s4) {
+  ModelBuilder b(name, Family::ResNet, kImageNet224);
+  b.conv(64, 7, 2).pool(3, 2);
+  for (int i = 0; i < s1; ++i) b.basic_block(64, 1);
+  for (int i = 0; i < s2; ++i) b.basic_block(128, i == 0 ? 2 : 1);
+  for (int i = 0; i < s3; ++i) b.basic_block(256, i == 0 ? 2 : 1);
+  for (int i = 0; i < s4; ++i) b.basic_block(512, i == 0 ? 2 : 1);
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+Model resnet_bottleneck(const std::string& name, int s1, int s2, int s3,
+                        int s4, double width_mult = 1.0) {
+  ModelBuilder b(name, Family::ResNet, kImageNet224);
+  b.conv(64, 7, 2).pool(3, 2);
+  for (int i = 0; i < s1; ++i) b.bottleneck(scaled(64, width_mult), 1);
+  for (int i = 0; i < s2; ++i) {
+    b.bottleneck(scaled(128, width_mult), i == 0 ? 2 : 1);
+  }
+  for (int i = 0; i < s3; ++i) {
+    b.bottleneck(scaled(256, width_mult), i == 0 ? 2 : 1);
+  }
+  for (int i = 0; i < s4; ++i) {
+    b.bottleneck(scaled(512, width_mult), i == 0 ? 2 : 1);
+  }
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+Model se_resnet50(const std::string& name) {
+  // SE blocks add a squeeze (global pool) + two FC layers per bottleneck;
+  // modelled at stage granularity to keep the schedule faithful in traffic.
+  ModelBuilder b(name, Family::ResNet, kImageNet224);
+  b.conv(64, 7, 2).pool(3, 2);
+  const int stages[4] = {3, 4, 6, 3};
+  const int mids[4] = {64, 128, 256, 512};
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < stages[s]; ++i) {
+      b.bottleneck(mids[s], (s > 0 && i == 0) ? 2 : 1);
+      b.se_block();
+    }
+  }
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+// -------------------------------------------------------------------- VGG
+
+Model vgg(const std::string& name, const std::vector<int>& stage_convs,
+          bool batch_norm) {
+  ModelBuilder b(name, Family::Vgg, kImageNet224);
+  const int channels[5] = {64, 128, 256, 512, 512};
+  for (std::size_t s = 0; s < stage_convs.size(); ++s) {
+    for (int i = 0; i < stage_convs[s]; ++i) {
+      b.conv(channels[s], 3, 1);
+      if (batch_norm) {
+        // Fused scale/shift: negligible MACs, extra activation traffic.
+        b.conv(channels[s], 1, 1);
+      }
+    }
+    b.pool(2, 2);
+  }
+  b.fc(4096).fc(4096).fc(1000);
+  return std::move(b).build();
+}
+
+// ----------------------------------------------------------------- DenseNet
+
+Model densenet(const std::string& name, int growth,
+               const std::vector<int>& block_layers, int stem_channels) {
+  ModelBuilder b(name, Family::DenseNet, kImageNet224);
+  b.conv(stem_channels, 7, 2).pool(3, 2);
+  for (std::size_t blk = 0; blk < block_layers.size(); ++blk) {
+    for (int i = 0; i < block_layers[blk]; ++i) b.dense_layer(growth);
+    if (blk + 1 < block_layers.size()) {
+      b.conv(b.shape().channels / 2, 1, 1);  // transition compression
+      b.pool(2, 2);
+    }
+  }
+  b.global_pool().fc(1000);
+  return std::move(b).build();
+}
+
+}  // namespace
+
+std::vector<Model> build_zoo() {
+  std::vector<Model> zoo;
+  zoo.reserve(39);
+
+  // MobileNet family (6)
+  zoo.push_back(mobilenet_v1("MobileNet-V1", 1.0));
+  zoo.push_back(mobilenet_v1("MobileNet-V1-0.5", 0.5));
+  zoo.push_back(mobilenet_v1("MobileNet-V1-0.25", 0.25));
+  zoo.push_back(mobilenet_v2("MobileNet-V2", 1.0));
+  zoo.push_back(mobilenet_v2("MobileNet-V2-1.4", 1.4));
+  zoo.push_back(mobilenet_v3_large("MobileNet-V3-Large"));
+
+  // SqueezeNet family (2)
+  zoo.push_back(squeezenet("SqueezeNet", false));
+  zoo.push_back(squeezenet("SqueezeNet-1.1", true));
+
+  // EfficientNet family (6)
+  zoo.push_back(efficientnet("EfficientNet-Lite", 1.0, 1.0, 224));
+  zoo.push_back(efficientnet("EfficientNet-Lite1", 1.0, 1.1, 240));
+  zoo.push_back(efficientnet("EfficientNet-Lite2", 1.1, 1.2, 260));
+  zoo.push_back(efficientnet("EfficientNet-Lite3", 1.2, 1.4, 280));
+  zoo.push_back(efficientnet("EfficientNet-Lite4", 1.4, 1.8, 300));
+  zoo.push_back(efficientnet("EfficientNet-B0", 1.0, 1.0, 224,
+                             /*squeeze_excite=*/true));
+
+  // Inception family (5)
+  zoo.push_back(inception_v1("Inception-V1"));
+  zoo.push_back(inception_deep("Inception-V2", 3, 4, 2, 0.85, kImageNet224,
+                               /*residual=*/false));
+  zoo.push_back(inception_deep("Inception-V3", 3, 4, 2, 1.0, kImageNet299,
+                               /*residual=*/false));
+  zoo.push_back(inception_deep("Inception-V4", 4, 7, 3, 1.1, kImageNet299,
+                               /*residual=*/false));
+  zoo.push_back(inception_deep("Inception-ResNet-V2", 5, 10, 5, 0.9,
+                               kImageNet299, /*residual=*/true));
+
+  // ResNet family (8)
+  zoo.push_back(resnet_basic("ResNet-18", 2, 2, 2, 2));
+  zoo.push_back(resnet_basic("ResNet-34", 3, 4, 6, 3));
+  zoo.push_back(resnet_bottleneck("ResNet-26", 2, 2, 2, 2));
+  zoo.push_back(resnet_bottleneck("ResNet-50", 3, 4, 6, 3));
+  zoo.push_back(resnet_bottleneck("ResNet-101", 3, 4, 23, 3));
+  zoo.push_back(resnet_bottleneck("ResNet-152", 3, 8, 36, 3));
+  zoo.push_back(resnet_bottleneck("WideResNet-50", 3, 4, 6, 3, 2.0));
+  zoo.push_back(se_resnet50("SE-ResNet-50"));
+
+  // VGG family (6)
+  zoo.push_back(vgg("VGG-11", {1, 1, 2, 2, 2}, false));
+  zoo.push_back(vgg("VGG-13", {2, 2, 2, 2, 2}, false));
+  zoo.push_back(vgg("VGG-16", {2, 2, 3, 3, 3}, false));
+  zoo.push_back(vgg("VGG-19", {2, 2, 4, 4, 4}, false));
+  zoo.push_back(vgg("VGG-16-BN", {2, 2, 3, 3, 3}, true));
+  zoo.push_back(vgg("VGG-19-BN", {2, 2, 4, 4, 4}, true));
+
+  // DenseNet family (6)
+  zoo.push_back(densenet("DenseNet-121", 32, {6, 12, 24, 16}, 64));
+  zoo.push_back(densenet("DenseNet-161", 48, {6, 12, 36, 24}, 96));
+  zoo.push_back(densenet("DenseNet-169", 32, {6, 12, 32, 32}, 64));
+  zoo.push_back(densenet("DenseNet-201", 32, {6, 12, 48, 32}, 64));
+  zoo.push_back(densenet("DenseNet-264", 32, {6, 12, 64, 48}, 64));
+  zoo.push_back(densenet("DenseNet-100-24", 24, {16, 16, 16}, 48));
+
+  return zoo;
+}
+
+std::vector<std::string> zoo_model_names() {
+  std::vector<std::string> names;
+  for (const auto& m : build_zoo()) names.push_back(m.name);
+  return names;
+}
+
+Model build_model(std::string_view name) {
+  for (auto& m : build_zoo()) {
+    if (m.name == name) return std::move(m);
+  }
+  throw std::invalid_argument("build_model: unknown model '" +
+                              std::string(name) + "'");
+}
+
+std::vector<std::string> fig3_model_names() {
+  return {"MobileNet-V1", "SqueezeNet",  "EfficientNet-Lite",
+          "Inception-V3", "ResNet-50",   "VGG-19"};
+}
+
+}  // namespace amperebleed::dnn

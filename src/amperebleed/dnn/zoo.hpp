@@ -1,0 +1,29 @@
+#pragma once
+// The victim model zoo: 39 image-recognition architectures over 7 families,
+// standing in for the Vitis AI Library suite the paper fingerprints. The
+// exact published weights are irrelevant to the coarse current channel; what
+// matters (and what these definitions reproduce) is each architecture's
+// layer-level compute/traffic schedule, which is what shapes its current
+// signature on the FPGA/DRAM/CPU rails.
+
+#include <string_view>
+#include <vector>
+
+#include "amperebleed/dnn/model.hpp"
+
+namespace amperebleed::dnn {
+
+/// All 39 zoo models, in a fixed order (the class label of model i is i).
+std::vector<Model> build_zoo();
+
+/// Names of the zoo models, in label order.
+std::vector<std::string> zoo_model_names();
+
+/// Build one model by zoo name; throws std::invalid_argument if unknown.
+Model build_model(std::string_view name);
+
+/// The six example models of Fig 3, in the paper's order: MobileNet-V1,
+/// SqueezeNet, EfficientNet-Lite, Inception-V3, ResNet-50, VGG-19.
+std::vector<std::string> fig3_model_names();
+
+}  // namespace amperebleed::dnn

@@ -1,0 +1,101 @@
+#pragma once
+// Xilinx DPU-style DNN accelerator model. The real DPU is IEEE-1735
+// encrypted IP; the attack treats it as a black box and only observes its
+// rail currents. This model reproduces the observable behaviour: a layer-by-
+// layer execution schedule whose per-layer duration is the max of compute
+// time (MACs / effective throughput) and DRAM time (bytes / bandwidth), with
+// rail currents proportional to achieved utilization — plus the ARM-side
+// pre/post-processing every inference requires.
+
+#include <cstdint>
+
+#include "amperebleed/dnn/model.hpp"
+#include "amperebleed/fpga/fabric.hpp"
+#include "amperebleed/power/activity.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::dpu {
+
+struct DpuConfig {
+  double clock_mhz = 300.0;          // fabric clock of the evaluation board
+  double peak_macs_per_cycle = 2048;  // B4096-class core (4096 INT8 ops/cycle)
+  double dram_bandwidth_bytes_per_s = 4.0e9;
+
+  /// Achieved fraction of peak MACs by layer kind (conv pipelines well;
+  /// depthwise and FC are structurally inefficient on the systolic array).
+  double conv_efficiency = 0.70;
+  double depthwise_efficiency = 0.25;
+  double fc_efficiency = 0.15;
+  double pool_efficiency = 0.20;
+
+  /// Fixed per-layer dispatch overhead (instruction fetch, DMA setup).
+  sim::TimeNs layer_overhead = sim::microseconds(8);
+
+  /// FPGA rail: leakage of the deployed DPU plus a load-proportional term.
+  double fpga_idle_current_amps = 0.180;
+  double fpga_full_load_current_amps = 2.60;  // added at 100% MAC utilization
+
+  /// DRAM rail current per GB/s of achieved traffic.
+  double dram_current_per_gbps_amps = 0.120;
+
+  /// ARM-side work per inference (image resize/quantize, softmax/top-k).
+  sim::TimeNs cpu_preprocess_base = sim::microseconds(2500);
+  /// Extra preprocess time per input megapixel-channel (resize cost scales
+  /// with the model's input size).
+  sim::TimeNs cpu_preprocess_per_mpixel = sim::microseconds(5500);
+  sim::TimeNs cpu_postprocess = sim::microseconds(900);
+  double cpu_busy_current_amps = 0.350;  // one A53 core at full tilt
+  /// Low-power domain blip while the DPU driver fields the done-interrupt.
+  double lpd_irq_current_amps = 0.012;
+  sim::TimeNs lpd_irq_duration = sim::microseconds(400);
+  /// LPD draw while the DPU runtime keeps the accelerator fed (descriptor
+  /// fetches through the platform-management path).
+  double lpd_driver_current_amps = 0.009;
+
+  /// Relative jitter (1 sigma) on CPU pre/post-processing durations —
+  /// OS scheduling noise that decorrelates repeated traces.
+  double cpu_jitter_fraction = 0.03;
+};
+
+/// Per-layer execution estimate.
+struct LayerTiming {
+  sim::TimeNs duration{0};
+  double fpga_current_amps = 0.0;  // added above idle while the layer runs
+  double dram_current_amps = 0.0;
+  double mac_utilization = 0.0;
+};
+
+class DpuAccelerator {
+ public:
+  explicit DpuAccelerator(DpuConfig config = {});
+
+  [[nodiscard]] fpga::CircuitDescriptor descriptor() const;
+
+  [[nodiscard]] LayerTiming layer_timing(const dnn::Layer& layer) const;
+
+  /// Accelerator-only latency of one inference (no CPU phases).
+  [[nodiscard]] sim::TimeNs inference_latency(const dnn::Model& model) const;
+
+  /// Full per-inference period including ARM pre/post-processing (jitter-free
+  /// nominal value).
+  [[nodiscard]] sim::TimeNs inference_period(const dnn::Model& model) const;
+
+  struct RunResult {
+    power::RailActivity activity;
+    std::size_t inference_count = 0;
+  };
+
+  /// Run back-to-back inferences from `start` until the first inference that
+  /// would begin at or after `end` (the paper runs each model "in series" for
+  /// 5 s). `seed` drives the OS-jitter on the CPU phases.
+  [[nodiscard]] RunResult run(const dnn::Model& model, sim::TimeNs start,
+                              sim::TimeNs end, std::uint64_t seed) const;
+
+  [[nodiscard]] const DpuConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] sim::TimeNs preprocess_duration(const dnn::Model& model) const;
+  DpuConfig config_;
+};
+
+}  // namespace amperebleed::dpu

@@ -1,0 +1,47 @@
+#include "amperebleed/fpga/bitstream.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amperebleed::fpga {
+
+void Bitstream::add(CircuitDescriptor circuit) {
+  const bool duplicate = std::any_of(
+      circuits_.begin(), circuits_.end(),
+      [&](const CircuitDescriptor& c) { return c.name == circuit.name; });
+  if (duplicate) {
+    throw std::runtime_error("Bitstream::add: duplicate circuit '" +
+                             circuit.name + "'");
+  }
+  circuits_.push_back(std::move(circuit));
+}
+
+void Bitstream::program(Fabric& fabric) const {
+  // Validate the whole set before touching the fabric so programming is
+  // atomic.
+  FabricResources needed = fabric.used() + total_usage();
+  if (!fabric.config().resources.fits(needed)) {
+    throw std::runtime_error("Bitstream::program: '" + name_ +
+                             "' does not fit the device");
+  }
+  for (const auto& c : circuits_) {
+    if (fabric.is_deployed(c.name)) {
+      throw std::runtime_error("Bitstream::program: circuit '" + c.name +
+                               "' already deployed");
+    }
+  }
+  for (const auto& c : circuits_) fabric.deploy(c);
+}
+
+FabricResources Bitstream::total_usage() const {
+  FabricResources total;
+  for (const auto& c : circuits_) total = total + c.usage;
+  return total;
+}
+
+bool Bitstream::contains_encrypted_ip() const {
+  return std::any_of(circuits_.begin(), circuits_.end(),
+                     [](const CircuitDescriptor& c) { return c.encrypted; });
+}
+
+}  // namespace amperebleed::fpga

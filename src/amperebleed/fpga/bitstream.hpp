@@ -1,0 +1,38 @@
+#pragma once
+// Bitstream abstraction: a set of circuits configured onto the fabric in one
+// programming operation. Mirrors the paper's deployment flow — the victim
+// has full control of the FPGA and programs one bitstream containing its
+// circuits; the RSA bitstream is encrypted (IEEE 1735) with the key embedded.
+
+#include <string>
+#include <vector>
+
+#include "amperebleed/fpga/fabric.hpp"
+
+namespace amperebleed::fpga {
+
+class Bitstream {
+ public:
+  explicit Bitstream(std::string name) : name_(std::move(name)) {}
+
+  /// Add a circuit to the bitstream (build time). Throws on duplicate name.
+  void add(CircuitDescriptor circuit);
+
+  /// Program every circuit onto the fabric atomically: either all circuits
+  /// deploy or none do (resources are checked up front).
+  void program(Fabric& fabric) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<CircuitDescriptor>& circuits() const {
+    return circuits_;
+  }
+  [[nodiscard]] FabricResources total_usage() const;
+  /// True when any contained circuit is IEEE-1735 encrypted.
+  [[nodiscard]] bool contains_encrypted_ip() const;
+
+ private:
+  std::string name_;
+  std::vector<CircuitDescriptor> circuits_;
+};
+
+}  // namespace amperebleed::fpga

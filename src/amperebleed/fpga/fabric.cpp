@@ -1,0 +1,67 @@
+#include "amperebleed/fpga/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amperebleed::fpga {
+
+FabricResources zcu102_resources() {
+  return FabricResources{
+      .luts = 274'080,
+      .flip_flops = 548'160,
+      .dsp_slices = 2'520,
+      .bram_blocks = 912,
+  };
+}
+
+Fabric::Fabric(FabricConfig config) : config_(config) {
+  if (config_.clock_mhz <= 0.0) {
+    throw std::invalid_argument("Fabric: clock must be > 0");
+  }
+}
+
+FabricResources Fabric::used() const {
+  FabricResources total;
+  for (const auto& c : circuits_) total = total + c.usage;
+  return total;
+}
+
+FabricResources Fabric::available() const {
+  const FabricResources u = used();
+  return FabricResources{
+      config_.resources.luts - u.luts,
+      config_.resources.flip_flops - u.flip_flops,
+      config_.resources.dsp_slices - u.dsp_slices,
+      config_.resources.bram_blocks - u.bram_blocks,
+  };
+}
+
+void Fabric::deploy(const CircuitDescriptor& circuit) {
+  if (is_deployed(circuit.name)) {
+    throw std::runtime_error("Fabric::deploy: duplicate circuit name '" +
+                             circuit.name + "'");
+  }
+  const FabricResources after = used() + circuit.usage;
+  if (!config_.resources.fits(after)) {
+    throw std::runtime_error("Fabric::deploy: insufficient resources for '" +
+                             circuit.name + "'");
+  }
+  circuits_.push_back(circuit);
+}
+
+void Fabric::remove(const std::string& name) {
+  const auto it =
+      std::find_if(circuits_.begin(), circuits_.end(),
+                   [&](const CircuitDescriptor& c) { return c.name == name; });
+  if (it == circuits_.end()) {
+    throw std::runtime_error("Fabric::remove: unknown circuit '" + name + "'");
+  }
+  circuits_.erase(it);
+}
+
+bool Fabric::is_deployed(const std::string& name) const {
+  return std::any_of(circuits_.begin(), circuits_.end(),
+                     [&](const CircuitDescriptor& c) { return c.name == name; });
+}
+
+}  // namespace amperebleed::fpga

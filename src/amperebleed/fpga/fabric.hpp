@@ -1,0 +1,71 @@
+#pragma once
+// FPGA fabric resource model. The evaluation board is a ZCU102 (Zynq
+// UltraScale+ XCZU9EG): 274,080 LUTs, 548,160 flip-flops, 2,520 DSP slices,
+// fabric clock 300 MHz. Deployment tracks resource consumption so circuit
+// models cannot overcommit the device.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace amperebleed::fpga {
+
+struct FabricResources {
+  std::size_t luts = 0;
+  std::size_t flip_flops = 0;
+  std::size_t dsp_slices = 0;
+  std::size_t bram_blocks = 0;
+
+  friend FabricResources operator+(const FabricResources& a,
+                                   const FabricResources& b) {
+    return {a.luts + b.luts, a.flip_flops + b.flip_flops,
+            a.dsp_slices + b.dsp_slices, a.bram_blocks + b.bram_blocks};
+  }
+  /// True when every resource of `need` fits into `this`.
+  [[nodiscard]] bool fits(const FabricResources& need) const {
+    return need.luts <= luts && need.flip_flops <= flip_flops &&
+           need.dsp_slices <= dsp_slices && need.bram_blocks <= bram_blocks;
+  }
+};
+
+/// ZCU102 (XCZU9EG) fabric resources from the paper's evaluation setup.
+FabricResources zcu102_resources();
+
+struct FabricConfig {
+  FabricResources resources = zcu102_resources();
+  double clock_mhz = 300.0;
+};
+
+/// A deployed circuit's identity and footprint.
+struct CircuitDescriptor {
+  std::string name;
+  FabricResources usage;
+  /// IEEE-1735 style encryption: true for IP whose HDL (and any embedded
+  /// secret, e.g. the RSA key) is opaque even to privileged software.
+  bool encrypted = false;
+};
+
+/// Tracks deployments against the device's resource budget.
+class Fabric {
+ public:
+  explicit Fabric(FabricConfig config = {});
+
+  /// Deploy a circuit. Throws std::runtime_error if resources do not fit.
+  void deploy(const CircuitDescriptor& circuit);
+  /// Remove a deployed circuit by name; throws if not found.
+  void remove(const std::string& name);
+
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+  [[nodiscard]] FabricResources used() const;
+  [[nodiscard]] FabricResources available() const;
+  [[nodiscard]] const std::vector<CircuitDescriptor>& deployed() const {
+    return circuits_;
+  }
+  [[nodiscard]] bool is_deployed(const std::string& name) const;
+
+ private:
+  FabricConfig config_;
+  std::vector<CircuitDescriptor> circuits_;
+};
+
+}  // namespace amperebleed::fpga

@@ -1,0 +1,73 @@
+#include "amperebleed/fpga/power_virus.hpp"
+
+#include <stdexcept>
+
+namespace amperebleed::fpga {
+
+PowerVirus::PowerVirus(PowerVirusConfig config) : config_(config) {
+  if (config_.group_count == 0) {
+    throw std::invalid_argument("PowerVirus: group_count must be > 0");
+  }
+  if (config_.instance_count % config_.group_count != 0) {
+    throw std::invalid_argument(
+        "PowerVirus: instance_count must divide evenly into groups");
+  }
+}
+
+CircuitDescriptor PowerVirus::descriptor() const {
+  return CircuitDescriptor{
+      .name = "power_virus",
+      .usage =
+          FabricResources{
+              .luts = config_.instance_count * config_.luts_per_instance,
+              .flip_flops =
+                  config_.instance_count * config_.flip_flops_per_instance,
+              .dsp_slices = 0,
+              .bram_blocks = 0,
+          },
+      .encrypted = false,
+  };
+}
+
+std::size_t PowerVirus::instances_per_group() const {
+  return config_.instance_count / config_.group_count;
+}
+
+double PowerVirus::static_current() const {
+  return power::leakage_current_amps(
+      static_cast<double>(config_.instance_count),
+      config_.static_current_per_instance_amps);
+}
+
+double PowerVirus::current_for_groups(std::size_t groups) const {
+  if (groups > config_.group_count) {
+    throw std::invalid_argument("PowerVirus: groups out of range");
+  }
+  const double active_instances =
+      static_cast<double>(groups * instances_per_group());
+  return static_current() +
+         active_instances * config_.dynamic_current_per_instance_amps;
+}
+
+void PowerVirus::set_active_groups(sim::TimeNs at, std::size_t groups) {
+  if (groups > config_.group_count) {
+    throw std::invalid_argument("PowerVirus: groups out of range");
+  }
+  if (!commands_.empty() && at <= commands_.back().at) {
+    throw std::invalid_argument(
+        "PowerVirus: activation commands must be time-ordered");
+  }
+  commands_.push_back(Command{at, groups});
+}
+
+power::RailActivity PowerVirus::activity() const {
+  power::RailActivity out;
+  auto& fpga = out.on(power::Rail::FpgaLogic);
+  fpga = sim::PiecewiseConstant(current_for_groups(0));
+  for (const auto& cmd : commands_) {
+    fpga.append(cmd.at, current_for_groups(cmd.groups));
+  }
+  return out;
+}
+
+}  // namespace amperebleed::fpga

@@ -1,0 +1,63 @@
+#pragma once
+// Power-virus workload (Gnad et al., FPL'17): 160k valid-bitstream toggling
+// instances covering the routing fabric, grouped into 160 groups of 1k that
+// the ARM side can activate at runtime — giving 161 controllable victim
+// activity levels for the Fig 2 characterization.
+
+#include <cstddef>
+
+#include "amperebleed/fpga/fabric.hpp"
+#include "amperebleed/power/activity.hpp"
+#include "amperebleed/power/power_model.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::fpga {
+
+struct PowerVirusConfig {
+  std::size_t instance_count = 160'000;
+  std::size_t group_count = 160;
+  /// Dynamic current per toggling instance: 40 uA -> 40 mA per 1k group,
+  /// i.e. the ~40 current LSBs per activity level the paper measures.
+  double dynamic_current_per_instance_amps = 40e-6;
+  /// Leakage of a deployed-but-idle instance — why Fig 2's current axis does
+  /// not start at zero ("static workloads" in the paper).
+  double static_current_per_instance_amps = 4e-6;
+  /// Footprint per instance (a registered combinational toggler).
+  std::size_t luts_per_instance = 1;
+  std::size_t flip_flops_per_instance = 1;
+};
+
+/// Deployable power virus with runtime-controlled group activation.
+class PowerVirus {
+ public:
+  explicit PowerVirus(PowerVirusConfig config = {});
+
+  [[nodiscard]] CircuitDescriptor descriptor() const;
+
+  /// Record an activation command: from `at`, exactly `groups` groups run.
+  /// Commands must be issued in increasing time order (like the ARM-side
+  /// control register writes they model). Throws if groups > group_count
+  /// or `at` is not after the previous command.
+  void set_active_groups(sim::TimeNs at, std::size_t groups);
+
+  /// Compile the command history into a per-rail activity schedule.
+  /// The virus loads only the FPGA logic rail.
+  [[nodiscard]] power::RailActivity activity() const;
+
+  /// Steady-state FPGA rail current with `groups` groups active, including
+  /// the static floor (exposed for calibration and tests).
+  [[nodiscard]] double current_for_groups(std::size_t groups) const;
+  [[nodiscard]] double static_current() const;
+  [[nodiscard]] std::size_t instances_per_group() const;
+  [[nodiscard]] const PowerVirusConfig& config() const { return config_; }
+
+ private:
+  PowerVirusConfig config_;
+  struct Command {
+    sim::TimeNs at;
+    std::size_t groups;
+  };
+  std::vector<Command> commands_;
+};
+
+}  // namespace amperebleed::fpga

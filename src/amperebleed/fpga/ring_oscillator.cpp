@@ -1,0 +1,73 @@
+#include "amperebleed/fpga/ring_oscillator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace amperebleed::fpga {
+
+RingOscillatorBank::RingOscillatorBank(RingOscillatorConfig config,
+                                       std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      thermal_drift_(
+          0.0, config.thermal_drift_rate_hz <= 0.0 ? 1.0 : config.thermal_drift_rate_hz,
+          config.thermal_drift_counts *
+              std::sqrt(2.0 * (config.thermal_drift_rate_hz <= 0.0
+                                   ? 1.0
+                                   : config.thermal_drift_rate_hz)),
+          util::hash_combine(seed, 0x7e)) {
+  if (config_.base_frequency_mhz <= 0.0) {
+    throw std::invalid_argument("RingOscillatorBank: base frequency <= 0");
+  }
+  if (config_.sample_window.ns <= 0) {
+    throw std::invalid_argument("RingOscillatorBank: sample window <= 0");
+  }
+  if (config_.chain_count == 0) {
+    throw std::invalid_argument("RingOscillatorBank: chain_count == 0");
+  }
+}
+
+CircuitDescriptor RingOscillatorBank::descriptor() const {
+  return CircuitDescriptor{
+      .name = "ring_oscillator_bank",
+      .usage =
+          FabricResources{
+              .luts = config_.chain_count * config_.luts_per_chain,
+              .flip_flops =
+                  config_.chain_count * config_.flip_flops_per_chain,
+              .dsp_slices = 0,
+              .bram_blocks = 0,
+          },
+      .encrypted = false,
+  };
+}
+
+double RingOscillatorBank::expected_count(double voltage) const {
+  const double f_hz = config_.base_frequency_mhz * 1e6 *
+                      (1.0 + config_.voltage_sensitivity_per_volt *
+                                 (voltage - config_.v_reference));
+  return f_hz * config_.sample_window.seconds();
+}
+
+double RingOscillatorBank::sample(const sim::PiecewiseConstant& fpga_voltage,
+                                  sim::TimeNs t) {
+  // The oscillation count integrates frequency over the window; with the
+  // first-order linear f(V) model that equals expected_count(mean voltage).
+  const double v_mean = fpga_voltage.mean(t, t + config_.sample_window);
+  // Advance the shared thermal wander by the elapsed time since the last
+  // sample (all chains on one die drift together).
+  const sim::TimeNs dt{t >= last_sample_time_
+                           ? (t - last_sample_time_).ns
+                           : (last_sample_time_ - t).ns};
+  last_sample_time_ = t;
+  const double drift = thermal_drift_.step(dt);
+  const double ideal = expected_count(v_mean) + drift;
+  double sum = 0.0;
+  for (std::size_t chain = 0; chain < config_.chain_count; ++chain) {
+    const double noisy = ideal + rng_.gaussian(0.0, config_.jitter_counts);
+    sum += std::round(noisy);  // each chain's counter is an integer
+  }
+  return sum / static_cast<double>(config_.chain_count);
+}
+
+}  // namespace amperebleed::fpga

@@ -1,0 +1,69 @@
+#pragma once
+// Ring-oscillator voltage sensor bank (Zhao & Suh, S&P'18) — the crafted-
+// circuit baseline AmpereBleed is compared against in Fig 2. A combinational
+// loop increments a counter whose rate tracks the PDN voltage (propagation
+// delay falls as voltage rises); the counter is sampled at fixed intervals.
+// On a stabilized PDN the observable voltage swing is tiny, which is why the
+// RO's per-level variation ends up ~261x smaller than the hwmon current's.
+
+#include <cstdint>
+
+#include "amperebleed/fpga/fabric.hpp"
+#include "amperebleed/sim/noise.hpp"
+#include "amperebleed/sim/signal.hpp"
+#include "amperebleed/sim/time.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::fpga {
+
+struct RingOscillatorConfig {
+  /// Free-running frequency at the reference voltage.
+  double base_frequency_mhz = 425.0;
+  /// Fractional frequency change per volt of supply change (first-order
+  /// delay/voltage model): f = f0 * (1 + kv * (V - Vref)).
+  double voltage_sensitivity_per_volt = 3.1;
+  double v_reference = 0.850;
+  /// Counter sampling window (the paper's baseline samples at ~2 MHz; a
+  /// 16 us window models counter accumulation between reads at ~62.5 kHz —
+  /// slower reads accumulate more counts and partially average jitter).
+  sim::TimeNs sample_window = sim::microseconds(16);
+  /// 1-sigma cycle jitter per window, in counts, per chain.
+  double jitter_counts = 2.0;
+  /// Slow thermal drift of the RO frequency (counts, stationary sigma) —
+  /// ROs are notoriously temperature-sensitive; this wander is what keeps
+  /// the Fig 2 RO correlation at ~-0.996 instead of exactly -1.
+  double thermal_drift_counts = 0.7;
+  double thermal_drift_rate_hz = 0.05;
+  /// Number of RO chains distributed across the board; readings are the
+  /// mean of all chains (averages out placement-dependent effects).
+  std::size_t chain_count = 32;
+  /// Fabric footprint per chain (loop LUTs + counter FFs).
+  std::size_t luts_per_chain = 13;
+  std::size_t flip_flops_per_chain = 32;
+};
+
+/// A distributed bank of RO sensors sampled synchronously.
+class RingOscillatorBank {
+ public:
+  RingOscillatorBank(RingOscillatorConfig config, std::uint64_t seed);
+
+  [[nodiscard]] CircuitDescriptor descriptor() const;
+
+  /// Mean over chains of the integer counter increment observed in
+  /// [t, t + sample_window), given the FPGA rail voltage waveform.
+  double sample(const sim::PiecewiseConstant& fpga_voltage, sim::TimeNs t);
+
+  /// Deterministic expected (noise- and quantization-free) count for a
+  /// constant voltage — exposed for calibration and tests.
+  [[nodiscard]] double expected_count(double voltage) const;
+
+  [[nodiscard]] const RingOscillatorConfig& config() const { return config_; }
+
+ private:
+  RingOscillatorConfig config_;
+  util::Rng rng_;
+  sim::OrnsteinUhlenbeck thermal_drift_;
+  sim::TimeNs last_sample_time_{0};
+};
+
+}  // namespace amperebleed::fpga

@@ -1,0 +1,51 @@
+#include "amperebleed/fpga/tdc_sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amperebleed::fpga {
+
+TdcSensor::TdcSensor(TdcConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.taps == 0) {
+    throw std::invalid_argument("TdcSensor: taps must be > 0");
+  }
+  if (config_.nominal_taps < 0.0 ||
+      config_.nominal_taps > static_cast<double>(config_.taps)) {
+    throw std::invalid_argument("TdcSensor: nominal_taps outside the chain");
+  }
+  if (config_.taps_per_volt <= 0.0) {
+    throw std::invalid_argument("TdcSensor: sensitivity must be > 0");
+  }
+}
+
+CircuitDescriptor TdcSensor::descriptor() const {
+  return CircuitDescriptor{
+      .name = "tdc_sensor",
+      .usage =
+          FabricResources{
+              .luts = config_.luts,
+              .flip_flops = config_.flip_flops,
+              .dsp_slices = 0,
+              .bram_blocks = 0,
+          },
+      .encrypted = false,
+  };
+}
+
+double TdcSensor::expected_taps(double voltage) const {
+  const double taps = config_.nominal_taps +
+                      config_.taps_per_volt * (voltage - config_.v_reference);
+  return std::clamp(taps, 0.0, static_cast<double>(config_.taps));
+}
+
+double TdcSensor::sample(const sim::PiecewiseConstant& fpga_voltage,
+                         sim::TimeNs t) {
+  const double ideal = expected_taps(fpga_voltage.value_at(t));
+  const double noisy = ideal + rng_.gaussian(0.0, config_.jitter_taps);
+  return std::clamp(std::round(noisy), 0.0,
+                    static_cast<double>(config_.taps));
+}
+
+}  // namespace amperebleed::fpga

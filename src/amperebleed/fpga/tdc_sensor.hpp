@@ -1,0 +1,59 @@
+#pragma once
+// Time-to-digital converter (TDC) voltage sensor — the other family of
+// crafted sensing circuits in the related work (Schellenberg et al.'s
+// delay-line sensors, RDS). A launch signal races down a carry chain for
+// one clock cycle; the number of taps it traverses measures propagation
+// delay and hence supply voltage. Compared to an RO counter it has much
+// finer temporal resolution (one sample per readout clock) but the same
+// fundamental dependence on PDN voltage — so the stabilizer kills it the
+// same way (see ablation_stabilizer).
+
+#include <cstdint>
+
+#include "amperebleed/fpga/fabric.hpp"
+#include "amperebleed/sim/signal.hpp"
+#include "amperebleed/sim/time.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::fpga {
+
+struct TdcConfig {
+  /// Carry-chain length in taps.
+  std::size_t taps = 128;
+  /// Taps traversed during one clock period at the reference voltage
+  /// (calibrated to mid-chain for maximum swing).
+  double nominal_taps = 64.0;
+  /// Sensitivity: taps gained per volt of supply increase (delay falls as
+  /// voltage rises).
+  double taps_per_volt = 220.0;
+  double v_reference = 0.850;
+  /// 1-sigma sampling jitter in taps.
+  double jitter_taps = 0.8;
+  /// Fabric footprint (carry chain + capture FFs + encoder).
+  std::size_t luts = 96;
+  std::size_t flip_flops = 160;
+};
+
+class TdcSensor {
+ public:
+  TdcSensor(TdcConfig config, std::uint64_t seed);
+
+  [[nodiscard]] CircuitDescriptor descriptor() const;
+
+  /// Noise-free expected tap reading at a constant voltage (clamped to the
+  /// chain's [0, taps] range).
+  [[nodiscard]] double expected_taps(double voltage) const;
+
+  /// One readout: integer tap count captured at instant t (the launch pulse
+  /// samples the voltage over ~one fabric clock cycle — effectively
+  /// instantaneous next to PDN time constants).
+  double sample(const sim::PiecewiseConstant& fpga_voltage, sim::TimeNs t);
+
+  [[nodiscard]] const TdcConfig& config() const { return config_; }
+
+ private:
+  TdcConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace amperebleed::fpga

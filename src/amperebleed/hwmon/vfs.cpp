@@ -1,0 +1,153 @@
+#include "amperebleed/hwmon/vfs.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::hwmon {
+
+std::string_view vfs_status_name(VfsStatus s) {
+  switch (s) {
+    case VfsStatus::Ok:
+      return "ok";
+    case VfsStatus::NotFound:
+      return "not-found";
+    case VfsStatus::PermissionDenied:
+      return "permission-denied";
+    case VfsStatus::IsDirectory:
+      return "is-directory";
+    case VfsStatus::NotDirectory:
+      return "not-directory";
+    case VfsStatus::NotWritable:
+      return "not-writable";
+    case VfsStatus::InvalidArgument:
+      return "invalid-argument";
+  }
+  return "unknown";
+}
+
+VirtualFs::VirtualFs() : root_(std::make_unique<Node>()) {
+  root_->directory = true;
+  root_->mode = 0755;
+}
+
+const VirtualFs::Node* VirtualFs::find(std::string_view path) const {
+  const Node* node = root_.get();
+  for (const auto& component : util::split_path(path)) {
+    if (!node->directory) return nullptr;
+    const auto it = node->children.find(component);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+VirtualFs::Node* VirtualFs::find(std::string_view path) {
+  return const_cast<Node*>(std::as_const(*this).find(path));
+}
+
+VirtualFs::Node* VirtualFs::ensure_dirs(
+    const std::vector<std::string>& components, std::size_t count) {
+  Node* node = root_.get();
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& child = node->children[components[i]];
+    if (!child) {
+      child = std::make_unique<Node>();
+      child->directory = true;
+      child->mode = 0755;
+    } else if (!child->directory) {
+      throw std::runtime_error("VirtualFs: '" + components[i] +
+                               "' exists as a file");
+    }
+    node = child.get();
+  }
+  return node;
+}
+
+void VirtualFs::mkdirs(std::string_view path) {
+  const auto components = util::split_path(path);
+  ensure_dirs(components, components.size());
+}
+
+void VirtualFs::add_file(std::string_view path, int mode, ReadFn reader,
+                         WriteFn writer) {
+  const auto components = util::split_path(path);
+  if (components.empty()) {
+    throw std::invalid_argument("VirtualFs::add_file: empty path");
+  }
+  Node* parent = ensure_dirs(components, components.size() - 1);
+  const std::string& leaf = components.back();
+  if (parent->children.count(leaf) != 0) {
+    throw std::runtime_error("VirtualFs::add_file: '" + std::string(path) +
+                             "' already exists");
+  }
+  auto node = std::make_unique<Node>();
+  node->directory = false;
+  node->mode = mode;
+  node->reader = std::move(reader);
+  node->writer = std::move(writer);
+  parent->children[leaf] = std::move(node);
+}
+
+void VirtualFs::chmod(std::string_view path, int mode) {
+  Node* node = find(path);
+  if (node == nullptr) {
+    throw std::runtime_error("VirtualFs::chmod: no such file '" +
+                             std::string(path) + "'");
+  }
+  if (node->directory) {
+    throw std::runtime_error("VirtualFs::chmod: '" + std::string(path) +
+                             "' is a directory");
+  }
+  node->mode = mode;
+}
+
+VfsResult VirtualFs::read(std::string_view path, bool privileged) const {
+  const Node* node = find(path);
+  if (node == nullptr) return {VfsStatus::NotFound, {}};
+  if (node->directory) return {VfsStatus::IsDirectory, {}};
+  const bool readable =
+      privileged ? (node->mode & 0400) != 0 : (node->mode & 0004) != 0;
+  if (!readable) return {VfsStatus::PermissionDenied, {}};
+  if (!node->reader) return {VfsStatus::Ok, {}};
+  return {VfsStatus::Ok, node->reader()};
+}
+
+VfsResult VirtualFs::write(std::string_view path, std::string_view data,
+                           bool privileged) {
+  Node* node = find(path);
+  if (node == nullptr) return {VfsStatus::NotFound, {}};
+  if (node->directory) return {VfsStatus::IsDirectory, {}};
+  const bool writable =
+      privileged ? (node->mode & 0200) != 0 : (node->mode & 0002) != 0;
+  if (!writable) return {VfsStatus::PermissionDenied, {}};
+  if (!node->writer) return {VfsStatus::NotWritable, {}};
+  if (!node->writer(data)) return {VfsStatus::InvalidArgument, {}};
+  return {VfsStatus::Ok, {}};
+}
+
+std::vector<std::string> VirtualFs::list(std::string_view path) const {
+  const Node* node = find(path);
+  if (node == nullptr || !node->directory) return {};
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;  // std::map keeps them sorted
+}
+
+bool VirtualFs::exists(std::string_view path) const {
+  return find(path) != nullptr;
+}
+
+bool VirtualFs::is_directory(std::string_view path) const {
+  const Node* node = find(path);
+  return node != nullptr && node->directory;
+}
+
+int VirtualFs::mode_of(std::string_view path) const {
+  const Node* node = find(path);
+  return node == nullptr ? -1 : node->mode;
+}
+
+}  // namespace amperebleed::hwmon

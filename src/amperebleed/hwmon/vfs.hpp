@@ -1,0 +1,88 @@
+#pragma once
+// An in-memory sysfs: directory tree with attribute files backed by
+// read/write callbacks and POSIX-style mode bits. This is the unprivileged
+// interface the attack uses — reads go through the same permission checks a
+// real /sys/class/hwmon tree would apply.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amperebleed::hwmon {
+
+enum class VfsStatus {
+  Ok,
+  NotFound,
+  PermissionDenied,
+  IsDirectory,
+  NotDirectory,
+  NotWritable,
+  InvalidArgument,  // write rejected by the attribute (EINVAL)
+};
+
+std::string_view vfs_status_name(VfsStatus s);
+
+struct VfsResult {
+  VfsStatus status = VfsStatus::Ok;
+  std::string data;  // file contents on successful read
+
+  [[nodiscard]] bool ok() const { return status == VfsStatus::Ok; }
+};
+
+/// Attribute read callback: produce the current file contents.
+using ReadFn = std::function<std::string()>;
+/// Attribute write callback: apply the value; return false to signal EINVAL.
+using WriteFn = std::function<bool(std::string_view)>;
+
+class VirtualFs {
+ public:
+  VirtualFs();
+
+  /// Create a directory (and any missing parents). Throws if a path
+  /// component exists as a file.
+  void mkdirs(std::string_view path);
+
+  /// Register an attribute file. `mode` uses octal sysfs conventions
+  /// (e.g. 0444 world-readable, 0644 root-writable, 0400 root-only read).
+  /// Parent directories are created as needed. Throws on duplicates.
+  void add_file(std::string_view path, int mode, ReadFn reader,
+                WriteFn writer = nullptr);
+
+  /// Change an existing file's mode bits; throws if missing or a directory.
+  void chmod(std::string_view path, int mode);
+
+  /// Read a file. `privileged` models uid 0.
+  [[nodiscard]] VfsResult read(std::string_view path, bool privileged) const;
+
+  /// Write a file.
+  VfsResult write(std::string_view path, std::string_view data,
+                  bool privileged);
+
+  /// Sorted names of a directory's entries.
+  [[nodiscard]] std::vector<std::string> list(std::string_view path) const;
+
+  [[nodiscard]] bool exists(std::string_view path) const;
+  [[nodiscard]] bool is_directory(std::string_view path) const;
+  [[nodiscard]] int mode_of(std::string_view path) const;  // -1 if missing
+
+ private:
+  struct Node {
+    bool directory = false;
+    int mode = 0;
+    ReadFn reader;
+    WriteFn writer;
+    std::map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  [[nodiscard]] const Node* find(std::string_view path) const;
+  [[nodiscard]] Node* find(std::string_view path);
+  Node* ensure_dirs(const std::vector<std::string>& components,
+                    std::size_t count);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace amperebleed::hwmon

@@ -1,0 +1,123 @@
+#include "amperebleed/ml/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "amperebleed/ml/kfold.hpp"
+#include "amperebleed/ml/metrics.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("KnnClassifier: k must be >= 1");
+}
+
+void KnnClassifier::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("KnnClassifier: empty data");
+  train_ = data;
+}
+
+int KnnClassifier::predict(std::span<const double> features) const {
+  if (train_.empty()) throw std::logic_error("KnnClassifier: not fitted");
+  // Collect the k smallest distances.
+  std::vector<std::pair<double, int>> neighbours;  // (dist, label)
+  neighbours.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    neighbours.emplace_back(squared_distance(features, train_.row(i)),
+                            train_.label(i));
+  }
+  const std::size_t k = std::min(k_, neighbours.size());
+  std::partial_sort(neighbours.begin(),
+                    neighbours.begin() + static_cast<std::ptrdiff_t>(k),
+                    neighbours.end());
+  std::vector<std::size_t> votes(
+      static_cast<std::size_t>(train_.class_count()), 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<std::size_t>(neighbours[i].second)];
+  }
+  // Majority vote; ties go to the class of the nearest member among tied.
+  std::size_t best_votes = 0;
+  for (std::size_t v : votes) best_votes = std::max(best_votes, v);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (votes[static_cast<std::size_t>(neighbours[i].second)] == best_votes) {
+      return neighbours[i].second;
+    }
+  }
+  return neighbours.front().second;
+}
+
+void CentroidClassifier::fit(const Dataset& data) {
+  if (data.empty()) {
+    throw std::invalid_argument("CentroidClassifier: empty data");
+  }
+  const auto classes = static_cast<std::size_t>(data.class_count());
+  centroids_.assign(classes, std::vector<double>(data.feature_count(), 0.0));
+  std::vector<std::size_t> counts(classes, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto label = static_cast<std::size_t>(data.label(i));
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      centroids_[label][f] += row[f];
+    }
+    ++counts[label];
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (counts[c] == 0) continue;
+    for (double& v : centroids_[c]) v /= static_cast<double>(counts[c]);
+  }
+}
+
+int CentroidClassifier::predict(std::span<const double> features) const {
+  if (centroids_.empty()) {
+    throw std::logic_error("CentroidClassifier: not fitted");
+  }
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = squared_distance(features, centroids_[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+ClassifierCvResult cross_validate_classifier(
+    const Dataset& data,
+    const std::function<std::unique_ptr<Classifier>(std::uint64_t)>& factory,
+    std::size_t folds, std::uint64_t seed) {
+  const auto fold_list = stratified_kfold(data.labels(), folds, seed);
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  for (std::size_t f = 0; f < fold_list.size(); ++f) {
+    auto model = factory(util::hash_combine(seed, f));
+    model->fit(data.subset(fold_list[f].train_indices));
+    for (std::size_t i : fold_list[f].test_indices) {
+      truth.push_back(data.label(i));
+      predicted.push_back(model->predict(data.row(i)));
+    }
+  }
+  ClassifierCvResult result;
+  result.evaluated = truth.size();
+  result.top1_accuracy = accuracy(truth, predicted);
+  return result;
+}
+
+}  // namespace amperebleed::ml

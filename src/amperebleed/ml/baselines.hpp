@@ -1,0 +1,76 @@
+#pragma once
+// Baseline classifiers and a classifier-agnostic cross-validation harness.
+// The paper chose a random forest for its fingerprinting phase; the
+// classifier ablation quantifies how much of Table III is the channel and
+// how much is the model by swapping in k-NN and nearest-centroid.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+
+namespace amperebleed::ml {
+
+/// Minimal classifier interface for the generic CV harness.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void fit(const Dataset& data) = 0;
+  [[nodiscard]] virtual int predict(std::span<const double> features) const = 0;
+};
+
+/// Brute-force k-nearest-neighbours (Euclidean), majority vote with
+/// nearest-neighbour tie break.
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 5);
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> features) const override;
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  Dataset train_;
+};
+
+/// Nearest class centroid (Euclidean).
+class CentroidClassifier final : public Classifier {
+ public:
+  void fit(const Dataset& data) override;
+  [[nodiscard]] int predict(std::span<const double> features) const override;
+  [[nodiscard]] std::size_t class_count() const { return centroids_.size(); }
+
+ private:
+  std::vector<std::vector<double>> centroids_;  // one per class
+};
+
+/// RandomForest adapted to the Classifier interface.
+class ForestClassifier final : public Classifier {
+ public:
+  explicit ForestClassifier(ForestConfig config = {}) : forest_(config) {}
+  void fit(const Dataset& data) override { forest_.fit(data); }
+  [[nodiscard]] int predict(std::span<const double> features) const override {
+    return forest_.predict(features);
+  }
+
+ private:
+  RandomForest forest_;
+};
+
+struct ClassifierCvResult {
+  double top1_accuracy = 0.0;
+  std::size_t evaluated = 0;
+};
+
+/// Stratified k-fold CV for any classifier; `factory(seed)` builds a fresh
+/// instance per fold (seed varies per fold for stochastic learners).
+ClassifierCvResult cross_validate_classifier(
+    const Dataset& data,
+    const std::function<std::unique_ptr<Classifier>(std::uint64_t)>& factory,
+    std::size_t folds, std::uint64_t seed);
+
+}  // namespace amperebleed::ml

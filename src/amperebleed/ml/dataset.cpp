@@ -1,0 +1,50 @@
+#include "amperebleed/ml/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amperebleed::ml {
+
+void Dataset::add(std::span<const double> features, int label) {
+  if (feature_count_ == 0 && labels_.empty()) {
+    feature_count_ = features.size();
+  }
+  if (features.size() != feature_count_) {
+    throw std::invalid_argument("Dataset::add: feature width mismatch");
+  }
+  if (label < 0) {
+    throw std::invalid_argument("Dataset::add: labels must be >= 0");
+  }
+  data_.insert(data_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  if (i >= labels_.size()) throw std::out_of_range("Dataset::row");
+  return {data_.data() + i * feature_count_, feature_count_};
+}
+
+int Dataset::class_count() const {
+  int max_label = -1;
+  for (int l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+Dataset Dataset::truncated_features(std::size_t prefix_features) const {
+  if (prefix_features > feature_count_) {
+    throw std::invalid_argument("truncated_features: prefix too wide");
+  }
+  Dataset out(prefix_features);
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.add(row(i).subspan(0, prefix_features), labels_[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_count_);
+  for (std::size_t i : indices) out.add(row(i), label(i));
+  return out;
+}
+
+}  // namespace amperebleed::ml

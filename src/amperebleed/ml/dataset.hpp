@@ -1,0 +1,45 @@
+#pragma once
+// Tabular dataset for the fingerprinting classifier: one row per side-channel
+// trace, one column per (resampled) time step or derived feature.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amperebleed::ml {
+
+/// Dense row-major feature matrix with integer class labels.
+/// Invariant: every row has the same width; labels.size() == rows.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t feature_count) : feature_count_(feature_count) {}
+
+  /// Append one sample. Throws std::invalid_argument on width mismatch.
+  void add(std::span<const double> features, int label);
+
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] std::size_t feature_count() const { return feature_count_; }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const;
+  [[nodiscard]] int label(std::size_t i) const { return labels_.at(i); }
+  [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
+
+  /// Number of distinct classes = 1 + max(label). Labels must be >= 0.
+  [[nodiscard]] int class_count() const;
+
+  /// Dataset restricted to the first `prefix_features` columns (used to
+  /// evaluate shorter trace durations without re-collecting traces).
+  [[nodiscard]] Dataset truncated_features(std::size_t prefix_features) const;
+
+  /// Subset of rows by index (for CV folds).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::size_t feature_count_ = 0;
+  std::vector<double> data_;  // rows * feature_count_
+  std::vector<int> labels_;
+};
+
+}  // namespace amperebleed::ml

@@ -1,0 +1,205 @@
+#include "amperebleed/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace amperebleed::ml {
+
+namespace {
+
+// Gini impurity from class counts.
+double gini(std::span<const std::size_t> counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::size_t> sample_indices,
+                       int class_count, util::Rng& rng) {
+  if (sample_indices.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: no samples");
+  }
+  if (class_count <= 0) {
+    throw std::invalid_argument("DecisionTree::fit: class_count must be > 0");
+  }
+  nodes_.clear();
+  leaf_dists_.clear();
+  class_count_ = class_count;
+  std::vector<std::size_t> indices(sample_indices.begin(),
+                                   sample_indices.end());
+  build(data, indices, 0, indices.size(), 0, rng);
+}
+
+std::int32_t DecisionTree::make_leaf(const Dataset& data,
+                                     std::span<const std::size_t> indices,
+                                     int depth) {
+  Node leaf;
+  leaf.node_depth = depth;
+  leaf.dist_offset = static_cast<std::int32_t>(leaf_dists_.size());
+  leaf_dists_.resize(leaf_dists_.size() + static_cast<std::size_t>(class_count_),
+                     0.0);
+  for (std::size_t i : indices) {
+    leaf_dists_[static_cast<std::size_t>(leaf.dist_offset) +
+                static_cast<std::size_t>(data.label(i))] += 1.0;
+  }
+  const double total = static_cast<double>(indices.size());
+  for (int c = 0; c < class_count_; ++c) {
+    leaf_dists_[static_cast<std::size_t>(leaf.dist_offset) +
+                static_cast<std::size_t>(c)] /= total;
+  }
+  nodes_.push_back(leaf);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data,
+                                 std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, int depth,
+                                 util::Rng& rng) {
+  const std::size_t n = end - begin;
+  const std::span<const std::size_t> here{indices.data() + begin, n};
+
+  // Stop: depth limit, too few samples, or pure node.
+  bool pure = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (data.label(here[i]) != data.label(here[0])) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= config_.max_depth || n < config_.min_samples_split) {
+    return make_leaf(data, here, depth);
+  }
+
+  // Feature subsample.
+  const std::size_t total_features = data.feature_count();
+  std::size_t k = config_.max_features;
+  if (k == 0) {
+    k = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(total_features))));
+    k = std::max<std::size_t>(k, 1);
+  }
+  k = std::min(k, total_features);
+  std::vector<std::size_t> features(total_features);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  // Partial Fisher-Yates: first k entries are a uniform sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_below(total_features - i));
+    std::swap(features[i], features[j]);
+  }
+
+  // Find the best (feature, threshold) by exhaustive sorted scan.
+  struct Best {
+    double impurity = std::numeric_limits<double>::infinity();
+    std::size_t feature = 0;
+    double threshold = 0.0;
+  } best;
+
+  std::vector<std::pair<double, int>> column(n);  // (value, label)
+  std::vector<std::size_t> left_counts(static_cast<std::size_t>(class_count_));
+  std::vector<std::size_t> right_counts(static_cast<std::size_t>(class_count_));
+
+  for (std::size_t fi = 0; fi < k; ++fi) {
+    const std::size_t f = features[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      column[i] = {data.row(here[i])[f], data.label(here[i])};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;  // constant
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::fill(right_counts.begin(), right_counts.end(), 0);
+    for (const auto& [value, label] : column) {
+      ++right_counts[static_cast<std::size_t>(label)];
+    }
+    std::size_t n_left = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto label = static_cast<std::size_t>(column[i].second);
+      ++left_counts[label];
+      --right_counts[label];
+      ++n_left;
+      if (column[i].first == column[i + 1].first) continue;  // not a boundary
+      const std::size_t n_right = n - n_left;
+      const double impurity =
+          (static_cast<double>(n_left) * gini(left_counts, n_left) +
+           static_cast<double>(n_right) * gini(right_counts, n_right)) /
+          static_cast<double>(n);
+      if (impurity < best.impurity) {
+        best.impurity = impurity;
+        best.feature = f;
+        best.threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (!std::isfinite(best.impurity)) {
+    // Every sampled feature was constant on this node.
+    return make_leaf(data, here, depth);
+  }
+
+  // Partition indices in place around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t i) { return data.row(i)[best.feature] <= best.threshold; });
+  const auto mid =
+      static_cast<std::size_t>(std::distance(indices.begin(), mid_it));
+  if (mid == begin || mid == end) {
+    return make_leaf(data, here, depth);  // degenerate split
+  }
+
+  // Reserve our slot before recursing so child indices stay valid.
+  Node node;
+  node.feature = static_cast<std::int32_t>(best.feature);
+  node.threshold = best.threshold;
+  node.node_depth = depth;
+  nodes_.push_back(node);
+  const auto my_index = static_cast<std::int32_t>(nodes_.size() - 1);
+
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1, rng);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(my_index)].left = left;
+  nodes_[static_cast<std::size_t>(my_index)].right = right;
+  return my_index;
+}
+
+std::size_t DecisionTree::leaf_for(std::span<const double> features) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  std::size_t i = 0;
+  while (nodes_[i].dist_offset < 0) {
+    const Node& node = nodes_[i];
+    const double v = features[static_cast<std::size_t>(node.feature)];
+    i = static_cast<std::size_t>(v <= node.threshold ? node.left : node.right);
+  }
+  return i;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<int>(std::distance(
+      proba.begin(), std::max_element(proba.begin(), proba.end())));
+}
+
+std::span<const double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  const Node& leaf = nodes_[leaf_for(features)];
+  return {leaf_dists_.data() + leaf.dist_offset,
+          static_cast<std::size_t>(class_count_)};
+}
+
+int DecisionTree::depth() const {
+  int d = 0;
+  for (const Node& n : nodes_) d = std::max(d, n.node_depth);
+  return d;
+}
+
+}  // namespace amperebleed::ml

@@ -1,0 +1,72 @@
+#pragma once
+// CART decision tree with Gini impurity — the base learner of the paper's
+// random forest (100 trees, max depth 32, Gini splitting, bootstrap).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+
+struct TreeConfig {
+  int max_depth = 32;
+  std::size_t min_samples_split = 2;
+  /// Number of candidate features examined per split; 0 means
+  /// round(sqrt(feature_count)) — the random-forest default.
+  std::size_t max_features = 0;
+};
+
+/// A fitted classification tree. Nodes are stored in a flat array; leaves
+/// keep the full class distribution so the forest can produce calibrated
+/// top-k probabilities.
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
+
+  /// Fit on `data` restricted to `sample_indices` (with repetitions allowed —
+  /// this is how the forest passes bootstrap samples). `class_count` fixes
+  /// the width of leaf distributions; `rng` drives feature subsampling.
+  void fit(const Dataset& data, std::span<const std::size_t> sample_indices,
+           int class_count, util::Rng& rng);
+
+  /// Most probable class for a feature vector. Precondition: fitted.
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  /// Class probability distribution at the leaf reached by `features`.
+  [[nodiscard]] std::span<const double> predict_proba(
+      std::span<const double> features) const;
+
+  [[nodiscard]] bool fitted() const { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] int depth() const;
+  [[nodiscard]] const TreeConfig& config() const { return config_; }
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold valid, children set.
+    // Leaf: children == -1, `dist_offset` points into leaf_dists_.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t dist_offset = -1;
+    std::int32_t node_depth = 0;
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
+                     std::size_t begin, std::size_t end, int depth,
+                     util::Rng& rng);
+  std::int32_t make_leaf(const Dataset& data,
+                         std::span<const std::size_t> indices, int depth);
+  [[nodiscard]] std::size_t leaf_for(std::span<const double> features) const;
+
+  TreeConfig config_;
+  int class_count_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<double> leaf_dists_;  // class_count_ doubles per leaf
+};
+
+}  // namespace amperebleed::ml

@@ -1,0 +1,77 @@
+#include "amperebleed/ml/kfold.hpp"
+
+#include <stdexcept>
+
+#include "amperebleed/ml/metrics.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+
+std::vector<Fold> stratified_kfold(const std::vector<int>& labels,
+                                   std::size_t k, std::uint64_t seed) {
+  if (k < 2) throw std::invalid_argument("stratified_kfold: k must be >= 2");
+  if (k > labels.size()) {
+    throw std::invalid_argument("stratified_kfold: k exceeds sample count");
+  }
+
+  // Group sample indices by class.
+  int max_label = 0;
+  for (int l : labels) max_label = std::max(max_label, l);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  util::Rng rng(seed);
+  // Deal each class round-robin into folds (after shuffling within class).
+  std::vector<std::vector<std::size_t>> fold_members(k);
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      fold_members[i % k].push_back(members[i]);
+    }
+  }
+
+  std::vector<Fold> folds(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    folds[f].test_indices = fold_members[f];
+    for (std::size_t g = 0; g < k; ++g) {
+      if (g == f) continue;
+      folds[f].train_indices.insert(folds[f].train_indices.end(),
+                                    fold_members[g].begin(),
+                                    fold_members[g].end());
+    }
+  }
+  return folds;
+}
+
+CrossValResult cross_validate(const Dataset& data, const ForestConfig& config,
+                              std::size_t k, std::uint64_t seed) {
+  const auto folds = stratified_kfold(data.labels(), k, seed);
+  CrossValResult result;
+  std::vector<int> truth;
+  std::vector<int> top1;
+  std::vector<std::vector<int>> top5;
+
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    const Dataset train = data.subset(folds[f].train_indices);
+    ForestConfig fold_config = config;
+    fold_config.seed = util::hash_combine(config.seed, f);
+    RandomForest forest(fold_config);
+    forest.fit(train);
+    for (std::size_t i : folds[f].test_indices) {
+      truth.push_back(data.label(i));
+      const auto candidates = forest.predict_top_k(data.row(i), 5);
+      top1.push_back(candidates.empty() ? -1 : candidates.front());
+      top5.push_back(candidates);
+    }
+  }
+
+  result.evaluated = truth.size();
+  result.top1_accuracy = accuracy(truth, top1);
+  result.top5_accuracy = top_k_accuracy(truth, top5);
+  return result;
+}
+
+}  // namespace amperebleed::ml

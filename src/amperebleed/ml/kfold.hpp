@@ -1,0 +1,36 @@
+#pragma once
+// Stratified k-fold cross-validation — the paper validates its fingerprinting
+// classifier with 10-fold CV (9 folds train, 1 fold test).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+
+namespace amperebleed::ml {
+
+struct Fold {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Stratified folds: each class's samples are shuffled and dealt round-robin
+/// into k folds so every fold sees every class (required for 39-way top-5
+/// evaluation). Throws if k < 2 or k > number of samples.
+std::vector<Fold> stratified_kfold(const std::vector<int>& labels,
+                                   std::size_t k, std::uint64_t seed);
+
+struct CrossValResult {
+  double top1_accuracy = 0.0;
+  double top5_accuracy = 0.0;
+  std::size_t evaluated = 0;
+};
+
+/// Full CV loop with a fresh forest per fold (fold index perturbs the forest
+/// seed so trees differ across folds, like re-running training).
+CrossValResult cross_validate(const Dataset& data, const ForestConfig& config,
+                              std::size_t k, std::uint64_t seed);
+
+}  // namespace amperebleed::ml

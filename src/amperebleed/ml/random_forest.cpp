@@ -1,0 +1,69 @@
+#include "amperebleed/ml/random_forest.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace amperebleed::ml {
+
+void RandomForest::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("RandomForest::fit: empty data");
+  if (config_.n_trees == 0) {
+    throw std::invalid_argument("RandomForest::fit: n_trees must be > 0");
+  }
+  class_count_ = data.class_count();
+  trees_.clear();
+  trees_.reserve(config_.n_trees);
+
+  util::Rng master(config_.seed);
+  const std::size_t n = data.size();
+  std::vector<std::size_t> indices(n);
+
+  for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    util::Rng tree_rng = master.fork(t);
+    if (config_.bootstrap) {
+      for (auto& idx : indices) {
+        idx = static_cast<std::size_t>(tree_rng.uniform_below(n));
+      }
+    } else {
+      std::iota(indices.begin(), indices.end(), std::size_t{0});
+    }
+    DecisionTree tree(config_.tree);
+    tree.fit(data, indices, class_count_, tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> acc(static_cast<std::size_t>(class_count_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (double& v : acc) v *= inv;
+  return acc;
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  const auto proba = predict_proba(features);
+  return static_cast<int>(std::distance(
+      proba.begin(), std::max_element(proba.begin(), proba.end())));
+}
+
+std::vector<int> RandomForest::predict_top_k(std::span<const double> features,
+                                             std::size_t k) const {
+  const auto proba = predict_proba(features);
+  std::vector<int> order(proba.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return proba[static_cast<std::size_t>(a)] >
+           proba[static_cast<std::size_t>(b)];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace amperebleed::ml

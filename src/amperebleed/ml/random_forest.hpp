@@ -1,0 +1,50 @@
+#pragma once
+// Random forest matching the paper's fingerprinting classifier: 100 trees,
+// max depth 32, Gini impurity, bootstrap sampling with replacement.
+
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/decision_tree.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+
+struct ForestConfig {
+  std::size_t n_trees = 100;
+  TreeConfig tree{};
+  bool bootstrap = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  /// Fit on the full dataset. Throws on an empty dataset.
+  void fit(const Dataset& data);
+
+  /// Most probable class (averaged leaf distributions).
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  /// Averaged class distribution across trees.
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> features) const;
+
+  /// The k most probable classes, most probable first (ties broken by
+  /// smaller class id, matching the deterministic evaluation in benches).
+  [[nodiscard]] std::vector<int> predict_top_k(std::span<const double> features,
+                                               std::size_t k) const;
+
+  [[nodiscard]] bool fitted() const { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  [[nodiscard]] const ForestConfig& config() const { return config_; }
+  [[nodiscard]] int class_count() const { return class_count_; }
+
+ private:
+  ForestConfig config_;
+  int class_count_ = 0;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace amperebleed::ml

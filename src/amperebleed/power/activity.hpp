@@ -1,0 +1,33 @@
+#pragma once
+// Workload activity representation: every victim workload (power virus, DPU
+// inference, RSA circuit) compiles to a per-rail current-draw schedule in
+// amps. The SoC sums schedules from all deployed workloads plus the board's
+// static baseline.
+
+#include <array>
+
+#include "amperebleed/power/rails.hpp"
+#include "amperebleed/sim/signal.hpp"
+
+namespace amperebleed::power {
+
+/// Per-rail current draw (amps) as piecewise-constant functions of time.
+struct RailActivity {
+  std::array<sim::PiecewiseConstant, kRailCount> current;
+
+  sim::PiecewiseConstant& on(Rail r) { return current[rail_index(r)]; }
+  [[nodiscard]] const sim::PiecewiseConstant& on(Rail r) const {
+    return current[rail_index(r)];
+  }
+
+  /// Pointwise sum of two activities.
+  friend RailActivity operator+(const RailActivity& a, const RailActivity& b) {
+    RailActivity out;
+    for (std::size_t i = 0; i < kRailCount; ++i) {
+      out.current[i] = a.current[i] + b.current[i];
+    }
+    return out;
+  }
+};
+
+}  // namespace amperebleed::power

@@ -1,0 +1,39 @@
+#include "amperebleed/power/noise_model.hpp"
+
+#include <cmath>
+
+namespace amperebleed::power {
+
+namespace {
+
+// OU diffusion sigma that yields the requested stationary standard
+// deviation at the given mean-reversion rate: sigma_st = sigma/sqrt(2 theta).
+double diffusion_for_stationary(double stationary_sigma, double theta) {
+  return stationary_sigma * std::sqrt(2.0 * theta);
+}
+
+}  // namespace
+
+RailNoiseProcess::RailNoiseProcess(const RailNoiseConfig& config,
+                                   std::uint64_t seed)
+    : config_(config),
+      current_drift_(0.0, config.current_drift_rate_hz,
+                     diffusion_for_stationary(config.current_drift_fraction,
+                                              config.current_drift_rate_hz),
+                     util::hash_combine(seed, 0xc0ffee)),
+      voltage_drift_(0.0, config.voltage_drift_rate_hz,
+                     diffusion_for_stationary(config.voltage_drift_volts,
+                                              config.voltage_drift_rate_hz),
+                     util::hash_combine(seed, 0x70f7)),
+      white_(util::hash_combine(seed, 0xfade)) {}
+
+RailNoiseProcess::Sample RailNoiseProcess::step(sim::TimeNs dt) {
+  Sample s;
+  s.current_gain = 1.0 + current_drift_.step(dt);
+  s.current_offset_amps = white_.gaussian(0.0, config_.current_white_amps);
+  s.voltage_offset_volts = voltage_drift_.step(dt) +
+                           white_.gaussian(0.0, config_.voltage_white_volts);
+  return s;
+}
+
+}  // namespace amperebleed::power

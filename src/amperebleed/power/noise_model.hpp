@@ -1,0 +1,65 @@
+#pragma once
+// Board-level noise: what separates the ideal schedules of the workload
+// models from what the INA226 ADCs actually digitize. Two ingredients per
+// rail:
+//   * white measurement noise on each ADC sub-conversion,
+//   * slow multiplicative drift of the rail current (thermal/leakage wander,
+//     proportional to the load) and additive drift of the regulator voltage.
+// The drift terms are Ornstein-Uhlenbeck processes so their statistics are
+// independent of the sensor's conversion cadence.
+
+#include <cstdint>
+
+#include "amperebleed/sim/noise.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::power {
+
+struct RailNoiseConfig {
+  /// White noise (amps, 1 sigma) added to every shunt-ADC sub-conversion.
+  double current_white_amps = 0.002;
+  /// Stationary sigma of the multiplicative current drift (fraction of the
+  /// instantaneous load): I_obs = I * (1 + drift) + white.
+  double current_drift_fraction = 0.002;
+  /// Mean-reversion rate of the current drift (1/s).
+  double current_drift_rate_hz = 0.1;
+  /// Deterministic self-heating nonlinearity: leakage grows with load, so
+  /// the observed rail current bends mildly upward,
+  /// I_obs = I * (1 + alpha * I). This is what keeps Fig 2's current/power
+  /// Pearson at ~0.999 instead of exactly 1.
+  double thermal_nonlinearity_per_amp = 0.004;
+  /// White noise (volts, 1 sigma) on every bus-voltage sub-conversion; also
+  /// the dither that lets multi-sample averages beat the 1.25 mV LSB.
+  double voltage_white_volts = 0.00060;
+  /// Stationary sigma (volts) of the regulator setpoint wander.
+  double voltage_drift_volts = 0.00010;
+  /// Mean-reversion rate of the voltage drift (1/s).
+  double voltage_drift_rate_hz = 0.05;
+};
+
+/// Stateful per-rail noise process. One instance per sensor; `step(dt)`
+/// advances the drift processes and returns the corruption to apply to the
+/// next sub-conversion.
+class RailNoiseProcess {
+ public:
+  RailNoiseProcess(const RailNoiseConfig& config, std::uint64_t seed);
+
+  struct Sample {
+    double current_gain = 1.0;          // multiplies true rail current
+    double current_offset_amps = 0.0;   // added after the gain
+    double voltage_offset_volts = 0.0;  // added to the true bus voltage
+  };
+
+  /// Advance by dt and sample. dt == 0 re-samples white noise only.
+  Sample step(sim::TimeNs dt);
+
+  [[nodiscard]] const RailNoiseConfig& config() const { return config_; }
+
+ private:
+  RailNoiseConfig config_;
+  sim::OrnsteinUhlenbeck current_drift_;
+  sim::OrnsteinUhlenbeck voltage_drift_;
+  util::Rng white_;
+};
+
+}  // namespace amperebleed::power

@@ -1,0 +1,63 @@
+#pragma once
+// Equation 1 of the paper: V_drop = I*R + L*dI/dt — the PDN voltage droop
+// that crafted sensing circuits (ROs, TDCs) historically observed, and the
+// stabilizer that modern boards add to clamp the FPGA supply into a narrow
+// band (0.825-0.876 V on Zynq UltraScale+). The stabilizer is exactly what
+// breaks voltage-based attacks and what AmpereBleed's current channel
+// sidesteps.
+
+#include "amperebleed/sim/signal.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::power {
+
+struct PdnConfig {
+  double v_nominal = 0.850;  // regulator setpoint, volts
+  double v_min = 0.825;      // stabilized band (Table I, Zynq UltraScale+)
+  double v_max = 0.876;
+  /// Effective steady-state PDN resistance (ohms) before stabilization;
+  /// determines the raw I*R droop a crafted circuit would have seen.
+  double r_effective_ohms = 0.015;
+  /// Effective PDN inductance (henries) for the L*dI/dt transient term.
+  double l_effective_henries = 0.5e-9;
+  /// Fraction of the steady-state droop the on-board regulator cancels
+  /// (0 = legacy unstabilized PDN, 1 = ideal stabilizer). ZCU102-class
+  /// boards are close to ideal; the residual droop is what is left for a
+  /// voltage channel to observe. Default calibrated so the Fig 2 voltage
+  /// slope is ~0.006 LSB (7.5 uV) per 40 mA activity level.
+  double stabilizer_gain = 0.9875;
+  /// Reference current at which the droop is zero (the regulator trims its
+  /// setpoint at the board's idle draw).
+  double idle_current_amps = 0.0;
+  /// Duration for which an L*dI/dt transient spike is visible after a load
+  /// step, before the regulator recovers.
+  sim::TimeNs transient_width = sim::microseconds(2);
+};
+
+/// Steady-state + transient PDN voltage model with stabilizer clamping.
+class PdnModel {
+ public:
+  explicit PdnModel(PdnConfig config = {});
+
+  /// Steady-state stabilized voltage at a given rail current (Eq 1, I*R term
+  /// scaled by the residual stabilizer error, clamped into the band).
+  [[nodiscard]] double steady_voltage(double current_amps) const;
+
+  /// Raw (unstabilized) droop I*R + L*dI/dt — what a legacy PDN exposes.
+  [[nodiscard]] double raw_droop(double current_amps,
+                                 double di_dt_amps_per_s) const;
+
+  /// Compile a rail current schedule into the stabilized voltage the bus-
+  /// voltage ADC (and any on-fabric sensor) sees. Each load step contributes
+  /// a `transient_width`-long L*dI/dt spike followed by the new steady level.
+  [[nodiscard]] sim::PiecewiseConstant voltage_signal(
+      const sim::PiecewiseConstant& rail_current) const;
+
+  [[nodiscard]] const PdnConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double clamp_to_band(double v) const;
+  PdnConfig config_;
+};
+
+}  // namespace amperebleed::power

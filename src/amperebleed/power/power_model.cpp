@@ -1,0 +1,30 @@
+#include "amperebleed/power/power_model.hpp"
+
+#include <stdexcept>
+
+namespace amperebleed::power {
+
+double dynamic_power_watts(double v_dd, const ComponentCurrents& currents) {
+  if (v_dd < 0.0) throw std::invalid_argument("dynamic_power: v_dd < 0");
+  return v_dd * currents.total();
+}
+
+double switching_current_amps(double toggling_elements,
+                              double current_per_element_per_mhz,
+                              double clock_mhz) {
+  if (toggling_elements < 0.0 || current_per_element_per_mhz < 0.0 ||
+      clock_mhz < 0.0) {
+    throw std::invalid_argument("switching_current: negative parameter");
+  }
+  return toggling_elements * current_per_element_per_mhz * clock_mhz;
+}
+
+double leakage_current_amps(double deployed_elements,
+                            double leakage_per_element_amps) {
+  if (deployed_elements < 0.0 || leakage_per_element_amps < 0.0) {
+    throw std::invalid_argument("leakage_current: negative parameter");
+  }
+  return deployed_elements * leakage_per_element_amps;
+}
+
+}  // namespace amperebleed::power

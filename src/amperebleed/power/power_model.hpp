@@ -1,0 +1,56 @@
+#pragma once
+// Equation 2 of the paper: P_dyn = V_dd * sum I(LE, RAM, DSP, Clocks, ...).
+// Circuits report per-component currents; this module aggregates them into
+// the rail current the INA226 shunt actually sees, and computes the dynamic
+// power that even a perfectly stabilized voltage cannot hide.
+
+#include "amperebleed/power/rails.hpp"
+
+namespace amperebleed::power {
+
+/// Current drawn by each class of FPGA computing element, in amps (Eq 2).
+struct ComponentCurrents {
+  double logic_elements = 0.0;  // LUT/FF switching
+  double block_ram = 0.0;       // BRAM access
+  double dsp = 0.0;             // DSP slices
+  double clocks = 0.0;          // clock tree
+  double other = 0.0;           // routing, IO, misc.
+
+  [[nodiscard]] double total() const {
+    return logic_elements + block_ram + dsp + clocks + other;
+  }
+
+  friend ComponentCurrents operator+(const ComponentCurrents& a,
+                                     const ComponentCurrents& b) {
+    return ComponentCurrents{
+        a.logic_elements + b.logic_elements, a.block_ram + b.block_ram,
+        a.dsp + b.dsp, a.clocks + b.clocks, a.other + b.other};
+  }
+
+  friend ComponentCurrents operator*(double k, const ComponentCurrents& c) {
+    return ComponentCurrents{k * c.logic_elements, k * c.block_ram, k * c.dsp,
+                             k * c.clocks, k * c.other};
+  }
+};
+
+/// Dynamic power from supply voltage and aggregate component current (Eq 2).
+double dynamic_power_watts(double v_dd, const ComponentCurrents& currents);
+
+/// First-order CMOS dynamic current estimate for a switching circuit:
+/// I = alpha * C_eff * V_dd * f / V_dd ... folded into an effective
+/// current-per-toggling-element coefficient. Used by circuit models to turn
+/// utilization numbers into amps.
+///
+/// @param toggling_elements  number of elements switching each cycle
+/// @param current_per_element_per_mhz  amps drawn per element per MHz
+/// @param clock_mhz  clock frequency
+double switching_current_amps(double toggling_elements,
+                              double current_per_element_per_mhz,
+                              double clock_mhz);
+
+/// Static (leakage) current for deployed-but-idle logic — the reason the
+/// Fig 2 current axis "does not start from 0".
+double leakage_current_amps(double deployed_elements,
+                            double leakage_per_element_amps);
+
+}  // namespace amperebleed::power

@@ -1,0 +1,55 @@
+#pragma once
+// Monitored power rails of the ZCU102-class SoC. Each rail corresponds to
+// one of the "sensitive" INA226 monitoring points of Table II.
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace amperebleed::power {
+
+/// The four monitored supply domains (Table II).
+enum class Rail : std::size_t {
+  FpdCpu = 0,     // ina226_u76: full-power domain of the ARM cores
+  LpdCpu = 1,     // ina226_u77: low-power domain of the ARM cores
+  FpgaLogic = 2,  // ina226_u79: FPGA logic & processing elements
+  Ddr = 3,        // ina226_u93: DDR memory
+};
+
+inline constexpr std::size_t kRailCount = 4;
+
+inline constexpr std::array<Rail, kRailCount> kAllRails{
+    Rail::FpdCpu, Rail::LpdCpu, Rail::FpgaLogic, Rail::Ddr};
+
+constexpr std::string_view rail_name(Rail r) {
+  switch (r) {
+    case Rail::FpdCpu:
+      return "fpd_cpu";
+    case Rail::LpdCpu:
+      return "lpd_cpu";
+    case Rail::FpgaLogic:
+      return "fpga_logic";
+    case Rail::Ddr:
+      return "ddr";
+  }
+  return "unknown";
+}
+
+/// INA226 designator on the ZCU102 (Table II).
+constexpr std::string_view rail_sensor_designator(Rail r) {
+  switch (r) {
+    case Rail::FpdCpu:
+      return "ina226_u76";
+    case Rail::LpdCpu:
+      return "ina226_u77";
+    case Rail::FpgaLogic:
+      return "ina226_u79";
+    case Rail::Ddr:
+      return "ina226_u93";
+  }
+  return "unknown";
+}
+
+constexpr std::size_t rail_index(Rail r) { return static_cast<std::size_t>(r); }
+
+}  // namespace amperebleed::power

@@ -1,0 +1,41 @@
+#pragma once
+// First-order thermal model of the SoC die: junction temperature follows
+// dissipated power through a single thermal RC (R_th to ambient, time
+// constant tau). This backs the SYSMON temperature channel — the companion
+// side channel the paper's related work (ThermalScope/ThermalBleed) exploits
+// — and lets the repo quantify how much slower temperature is than current.
+
+#include "amperebleed/sim/signal.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::power {
+
+struct ThermalConfig {
+  double ambient_celsius = 35.0;  // board ambient inside an enclosure
+  double r_th_c_per_w = 2.2;      // junction-to-ambient with the stock sink
+  double tau_seconds = 8.0;       // thermal time constant
+  /// Discretization step for the exponential response (the output is a
+  /// piecewise-constant approximation).
+  sim::TimeNs step = sim::milliseconds(5);
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalConfig config = {});
+
+  /// Equilibrium junction temperature at constant dissipation.
+  [[nodiscard]] double steady_temperature(double watts) const;
+
+  /// Junction-temperature trace for a power trace over [0, end), starting
+  /// from thermal equilibrium with the power at t=0. Exact exponential
+  /// update per step, so accuracy does not depend on input segmentation.
+  [[nodiscard]] sim::PiecewiseConstant temperature_signal(
+      const sim::PiecewiseConstant& power_watts, sim::TimeNs end) const;
+
+  [[nodiscard]] const ThermalConfig& config() const { return config_; }
+
+ private:
+  ThermalConfig config_;
+};
+
+}  // namespace amperebleed::power

@@ -1,0 +1,71 @@
+#include "amperebleed/sensors/board.hpp"
+
+#include <stdexcept>
+
+namespace amperebleed::sensors {
+
+std::string_view fpga_family_name(FpgaFamily f) {
+  switch (f) {
+    case FpgaFamily::ZynqUltraScalePlus:
+      return "Zynq UltraScale+";
+    case FpgaFamily::Versal:
+      return "Versal";
+  }
+  return "unknown";
+}
+
+const std::vector<BoardSpec>& board_catalog() {
+  static const std::vector<BoardSpec> catalog = {
+      {"ZCU102", FpgaFamily::ZynqUltraScalePlus, 0.825, 0.876, "Cortex-A53", 4,
+       18, 3'234},
+      {"ZCU111", FpgaFamily::ZynqUltraScalePlus, 0.825, 0.876, "Cortex-A53", 4,
+       14, 14'995},
+      {"ZCU216", FpgaFamily::ZynqUltraScalePlus, 0.825, 0.876, "Cortex-A53", 4,
+       14, 16'995},
+      {"ZCU1285", FpgaFamily::ZynqUltraScalePlus, 0.825, 0.876, "Cortex-A53",
+       8, 21, 32'394},
+      {"VEK280", FpgaFamily::Versal, 0.775, 0.825, "Cortex-A72", 12, 20,
+       6'995},
+      {"VCK190", FpgaFamily::Versal, 0.775, 0.825, "Cortex-A72", 8, 17,
+       13'195},
+      {"VHK158", FpgaFamily::Versal, 0.775, 0.825, "Cortex-A72", 32, 22,
+       14'995},
+      {"VPK180", FpgaFamily::Versal, 0.775, 0.825, "Cortex-A72", 12, 19,
+       17'995},
+  };
+  return catalog;
+}
+
+const BoardSpec& board_spec(std::string_view name) {
+  for (const auto& b : board_catalog()) {
+    if (b.name == name) return b;
+  }
+  throw std::invalid_argument("board_spec: unknown board '" +
+                              std::string(name) + "'");
+}
+
+const std::array<SensitiveSensor, power::kRailCount>&
+zcu102_sensitive_sensors() {
+  static const std::array<SensitiveSensor, power::kRailCount> sensors = {{
+      {"ina226_u76", power::Rail::FpdCpu,
+       "current, voltage, and power for full-power domain of the ARM "
+       "processor cores",
+       0.005},
+      {"ina226_u77", power::Rail::LpdCpu,
+       "current, voltage, and power for low-power domain of the ARM "
+       "processor cores",
+       0.005},
+      {"ina226_u79", power::Rail::FpgaLogic,
+       "current, voltage, and power for FPGA's logic and processing elements",
+       0.005},
+      {"ina226_u93", power::Rail::Ddr,
+       "current, voltage, and power for DDR memory", 0.005},
+  }};
+  return sensors;
+}
+
+const SensitiveSensor& zcu102_sensor(power::Rail rail) {
+  return zcu102_sensitive_sensors()[power::rail_index(rail)];
+}
+
+}  // namespace amperebleed::sensors

@@ -1,0 +1,51 @@
+#pragma once
+// Static board catalog: Table I (INA226 availability across ARM-FPGA SoC
+// evaluation boards) and Table II (the four security-sensitive sensors on
+// the ZCU102). Encoding the survey as data makes the tables reproducible
+// and lets the SoC model instantiate the right sensors per rail.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "amperebleed/power/rails.hpp"
+
+namespace amperebleed::sensors {
+
+enum class FpgaFamily { ZynqUltraScalePlus, Versal };
+
+std::string_view fpga_family_name(FpgaFamily f);
+
+/// One row of Table I.
+struct BoardSpec {
+  std::string name;
+  FpgaFamily family = FpgaFamily::ZynqUltraScalePlus;
+  double fpga_voltage_min = 0.0;  // volts
+  double fpga_voltage_max = 0.0;
+  std::string cpu_model;
+  int dram_gb = 0;
+  int ina226_count = 0;
+  int price_usd = 0;
+};
+
+/// The 8 representative boards of Table I (all include INA226 sensors).
+const std::vector<BoardSpec>& board_catalog();
+
+/// Look up a board by name; throws std::invalid_argument if unknown.
+const BoardSpec& board_spec(std::string_view name);
+
+/// One row of Table II: a security-sensitive INA226 on the ZCU102.
+struct SensitiveSensor {
+  std::string designator;  // e.g. "ina226_u79"
+  power::Rail rail;
+  std::string description;
+  double shunt_ohms;  // shunt fitted at that monitoring point
+};
+
+/// The four sensitive sensors of Table II, indexed by rail.
+const std::array<SensitiveSensor, power::kRailCount>& zcu102_sensitive_sensors();
+
+/// Sensor spec for one rail.
+const SensitiveSensor& zcu102_sensor(power::Rail rail);
+
+}  // namespace amperebleed::sensors

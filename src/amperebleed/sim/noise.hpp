@@ -1,0 +1,51 @@
+#pragma once
+// Noise processes used by the board model: white measurement noise for
+// sensor ADCs and a slow Ornstein-Uhlenbeck drift for thermal/regulator
+// wander. Both are seeded and deterministic.
+
+#include "amperebleed/sim/time.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::sim {
+
+/// Zero-mean white Gaussian noise with fixed standard deviation.
+class WhiteNoise {
+ public:
+  WhiteNoise(double stddev, std::uint64_t seed)
+      : stddev_(stddev), rng_(seed) {}
+
+  double sample() { return rng_.gaussian(0.0, stddev_); }
+  [[nodiscard]] double stddev() const { return stddev_; }
+
+ private:
+  double stddev_;
+  util::Rng rng_;
+};
+
+/// Ornstein-Uhlenbeck process: dx = theta*(mu - x)*dt + sigma*dW.
+/// step(dt) advances the process by dt using the exact discretization, so the
+/// statistics do not depend on the step size used by the caller.
+class OrnsteinUhlenbeck {
+ public:
+  /// @param mu     long-run mean
+  /// @param theta  mean-reversion rate (1/s); larger = faster reversion
+  /// @param sigma  diffusion strength
+  OrnsteinUhlenbeck(double mu, double theta, double sigma, std::uint64_t seed);
+
+  /// Advance by dt (must be >= 0) and return the new value.
+  double step(TimeNs dt);
+
+  [[nodiscard]] double value() const { return x_; }
+  /// Stationary standard deviation sigma / sqrt(2*theta).
+  [[nodiscard]] double stationary_stddev() const;
+  void reset(double x0) { x_ = x0; }
+
+ private:
+  double mu_;
+  double theta_;
+  double sigma_;
+  double x_;
+  util::Rng rng_;
+};
+
+}  // namespace amperebleed::sim

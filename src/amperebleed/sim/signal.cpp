@@ -1,0 +1,118 @@
+#include "amperebleed/sim/signal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace amperebleed::sim {
+
+void PiecewiseConstant::append(TimeNs start, double value) {
+  const double current_tail =
+      segments_.empty() ? initial_value_ : segments_.back().value;
+  if (value == current_tail) return;  // coalesce no-op changes
+  if (!segments_.empty() && start <= segments_.back().start) {
+    throw std::invalid_argument(
+        "PiecewiseConstant::append: segment starts must strictly increase");
+  }
+  segments_.push_back(Segment{start, value});
+}
+
+std::size_t PiecewiseConstant::index_at(TimeNs t) const {
+  // Last segment with start <= t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](TimeNs lhs, const Segment& seg) { return lhs < seg.start; });
+  if (it == segments_.begin()) return npos;
+  return static_cast<std::size_t>(std::distance(segments_.begin(), it)) - 1;
+}
+
+double PiecewiseConstant::value_at(TimeNs t) const {
+  const std::size_t i = index_at(t);
+  return i == npos ? initial_value_ : segments_[i].value;
+}
+
+double PiecewiseConstant::integrate(TimeNs t0, TimeNs t1) const {
+  if (t1 < t0) throw std::invalid_argument("integrate: t1 < t0");
+  if (t0 == t1) return 0.0;
+  double total = 0.0;
+  TimeNs cursor = t0;
+  std::size_t i = index_at(t0);
+  while (cursor < t1) {
+    const std::size_t next = (i == npos) ? 0 : i + 1;
+    const TimeNs segment_end =
+        next < segments_.size() ? std::min(segments_[next].start, t1) : t1;
+    const double value = (i == npos) ? initial_value_ : segments_[i].value;
+    total += value * (segment_end - cursor).seconds();
+    cursor = segment_end;
+    i = next;
+    if (next >= segments_.size() && cursor < t1) {
+      // Tail extends past the last segment: it keeps the last value.
+      total += segments_.empty()
+                   ? initial_value_ * (t1 - cursor).seconds()
+                   : segments_.back().value * (t1 - cursor).seconds();
+      break;
+    }
+  }
+  return total;
+}
+
+double PiecewiseConstant::mean(TimeNs t0, TimeNs t1) const {
+  if (t1 <= t0) return value_at(t0);
+  return integrate(t0, t1) / (t1 - t0).seconds();
+}
+
+double PiecewiseConstant::min_over(TimeNs t0, TimeNs t1) const {
+  double best = value_at(t0);
+  for (const auto& seg : segments_) {
+    if (seg.start >= t1) break;
+    if (seg.start > t0) best = std::min(best, seg.value);
+  }
+  return best;
+}
+
+double PiecewiseConstant::max_over(TimeNs t0, TimeNs t1) const {
+  double best = value_at(t0);
+  for (const auto& seg : segments_) {
+    if (seg.start >= t1) break;
+    if (seg.start > t0) best = std::max(best, seg.value);
+  }
+  return best;
+}
+
+PiecewiseConstant operator+(const PiecewiseConstant& a,
+                            const PiecewiseConstant& b) {
+  PiecewiseConstant out(a.initial_value_ + b.initial_value_);
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double va = a.initial_value_;
+  double vb = b.initial_value_;
+  while (ia < a.segments_.size() || ib < b.segments_.size()) {
+    const bool take_a =
+        ib >= b.segments_.size() ||
+        (ia < a.segments_.size() &&
+         a.segments_[ia].start <= b.segments_[ib].start);
+    TimeNs t{};
+    if (take_a) {
+      t = a.segments_[ia].start;
+      va = a.segments_[ia].value;
+      ++ia;
+      // Consume a simultaneous change in b at the same instant.
+      if (ib < b.segments_.size() && b.segments_[ib].start == t) {
+        vb = b.segments_[ib].value;
+        ++ib;
+      }
+    } else {
+      t = b.segments_[ib].start;
+      vb = b.segments_[ib].value;
+      ++ib;
+    }
+    out.append(t, va + vb);
+  }
+  return out;
+}
+
+void PiecewiseConstant::scale(double factor) {
+  initial_value_ *= factor;
+  for (auto& seg : segments_) seg.value *= factor;
+}
+
+}  // namespace amperebleed::sim

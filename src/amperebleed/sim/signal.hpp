@@ -1,0 +1,73 @@
+#pragma once
+// Piecewise-constant signals: the canonical representation of workload
+// activity (per-rail current draw as a function of time). Sensor models
+// integrate these analytically over their conversion windows, which keeps
+// multi-second simulations cheap regardless of circuit clock rates.
+
+#include <cstddef>
+#include <vector>
+
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::sim {
+
+/// A right-open piecewise-constant function of time.
+///
+/// The value at time t is the value of the last segment whose start is <= t;
+/// before the first segment the signal is `initial_value` (default 0).
+/// Segments must be appended in strictly increasing start-time order.
+class PiecewiseConstant {
+ public:
+  struct Segment {
+    TimeNs start;
+    double value;
+  };
+
+  explicit PiecewiseConstant(double initial_value = 0.0)
+      : initial_value_(initial_value) {}
+
+  /// Append a new segment starting at `start`. Throws std::invalid_argument
+  /// if `start` is not after the previous segment's start. Appending the
+  /// same value as the current tail is accepted and coalesced.
+  void append(TimeNs start, double value);
+
+  /// Value at time t (right-open semantics).
+  [[nodiscard]] double value_at(TimeNs t) const;
+
+  /// Exact integral of the signal over [t0, t1). Precondition: t0 <= t1.
+  /// Units: value-units * seconds.
+  [[nodiscard]] double integrate(TimeNs t0, TimeNs t1) const;
+
+  /// Mean value over [t0, t1); returns value_at(t0) when the window is empty.
+  [[nodiscard]] double mean(TimeNs t0, TimeNs t1) const;
+
+  /// Minimum / maximum value attained over [t0, t1).
+  [[nodiscard]] double min_over(TimeNs t0, TimeNs t1) const;
+  [[nodiscard]] double max_over(TimeNs t0, TimeNs t1) const;
+
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+  [[nodiscard]] double initial_value() const { return initial_value_; }
+
+  /// End of the last segment's start time; TimeNs{0} if empty.
+  [[nodiscard]] TimeNs last_change() const {
+    return segments_.empty() ? TimeNs{0} : segments_.back().start;
+  }
+
+  /// Pointwise sum of two signals.
+  friend PiecewiseConstant operator+(const PiecewiseConstant& a,
+                                     const PiecewiseConstant& b);
+
+  /// Multiply every value (including the initial value) by `factor`.
+  void scale(double factor);
+
+ private:
+  // Index of the segment active at t, or npos if t precedes all segments.
+  [[nodiscard]] std::size_t index_at(TimeNs t) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  double initial_value_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace amperebleed::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Simulation time. All models in the library run on a shared virtual clock
+// with nanosecond resolution; nothing reads the host wall clock, which keeps
+// every experiment deterministic and much faster than real time.
+
+#include <cstdint>
+
+namespace amperebleed::sim {
+
+/// A point on (or duration along) the virtual timeline, in nanoseconds.
+/// A plain strong alias: cheap, ordered, and explicit at interfaces.
+struct TimeNs {
+  std::int64_t ns = 0;
+
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(std::int64_t nanoseconds) : ns(nanoseconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns) * 1e-6; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns) * 1e-3; }
+
+  friend constexpr bool operator==(TimeNs a, TimeNs b) { return a.ns == b.ns; }
+  friend constexpr bool operator!=(TimeNs a, TimeNs b) { return a.ns != b.ns; }
+  friend constexpr bool operator<(TimeNs a, TimeNs b) { return a.ns < b.ns; }
+  friend constexpr bool operator<=(TimeNs a, TimeNs b) { return a.ns <= b.ns; }
+  friend constexpr bool operator>(TimeNs a, TimeNs b) { return a.ns > b.ns; }
+  friend constexpr bool operator>=(TimeNs a, TimeNs b) { return a.ns >= b.ns; }
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) { return TimeNs{a.ns + b.ns}; }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) { return TimeNs{a.ns - b.ns}; }
+  TimeNs& operator+=(TimeNs d) {
+    ns += d.ns;
+    return *this;
+  }
+};
+
+constexpr TimeNs nanoseconds(std::int64_t v) { return TimeNs{v}; }
+constexpr TimeNs microseconds(std::int64_t v) { return TimeNs{v * 1'000}; }
+constexpr TimeNs milliseconds(std::int64_t v) { return TimeNs{v * 1'000'000}; }
+constexpr TimeNs seconds(std::int64_t v) { return TimeNs{v * 1'000'000'000}; }
+
+/// Convert a floating-point second count (e.g. "5.0 s of sampling") to ns,
+/// rounding to nearest.
+constexpr TimeNs from_seconds(double s) {
+  return TimeNs{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+}
+
+}  // namespace amperebleed::sim

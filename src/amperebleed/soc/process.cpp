@@ -1,0 +1,118 @@
+#include "amperebleed/soc/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::soc {
+
+CpuSchedule::CpuSchedule(CpuPowerParams params) : params_(params) {
+  if (params_.core_count <= 0 || params_.current_per_core_amps < 0.0) {
+    throw std::invalid_argument("CpuSchedule: bad parameters");
+  }
+}
+
+void CpuSchedule::run(const Process& process, sim::TimeNs start,
+                      sim::TimeNs end, double utilization) {
+  if (process.core < 0 || process.core >= params_.core_count) {
+    throw std::invalid_argument("CpuSchedule::run: core out of range");
+  }
+  if (end <= start) {
+    throw std::invalid_argument("CpuSchedule::run: empty interval");
+  }
+  if (utilization < 0.0 || utilization > 1.0) {
+    throw std::invalid_argument("CpuSchedule::run: utilization not in [0,1]");
+  }
+  // Per-core intervals must be added in order and must not overlap.
+  for (auto it = intervals_.rbegin(); it != intervals_.rend(); ++it) {
+    if (it->core != process.core) continue;
+    if (start < it->end) {
+      throw std::invalid_argument(
+          "CpuSchedule::run: overlapping or out-of-order interval on core");
+    }
+    break;
+  }
+  intervals_.push_back(Interval{process.core, start, end, utilization});
+}
+
+power::RailActivity CpuSchedule::activity() const {
+  // Sum per-core step functions: build a change list, then accumulate.
+  struct Change {
+    sim::TimeNs at;
+    double delta;
+  };
+  std::vector<Change> changes;
+  changes.reserve(intervals_.size() * 2);
+  for (const auto& iv : intervals_) {
+    const double amps = iv.utilization * params_.current_per_core_amps;
+    changes.push_back({iv.start, amps});
+    changes.push_back({iv.end, -amps});
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const Change& a, const Change& b) { return a.at < b.at; });
+
+  power::RailActivity out;
+  auto& fpd = out.on(power::Rail::FpdCpu);
+  double level = 0.0;
+  std::size_t i = 0;
+  while (i < changes.size()) {
+    const sim::TimeNs at = changes[i].at;
+    while (i < changes.size() && changes[i].at == at) {
+      level += changes[i].delta;
+      ++i;
+    }
+    fpd.append(at, level);
+  }
+  return out;
+}
+
+power::RailActivity make_background_os_activity(
+    const BackgroundActivityParams& params, sim::TimeNs end,
+    std::uint64_t seed) {
+  if (end.ns < 0) {
+    throw std::invalid_argument("background activity: negative end");
+  }
+  power::RailActivity out;
+  auto& fpd = out.on(power::Rail::FpdCpu);
+  auto& ddr = out.on(power::Rail::Ddr);
+  auto& lpd = out.on(power::Rail::LpdCpu);
+
+  // Housekeeping bursts: Poisson arrivals, exponential durations, run
+  // back-to-back if they would overlap (one background core).
+  if (params.burst_rate_hz > 0.0) {
+    util::Rng rng(util::hash_combine(seed, 0xb6));
+    sim::TimeNs cursor{0};
+    for (;;) {
+      const double gap_s =
+          -std::log(1.0 - rng.uniform()) / params.burst_rate_hz;
+      const double dur_s = -std::log(1.0 - rng.uniform()) *
+                           params.mean_burst_duration.seconds();
+      const sim::TimeNs start{
+          cursor.ns + std::max<std::int64_t>(
+                          1, sim::from_seconds(gap_s).ns)};
+      const sim::TimeNs stop{
+          start.ns + std::max<std::int64_t>(1, sim::from_seconds(dur_s).ns)};
+      if (start >= end) break;
+      fpd.append(start, params.cpu_burst_current_amps);
+      ddr.append(start, params.dram_burst_current_amps);
+      fpd.append(stop, 0.0);
+      ddr.append(stop, 0.0);
+      cursor = stop;
+    }
+  }
+
+  // Timer tick through the low-power domain.
+  if (params.lpd_tick_period.ns > 0 && params.lpd_tick_width.ns > 0 &&
+      params.lpd_tick_width < params.lpd_tick_period) {
+    for (sim::TimeNs t{params.lpd_tick_period}; t < end;
+         t += params.lpd_tick_period) {
+      lpd.append(t, params.lpd_tick_current_amps);
+      lpd.append(t + params.lpd_tick_width, 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace amperebleed::soc

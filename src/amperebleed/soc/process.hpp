@@ -1,0 +1,77 @@
+#pragma once
+// Minimal process/core model for the ARM side. The paper pins the DPU
+// trigger task to core 0 and the sampling task to core 3; what the power
+// model needs from that is (a) which rail the CPU work loads (FPD for the
+// application cores) and (b) when each process is running. The attacker's
+// own sampling loop shows up here too — its CPU draw is part of the FPD
+// baseline the attack must see through.
+
+#include <string>
+#include <vector>
+
+#include "amperebleed/power/activity.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::soc {
+
+struct Process {
+  std::string name;
+  int core = 0;          // 0..3 on the quad-A53 ZCU102
+  bool privileged = false;
+};
+
+struct CpuPowerParams {
+  /// Added FPD current when one core runs at 100% (application cores live in
+  /// the full-power domain).
+  double current_per_core_amps = 0.35;
+  int core_count = 4;
+};
+
+/// Builds the FPD-rail activity contributed by scheduled CPU work.
+class CpuSchedule {
+ public:
+  explicit CpuSchedule(CpuPowerParams params = {});
+
+  /// Record that `process` occupies its core at `utilization` (0..1) during
+  /// [start, end). Intervals on the same core must not overlap and must be
+  /// added in increasing start order per core.
+  void run(const Process& process, sim::TimeNs start, sim::TimeNs end,
+           double utilization = 1.0);
+
+  /// Compile to per-rail activity (FPD only).
+  [[nodiscard]] power::RailActivity activity() const;
+
+  [[nodiscard]] const CpuPowerParams& params() const { return params_; }
+
+ private:
+  struct Interval {
+    int core;
+    sim::TimeNs start;
+    sim::TimeNs end;
+    double utilization;
+  };
+  CpuPowerParams params_;
+  std::vector<Interval> intervals_;
+};
+
+/// Background OS noise on a PetaLinux board: housekeeping bursts on the
+/// application cores (with their DRAM traffic) and the periodic timer tick
+/// serviced through the low-power domain. This is the "process scheduling
+/// interference" the paper minimizes by core-pinning but cannot remove; it
+/// is what keeps the CPU-side channels weaker than the FPGA channel.
+struct BackgroundActivityParams {
+  double burst_rate_hz = 25.0;  // Poisson arrival rate of housekeeping work
+  sim::TimeNs mean_burst_duration = sim::milliseconds(4);
+  double cpu_burst_current_amps = 0.35;   // one core waking up
+  double dram_burst_current_amps = 0.05;  // its memory traffic
+  double lpd_tick_current_amps = 0.006;   // PMU/timer blip
+  sim::TimeNs lpd_tick_period = sim::milliseconds(10);  // 100 Hz jiffies
+  sim::TimeNs lpd_tick_width = sim::microseconds(300);
+};
+
+/// Build a background activity schedule covering [0, end).
+power::RailActivity make_background_os_activity(
+    const BackgroundActivityParams& params, sim::TimeNs end,
+    std::uint64_t seed);
+
+}  // namespace amperebleed::soc

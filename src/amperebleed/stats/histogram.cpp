@@ -1,0 +1,65 @@
+#include "amperebleed/stats/histogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  if (x < lo_) return 0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const auto idx = static_cast<std::size_t>((x - lo_) / width);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bin_index(x)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin + 1);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out += util::format("%12.3f..%-12.3f |%s%s| %zu\n", bin_lo(b), bin_hi(b),
+                        std::string(bar, '#').c_str(),
+                        std::string(width - bar, ' ').c_str(), counts_[b]);
+  }
+  return out;
+}
+
+}  // namespace amperebleed::stats

@@ -1,0 +1,45 @@
+#pragma once
+// Fixed-width histograms for rendering Fig 4-style distributions and for
+// distribution-overlap computations in stats/separability.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace amperebleed::stats {
+
+/// Equal-width histogram over [lo, hi); samples outside the range are
+/// clamped into the first/last bin so no data is silently dropped.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument if bins == 0 or hi <= lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Fraction of samples in a bin (0 if histogram is empty).
+  [[nodiscard]] double density(std::size_t bin) const;
+
+  /// Index of the bin that would receive x.
+  [[nodiscard]] std::size_t bin_index(double x) const;
+
+  /// ASCII rendering (one line per bin), used by the figure benches.
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace amperebleed::stats

@@ -1,0 +1,34 @@
+#pragma once
+// Two-sample hypothesis tests used to back the separability claims with
+// p-values: Welch's t-test (mean difference under unequal variances) and the
+// two-sample Kolmogorov-Smirnov test (whole-distribution difference, which
+// catches the quantization-shape effects a t-test misses).
+
+#include <span>
+
+namespace amperebleed::stats {
+
+struct WelchResult {
+  double t = 0.0;    // test statistic
+  double dof = 0.0;  // Welch-Satterthwaite degrees of freedom
+  double p_value = 1.0;  // two-sided
+};
+
+/// Welch's unequal-variance t-test. Throws if either sample has < 2 points.
+/// Identical constant samples give t = 0, p = 1.
+WelchResult welch_t_test(std::span<const double> a, std::span<const double> b);
+
+struct KsResult {
+  double d = 0.0;        // max ECDF distance
+  double p_value = 1.0;  // asymptotic two-sided
+};
+
+/// Two-sample Kolmogorov-Smirnov test (asymptotic p-value; adequate for the
+/// hundreds-to-thousands sample sizes used here). Throws on empty samples.
+KsResult ks_test(std::span<const double> a, std::span<const double> b);
+
+/// Regularized incomplete beta function I_x(a, b) (Lentz continued
+/// fraction); exposed because the t-test needs it and tests pin it down.
+double incomplete_beta(double a, double b, double x);
+
+}  // namespace amperebleed::stats

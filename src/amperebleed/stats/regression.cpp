@@ -1,0 +1,54 @@
+#include "amperebleed/stats/regression.hpp"
+
+#include <stdexcept>
+
+namespace amperebleed::stats {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("linear_fit: length mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("linear_fit: need at least 2 points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double mx = 0.0;
+  double my = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  LinearFit fit;
+  if (sxx == 0.0) {
+    fit.intercept = my;
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double pred = fit.slope * xs[i] + fit.intercept;
+      const double e = ys[i] - pred;
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  } else {
+    fit.r_squared = 1.0;  // perfectly flat y fitted exactly
+  }
+  return fit;
+}
+
+}  // namespace amperebleed::stats

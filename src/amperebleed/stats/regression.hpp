@@ -1,0 +1,20 @@
+#pragma once
+// Least-squares linear regression. Fig 2 reports the slope of each sensor
+// channel in LSBs per activity level (~40 for current, ~0.006 for voltage).
+
+#include <span>
+
+namespace amperebleed::stats {
+
+/// y ~= slope * x + intercept
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+};
+
+/// Ordinary least squares on equal-length series. Throws on length mismatch
+/// or fewer than 2 points; slope is 0 for constant x.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace amperebleed::stats

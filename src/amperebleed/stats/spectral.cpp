@@ -1,0 +1,54 @@
+#include "amperebleed/stats/spectral.hpp"
+
+#include <algorithm>
+
+#include "amperebleed/stats/descriptive.hpp"
+
+namespace amperebleed::stats {
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag) {
+  if (xs.empty()) return {};
+  max_lag = std::min(max_lag, xs.size() - 1);
+  std::vector<double> r(max_lag + 1, 0.0);
+
+  const Summary s = summarize(xs);
+  if (s.variance == 0.0) return r;  // constant: no structure
+
+  const double denom = s.variance * static_cast<double>(xs.size());
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + lag < xs.size(); ++i) {
+      acc += (xs[i] - s.mean) * (xs[i + lag] - s.mean);
+    }
+    r[lag] = acc / denom;
+  }
+  return r;
+}
+
+std::size_t dominant_period(std::span<const double> xs, std::size_t max_lag,
+                            double min_correlation) {
+  const auto r = autocorrelation(xs, max_lag);
+  if (r.size() < 4) return 0;
+
+  // Collect local ACF maxima above the floor...
+  double best_r = min_correlation;
+  std::vector<std::size_t> peaks;
+  for (std::size_t lag = 2; lag + 1 < r.size(); ++lag) {
+    const bool local_max = r[lag] >= r[lag - 1] && r[lag] >= r[lag + 1];
+    if (local_max && r[lag] > min_correlation) {
+      peaks.push_back(lag);
+      best_r = std::max(best_r, r[lag]);
+    }
+  }
+  if (peaks.empty()) return 0;
+  // ...then return the fundamental: a true period P also peaks at 2P, 3P,
+  // ... with near-equal correlation, so take the smallest lag whose peak is
+  // comparable to the strongest one.
+  for (std::size_t lag : peaks) {
+    if (r[lag] >= 0.8 * best_r) return lag;
+  }
+  return peaks.front();
+}
+
+}  // namespace amperebleed::stats

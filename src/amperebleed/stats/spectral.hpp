@@ -1,0 +1,26 @@
+#pragma once
+// Periodicity analysis for side-channel traces. The DPU runs inference in a
+// tight loop, so its rail-current trace is periodic with the per-inference
+// latency; the attacker can recover that latency from the autocorrelation
+// of an unprivileged hwmon trace (used by the Fig 3 bench to annotate each
+// model with its measured inference period).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amperebleed::stats {
+
+/// Normalized autocorrelation r(0..max_lag); r[0] == 1 for non-constant
+/// input. Constant series return all-zero (no structure). max_lag is
+/// clamped to len-1.
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t max_lag);
+
+/// Dominant period in samples: the lag of the highest autocorrelation local
+/// maximum with r >= min_correlation, searching lags [2, max_lag]. Returns
+/// 0 when no periodic structure clears the threshold.
+std::size_t dominant_period(std::span<const double> xs, std::size_t max_lag,
+                            double min_correlation = 0.25);
+
+}  // namespace amperebleed::stats

@@ -1,0 +1,66 @@
+#pragma once
+// Minimal command-line flag parsing for the bench/example binaries:
+// --name value or --name=value; unknown flags throw. Header-only.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amperebleed::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected positional argument: " +
+                                    std::string(arg));
+      }
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        values_[std::string(arg.substr(0, eq))] =
+            std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc &&
+                 std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[std::string(arg)] = argv[++i];
+      } else {
+        values_[std::string(arg)] = "1";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace amperebleed::util

@@ -1,0 +1,43 @@
+#include "amperebleed/util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace amperebleed::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_doubles(const std::vector<double>& cells) {
+  char buf[64];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    std::snprintf(buf, sizeof buf, "%.17g", cells[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace amperebleed::util

@@ -1,0 +1,30 @@
+#pragma once
+// Minimal CSV writer used by benches/examples to dump reproducible series
+// (figure data) for external plotting.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace amperebleed::util {
+
+/// RAII CSV writer. Values containing separators/quotes are quoted per
+/// RFC 4180. Throws std::runtime_error if the file cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; each cell is escaped as needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: write a row of doubles at full precision.
+  void row_doubles(const std::vector<double>& cells);
+
+  /// Escape a single cell (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace amperebleed::util

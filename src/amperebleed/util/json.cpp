@@ -1,0 +1,174 @@
+#include "amperebleed/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace amperebleed::util {
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.value_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = std::make_shared<Array>();
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = std::make_shared<ObjectRep>();
+  return j;
+}
+
+Json& Json::push_back(Json v) {
+  auto* arr = std::get_if<std::shared_ptr<Array>>(&value_);
+  if (arr == nullptr) throw std::logic_error("Json::push_back: not an array");
+  (*arr)->push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  auto* obj = std::get_if<std::shared_ptr<ObjectRep>>(&value_);
+  if (obj == nullptr) throw std::logic_error("Json::set: not an object");
+  for (auto& [k, existing] : (*obj)->members) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  (*obj)->members.emplace_back(key, std::move(v));
+  return *this;
+}
+
+bool Json::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<std::shared_ptr<ObjectRep>>(value_);
+}
+
+std::size_t Json::size() const {
+  if (const auto* arr = std::get_if<std::shared_ptr<Array>>(&value_)) {
+    return (*arr)->size();
+  }
+  if (const auto* obj = std::get_if<std::shared_ptr<ObjectRep>>(&value_)) {
+    return (*obj)->members.size();
+  }
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (!std::isfinite(*d)) {
+      out += "null";  // JSON has no inf/nan
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", *d);
+      out += buf;
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    out += escape(*s);
+  } else if (const auto* arr = std::get_if<std::shared_ptr<Array>>(&value_)) {
+    out += '[';
+    for (std::size_t k = 0; k < (*arr)->size(); ++k) {
+      if (k > 0) out += ',';
+      newline(depth + 1);
+      (**arr)[k].dump_to(out, indent, depth + 1);
+    }
+    if (!(*arr)->empty()) newline(depth);
+    out += ']';
+  } else if (const auto* obj =
+                 std::get_if<std::shared_ptr<ObjectRep>>(&value_)) {
+    out += '{';
+    const auto& members = (*obj)->members;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (k > 0) out += ',';
+      newline(depth + 1);
+      out += escape(members[k].first);
+      out += indent > 0 ? ": " : ":";
+      members[k].second.dump_to(out, indent, depth + 1);
+    }
+    if (!members.empty()) newline(depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace amperebleed::util

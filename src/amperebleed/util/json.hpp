@@ -1,0 +1,56 @@
+#pragma once
+// Minimal JSON writer for machine-readable experiment output (--json flags
+// on the bench binaries). Write-only by design — the library never needs to
+// parse JSON, so no parser is shipped.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace amperebleed::util {
+
+/// An owned JSON value. Build with the static constructors / mutators and
+/// serialize with dump(). Object keys keep insertion order.
+class Json {
+ public:
+  Json() : value_(nullptr) {}  // null
+
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json integer(std::int64_t v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  /// Append to an array. Throws std::logic_error if not an array.
+  Json& push_back(Json v);
+  /// Set an object member (inserting or replacing). Throws if not an object.
+  Json& set(const std::string& key, Json v);
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool is_object() const;
+  [[nodiscard]] std::size_t size() const;  // array/object arity, else 0
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(const std::string& s);
+
+ private:
+  struct ObjectRep {
+    std::vector<std::pair<std::string, Json>> members;
+  };
+  using Array = std::vector<Json>;
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               std::shared_ptr<Array>, std::shared_ptr<ObjectRep>>
+      value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace amperebleed::util

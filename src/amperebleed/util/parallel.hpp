@@ -1,0 +1,53 @@
+#pragma once
+// Tiny deterministic work-sharing helper: run fn(i) for i in [0, n) on up to
+// `threads` std::threads. Results must be written to pre-sized slots (no
+// shared mutable state inside fn), which keeps every experiment bit-for-bit
+// reproducible regardless of the thread count.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amperebleed::util {
+
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  threads = std::min(threads, n);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace amperebleed::util

@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every stochastic component in the library takes an explicit 64-bit seed and
+// owns its own Rng instance, so experiment results are bit-for-bit
+// reproducible regardless of evaluation order or threading.
+
+#include <cstdint>
+#include <vector>
+
+namespace amperebleed::util {
+
+/// splitmix64 — used to expand a single user seed into the four words of
+/// xoshiro256** state, and handy as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of two words; used to derive independent child seeds
+/// (e.g. one per trace, per sensor, per tree) from a master seed.
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 2^256-1 period.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_below(std::uint64_t n) noexcept;
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (cached second deviate).
+  double gaussian() noexcept;
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double stddev) noexcept;
+  /// Bernoulli trial.
+  bool bernoulli(double p_true) noexcept;
+
+  /// Derive an independent child generator; `stream` distinguishes children.
+  Rng fork(std::uint64_t stream) const noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace amperebleed::util

@@ -1,0 +1,35 @@
+#pragma once
+// Small string helpers shared by the hwmon virtual filesystem and report
+// rendering. Kept header-light; implementations in strings.cpp.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amperebleed::util {
+
+/// Split `s` on `sep`, keeping empty fields ("a//b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split a filesystem-like path on '/', dropping empty components
+/// ("/sys//class/" -> {"sys","class"}).
+std::vector<std::string> split_path(std::string_view path);
+
+/// Join components with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parse a decimal integer the way sysfs consumers do: optional sign,
+/// optional trailing newline/whitespace; returns nullopt on garbage.
+std::optional<long long> parse_ll(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace amperebleed::util

@@ -1,0 +1,98 @@
+#include "amperebleed/core/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::core {
+namespace {
+
+CharacterizationConfig small_config() {
+  CharacterizationConfig c;
+  c.levels = 9;
+  c.samples_per_level = 60;
+  c.ro_samples_per_level = 60;
+  // Keep the per-level current step at the paper's 40 mA by activating the
+  // same group fraction per level: use 8 groups of 20k instances.
+  c.virus.instance_count = 160'000;
+  c.virus.group_count = 8;
+  c.virus.dynamic_current_per_instance_amps = 2e-6;  // 40 mA per group
+  c.seed = 99;
+  return c;
+}
+
+TEST(Characterization, CurrentTracksActivityLinearly) {
+  const auto result = run_characterization(small_config());
+  ASSERT_EQ(result.level_axis.size(), 9u);
+  ASSERT_EQ(result.current.mean_per_level.size(), 9u);
+  EXPECT_GT(result.current.pearson_vs_level, 0.99);
+  // ~40 mA per level in a trace measured in mA.
+  EXPECT_NEAR(result.current.fit.slope, 40.0, 5.0);
+  EXPECT_NEAR(result.current.variation_lsb_per_level, 40.0, 6.0);
+}
+
+TEST(Characterization, CurrentDoesNotStartFromZero) {
+  const auto result = run_characterization(small_config());
+  // Static workload of deployed-but-idle instances + board baseline.
+  EXPECT_GT(result.current.mean_per_level.front(), 1000.0);  // > 1 A in mA
+}
+
+TEST(Characterization, VoltageIsCoarseAndNearlyFlat) {
+  const auto result = run_characterization(small_config());
+  // Stabilized rail: well under one bus-ADC LSB of change per level.
+  EXPECT_LT(result.voltage.variation_lsb_per_level, 0.2);
+  const double total_swing = result.voltage.mean_per_level.front() -
+                             result.voltage.mean_per_level.back();
+  EXPECT_LT(std::abs(total_swing), 5.0);  // a few mV at most
+}
+
+TEST(Characterization, PowerMovesOneToTwoLsbPerLevel) {
+  const auto result = run_characterization(small_config());
+  EXPECT_GT(result.power.pearson_vs_level, 0.99);
+  EXPECT_GT(result.power.variation_lsb_per_level, 0.5);
+  EXPECT_LT(result.power.variation_lsb_per_level, 3.0);
+}
+
+TEST(Characterization, RoAntiCorrelatesWithActivity) {
+  const auto result = run_characterization(small_config());
+  EXPECT_LT(result.ro.pearson_vs_level, -0.5);
+  EXPECT_LT(result.ro.fit.slope, 0.0);
+}
+
+TEST(Characterization, CurrentVariationDwarfsRo) {
+  const auto result = run_characterization(small_config());
+  EXPECT_GT(result.current_over_ro_variation, 50.0);
+}
+
+TEST(Characterization, Validation) {
+  CharacterizationConfig one_level = small_config();
+  one_level.levels = 1;
+  EXPECT_THROW(run_characterization(one_level), std::invalid_argument);
+  CharacterizationConfig too_many = small_config();
+  too_many.levels = too_many.virus.group_count + 2;
+  EXPECT_THROW(run_characterization(too_many), std::invalid_argument);
+}
+
+TEST(Characterization, OptionalTdcBaselineTracksVoltage) {
+  CharacterizationConfig c = small_config();
+  c.with_tdc = true;
+  const auto result = run_characterization(c);
+  ASSERT_TRUE(result.tdc.has_value());
+  EXPECT_EQ(result.tdc->mean_per_level.size(), c.levels);
+  // Like the RO, the TDC rides the (drooping) PDN voltage: negative slope.
+  EXPECT_LT(result.tdc->fit.slope, 0.0);
+  // Disabled by default.
+  EXPECT_FALSE(run_characterization(small_config()).tdc.has_value());
+}
+
+TEST(Characterization, DeterministicForSeed) {
+  CharacterizationConfig c = small_config();
+  c.levels = 4;
+  c.samples_per_level = 20;
+  c.ro_samples_per_level = 20;
+  const auto a = run_characterization(c);
+  const auto b = run_characterization(c);
+  EXPECT_EQ(a.current.mean_per_level, b.current.mean_per_level);
+  EXPECT_EQ(a.ro.mean_per_level, b.ro.mean_per_level);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

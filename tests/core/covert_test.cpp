@@ -1,0 +1,136 @@
+#include "amperebleed/core/covert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/soc/soc.hpp"
+
+namespace amperebleed::core {
+namespace {
+
+TEST(CovertBits, ByteRoundTrip) {
+  const std::string msg = "AmpereBleed!";
+  const auto bits = bytes_to_bits(msg);
+  EXPECT_EQ(bits.size(), msg.size() * 8);
+  EXPECT_EQ(bits_to_bytes(bits), msg);
+}
+
+TEST(CovertBits, MsbFirstEncoding) {
+  const auto bits = bytes_to_bits("\x80");
+  ASSERT_EQ(bits.size(), 8u);
+  EXPECT_TRUE(bits[0]);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_FALSE(bits[i]);
+  // Truncated trailing bits are dropped on reassembly.
+  EXPECT_EQ(bits_to_bytes({true, false, true}).size(), 0u);
+}
+
+TEST(CovertBitErrorRate, CountsDifferencesAndLengthMismatch) {
+  EXPECT_DOUBLE_EQ(bit_error_rate({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(bit_error_rate({1, 0, 1, 0}, {1, 0, 1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(bit_error_rate({1, 0, 1, 0}, {1, 1, 1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(bit_error_rate({1, 0}, {1}), 0.5);
+}
+
+TEST(CovertEncode, SchedulesActivationsPerBit) {
+  CovertChannelConfig config;
+  config.preamble_bits = 2;  // 1,0
+  const std::vector<bool> payload = {true, true, false};
+  const auto virus =
+      encode_transmission(config, payload, sim::milliseconds(100));
+  const auto activity = virus.activity();
+  const auto& fpga = activity.on(power::Rail::FpgaLogic);
+  const double idle = virus.current_for_groups(0);
+  const double high = virus.current_for_groups(config.groups_high);
+  const auto at_bit = [&](int i) {
+    return fpga.value_at(sim::TimeNs{sim::milliseconds(100).ns +
+                                     config.bit_period.ns * i +
+                                     config.bit_period.ns / 2});
+  };
+  EXPECT_DOUBLE_EQ(at_bit(0), high);  // preamble 1
+  EXPECT_DOUBLE_EQ(at_bit(1), idle);  // preamble 0
+  EXPECT_DOUBLE_EQ(at_bit(2), high);  // payload 1
+  EXPECT_DOUBLE_EQ(at_bit(3), high);  // payload 1
+  EXPECT_DOUBLE_EQ(at_bit(4), idle);  // payload 0
+  // Idle after the frame.
+  EXPECT_DOUBLE_EQ(at_bit(6), idle);
+}
+
+TEST(CovertEncode, Validation) {
+  CovertChannelConfig config;
+  config.groups_high = 1'000;  // > 160 groups
+  EXPECT_THROW(encode_transmission(config, {true}, sim::TimeNs{0}),
+               std::invalid_argument);
+  CovertChannelConfig zero;
+  zero.bit_period = sim::TimeNs{0};
+  EXPECT_THROW(encode_transmission(zero, {true}, sim::TimeNs{0}),
+               std::invalid_argument);
+}
+
+TEST(CovertEndToEnd, MessageSurvivesTheFullSensorPath) {
+  const std::string message = "exfil";
+  const auto payload = bytes_to_bits(message);
+  CovertChannelConfig config;
+
+  const sim::TimeNs tx_start = sim::milliseconds(200);
+  auto virus = encode_transmission(config, payload, tx_start);
+
+  soc::Soc soc(soc::zcu102_config(0xc0de));
+  soc.fabric().deploy(virus.descriptor());
+  soc.add_activity(virus.activity());
+  soc.finalize();
+
+  Sampler receiver(soc);
+  SamplerConfig sc;
+  sc.period = sim::milliseconds(5);
+  const sim::TimeNs span = transmission_duration(config, payload.size());
+  sc.sample_count = static_cast<std::size_t>(span.ns / sc.period.ns) + 40;
+  const auto trace = receiver.collect(
+      {power::Rail::FpgaLogic, Quantity::Current}, tx_start, sc);
+
+  const auto decoded =
+      decode_transmission(config, trace, tx_start, payload.size());
+  EXPECT_DOUBLE_EQ(bit_error_rate(payload, decoded.bits), 0.0);
+  EXPECT_EQ(bits_to_bytes(decoded.bits), message);
+  EXPECT_GT(decoded.high_level_ma, decoded.low_level_ma + 1'000.0);
+}
+
+TEST(CovertEndToEnd, TooFastBitPeriodCorruptsTheMessage) {
+  const auto payload = bytes_to_bits("x");
+  CovertChannelConfig config;
+  config.bit_period = sim::milliseconds(20);  // < one conversion interval
+
+  const sim::TimeNs tx_start = sim::milliseconds(200);
+  auto virus = encode_transmission(config, payload, tx_start);
+  soc::Soc soc(soc::zcu102_config(0xc0df));
+  soc.fabric().deploy(virus.descriptor());
+  soc.add_activity(virus.activity());
+  soc.finalize();
+
+  Sampler receiver(soc);
+  SamplerConfig sc;
+  sc.period = sim::milliseconds(2);
+  const sim::TimeNs span = transmission_duration(config, payload.size());
+  sc.sample_count = static_cast<std::size_t>(span.ns / sc.period.ns) + 60;
+  const auto trace = receiver.collect(
+      {power::Rail::FpgaLogic, Quantity::Current}, tx_start, sc);
+  const auto decoded =
+      decode_transmission(config, trace, tx_start, payload.size());
+  EXPECT_GT(bit_error_rate(payload, decoded.bits), 0.1);
+}
+
+TEST(CovertDecode, TraceTooShortThrows) {
+  CovertChannelConfig config;
+  Trace stub({}, sim::TimeNs{0}, sim::milliseconds(5));
+  stub.push(100.0);
+  EXPECT_THROW(decode_transmission(config, stub, sim::TimeNs{0}, 8),
+               std::invalid_argument);
+}
+
+TEST(CovertConfig, RawThroughput) {
+  CovertChannelConfig config;
+  config.bit_period = sim::milliseconds(100);
+  EXPECT_DOUBLE_EQ(config.raw_bits_per_second(), 10.0);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

@@ -1,0 +1,78 @@
+#include "amperebleed/core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amperebleed::core {
+namespace {
+
+TEST(SamplesForDuration, FloorsPartialSamples) {
+  EXPECT_EQ(samples_for_duration(sim::seconds(5), sim::milliseconds(35)),
+            142u);
+  EXPECT_EQ(samples_for_duration(sim::seconds(1), sim::milliseconds(35)),
+            28u);
+  EXPECT_EQ(samples_for_duration(sim::milliseconds(34), sim::milliseconds(35)),
+            0u);
+  EXPECT_EQ(samples_for_duration(sim::seconds(1), sim::TimeNs{0}), 0u);
+}
+
+TEST(Standardize, ZeroMeanUnitVariance) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  standardize(xs);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_NEAR(sum_sq / xs.size(), 1.0, 1e-12);
+}
+
+TEST(Standardize, ConstantVectorBecomesZeros) {
+  std::vector<double> xs = {7.0, 7.0, 7.0};
+  standardize(xs);
+  for (double x : xs) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(AddTrace, AppendsPrefixWithLabel) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  for (int i = 0; i < 5; ++i) t.push(i * 10.0);
+  ml::Dataset d(3);
+  add_trace(d, t, 4, 3);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.label(0), 4);
+  EXPECT_DOUBLE_EQ(d.row(0)[2], 20.0);
+}
+
+TEST(BuildDataset, LabelsFollowGroupOrder) {
+  std::vector<std::vector<Trace>> groups;
+  for (int label = 0; label < 3; ++label) {
+    std::vector<Trace> traces;
+    for (int rep = 0; rep < 2; ++rep) {
+      Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+      t.push(label * 100.0);
+      t.push(label * 100.0 + 1.0);
+      traces.push_back(std::move(t));
+    }
+    groups.push_back(std::move(traces));
+  }
+  const ml::Dataset d = build_dataset(groups, 2);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.class_count(), 3);
+  EXPECT_EQ(d.label(0), 0);
+  EXPECT_EQ(d.label(5), 2);
+  EXPECT_DOUBLE_EQ(d.row(4)[0], 200.0);
+}
+
+TEST(BuildDataset, ShortTraceThrows) {
+  std::vector<std::vector<Trace>> groups(1);
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  t.push(1.0);
+  groups[0].push_back(std::move(t));
+  EXPECT_THROW(build_dataset(groups, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

@@ -1,0 +1,115 @@
+#include "amperebleed/core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::core {
+namespace {
+
+FingerprintConfig small_config() {
+  FingerprintConfig c;
+  c.model_limit = 4;          // MobileNet-V1 variants + MobileNet-V2
+  c.traces_per_model = 6;
+  c.folds = 3;
+  c.trace_duration = sim::seconds(2);
+  c.durations_s = {1.0, 2.0};
+  c.forest.n_trees = 25;
+  c.seed = 5;
+  return c;
+}
+
+TEST(Fingerprint, Table3ChannelsMatchPaperRows) {
+  const auto& channels = table3_channels();
+  ASSERT_EQ(channels.size(), 6u);
+  EXPECT_EQ(channel_name(channels[0]), "current(fpd_cpu)");
+  EXPECT_EQ(channel_name(channels[1]), "current(lpd_cpu)");
+  EXPECT_EQ(channel_name(channels[2]), "current(ddr)");
+  EXPECT_EQ(channel_name(channels[3]), "current(fpga_logic)");
+  EXPECT_EQ(channel_name(channels[4]), "voltage(fpga_logic)");
+  EXPECT_EQ(channel_name(channels[5]), "power(fpga_logic)");
+}
+
+TEST(Fingerprint, CollectionShapesAreConsistent) {
+  const auto config = small_config();
+  const auto traces = collect_fingerprint_traces(config);
+  EXPECT_EQ(traces.model_names.size(), 4u);
+  EXPECT_EQ(traces.per_channel.size(), 6u);
+  EXPECT_EQ(traces.samples_per_trace, 57u);  // 2 s / 35 ms
+  for (const auto& d : traces.per_channel) {
+    EXPECT_EQ(d.size(), 4u * 6u);
+    EXPECT_EQ(d.feature_count(), traces.samples_per_trace);
+    EXPECT_EQ(d.class_count(), 4);
+  }
+}
+
+TEST(Fingerprint, FpgaCurrentSeparatesModels) {
+  const auto config = small_config();
+  const auto traces = collect_fingerprint_traces(config);
+  const auto result = evaluate_fingerprint(traces, config);
+  ASSERT_EQ(result.cells.size(), 6u);
+  ASSERT_EQ(result.cells[0].size(), 2u);
+  EXPECT_EQ(result.class_count, 4u);
+  // FPGA current at full duration: strong fingerprinting.
+  const Table3Cell fpga_current = result.cells[3].back();
+  EXPECT_GT(fpga_current.top1, 0.8);
+  EXPECT_GE(fpga_current.top5, fpga_current.top1);
+  // FPGA voltage is far weaker than FPGA current.
+  const Table3Cell fpga_voltage = result.cells[4].back();
+  EXPECT_LT(fpga_voltage.top1, fpga_current.top1);
+}
+
+TEST(Fingerprint, ValidationErrors) {
+  FingerprintConfig bad = small_config();
+  bad.traces_per_model = 2;  // < folds
+  EXPECT_THROW(collect_fingerprint_traces(bad), std::invalid_argument);
+
+  FingerprintConfig long_duration = small_config();
+  const auto traces = collect_fingerprint_traces(long_duration);
+  long_duration.durations_s = {10.0};  // beyond collected trace length
+  EXPECT_THROW(evaluate_fingerprint(traces, long_duration),
+               std::invalid_argument);
+}
+
+TEST(Fingerprint, SensorAvgOverrideChangesFeatureCount) {
+  FingerprintConfig c = small_config();
+  c.model_limit = 2;
+  c.traces_per_model = 3;
+  c.folds = 3;
+  c.trace_duration = sim::seconds(1);
+  c.sensor_avg_override = 4;  // 8.8 ms conversions
+  c.sample_period = sim::microseconds(8'800);
+  const auto traces = collect_fingerprint_traces(c);
+  EXPECT_EQ(traces.samples_per_trace, 113u);  // 1 s / 8.8 ms
+  EXPECT_EQ(traces.per_channel[0].feature_count(), 113u);
+}
+
+TEST(Fingerprint, BackgroundActivityCanBeDisabled) {
+  FingerprintConfig c = small_config();
+  c.model_limit = 2;
+  c.traces_per_model = 3;
+  c.folds = 3;
+  c.trace_duration = sim::seconds(1);
+  c.background.burst_rate_hz = 0.0;
+  c.background.lpd_tick_period = sim::TimeNs{0};
+  EXPECT_NO_THROW(collect_fingerprint_traces(c));
+}
+
+TEST(Fingerprint, Fig3TracesCoverSixModelsAndFourRails) {
+  FingerprintConfig c = small_config();
+  c.trace_duration = sim::seconds(1);
+  const auto traces = collect_fig3_traces(c);
+  ASSERT_EQ(traces.size(), 6u);
+  EXPECT_EQ(traces[0].model_name, "MobileNet-V1");
+  EXPECT_EQ(traces[5].model_name, "VGG-19");
+  for (const auto& t : traces) {
+    EXPECT_GT(t.model_size_bytes, 0u);
+    ASSERT_EQ(t.rail_current.size(), power::kRailCount);
+    for (const auto& trace : t.rail_current) {
+      EXPECT_EQ(trace.size(), 28u);  // 1 s at 35 ms
+    }
+  }
+  // VGG-19 is by far the largest model in Fig 3's annotations.
+  EXPECT_GT(traces[5].model_size_bytes, 10u * traces[0].model_size_bytes);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

@@ -1,0 +1,113 @@
+#include "amperebleed/core/hw_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace amperebleed::core {
+namespace {
+
+std::vector<HwCalibrationPoint> linear_points(double slope, double intercept) {
+  std::vector<HwCalibrationPoint> points;
+  for (std::size_t hw : {64u, 256u, 512u, 768u, 1024u}) {
+    points.push_back({hw, slope * static_cast<double>(hw) + intercept});
+  }
+  return points;
+}
+
+TEST(HwEstimator, RecoversLinearCalibration) {
+  const auto est = HammingWeightEstimator::fit(linear_points(0.156, 737.0));
+  EXPECT_NEAR(est.slope_ma_per_bit(), 0.156, 1e-9);
+  EXPECT_NEAR(est.intercept_ma(), 737.0, 1e-6);
+  EXPECT_NEAR(est.predict_current_ma(512.0), 0.156 * 512 + 737.0, 1e-6);
+}
+
+TEST(HwEstimator, FitValidation) {
+  std::vector<HwCalibrationPoint> one = {{64, 700.0}};
+  EXPECT_THROW(HammingWeightEstimator::fit(one), std::invalid_argument);
+  std::vector<HwCalibrationPoint> flat = {{64, 700.0}, {512, 700.0}};
+  EXPECT_THROW(HammingWeightEstimator::fit(flat), std::invalid_argument);
+  std::vector<HwCalibrationPoint> inverted = {{64, 800.0}, {512, 700.0}};
+  EXPECT_THROW(HammingWeightEstimator::fit(inverted), std::invalid_argument);
+}
+
+TEST(HwEstimator, EstimateInvertsCalibration) {
+  const auto est = HammingWeightEstimator::fit(linear_points(0.2, 700.0));
+  stats::Summary s;
+  s.mean = 700.0 + 0.2 * 300.0;
+  s.stddev = 1.0;
+  const auto e = est.estimate(s, 400);
+  EXPECT_NEAR(e.hamming_weight, 300.0, 1e-9);
+  EXPECT_LT(e.ci_low, 300.0);
+  EXPECT_GT(e.ci_high, 300.0);
+  // CI half-width: 1.96 * (1/sqrt(400)) / 0.2 = 0.49 bits.
+  EXPECT_NEAR(e.ci_high - e.ci_low, 2 * 0.49, 0.01);
+}
+
+TEST(HwEstimator, EstimateClampsToKeyWidth) {
+  const auto est = HammingWeightEstimator::fit(linear_points(0.2, 700.0), 1024);
+  stats::Summary low;
+  low.mean = 0.0;  // far below the intercept
+  low.stddev = 1.0;
+  EXPECT_DOUBLE_EQ(est.estimate(low, 100).hamming_weight, 0.0);
+  stats::Summary high;
+  high.mean = 10'000.0;
+  high.stddev = 1.0;
+  EXPECT_DOUBLE_EQ(est.estimate(high, 100).hamming_weight, 1024.0);
+}
+
+TEST(HwEstimator, MoreSamplesTightenTheInterval) {
+  const auto est = HammingWeightEstimator::fit(linear_points(0.15, 737.0));
+  stats::Summary s;
+  s.mean = 800.0;
+  s.stddev = 3.0;
+  const auto coarse = est.estimate(s, 10);
+  const auto fine = est.estimate(s, 1000);
+  EXPECT_LT(fine.ci_high - fine.ci_low, coarse.ci_high - coarse.ci_low);
+  EXPECT_THROW(static_cast<void>(est.estimate(s, 0)), std::invalid_argument);
+}
+
+TEST(Log2Binomial, KnownValues) {
+  EXPECT_NEAR(log2_binomial(4, 2), std::log2(6.0), 1e-9);
+  EXPECT_NEAR(log2_binomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(log2_binomial(10, 10), 0.0, 1e-9);
+  // C(1024, 512) ~ 2^1018.67 (central binomial of the 2^1024 space).
+  EXPECT_NEAR(log2_binomial(1024, 512), 1018.674, 0.01);
+  EXPECT_THROW(log2_binomial(4, 5), std::invalid_argument);
+}
+
+TEST(Log2SearchSpace, SingleWeightEqualsBinomial) {
+  EXPECT_NEAR(log2_search_space(1024, 512.0, 512.0),
+              log2_binomial(1024, 512), 1e-9);
+}
+
+TEST(Log2SearchSpace, FullRangeIsAllKeys) {
+  // Sum over all weights = 2^bits exactly.
+  EXPECT_NEAR(log2_search_space(64, 0.0, 64.0), 64.0, 1e-9);
+}
+
+TEST(Log2SearchSpace, NarrowIntervalShrinksSpace) {
+  const double narrow = log2_search_space(1024, 510.0, 514.0);
+  const double wide = log2_search_space(1024, 400.0, 600.0);
+  EXPECT_LT(narrow, wide);
+  EXPECT_LT(wide, 1024.0);
+  // Knowing HW to +/-2 bits around 512 still leaves ~2^1021 keys — the
+  // reduction is real but the paper's "precursor" framing is the point.
+  EXPECT_GT(narrow, 1000.0);
+}
+
+TEST(Log2SearchSpace, ExtremeWeightsAreTinySpaces) {
+  // HW=1: only 1024 keys -> 10 bits.
+  EXPECT_NEAR(log2_search_space(1024, 1.0, 1.0), std::log2(1024.0), 1e-9);
+  EXPECT_NEAR(log2_search_space(1024, 1024.0, 1024.0), 0.0, 1e-9);
+}
+
+TEST(Log2SearchSpace, ClampsAndHandlesEmptyRounding) {
+  EXPECT_NEAR(log2_search_space(64, -5.0, 70.0), 64.0, 1e-9);
+  // An interval like [3.2, 3.8] rounds empty; falls back to nearest weight.
+  EXPECT_NEAR(log2_search_space(64, 3.2, 3.8), log2_binomial(64, 4), 1e-9);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

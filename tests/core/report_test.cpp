@@ -1,0 +1,48 @@
+#include "amperebleed/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::core {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Sensor", "Top-1"});
+  t.add_row({"Current (FPGA)", "0.997"});
+  t.add_row({"Voltage (FPGA)", "0.116"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Sensor"), std::string::npos);
+  EXPECT_NE(out.find("0.997"), std::string::npos);
+  // Every line has the same width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, Validation) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TextTable, HandlesWideCells) {
+  TextTable t({"x"});
+  t.add_row({"a-very-long-cell-value"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a-very-long-cell-value"), std::string::npos);
+}
+
+TEST(Fmt, DecimalControl) {
+  EXPECT_EQ(fmt(0.9966, 3), "0.997");
+  EXPECT_EQ(fmt(1.0, 1), "1.0");
+  EXPECT_EQ(fmt(-2.5, 0), "-2");  // printf rounds half to even
+}
+
+}  // namespace
+}  // namespace amperebleed::core

@@ -1,0 +1,105 @@
+#include "amperebleed/core/rsa_attack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::core {
+namespace {
+
+RsaAttackConfig small_config() {
+  RsaAttackConfig c;
+  c.sample_count = 1'500;             // 1.5 s at 1 kHz
+  c.hamming_weights = {1, 256, 512, 768, 1024};
+  c.seed = 7;
+  return c;
+}
+
+TEST(RsaAttack, CurrentMeansIncreaseWithHammingWeight) {
+  const auto result = run_rsa_attack(small_config());
+  ASSERT_EQ(result.keys.size(), 5u);
+  for (std::size_t i = 1; i < result.keys.size(); ++i) {
+    EXPECT_GT(result.keys[i].current_ma.mean,
+              result.keys[i - 1].current_ma.mean)
+        << "HW " << result.keys[i].hamming_weight;
+  }
+}
+
+TEST(RsaAttack, WidelySpacedWeightsFullySeparableInCurrent) {
+  const auto result = run_rsa_attack(small_config());
+  EXPECT_EQ(result.current_groups, 5u);
+}
+
+TEST(RsaAttack, PowerChannelCoarserThanCurrent) {
+  const auto result = run_rsa_attack(small_config());
+  EXPECT_LE(result.power_groups, result.current_groups);
+}
+
+TEST(RsaAttack, ObservationsCarrySampleVectors) {
+  RsaAttackConfig c = small_config();
+  c.hamming_weights = {512};
+  const auto result = run_rsa_attack(c);
+  ASSERT_EQ(result.keys.size(), 1u);
+  const auto& k = result.keys[0];
+  EXPECT_EQ(k.current_samples_ma.size(), c.sample_count);
+  EXPECT_EQ(k.power_samples_mw.size(), c.sample_count);
+  EXPECT_GT(k.encryptions_observed, 50u);  // ~10.8 ms per encryption
+  EXPECT_EQ(k.hamming_weight, 512u);
+  EXPECT_GT(k.current_ma.mean, 0.0);
+}
+
+TEST(RsaAttack, DefaultScheduleIsPaper17) {
+  const auto weights = default_hamming_weights();
+  EXPECT_EQ(weights.size(), 17u);
+  EXPECT_EQ(weights.front(), 1u);
+  EXPECT_EQ(weights.back(), 1024u);
+}
+
+TEST(RsaAttack, GroupIdsAreNondecreasing) {
+  const auto result = run_rsa_attack(small_config());
+  for (std::size_t i = 1; i < result.current_group_ids.size(); ++i) {
+    EXPECT_GE(result.current_group_ids[i], result.current_group_ids[i - 1]);
+  }
+  for (std::size_t i = 1; i < result.power_group_ids.size(); ++i) {
+    EXPECT_GE(result.power_group_ids[i], result.power_group_ids[i - 1]);
+  }
+}
+
+TEST(RsaAttack, LeaveOneOutEstimatesLandNearTruth) {
+  const auto result = run_rsa_attack(small_config());
+  for (const auto& key : result.keys) {
+    // The calibration is linear and the channel is strong: LOO estimates
+    // should be within a few tens of bits of the true weight.
+    EXPECT_NEAR(key.loo_estimate.hamming_weight,
+                static_cast<double>(key.hamming_weight), 40.0)
+        << "HW " << key.hamming_weight;
+    EXPECT_LE(key.loo_estimate.ci_low, key.loo_estimate.ci_high);
+    // Residual space must be a genuine reduction of the 2^1024 space.
+    EXPECT_LT(key.log2_residual_search_space,
+              result.log2_full_search_space);
+    EXPECT_GE(key.log2_residual_search_space, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(result.log2_full_search_space, 1024.0);
+  EXPECT_GT(result.independent_samples_per_key, 10u);
+}
+
+TEST(RsaAttack, TwoKeysSkipLeaveOneOutGracefully) {
+  RsaAttackConfig c = small_config();
+  c.hamming_weights = {64, 960};
+  c.sample_count = 400;
+  const auto result = run_rsa_attack(c);
+  // LOO needs >= 3 keys (2 calibration points per fold); with 2 keys the
+  // estimates stay default-initialized.
+  EXPECT_DOUBLE_EQ(result.keys[0].loo_estimate.hamming_weight, 0.0);
+}
+
+TEST(RsaAttack, DeterministicForSeed) {
+  RsaAttackConfig c = small_config();
+  c.hamming_weights = {64, 960};
+  c.sample_count = 400;
+  const auto a = run_rsa_attack(c);
+  const auto b = run_rsa_attack(c);
+  EXPECT_DOUBLE_EQ(a.keys[0].current_ma.mean, b.keys[0].current_ma.mean);
+  EXPECT_DOUBLE_EQ(a.keys[1].power_mw.mean, b.keys[1].power_mw.mean);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

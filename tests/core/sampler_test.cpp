@@ -1,0 +1,137 @@
+#include "amperebleed/core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "amperebleed/fpga/power_virus.hpp"
+
+namespace amperebleed::core {
+namespace {
+
+std::unique_ptr<soc::Soc> make_soc_with_step_load(double amps, sim::TimeNs at,
+                                                  std::uint64_t seed = 1) {
+  auto soc = std::make_unique<soc::Soc>(soc::zcu102_config(seed));
+  power::RailActivity load;
+  load.on(power::Rail::FpgaLogic).append(at, amps);
+  soc->add_activity(load);
+  soc->finalize();
+  return soc;
+}
+
+TEST(Sampler, RequiresFinalizedSoc) {
+  soc::Soc soc(soc::zcu102_config());
+  EXPECT_THROW(Sampler{soc}, std::logic_error);
+}
+
+TEST(Sampler, ReadNowReturnsHwmonUnits) {
+  auto soc_ptr = make_soc_with_step_load(1.0, sim::microseconds(1));
+  Sampler sampler(*soc_ptr);
+  soc_ptr->advance_to(sim::milliseconds(40));
+  const double ma =
+      sampler.read_now({power::Rail::FpgaLogic, Quantity::Current});
+  EXPECT_NEAR(ma, 1520.0, 30.0);  // 0.52 idle + 1.0 load, in mA
+  const double mv =
+      sampler.read_now({power::Rail::FpgaLogic, Quantity::Voltage});
+  EXPECT_NEAR(mv, 850.0, 3.0);
+}
+
+TEST(Sampler, CollectProducesUniformTrace) {
+  auto soc_ptr = make_soc_with_step_load(0.5, sim::microseconds(1));
+  Sampler sampler(*soc_ptr);
+  SamplerConfig config;
+  config.period = sim::milliseconds(35);
+  config.sample_count = 20;
+  const Trace t = sampler.collect({power::Rail::FpgaLogic, Quantity::Current},
+                                  sim::milliseconds(40), config);
+  EXPECT_EQ(t.size(), 20u);
+  EXPECT_EQ(t.period(), sim::milliseconds(35));
+  for (double v : t.values()) {
+    EXPECT_NEAR(v, 1020.0, 40.0);
+  }
+}
+
+TEST(Sampler, SeesLoadSteps) {
+  auto soc_ptr = make_soc_with_step_load(3.0, sim::milliseconds(500));
+  Sampler sampler(*soc_ptr);
+  SamplerConfig config;
+  config.period = sim::milliseconds(35);
+  config.sample_count = 30;  // spans the step at 500 ms
+  const Trace t = sampler.collect({power::Rail::FpgaLogic, Quantity::Current},
+                                  sim::milliseconds(40), config);
+  EXPECT_LT(t[0], 700.0);
+  EXPECT_GT(t[t.size() - 1], 3000.0);
+}
+
+TEST(Sampler, FasterPollingRepeatsRegisterValues) {
+  // 1 kHz polling against a 35.2 ms conversion: consecutive reads repeat.
+  auto soc_ptr = make_soc_with_step_load(1.0, sim::microseconds(1));
+  Sampler sampler(*soc_ptr);
+  SamplerConfig config;
+  config.period = sim::milliseconds(1);
+  config.sample_count = 200;
+  const Trace t = sampler.collect({power::Rail::FpgaLogic, Quantity::Current},
+                                  sim::milliseconds(40), config);
+  std::size_t repeats = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] == t[i - 1]) ++repeats;
+  }
+  EXPECT_GT(repeats, t.size() / 2);
+}
+
+TEST(Sampler, CollectMultiReadsAllChannelsInLockstep) {
+  auto soc_ptr = make_soc_with_step_load(2.0, sim::microseconds(1));
+  Sampler sampler(*soc_ptr);
+  SamplerConfig config;
+  config.sample_count = 5;
+  const std::vector<Channel> channels = {
+      {power::Rail::FpgaLogic, Quantity::Current},
+      {power::Rail::FpgaLogic, Quantity::Power},
+      {power::Rail::Ddr, Quantity::Current},
+  };
+  const auto traces =
+      sampler.collect_multi(channels, sim::milliseconds(40), config);
+  ASSERT_EQ(traces.size(), 3u);
+  for (const auto& t : traces) EXPECT_EQ(t.size(), 5u);
+  // Power (uW) tracks current (mA) * voltage: same conversion, so the
+  // quantized product relationship holds within one power LSB.
+  const double watts = traces[1][0] * 1e-6;
+  const double amps = traces[0][0] * 1e-3;
+  EXPECT_NEAR(watts, amps * 0.85, 0.026);
+}
+
+TEST(Sampler, SoftDefensesApplyThroughTheFullStack) {
+  soc::SocConfig config = soc::zcu102_config(31);
+  config.hwmon_policy.quantize_factor = 250;  // 250 mA reporting granularity
+  soc::Soc soc(config);
+  power::RailActivity load;
+  load.on(power::Rail::FpgaLogic).append(sim::microseconds(1), 1.0);
+  soc.add_activity(load);
+  soc.finalize();
+  soc.advance_to(sim::milliseconds(80));
+  Sampler sampler(soc);
+  const double ma =
+      sampler.read_now({power::Rail::FpgaLogic, Quantity::Current});
+  // ~1530 mA true -> reported on the 250 mA grid.
+  EXPECT_DOUBLE_EQ(std::fmod(ma, 250.0), 0.0);
+  EXPECT_NEAR(ma, 1500.0, 250.0);
+}
+
+TEST(Sampler, MitigationPolicyStopsUnprivilegedSampler) {
+  soc::SocConfig config = soc::zcu102_config();
+  config.hwmon_policy.unprivileged_sensor_read = false;
+  soc::Soc soc(config);
+  soc.finalize();
+  Sampler sampler(soc);
+  EXPECT_THROW(
+      static_cast<void>(
+          sampler.read_now({power::Rail::FpgaLogic, Quantity::Current})),
+      SamplingError);
+  // Privileged tooling still reads.
+  EXPECT_NO_THROW(static_cast<void>(sampler.read_now(
+      {power::Rail::FpgaLogic, Quantity::Current}, /*privileged=*/true)));
+}
+
+}  // namespace
+}  // namespace amperebleed::core

@@ -1,0 +1,95 @@
+#include "amperebleed/core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace amperebleed::core {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "trace_io_test.csv";
+};
+
+Trace make_trace() {
+  Trace t({power::Rail::Ddr, Quantity::Power}, sim::milliseconds(40),
+          sim::milliseconds(35));
+  t.push(1'250'000.0);
+  t.push(1'275'000.0);
+  t.push(1'250'000.0);
+  return t;
+}
+
+TEST_F(TraceIoTest, RoundTripPreservesEverything) {
+  const Trace original = make_trace();
+  save_trace_csv(original, path_);
+  const Trace loaded = load_trace_csv(path_);
+  EXPECT_EQ(loaded.channel(), original.channel());
+  EXPECT_EQ(loaded.start(), original.start());
+  EXPECT_EQ(loaded.period(), original.period());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], original[i]);
+  }
+}
+
+TEST_F(TraceIoTest, FileIsHumanReadableCsv) {
+  save_trace_csv(make_trace(), path_);
+  std::ifstream in(path_);
+  std::string first;
+  std::string second;
+  std::getline(in, first);
+  std::getline(in, second);
+  EXPECT_NE(first.find("# amperebleed-trace"), std::string::npos);
+  EXPECT_NE(first.find("quantity=power"), std::string::npos);
+  EXPECT_NE(first.find("rail=ddr"), std::string::npos);
+  EXPECT_EQ(second, "index,time_ms,value");
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty({power::Rail::FpgaLogic, Quantity::Current}, sim::TimeNs{0},
+              sim::milliseconds(1));
+  save_trace_csv(empty, path_);
+  EXPECT_EQ(load_trace_csv(path_).size(), 0u);
+}
+
+TEST_F(TraceIoTest, RejectsForeignFiles) {
+  {
+    std::ofstream out(path_);
+    out << "index,time,value\n1,2,3\n";
+  }
+  EXPECT_THROW(load_trace_csv(path_), std::runtime_error);
+  EXPECT_THROW(load_trace_csv("/no/such/file.csv"), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsMalformedRows) {
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=current rail=ddr start_ns=0 "
+           "period_ns=1000\n";
+    out << "index,time_ms,value\n";
+    out << "0,0.0\n";  // missing column
+  }
+  EXPECT_THROW(load_trace_csv(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, RejectsBadMetadata) {
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=entropy rail=ddr start_ns=0 "
+           "period_ns=1000\n";
+  }
+  EXPECT_THROW(load_trace_csv(path_), std::runtime_error);
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=current rail=ddr start_ns=0 "
+           "period_ns=0\n";
+  }
+  EXPECT_THROW(load_trace_csv(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

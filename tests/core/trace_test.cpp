@@ -1,0 +1,60 @@
+#include "amperebleed/core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::core {
+namespace {
+
+TEST(ChannelNaming, AttrsMatchHwmonConventions) {
+  EXPECT_EQ(quantity_attr(Quantity::Current), "curr1_input");
+  EXPECT_EQ(quantity_attr(Quantity::Voltage), "in1_input");
+  EXPECT_EQ(quantity_attr(Quantity::Power), "power1_input");
+  EXPECT_EQ(quantity_unit(Quantity::Current), "mA");
+  EXPECT_EQ(quantity_unit(Quantity::Voltage), "mV");
+  EXPECT_EQ(quantity_unit(Quantity::Power), "uW");
+}
+
+TEST(ChannelNaming, NameCombinesQuantityAndRail) {
+  const Channel c{power::Rail::FpgaLogic, Quantity::Current};
+  EXPECT_EQ(channel_name(c), "current(fpga_logic)");
+  const Channel v{power::Rail::Ddr, Quantity::Voltage};
+  EXPECT_EQ(channel_name(v), "voltage(ddr)");
+}
+
+TEST(Trace, Validation) {
+  const Channel c{};
+  EXPECT_THROW(Trace(c, sim::TimeNs{0}, sim::TimeNs{0}),
+               std::invalid_argument);
+}
+
+TEST(Trace, TimestampsFromStartAndPeriod) {
+  Trace t({}, sim::milliseconds(100), sim::milliseconds(35));
+  t.push(1.0);
+  t.push(2.0);
+  t.push(3.0);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.time_of(0), sim::milliseconds(100));
+  EXPECT_EQ(t.time_of(2), sim::milliseconds(170));
+  EXPECT_EQ(t.duration(), sim::milliseconds(105));
+}
+
+TEST(Trace, ValuesAccessors) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  EXPECT_TRUE(t.empty());
+  t.push(5.0);
+  EXPECT_DOUBLE_EQ(t[0], 5.0);
+  EXPECT_THROW(static_cast<void>(t[1]), std::out_of_range);
+  EXPECT_EQ(t.values().size(), 1u);
+}
+
+TEST(Trace, PrefixExtractsFeatures) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  for (int i = 0; i < 10; ++i) t.push(i);
+  const auto p = t.prefix(4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p[3], 3.0);
+  EXPECT_THROW(t.prefix(11), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::core

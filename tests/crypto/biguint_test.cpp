@@ -1,0 +1,147 @@
+#include "amperebleed/crypto/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::crypto {
+namespace {
+
+TEST(BigUInt, ZeroProperties) {
+  const BigUInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_FALSE(zero.is_odd());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.hamming_weight(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+  EXPECT_EQ(zero.low_u64(), 0u);
+}
+
+TEST(BigUInt, U64RoundTrip) {
+  const BigUInt v(0x123456789abcdef0ULL);
+  EXPECT_EQ(v.low_u64(), 0x123456789abcdef0ULL);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef0");
+  EXPECT_EQ(v.bit_length(), 61u);
+}
+
+TEST(BigUInt, FromHexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef";
+  const BigUInt v = BigUInt::from_hex(hex);
+  EXPECT_EQ(v.to_hex(), hex);
+  EXPECT_EQ(BigUInt::from_hex("0xFF").low_u64(), 255u);
+  EXPECT_EQ(BigUInt::from_hex("00ff").to_hex(), "ff");
+}
+
+TEST(BigUInt, FromHexRejectsGarbage) {
+  EXPECT_THROW(BigUInt::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(BigUInt::from_hex("xyz"), std::invalid_argument);
+}
+
+TEST(BigUInt, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x02, 0x03, 0xff, 0x00};
+  const BigUInt v = BigUInt::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_hex(), "10203ff00");
+  const auto out = v.to_bytes_be();
+  // Leading zero byte is not preserved (canonical form).
+  EXPECT_EQ(BigUInt::from_bytes_be(out), v);
+}
+
+TEST(BigUInt, ComparisonOperators) {
+  const BigUInt a(100);
+  const BigUInt b(200);
+  const BigUInt big = BigUInt::from_hex("1ffffffffffffffff");
+  EXPECT_LT(a, b);
+  EXPECT_GT(big, b);
+  EXPECT_LE(a, a);
+  EXPECT_GE(big, big);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BigUInt(100));
+}
+
+TEST(BigUInt, AdditionWithCarryChains) {
+  const BigUInt max32(0xffffffffULL);
+  const BigUInt one(1);
+  EXPECT_EQ((max32 + one).to_hex(), "100000000");
+  const BigUInt big = BigUInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((big + one).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigUInt, SubtractionWithBorrow) {
+  const BigUInt big = BigUInt::from_hex("100000000");
+  EXPECT_EQ((big - BigUInt(1)).to_hex(), "ffffffff");
+  EXPECT_TRUE((big - big).is_zero());
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), std::underflow_error);
+}
+
+TEST(BigUInt, MultiplicationKnownValues) {
+  EXPECT_TRUE((BigUInt(0) * BigUInt(123)).is_zero());
+  EXPECT_EQ((BigUInt(0xffffffffULL) * BigUInt(0xffffffffULL)).to_hex(),
+            "fffffffe00000001");
+  const BigUInt a = BigUInt::from_hex("123456789abcdef");
+  const BigUInt b = BigUInt::from_hex("fedcba987654321");
+  EXPECT_EQ((a * b).to_hex(), "121fa00ad77d7422236d88fe5618cf");
+}
+
+TEST(BigUInt, ShiftsInverse) {
+  const BigUInt v = BigUInt::from_hex("123456789abcdef0123456789");
+  EXPECT_EQ((v << 37) >> 37, v);
+  EXPECT_EQ((v << 0), v);
+  EXPECT_TRUE((v >> 200).is_zero());
+  EXPECT_EQ((BigUInt(1) << 100).bit_length(), 101u);
+}
+
+TEST(BigUInt, BitAccess) {
+  BigUInt v;
+  v.set_bit(0);
+  v.set_bit(77);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(77));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(1000));
+  EXPECT_EQ(v.bit_length(), 78u);
+  EXPECT_EQ(v.hamming_weight(), 2u);
+}
+
+TEST(BigUInt, DivModKnownValues) {
+  const BigUInt n(1000);
+  const auto [q, r] = n.divmod(BigUInt(7));
+  EXPECT_EQ(q.low_u64(), 142u);
+  EXPECT_EQ(r.low_u64(), 6u);
+  EXPECT_THROW(n.divmod(BigUInt()), std::domain_error);
+}
+
+TEST(BigUInt, DivModSmallerThanDivisor) {
+  const auto [q, r] = BigUInt(5).divmod(BigUInt(100));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r.low_u64(), 5u);
+}
+
+TEST(BigUInt, DivModReconstructionProperty) {
+  // Property: for random a, b: a == q*b + r with r < b.
+  util::Rng rng(42);
+  for (int trial = 0; trial < 25; ++trial) {
+    BigUInt a;
+    BigUInt b;
+    for (int bit = 0; bit < 192; ++bit) {
+      if (rng.bernoulli(0.5)) a.set_bit(static_cast<std::size_t>(bit));
+    }
+    for (int bit = 0; bit < 96; ++bit) {
+      if (rng.bernoulli(0.5)) b.set_bit(static_cast<std::size_t>(bit));
+    }
+    if (b.is_zero()) b = BigUInt(3);
+    const auto [q, r] = a.divmod(b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigUInt, ModMatchesDivMod) {
+  const BigUInt a = BigUInt::from_hex("123456789abcdef123456789abcdef");
+  const BigUInt m = BigUInt::from_hex("fedcba987");
+  EXPECT_EQ(a.mod(m), a.divmod(m).remainder);
+}
+
+}  // namespace
+}  // namespace amperebleed::crypto

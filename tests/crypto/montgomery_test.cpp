@@ -1,0 +1,95 @@
+#include "amperebleed/crypto/montgomery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amperebleed/crypto/modexp.hpp"
+#include "amperebleed/crypto/rsa.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::crypto {
+namespace {
+
+BigUInt random_below(const BigUInt& m, util::Rng& rng) {
+  BigUInt x;
+  for (std::size_t b = 0; b < m.bit_length(); ++b) {
+    if (rng.bernoulli(0.5)) x.set_bit(b);
+  }
+  return x.mod(m);
+}
+
+TEST(Montgomery, RejectsBadModuli) {
+  EXPECT_THROW(MontgomeryContext{BigUInt{}}, std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext{BigUInt{10}}, std::invalid_argument);
+  EXPECT_NO_THROW(MontgomeryContext{BigUInt{9}});
+}
+
+TEST(Montgomery, DomainRoundTrip) {
+  const BigUInt n(1'000'000'007ULL);
+  MontgomeryContext ctx(n);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BigUInt x = random_below(n, rng);
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(x)), x);
+  }
+}
+
+TEST(Montgomery, MulMatchesModMul) {
+  const BigUInt n = BigUInt::from_hex("fedcba9876543211");  // odd
+  MontgomeryContext ctx(n);
+  util::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BigUInt a = random_below(n, rng);
+    const BigUInt b = random_below(n, rng);
+    const BigUInt product =
+        ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+    EXPECT_EQ(product, modmul(a, b, n)) << "trial " << trial;
+  }
+}
+
+TEST(Montgomery, ModexpMatchesReferenceSmall) {
+  const BigUInt n(999'999'937ULL);  // odd
+  MontgomeryContext ctx(n);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const BigUInt base = random_below(n, rng);
+    const BigUInt exp(rng.uniform_below(1'000'000));
+    EXPECT_EQ(ctx.modexp(base, exp), modexp(base, exp, n));
+  }
+}
+
+TEST(Montgomery, ModexpEdgeCases) {
+  const BigUInt n(97);
+  MontgomeryContext ctx(n);
+  EXPECT_EQ(ctx.modexp(BigUInt(5), BigUInt()).low_u64(), 1u);   // x^0
+  EXPECT_EQ(ctx.modexp(BigUInt(), BigUInt(3)).low_u64(), 0u);   // 0^x
+  EXPECT_EQ(ctx.modexp(BigUInt(96), BigUInt(2)).low_u64(), 1u); // (-1)^2
+  // Modulus 1: everything is 0.
+  MontgomeryContext one(BigUInt(1));
+  EXPECT_TRUE(one.modexp(BigUInt(5), BigUInt(3)).is_zero());
+}
+
+TEST(Montgomery, Rsa1024AgainstReference) {
+  const BigUInt& n = rsa1024_test_modulus();
+  MontgomeryContext ctx(n);
+  const BigUInt base =
+      exponent_with_hamming_weight(1000, 500, 7).mod(n);
+  const BigUInt exp = exponent_with_hamming_weight(64, 20, 9);
+  EXPECT_EQ(ctx.modexp(base, exp), modexp(base, exp, n));
+}
+
+TEST(Montgomery, OperandsWiderThanModulusAreReduced) {
+  const BigUInt n(101);
+  MontgomeryContext ctx(n);
+  EXPECT_EQ(ctx.from_mont(ctx.to_mont(BigUInt(5000))).low_u64(),
+            5000ull % 101);
+}
+
+TEST(Montgomery, FermatOnLargerPrime) {
+  // 2^127 - 1 is prime (Mersenne): a^(p-1) = 1 mod p.
+  const BigUInt p = (BigUInt(1) << 127) - BigUInt(1);
+  MontgomeryContext ctx(p);
+  EXPECT_EQ(ctx.modexp(BigUInt(3), p - BigUInt(1)), BigUInt(1));
+}
+
+}  // namespace
+}  // namespace amperebleed::crypto

@@ -1,0 +1,70 @@
+#include "amperebleed/crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::crypto {
+namespace {
+
+TEST(Rsa1024Modulus, ShapeInvariants) {
+  const BigUInt& n = rsa1024_test_modulus();
+  EXPECT_EQ(n.bit_length(), 1024u);
+  EXPECT_TRUE(n.is_odd());
+  // Same object every call (cached), and value is stable across calls.
+  EXPECT_EQ(&rsa1024_test_modulus(), &n);
+}
+
+TEST(ExponentWithHammingWeight, ExactWeight) {
+  for (std::size_t hw : {1u, 17u, 512u, 1024u}) {
+    const BigUInt e = exponent_with_hamming_weight(1024, hw, 42);
+    EXPECT_EQ(e.hamming_weight(), hw) << "hw=" << hw;
+    EXPECT_LE(e.bit_length(), 1024u);
+  }
+}
+
+TEST(ExponentWithHammingWeight, FullWeightSetsEveryBit) {
+  const BigUInt e = exponent_with_hamming_weight(64, 64, 7);
+  for (std::size_t b = 0; b < 64; ++b) EXPECT_TRUE(e.bit(b));
+}
+
+TEST(ExponentWithHammingWeight, DeterministicPerSeed) {
+  const BigUInt a = exponent_with_hamming_weight(256, 40, 1);
+  const BigUInt b = exponent_with_hamming_weight(256, 40, 1);
+  const BigUInt c = exponent_with_hamming_weight(256, 40, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(c.hamming_weight(), 40u);
+}
+
+TEST(ExponentWithHammingWeight, Validation) {
+  EXPECT_THROW(exponent_with_hamming_weight(1024, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(exponent_with_hamming_weight(64, 65, 1),
+               std::invalid_argument);
+}
+
+TEST(PaperSchedule, SeventeenKeysSteppingBy64) {
+  const auto schedule = paper_hamming_weight_schedule(1024);
+  ASSERT_EQ(schedule.size(), 17u);
+  EXPECT_EQ(schedule.front(), 1u);  // HW=0 unsupported, paper uses 1
+  EXPECT_EQ(schedule[1], 64u);
+  EXPECT_EQ(schedule[2], 128u);
+  EXPECT_EQ(schedule.back(), 1024u);
+  for (std::size_t i = 2; i < schedule.size(); ++i) {
+    EXPECT_EQ(schedule[i] - schedule[i - 1], 64u);
+  }
+}
+
+TEST(PaperSchedule, ScalesWithWidth) {
+  const auto schedule = paper_hamming_weight_schedule(256);
+  ASSERT_EQ(schedule.size(), 17u);
+  EXPECT_EQ(schedule[1], 16u);
+  EXPECT_EQ(schedule.back(), 256u);
+}
+
+TEST(PaperSchedule, Validation) {
+  EXPECT_THROW(paper_hamming_weight_schedule(0), std::invalid_argument);
+  EXPECT_THROW(paper_hamming_weight_schedule(100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::crypto

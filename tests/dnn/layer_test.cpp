@@ -1,0 +1,98 @@
+#include "amperebleed/dnn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::dnn {
+namespace {
+
+TEST(TensorShape, Elements) {
+  EXPECT_EQ((TensorShape{224, 224, 3}.elements()), 224u * 224u * 3u);
+  EXPECT_EQ((TensorShape{1, 1, 1000}.elements()), 1000u);
+}
+
+TEST(Conv, ShapeAndMacs) {
+  const Layer l = make_conv("c", {224, 224, 3}, 64, 7, 2);
+  EXPECT_EQ(l.output.height, 112);
+  EXPECT_EQ(l.output.width, 112);
+  EXPECT_EQ(l.output.channels, 64);
+  // MACs = outH*outW*outC*k*k*inC
+  EXPECT_EQ(l.macs(), 112ull * 112 * 64 * 7 * 7 * 3);
+  EXPECT_EQ(l.weight_bytes(), 7ull * 7 * 3 * 64);
+}
+
+TEST(Conv, SamePaddingCeilDivision) {
+  const Layer l = make_conv("c", {7, 7, 8}, 16, 3, 2);
+  EXPECT_EQ(l.output.height, 4);  // ceil(7/2)
+  EXPECT_EQ(l.output.width, 4);
+}
+
+TEST(DepthwiseConv, MacsIndependentOfInputChannels) {
+  const Layer l = make_depthwise("dw", {56, 56, 128}, 3, 1);
+  EXPECT_EQ(l.output.channels, 128);
+  EXPECT_EQ(l.macs(), 56ull * 56 * 128 * 9);
+  EXPECT_EQ(l.weight_bytes(), 9ull * 128);
+}
+
+TEST(FullyConnected, MacsEqualWeightCount) {
+  const Layer l = make_fc("fc", {1, 1, 2048}, 1000);
+  EXPECT_EQ(l.macs(), 2048ull * 1000);
+  EXPECT_EQ(l.weight_bytes(), 2048ull * 1000);
+  EXPECT_EQ(l.output.channels, 1000);
+}
+
+TEST(FullyConnected, FlattensSpatialInput) {
+  const Layer l = make_fc("fc", {7, 7, 512}, 4096);
+  EXPECT_EQ(l.macs(), 7ull * 7 * 512 * 4096);
+}
+
+TEST(Pool, OpsAndNoWeights) {
+  const Layer l = make_pool("p", {112, 112, 64}, 3, 2);
+  EXPECT_EQ(l.output.height, 56);
+  EXPECT_EQ(l.weight_bytes(), 0u);
+  EXPECT_GT(l.macs(), 0u);
+}
+
+TEST(GlobalPool, CollapsesSpatialDims) {
+  const Layer l = make_global_pool("gp", {7, 7, 2048});
+  EXPECT_EQ(l.output.height, 1);
+  EXPECT_EQ(l.output.width, 1);
+  EXPECT_EQ(l.output.channels, 2048);
+  EXPECT_EQ(l.macs(), 7ull * 7 * 2048);
+}
+
+TEST(EltwiseAdd, ReadsTwoOperands) {
+  const Layer l = make_eltwise_add("add", {56, 56, 256});
+  const std::uint64_t plane = 56ull * 56 * 256;
+  EXPECT_EQ(l.activation_bytes(), 3 * plane);
+  EXPECT_EQ(l.weight_bytes(), 0u);
+}
+
+TEST(Concat, PureDataMovement) {
+  const Layer l = make_concat("cat", {28, 28, 128}, 64);
+  EXPECT_EQ(l.output.channels, 192);
+  EXPECT_EQ(l.macs(), 0u);
+  EXPECT_GT(l.dram_bytes(), 0u);
+}
+
+TEST(ArithmeticIntensity, ConvBeatsFc) {
+  const Layer conv = make_conv("c", {56, 56, 128}, 128, 3, 1);
+  const Layer fc = make_fc("f", {1, 1, 4096}, 4096);
+  EXPECT_GT(conv.arithmetic_intensity(), fc.arithmetic_intensity());
+}
+
+TEST(LayerFactories, Validation) {
+  EXPECT_THROW(make_conv("c", {8, 8, 8}, 0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(make_conv("c", {8, 8, 8}, 8, 3, 0), std::invalid_argument);
+  EXPECT_THROW(make_fc("f", {1, 1, 8}, 0), std::invalid_argument);
+  EXPECT_THROW(make_concat("x", {8, 8, 8}, 0), std::invalid_argument);
+}
+
+TEST(LayerKindNames, AllDistinct) {
+  EXPECT_EQ(layer_kind_name(LayerKind::Conv), "conv");
+  EXPECT_EQ(layer_kind_name(LayerKind::DepthwiseConv), "dwconv");
+  EXPECT_EQ(layer_kind_name(LayerKind::FullyConnected), "fc");
+  EXPECT_EQ(layer_kind_name(LayerKind::Concat), "concat");
+}
+
+}  // namespace
+}  // namespace amperebleed::dnn

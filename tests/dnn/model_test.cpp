@@ -1,0 +1,110 @@
+#include "amperebleed/dnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::dnn {
+namespace {
+
+TEST(ModelBuilder, ShapeCursorChains) {
+  ModelBuilder b("toy", Family::Vgg, {32, 32, 3});
+  b.conv(16, 3, 1);
+  EXPECT_EQ(b.shape().channels, 16);
+  b.pool(2, 2);
+  EXPECT_EQ(b.shape().height, 16);
+  b.fc(10);
+  EXPECT_EQ(b.shape().channels, 10);
+  const Model m = std::move(b).build();
+  EXPECT_EQ(m.layer_count(), 3u);
+  EXPECT_EQ(m.name, "toy");
+  EXPECT_EQ(m.family, Family::Vgg);
+}
+
+TEST(ModelBuilder, SeparableIsDepthwisePlusPointwise) {
+  ModelBuilder b("sep", Family::MobileNet, {56, 56, 32});
+  b.separable(64, 3, 2);
+  const Model m = std::move(b).build();
+  ASSERT_EQ(m.layer_count(), 2u);
+  EXPECT_EQ(m.layers[0].kind, LayerKind::DepthwiseConv);
+  EXPECT_EQ(m.layers[1].kind, LayerKind::Conv);
+  EXPECT_EQ(m.layers[1].kernel, 1);
+  EXPECT_EQ(m.layers[1].output.channels, 64);
+}
+
+TEST(ModelBuilder, InvertedResidualAddsSkipOnlyWhenShapesMatch) {
+  ModelBuilder with_skip("a", Family::MobileNet, {28, 28, 32});
+  with_skip.inverted_residual(32, 6, 1);
+  const Model m1 = std::move(with_skip).build();
+  EXPECT_EQ(m1.layers.back().kind, LayerKind::EltwiseAdd);
+
+  ModelBuilder no_skip("b", Family::MobileNet, {28, 28, 32});
+  no_skip.inverted_residual(64, 6, 2);  // stride + channel change
+  const Model m2 = std::move(no_skip).build();
+  EXPECT_NE(m2.layers.back().kind, LayerKind::EltwiseAdd);
+}
+
+TEST(ModelBuilder, BottleneckExpandsFourX) {
+  ModelBuilder b("r", Family::ResNet, {56, 56, 256});
+  b.bottleneck(64, 1);
+  const Model m = std::move(b).build();
+  EXPECT_EQ(m.layers.back().output.channels, 256);
+  EXPECT_EQ(m.layers.back().kind, LayerKind::EltwiseAdd);
+}
+
+TEST(ModelBuilder, FireModuleConcatenatesExpands) {
+  ModelBuilder b("f", Family::SqueezeNet, {55, 55, 96});
+  b.fire(16, 64);
+  EXPECT_EQ(b.shape().channels, 128);  // 64 (1x1) + 64 (3x3)
+}
+
+TEST(ModelBuilder, InceptionMixedSumsBranchChannels) {
+  ModelBuilder b("i", Family::Inception, {28, 28, 192});
+  b.inception_mixed(64, 96, 128, 16, 32, 32);
+  EXPECT_EQ(b.shape().channels, 64 + 128 + 32 + 32);
+  EXPECT_EQ(b.shape().height, 28);
+}
+
+TEST(ModelBuilder, DenseLayerGrowsByGrowthRate) {
+  ModelBuilder b("d", Family::DenseNet, {56, 56, 64});
+  b.dense_layer(32);
+  EXPECT_EQ(b.shape().channels, 96);
+  b.dense_layer(32);
+  EXPECT_EQ(b.shape().channels, 128);
+}
+
+TEST(ModelBuilder, SeBlockPreservesSpatialShape) {
+  ModelBuilder b("se", Family::ResNet, {28, 28, 256});
+  b.se_block();
+  EXPECT_EQ(b.shape().height, 28);
+  EXPECT_EQ(b.shape().width, 28);
+  EXPECT_EQ(b.shape().channels, 256);
+}
+
+TEST(Model, TotalsAreLayerSums) {
+  ModelBuilder b("sum", Family::Vgg, {8, 8, 4});
+  b.conv(8, 3, 1).fc(10);
+  const Model m = std::move(b).build();
+  std::uint64_t macs = 0;
+  std::uint64_t weights = 0;
+  std::uint64_t bytes = 0;
+  for (const auto& l : m.layers) {
+    macs += l.macs();
+    weights += l.weight_bytes();
+    bytes += l.dram_bytes();
+  }
+  EXPECT_EQ(m.total_macs(), macs);
+  EXPECT_EQ(m.total_weight_bytes(), weights);
+  EXPECT_EQ(m.total_dram_bytes(), bytes);
+}
+
+TEST(FamilyName, AllSevenFamilies) {
+  EXPECT_EQ(family_name(Family::MobileNet), "MobileNet");
+  EXPECT_EQ(family_name(Family::SqueezeNet), "SqueezeNet");
+  EXPECT_EQ(family_name(Family::EfficientNet), "EfficientNet");
+  EXPECT_EQ(family_name(Family::Inception), "Inception");
+  EXPECT_EQ(family_name(Family::ResNet), "ResNet");
+  EXPECT_EQ(family_name(Family::Vgg), "VGG");
+  EXPECT_EQ(family_name(Family::DenseNet), "DenseNet");
+}
+
+}  // namespace
+}  // namespace amperebleed::dnn

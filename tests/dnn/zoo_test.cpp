@@ -1,0 +1,123 @@
+#include "amperebleed/dnn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace amperebleed::dnn {
+namespace {
+
+TEST(Zoo, ThirtyNineModelsOverSevenFamilies) {
+  const auto zoo = build_zoo();
+  EXPECT_EQ(zoo.size(), 39u);
+  std::set<Family> families;
+  for (const auto& m : zoo) families.insert(m.family);
+  EXPECT_EQ(families.size(), 7u);
+}
+
+TEST(Zoo, NamesAreUnique) {
+  const auto names = zoo_model_names();
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Zoo, EveryModelEndsInClassifierSizedOutput) {
+  for (const auto& m : build_zoo()) {
+    ASSERT_FALSE(m.layers.empty()) << m.name;
+    const auto& out = m.layers.back().output;
+    EXPECT_EQ(out.elements(), 1000u) << m.name << " must emit 1000 logits";
+  }
+}
+
+TEST(Zoo, EveryModelHasSubstantialCompute) {
+  for (const auto& m : build_zoo()) {
+    EXPECT_GT(m.total_macs(), 20'000'000ull) << m.name;
+    EXPECT_LT(m.total_macs(), 100'000'000'000ull) << m.name;
+    EXPECT_GT(m.layer_count(), 5u) << m.name;
+  }
+}
+
+TEST(Zoo, ComputeSignaturesAreDistinct) {
+  // Fingerprinting requires distinguishable workloads: no two models should
+  // share both total MACs and total DRAM traffic.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> seen;
+  for (const auto& m : build_zoo()) {
+    const auto key = std::make_pair(m.total_macs(), m.total_dram_bytes());
+    const auto [it, inserted] = seen.emplace(key, m.name);
+    EXPECT_TRUE(inserted) << m.name << " collides with " << it->second;
+  }
+}
+
+TEST(Zoo, FamilyRelationshipsHold) {
+  // Known orderings inside families (depth/width scaling).
+  const auto macs = [](const char* name) {
+    return build_model(name).total_macs();
+  };
+  EXPECT_GT(macs("VGG-19"), macs("VGG-16"));
+  EXPECT_GT(macs("VGG-16"), macs("VGG-11"));
+  EXPECT_GT(macs("ResNet-152"), macs("ResNet-101"));
+  EXPECT_GT(macs("ResNet-101"), macs("ResNet-50"));
+  EXPECT_GT(macs("ResNet-50"), macs("ResNet-18"));
+  EXPECT_GT(macs("MobileNet-V1"), macs("MobileNet-V1-0.5"));
+  EXPECT_GT(macs("MobileNet-V1-0.5"), macs("MobileNet-V1-0.25"));
+  EXPECT_GT(macs("EfficientNet-Lite4"), macs("EfficientNet-Lite"));
+  EXPECT_GT(macs("DenseNet-201"), macs("DenseNet-121"));
+}
+
+TEST(Zoo, VggIsHeaviestFamilyByWeights) {
+  // VGG's FC layers dominate parameter count — a well-known property that
+  // Fig 3 annotates via model sizes.
+  const auto vgg = build_model("VGG-19");
+  const auto mobilenet = build_model("MobileNet-V1");
+  EXPECT_GT(vgg.total_weight_bytes(), 10u * mobilenet.total_weight_bytes());
+}
+
+TEST(Zoo, BuildModelByNameMatchesZooEntry) {
+  const auto zoo = build_zoo();
+  const Model m = build_model("ResNet-50");
+  for (const auto& entry : zoo) {
+    if (entry.name == "ResNet-50") {
+      EXPECT_EQ(entry.total_macs(), m.total_macs());
+      EXPECT_EQ(entry.layer_count(), m.layer_count());
+    }
+  }
+  EXPECT_THROW(build_model("NoSuchNet-9000"), std::invalid_argument);
+}
+
+TEST(Zoo, Fig3ModelsExistInZoo) {
+  const auto names = zoo_model_names();
+  const std::set<std::string> all(names.begin(), names.end());
+  const auto fig3 = fig3_model_names();
+  ASSERT_EQ(fig3.size(), 6u);
+  for (const auto& n : fig3) {
+    EXPECT_EQ(all.count(n), 1u) << n;
+  }
+}
+
+class ZooModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZooModelProperty, LayerShapesChainConsistently) {
+  const auto zoo = build_zoo();
+  const auto& m = zoo[static_cast<std::size_t>(GetParam())];
+  // Every layer must have positive shapes/parameters, and no conv/pool may
+  // produce a larger spatial extent than its input.
+  for (const auto& l : m.layers) {
+    EXPECT_GT(l.input.height, 0) << m.name << ":" << l.name;
+    EXPECT_GT(l.input.channels, 0) << m.name << ":" << l.name;
+    EXPECT_GT(l.output.height, 0) << m.name << ":" << l.name;
+    EXPECT_GT(l.output.channels, 0) << m.name << ":" << l.name;
+    EXPECT_GE(l.kernel, 1) << m.name << ":" << l.name;
+    EXPECT_GE(l.stride, 1) << m.name << ":" << l.name;
+    if (l.kind == LayerKind::Conv || l.kind == LayerKind::Pool ||
+        l.kind == LayerKind::DepthwiseConv) {
+      EXPECT_LE(l.output.height, l.input.height) << m.name << ":" << l.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModelProperty,
+                         ::testing::Range(0, 39));
+
+}  // namespace
+}  // namespace amperebleed::dnn

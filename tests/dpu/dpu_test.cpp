@@ -1,0 +1,179 @@
+#include "amperebleed/dpu/dpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amperebleed/dnn/zoo.hpp"
+
+namespace amperebleed::dpu {
+namespace {
+
+dnn::Model tiny_model() {
+  dnn::ModelBuilder b("tiny", dnn::Family::ResNet, {32, 32, 3});
+  b.conv(16, 3, 1).pool(2, 2).conv(32, 3, 1).global_pool().fc(10);
+  return std::move(b).build();
+}
+
+TEST(DpuAccelerator, Validation) {
+  DpuConfig bad;
+  bad.clock_mhz = 0.0;
+  EXPECT_THROW(DpuAccelerator{bad}, std::invalid_argument);
+  DpuConfig no_bw;
+  no_bw.dram_bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(DpuAccelerator{no_bw}, std::invalid_argument);
+}
+
+TEST(DpuAccelerator, DescriptorIsEncryptedCommercialIp) {
+  DpuAccelerator dpu;
+  EXPECT_TRUE(dpu.descriptor().encrypted);
+  EXPECT_GT(dpu.descriptor().usage.dsp_slices, 0u);
+}
+
+TEST(LayerTiming, DurationCoversComputeAndOverhead) {
+  DpuAccelerator dpu;
+  const auto conv = dnn::make_conv("c", {56, 56, 128}, 128, 3, 1);
+  const auto t = dpu.layer_timing(conv);
+  EXPECT_GT(t.duration, dpu.config().layer_overhead);
+  EXPECT_GT(t.fpga_current_amps, 0.0);
+  EXPECT_GT(t.dram_current_amps, 0.0);
+  EXPECT_GT(t.mac_utilization, 0.0);
+  EXPECT_LE(t.mac_utilization, 1.0);
+}
+
+TEST(LayerTiming, MemoryBoundLayerHasLowUtilization) {
+  DpuAccelerator dpu;
+  // Big FC layer: huge weight traffic, relatively few MACs per byte.
+  const auto fc = dnn::make_fc("fc", {1, 1, 25088}, 4096);
+  const auto t = dpu.layer_timing(fc);
+  const double memory_s =
+      static_cast<double>(fc.dram_bytes()) /
+      dpu.config().dram_bandwidth_bytes_per_s;
+  EXPECT_GE(t.duration.seconds(), memory_s);
+  EXPECT_LT(t.mac_utilization, 0.3);
+}
+
+TEST(LayerTiming, DepthwiseLessEfficientThanConv) {
+  DpuAccelerator dpu;
+  const auto conv = dnn::make_conv("c", {56, 56, 64}, 64, 3, 1);
+  const auto dw = dnn::make_depthwise("d", {56, 56, 64}, 3, 1);
+  // Same output plane; depthwise does 1/64 the MACs but takes more than
+  // 1/64 of the compute-bound time due to its efficiency penalty.
+  const double conv_per_mac =
+      dpu.layer_timing(conv).duration.seconds() /
+      static_cast<double>(conv.macs());
+  const double dw_per_mac = dpu.layer_timing(dw).duration.seconds() /
+                            static_cast<double>(dw.macs());
+  EXPECT_GT(dw_per_mac, conv_per_mac);
+}
+
+TEST(DpuAccelerator, InferenceLatencySumsLayers) {
+  DpuAccelerator dpu;
+  const auto model = tiny_model();
+  sim::TimeNs total{0};
+  for (const auto& l : model.layers) total += dpu.layer_timing(l).duration;
+  EXPECT_EQ(dpu.inference_latency(model), total);
+  EXPECT_GT(dpu.inference_period(model), dpu.inference_latency(model));
+}
+
+TEST(DpuAccelerator, RunCountsInferences) {
+  DpuAccelerator dpu;
+  const auto model = tiny_model();
+  const sim::TimeNs window = sim::seconds(1);
+  const auto result = dpu.run(model, sim::TimeNs{0}, window, 1);
+  EXPECT_GT(result.inference_count, 0u);
+  // Period jitter is a few percent; count should be near window/period.
+  const double expected = window.seconds() /
+                          dpu.inference_period(model).seconds();
+  EXPECT_NEAR(static_cast<double>(result.inference_count), expected,
+              0.2 * expected + 2.0);
+}
+
+TEST(DpuAccelerator, RunLoadsAllFourRails) {
+  DpuAccelerator dpu;
+  const auto model = tiny_model();
+  const auto result = dpu.run(model, sim::TimeNs{0}, sim::milliseconds(500), 2);
+  for (power::Rail rail : power::kAllRails) {
+    const auto& sig = result.activity.on(rail);
+    EXPECT_GT(sig.max_over(sim::TimeNs{0}, sim::milliseconds(500)),
+              sig.min_over(sim::TimeNs{0}, sim::milliseconds(500)))
+        << power::rail_name(rail) << " should show activity";
+  }
+}
+
+TEST(DpuAccelerator, FpgaRailIdlesBetweenInferences) {
+  DpuAccelerator dpu;
+  const auto model = tiny_model();
+  const auto result = dpu.run(model, sim::TimeNs{0}, sim::milliseconds(200), 3);
+  const auto& fpga = result.activity.on(power::Rail::FpgaLogic);
+  // During CPU preprocessing the fabric sits at idle current.
+  EXPECT_DOUBLE_EQ(fpga.value_at(sim::TimeNs{0}),
+                   dpu.config().fpga_idle_current_amps);
+}
+
+TEST(DpuAccelerator, DeterministicSchedulesPerSeed) {
+  DpuAccelerator dpu;
+  const auto model = tiny_model();
+  const auto a = dpu.run(model, sim::TimeNs{0}, sim::milliseconds(300), 7);
+  const auto b = dpu.run(model, sim::TimeNs{0}, sim::milliseconds(300), 7);
+  const auto c = dpu.run(model, sim::TimeNs{0}, sim::milliseconds(300), 8);
+  EXPECT_EQ(a.inference_count, b.inference_count);
+  EXPECT_EQ(a.activity.on(power::Rail::FpdCpu).segment_count(),
+            b.activity.on(power::Rail::FpdCpu).segment_count());
+  // Different seed -> different jitter -> different boundaries.
+  const auto& fa = a.activity.on(power::Rail::FpdCpu).segments();
+  const auto& fc = c.activity.on(power::Rail::FpdCpu).segments();
+  EXPECT_TRUE(fa.size() != fc.size() ||
+              !std::equal(fa.begin(), fa.end(), fc.begin(),
+                          [](const auto& x, const auto& y) {
+                            return x.start == y.start && x.value == y.value;
+                          }));
+}
+
+TEST(DpuAccelerator, DifferentModelsDifferentSchedules) {
+  DpuAccelerator dpu;
+  const auto mobilenet = dnn::build_model("MobileNet-V1");
+  const auto vgg = dnn::build_model("VGG-19");
+  EXPECT_GT(dpu.inference_latency(vgg).ns,
+            2 * dpu.inference_latency(mobilenet).ns);
+}
+
+class DpuZooSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpuZooSweep, EveryZooModelHasSaneTimingAndSchedule) {
+  const auto zoo = dnn::build_zoo();
+  const auto& model = zoo[static_cast<std::size_t>(GetParam())];
+  DpuAccelerator dpu;
+
+  // Latency plausible for an edge accelerator: 1 ms .. 1 s per inference.
+  const sim::TimeNs latency = dpu.inference_latency(model);
+  EXPECT_GT(latency, sim::milliseconds(1)) << model.name;
+  EXPECT_LT(latency, sim::seconds(1)) << model.name;
+  EXPECT_GT(dpu.inference_period(model), latency) << model.name;
+
+  // A short run builds a consistent, loaded schedule.
+  const auto run = dpu.run(model, sim::TimeNs{0}, sim::milliseconds(300), 5);
+  EXPECT_GT(run.inference_count, 0u) << model.name;
+  const auto& fpga = run.activity.on(power::Rail::FpgaLogic);
+  EXPECT_GT(fpga.max_over(sim::TimeNs{0}, sim::milliseconds(300)),
+            dpu.config().fpga_idle_current_amps)
+      << model.name;
+  // Peak fabric draw stays below the full-load ceiling.
+  EXPECT_LE(fpga.max_over(sim::TimeNs{0}, sim::milliseconds(300)),
+            dpu.config().fpga_idle_current_amps +
+                dpu.config().fpga_full_load_current_amps + 1e-9)
+      << model.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, DpuZooSweep, ::testing::Range(0, 39));
+
+TEST(DpuAccelerator, RunValidation) {
+  DpuAccelerator dpu;
+  const auto model = tiny_model();
+  EXPECT_THROW(dpu.run(model, sim::seconds(1), sim::TimeNs{0}, 1),
+               std::invalid_argument);
+  dnn::Model empty;
+  EXPECT_THROW(dpu.run(empty, sim::TimeNs{0}, sim::seconds(1), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::dpu

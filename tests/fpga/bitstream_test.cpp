@@ -1,0 +1,61 @@
+#include "amperebleed/fpga/bitstream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::fpga {
+namespace {
+
+TEST(Bitstream, AggregatesUsage) {
+  Bitstream bs("victim");
+  bs.add({"rsa", {31'000, 9'500, 0, 8}, true});
+  bs.add({"ro_bank", {416, 1024, 0, 0}, false});
+  const FabricResources total = bs.total_usage();
+  EXPECT_EQ(total.luts, 31'416u);
+  EXPECT_EQ(total.bram_blocks, 8u);
+  EXPECT_TRUE(bs.contains_encrypted_ip());
+}
+
+TEST(Bitstream, RejectsDuplicateCircuits) {
+  Bitstream bs("dup");
+  bs.add({"x", {1, 0, 0, 0}, false});
+  EXPECT_THROW(bs.add({"x", {1, 0, 0, 0}, false}), std::runtime_error);
+}
+
+TEST(Bitstream, ProgramsAtomically) {
+  Bitstream bs("ok");
+  bs.add({"a", {100, 0, 0, 0}, false});
+  bs.add({"b", {200, 0, 0, 0}, false});
+  Fabric fabric;
+  bs.program(fabric);
+  EXPECT_TRUE(fabric.is_deployed("a"));
+  EXPECT_TRUE(fabric.is_deployed("b"));
+}
+
+TEST(Bitstream, ProgramFailsWithoutPartialDeploy) {
+  FabricConfig small;
+  small.resources = {250, 1000, 10, 10};
+  Fabric fabric(small);
+  Bitstream bs("too-big");
+  bs.add({"a", {100, 0, 0, 0}, false});
+  bs.add({"b", {200, 0, 0, 0}, false});  // sum exceeds the 250-LUT budget
+  EXPECT_THROW(bs.program(fabric), std::runtime_error);
+  EXPECT_FALSE(fabric.is_deployed("a"));
+  EXPECT_FALSE(fabric.is_deployed("b"));
+}
+
+TEST(Bitstream, ProgramRejectsNameCollisionWithFabric) {
+  Fabric fabric;
+  fabric.deploy({"a", {1, 0, 0, 0}, false});
+  Bitstream bs("collide");
+  bs.add({"a", {1, 0, 0, 0}, false});
+  EXPECT_THROW(bs.program(fabric), std::runtime_error);
+}
+
+TEST(Bitstream, NoEncryptedIpByDefault) {
+  Bitstream bs("plain");
+  bs.add({"a", {1, 0, 0, 0}, false});
+  EXPECT_FALSE(bs.contains_encrypted_ip());
+}
+
+}  // namespace
+}  // namespace amperebleed::fpga

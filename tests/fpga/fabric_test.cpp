@@ -1,0 +1,69 @@
+#include "amperebleed/fpga/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::fpga {
+namespace {
+
+TEST(FabricResources, Zcu102NumbersMatchPaper) {
+  const FabricResources r = zcu102_resources();
+  EXPECT_EQ(r.luts, 274'080u);
+  EXPECT_EQ(r.flip_flops, 548'160u);
+  EXPECT_EQ(r.dsp_slices, 2'520u);
+}
+
+TEST(FabricResources, FitsChecksEveryDimension) {
+  const FabricResources budget{100, 100, 10, 10};
+  EXPECT_TRUE(budget.fits({100, 100, 10, 10}));
+  EXPECT_FALSE(budget.fits({101, 0, 0, 0}));
+  EXPECT_FALSE(budget.fits({0, 101, 0, 0}));
+  EXPECT_FALSE(budget.fits({0, 0, 11, 0}));
+  EXPECT_FALSE(budget.fits({0, 0, 0, 11}));
+}
+
+TEST(Fabric, DeployAccumulatesUsage) {
+  Fabric fabric;
+  fabric.deploy({"a", {1000, 2000, 10, 5}, false});
+  fabric.deploy({"b", {500, 100, 0, 0}, false});
+  const FabricResources used = fabric.used();
+  EXPECT_EQ(used.luts, 1500u);
+  EXPECT_EQ(used.flip_flops, 2100u);
+  EXPECT_EQ(fabric.available().luts, 274'080u - 1500u);
+  EXPECT_TRUE(fabric.is_deployed("a"));
+  EXPECT_FALSE(fabric.is_deployed("c"));
+}
+
+TEST(Fabric, RejectsOvercommit) {
+  FabricConfig small;
+  small.resources = {100, 100, 1, 1};
+  Fabric fabric(small);
+  fabric.deploy({"fits", {60, 0, 0, 0}, false});
+  EXPECT_THROW(fabric.deploy({"too-big", {50, 0, 0, 0}, false}),
+               std::runtime_error);
+  // The failed deploy must not change state.
+  EXPECT_EQ(fabric.used().luts, 60u);
+}
+
+TEST(Fabric, RejectsDuplicateNames) {
+  Fabric fabric;
+  fabric.deploy({"x", {1, 0, 0, 0}, false});
+  EXPECT_THROW(fabric.deploy({"x", {1, 0, 0, 0}, false}), std::runtime_error);
+}
+
+TEST(Fabric, RemoveFreesResources) {
+  Fabric fabric;
+  fabric.deploy({"x", {1000, 0, 0, 0}, false});
+  fabric.remove("x");
+  EXPECT_EQ(fabric.used().luts, 0u);
+  EXPECT_FALSE(fabric.is_deployed("x"));
+  EXPECT_THROW(fabric.remove("x"), std::runtime_error);
+}
+
+TEST(Fabric, RejectsNonPositiveClock) {
+  FabricConfig c;
+  c.clock_mhz = 0.0;
+  EXPECT_THROW(Fabric{c}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::fpga

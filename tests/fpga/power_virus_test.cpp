@@ -1,0 +1,90 @@
+#include "amperebleed/fpga/power_virus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::fpga {
+namespace {
+
+TEST(PowerVirus, DefaultMatchesPaperSetup) {
+  PowerVirus virus;
+  EXPECT_EQ(virus.config().instance_count, 160'000u);
+  EXPECT_EQ(virus.config().group_count, 160u);
+  EXPECT_EQ(virus.instances_per_group(), 1'000u);
+  // 40 uA per instance -> 40 mA (=40 LSB) per activated group.
+  const double per_group =
+      virus.current_for_groups(1) - virus.current_for_groups(0);
+  EXPECT_NEAR(per_group, 0.040, 1e-12);
+}
+
+TEST(PowerVirus, StaticFloorFromDeployedInstances) {
+  PowerVirus virus;
+  EXPECT_NEAR(virus.static_current(), 0.64, 1e-12);
+  EXPECT_NEAR(virus.current_for_groups(0), 0.64, 1e-12);
+}
+
+TEST(PowerVirus, FullActivationCurrent) {
+  PowerVirus virus;
+  EXPECT_NEAR(virus.current_for_groups(160), 0.64 + 6.4, 1e-9);
+}
+
+TEST(PowerVirus, Validation) {
+  PowerVirusConfig bad;
+  bad.group_count = 0;
+  EXPECT_THROW(PowerVirus{bad}, std::invalid_argument);
+  PowerVirusConfig uneven;
+  uneven.instance_count = 100;
+  uneven.group_count = 3;
+  EXPECT_THROW(PowerVirus{uneven}, std::invalid_argument);
+  PowerVirus virus;
+  EXPECT_THROW(static_cast<void>(virus.current_for_groups(161)),
+               std::invalid_argument);
+}
+
+TEST(PowerVirus, DescriptorUsesConfiguredFootprint) {
+  PowerVirus virus;
+  const CircuitDescriptor d = virus.descriptor();
+  EXPECT_EQ(d.usage.luts, 160'000u);
+  EXPECT_EQ(d.usage.flip_flops, 160'000u);
+  EXPECT_FALSE(d.encrypted);
+}
+
+TEST(PowerVirus, ActivationScheduleBuildsFpgaRailSignal) {
+  PowerVirus virus;
+  virus.set_active_groups(sim::milliseconds(10), 10);
+  virus.set_active_groups(sim::milliseconds(20), 160);
+  virus.set_active_groups(sim::milliseconds(30), 0);
+  const auto activity = virus.activity();
+  const auto& fpga = activity.on(power::Rail::FpgaLogic);
+  EXPECT_NEAR(fpga.value_at(sim::TimeNs{0}), 0.64, 1e-12);
+  EXPECT_NEAR(fpga.value_at(sim::milliseconds(15)), 0.64 + 0.4, 1e-9);
+  EXPECT_NEAR(fpga.value_at(sim::milliseconds(25)), 0.64 + 6.4, 1e-9);
+  EXPECT_NEAR(fpga.value_at(sim::milliseconds(35)), 0.64, 1e-12);
+  // Other rails are untouched.
+  EXPECT_DOUBLE_EQ(activity.on(power::Rail::Ddr).value_at(sim::TimeNs{0}), 0.0);
+}
+
+TEST(PowerVirus, CommandsMustBeTimeOrdered) {
+  PowerVirus virus;
+  virus.set_active_groups(sim::milliseconds(10), 5);
+  EXPECT_THROW(virus.set_active_groups(sim::milliseconds(10), 6),
+               std::invalid_argument);
+  EXPECT_THROW(virus.set_active_groups(sim::milliseconds(5), 6),
+               std::invalid_argument);
+  EXPECT_THROW(virus.set_active_groups(sim::milliseconds(20), 161),
+               std::invalid_argument);
+}
+
+class VirusLinearityProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VirusLinearityProperty, CurrentIsAffineInGroups) {
+  PowerVirus virus;
+  const std::size_t g = GetParam();
+  const double expected = virus.static_current() + 0.040 * static_cast<double>(g);
+  EXPECT_NEAR(virus.current_for_groups(g), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, VirusLinearityProperty,
+                         ::testing::Values(0u, 1u, 10u, 80u, 159u, 160u));
+
+}  // namespace
+}  // namespace amperebleed::fpga

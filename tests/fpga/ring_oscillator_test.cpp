@@ -1,0 +1,103 @@
+#include "amperebleed/fpga/ring_oscillator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amperebleed::fpga {
+namespace {
+
+RingOscillatorConfig quiet_config() {
+  RingOscillatorConfig c;
+  c.jitter_counts = 0.0;
+  c.thermal_drift_counts = 0.0;
+  c.chain_count = 1;
+  return c;
+}
+
+TEST(RingOscillator, ExpectedCountAtReference) {
+  RingOscillatorBank ro(quiet_config(), 1);
+  const double count = ro.expected_count(ro.config().v_reference);
+  // f0 * window = 425 MHz * 16 us = 6800 counts.
+  EXPECT_NEAR(count, 6800.0, 1e-6);
+}
+
+TEST(RingOscillator, FrequencyRisesWithVoltage) {
+  RingOscillatorBank ro(quiet_config(), 1);
+  const double at_ref = ro.expected_count(0.850);
+  const double higher = ro.expected_count(0.876);
+  const double lower = ro.expected_count(0.825);
+  EXPECT_GT(higher, at_ref);
+  EXPECT_LT(lower, at_ref);
+  // Linear model: kv fractional change per volt.
+  EXPECT_NEAR(higher - at_ref,
+              6800.0 * ro.config().voltage_sensitivity_per_volt * 0.026,
+              1e-6);
+}
+
+TEST(RingOscillator, SampleAveragesVoltageOverWindow) {
+  RingOscillatorBank ro(quiet_config(), 2);
+  sim::PiecewiseConstant v(0.850);
+  // Half the window at a lower voltage.
+  v.append(sim::microseconds(8), 0.840);
+  const double count = ro.sample(v, sim::TimeNs{0});
+  EXPECT_NEAR(count, ro.expected_count(0.845), 1.0);  // integer rounding slack
+}
+
+TEST(RingOscillator, CountsAreIntegerQuantized) {
+  RingOscillatorBank ro(quiet_config(), 3);
+  sim::PiecewiseConstant v(0.850);
+  const double count = ro.sample(v, sim::TimeNs{0});
+  EXPECT_DOUBLE_EQ(count, std::round(count));
+}
+
+TEST(RingOscillator, JitterAveragedAcrossChains) {
+  RingOscillatorConfig noisy;
+  noisy.jitter_counts = 5.0;
+  noisy.thermal_drift_counts = 0.0;  // isolate the per-chain jitter
+  noisy.chain_count = 64;
+  RingOscillatorBank ro(noisy, 4);
+  sim::PiecewiseConstant v(0.850);
+  // With 64 chains the bank mean should be within ~4 sigma/sqrt(64).
+  double sum = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    sum += ro.sample(v, sim::microseconds(20 * i));
+  }
+  EXPECT_NEAR(sum / n, ro.expected_count(0.850), 0.5);
+}
+
+TEST(RingOscillator, DeterministicForSeed) {
+  RingOscillatorConfig c;
+  c.jitter_counts = 2.0;
+  RingOscillatorBank a(c, 9);
+  RingOscillatorBank b(c, 9);
+  sim::PiecewiseConstant v(0.850);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(v, sim::microseconds(100 * i)),
+                     b.sample(v, sim::microseconds(100 * i)));
+  }
+}
+
+TEST(RingOscillator, Validation) {
+  RingOscillatorConfig bad;
+  bad.base_frequency_mhz = 0.0;
+  EXPECT_THROW(RingOscillatorBank(bad, 1), std::invalid_argument);
+  RingOscillatorConfig zero_window;
+  zero_window.sample_window = sim::TimeNs{0};
+  EXPECT_THROW(RingOscillatorBank(zero_window, 1), std::invalid_argument);
+  RingOscillatorConfig no_chains;
+  no_chains.chain_count = 0;
+  EXPECT_THROW(RingOscillatorBank(no_chains, 1), std::invalid_argument);
+}
+
+TEST(RingOscillator, DescriptorScalesWithChains) {
+  RingOscillatorConfig c;
+  c.chain_count = 10;
+  c.luts_per_chain = 13;
+  RingOscillatorBank ro(c, 1);
+  EXPECT_EQ(ro.descriptor().usage.luts, 130u);
+}
+
+}  // namespace
+}  // namespace amperebleed::fpga

@@ -1,0 +1,91 @@
+#include "amperebleed/fpga/tdc_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amperebleed::fpga {
+namespace {
+
+TdcConfig quiet() {
+  TdcConfig c;
+  c.jitter_taps = 0.0;
+  return c;
+}
+
+TEST(TdcSensor, Validation) {
+  TdcConfig zero_taps;
+  zero_taps.taps = 0;
+  EXPECT_THROW(TdcSensor(zero_taps, 1), std::invalid_argument);
+  TdcConfig bad_nominal;
+  bad_nominal.nominal_taps = 500.0;  // beyond a 128-tap chain
+  EXPECT_THROW(TdcSensor(bad_nominal, 1), std::invalid_argument);
+  TdcConfig no_sense;
+  no_sense.taps_per_volt = 0.0;
+  EXPECT_THROW(TdcSensor(no_sense, 1), std::invalid_argument);
+}
+
+TEST(TdcSensor, NominalAtReferenceVoltage) {
+  TdcSensor tdc(quiet(), 1);
+  EXPECT_DOUBLE_EQ(tdc.expected_taps(0.850), 64.0);
+}
+
+TEST(TdcSensor, TapsRiseWithVoltage) {
+  TdcSensor tdc(quiet(), 1);
+  EXPECT_GT(tdc.expected_taps(0.876), tdc.expected_taps(0.850));
+  EXPECT_LT(tdc.expected_taps(0.825), tdc.expected_taps(0.850));
+  // Linear model: 220 taps/V.
+  EXPECT_NEAR(tdc.expected_taps(0.876) - tdc.expected_taps(0.850),
+              220.0 * 0.026, 1e-9);
+}
+
+TEST(TdcSensor, ClampsToChainEnds) {
+  TdcSensor tdc(quiet(), 1);
+  EXPECT_DOUBLE_EQ(tdc.expected_taps(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tdc.expected_taps(10.0), 128.0);
+}
+
+TEST(TdcSensor, SamplesAreIntegerTaps) {
+  TdcConfig noisy;
+  noisy.jitter_taps = 1.5;
+  TdcSensor tdc(noisy, 2);
+  sim::PiecewiseConstant v(0.850);
+  for (int i = 0; i < 20; ++i) {
+    const double s = tdc.sample(v, sim::microseconds(i));
+    EXPECT_DOUBLE_EQ(s, std::round(s));
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 128.0);
+  }
+}
+
+TEST(TdcSensor, InstantaneousReadoutSeesTransients) {
+  // Unlike the RO's windowed counter, a TDC readout lands on the value at
+  // its capture instant — it can catch a short voltage dip exactly.
+  TdcSensor tdc(quiet(), 3);
+  sim::PiecewiseConstant v(0.850);
+  v.append(sim::microseconds(10), 0.840);
+  v.append(sim::microseconds(12), 0.850);
+  EXPECT_LT(tdc.sample(v, sim::microseconds(11)),
+            tdc.sample(v, sim::microseconds(5)));
+}
+
+TEST(TdcSensor, DeterministicPerSeed) {
+  TdcConfig noisy;
+  noisy.jitter_taps = 1.0;
+  TdcSensor a(noisy, 7);
+  TdcSensor b(noisy, 7);
+  sim::PiecewiseConstant v(0.850);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample(v, sim::microseconds(i)),
+                     b.sample(v, sim::microseconds(i)));
+  }
+}
+
+TEST(TdcSensor, DescriptorFootprint) {
+  TdcSensor tdc(quiet(), 1);
+  EXPECT_EQ(tdc.descriptor().name, "tdc_sensor");
+  EXPECT_GT(tdc.descriptor().usage.luts, 0u);
+}
+
+}  // namespace
+}  // namespace amperebleed::fpga

@@ -1,0 +1,229 @@
+#include "amperebleed/hwmon/hwmon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::hwmon {
+namespace {
+
+power::RailNoiseConfig no_noise() {
+  power::RailNoiseConfig n;
+  n.current_white_amps = 0.0;
+  n.current_drift_fraction = 0.0;
+  n.voltage_white_volts = 0.0;
+  n.voltage_drift_volts = 0.0;
+  n.thermal_nonlinearity_per_amp = 0.0;
+  return n;
+}
+
+class HwmonFixture : public ::testing::Test {
+ protected:
+  HwmonFixture()
+      : sensor_(sensors::Ina226Config{}, no_noise(), 1),
+        current_(1.5),
+        voltage_(0.85) {
+    sensor_.bind(&current_, &voltage_);
+  }
+
+  HwmonSubsystem hwmon_;
+  sensors::Ina226 sensor_;
+  sim::PiecewiseConstant current_;
+  sim::PiecewiseConstant voltage_;
+};
+
+TEST_F(HwmonFixture, RegisterCreatesDeviceTree) {
+  const int idx = hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  EXPECT_EQ(idx, 0);
+  EXPECT_EQ(hwmon_.device_path(0), "/sys/class/hwmon/hwmon0");
+  const auto& fs = hwmon_.fs();
+  for (const char* attr : {"name", "curr1_input", "in0_input", "in1_input",
+                           "power1_input", "update_interval",
+                           "shunt_resistor"}) {
+    EXPECT_TRUE(fs.exists(hwmon_.attr_path(0, attr))) << attr;
+  }
+}
+
+TEST_F(HwmonFixture, NameAttributeIsLabel) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  const auto r = hwmon_.fs().read("/sys/class/hwmon/hwmon0/name", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, "ina226_u79\n");
+}
+
+TEST_F(HwmonFixture, CurrentReadInMilliampsAfterConversion) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  sensor_.advance_to(sim::milliseconds(40));
+  const auto r = hwmon_.fs().read(hwmon_.attr_path(0, "curr1_input"), false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(util::parse_ll(r.data), 1500);
+}
+
+TEST_F(HwmonFixture, PreAccessHookRunsBeforeRead) {
+  int hook_calls = 0;
+  hwmon_.register_ina226("ina226_u79", sensor_, [&]() { ++hook_calls; });
+  static_cast<void>(hwmon_.fs().read(hwmon_.attr_path(0, "curr1_input"), false));
+  static_cast<void>(
+      hwmon_.fs().read(hwmon_.attr_path(0, "power1_input"), false));
+  EXPECT_EQ(hook_calls, 2);
+}
+
+TEST_F(HwmonFixture, VoltageAndPowerUnits) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  sensor_.advance_to(sim::milliseconds(40));
+  const auto mv =
+      util::parse_ll(hwmon_.fs().read(hwmon_.attr_path(0, "in1_input"), false).data);
+  const auto uw = util::parse_ll(
+      hwmon_.fs().read(hwmon_.attr_path(0, "power1_input"), false).data);
+  ASSERT_TRUE(mv && uw);
+  EXPECT_NEAR(static_cast<double>(*mv), 850.0, 1.5);
+  // P = 1.5 A * 0.85 V = 1.275 W, quantized at 25 mW.
+  EXPECT_NEAR(static_cast<double>(*uw) * 1e-6, 1.275, 0.025);
+  EXPECT_EQ(*uw % 25'000, 0);
+}
+
+TEST_F(HwmonFixture, UpdateIntervalReadableByAll) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  const auto r =
+      hwmon_.fs().read(hwmon_.attr_path(0, "update_interval"), false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(util::parse_ll(r.data), 35);  // 35.2 ms rounds to 35
+}
+
+TEST_F(HwmonFixture, UpdateIntervalWriteRequiresRoot) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  const std::string path = hwmon_.attr_path(0, "update_interval");
+  // Unprivileged write denied — the attacker is stuck with the default.
+  EXPECT_EQ(hwmon_.fs().write(path, "2", false).status,
+            VfsStatus::PermissionDenied);
+  // Root can reconfigure: 2 ms -> AVG=1 at 2.2 ms per round.
+  EXPECT_TRUE(hwmon_.fs().write(path, "2", true).ok());
+  EXPECT_EQ(sensor_.update_interval(), sim::microseconds(2'200));
+  // Garbage is EINVAL.
+  EXPECT_EQ(hwmon_.fs().write(path, "fast", true).status,
+            VfsStatus::InvalidArgument);
+  EXPECT_EQ(hwmon_.fs().write(path, "-5", true).status,
+            VfsStatus::InvalidArgument);
+}
+
+TEST_F(HwmonFixture, UpdateIntervalSnapsToSupportedAveraging) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  const std::string path = hwmon_.attr_path(0, "update_interval");
+  ASSERT_TRUE(hwmon_.fs().write(path, "100", true).ok());
+  // Nearest avg choice to 100 ms at 2.2 ms/round is 64 (140.8) vs 16 (35.2):
+  // |35.2-100|=64.8, |140.8-100|=40.8 -> avg 64.
+  EXPECT_EQ(sensor_.update_interval(), sim::microseconds(64 * 2'200));
+}
+
+TEST_F(HwmonFixture, FindDeviceByLabel) {
+  sensors::Ina226 other(sensors::Ina226Config{}, no_noise(), 2);
+  other.bind(&current_, &voltage_);
+  hwmon_.register_ina226("ina226_u76", sensor_, nullptr);
+  hwmon_.register_ina226("ina226_u79", other, nullptr);
+  EXPECT_EQ(hwmon_.find_device("ina226_u79"), 1);
+  EXPECT_EQ(hwmon_.find_device("ina226_u76"), 0);
+  EXPECT_FALSE(hwmon_.find_device("ina226_u93").has_value());
+  EXPECT_EQ(hwmon_.device_labels().size(), 2u);
+}
+
+TEST_F(HwmonFixture, MitigationPolicyBlocksUnprivilegedReads) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  const std::string curr = hwmon_.attr_path(0, "curr1_input");
+  EXPECT_TRUE(hwmon_.fs().read(curr, false).ok());
+
+  hwmon_.set_policy(HwmonPolicy{.unprivileged_sensor_read = false});
+  EXPECT_EQ(hwmon_.fs().read(curr, false).status,
+            VfsStatus::PermissionDenied);
+  // Root still works (benign monitoring tools keep functioning).
+  EXPECT_TRUE(hwmon_.fs().read(curr, true).ok());
+  // The name attribute stays world-readable; only measurements lock down.
+  EXPECT_TRUE(hwmon_.fs().read(hwmon_.attr_path(0, "name"), false).ok());
+
+  hwmon_.set_policy(HwmonPolicy{.unprivileged_sensor_read = true});
+  EXPECT_TRUE(hwmon_.fs().read(curr, false).ok());
+}
+
+TEST_F(HwmonFixture, QuantizeDefenseCoarsensReadings) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  sensor_.advance_to(sim::milliseconds(40));
+  const std::string path = hwmon_.attr_path(0, "curr1_input");
+
+  // Without the defense: 1.5 A reads as 1500 mA.
+  EXPECT_EQ(util::parse_ll(hwmon_.fs().read(path, false).data), 1500);
+
+  HwmonPolicy policy;
+  policy.quantize_factor = 100;  // 100 mA granularity
+  hwmon_.set_policy(policy);
+  const auto coarse = util::parse_ll(hwmon_.fs().read(path, false).data);
+  ASSERT_TRUE(coarse.has_value());
+  EXPECT_EQ(*coarse % 100, 0);
+  EXPECT_EQ(*coarse, 1500);  // multiple of 100 already; stays put
+
+  policy.quantize_factor = 400;
+  hwmon_.set_policy(policy);
+  const auto coarser = util::parse_ll(hwmon_.fs().read(path, false).data);
+  EXPECT_EQ(*coarser, 1600);  // rounded to the 400 mA grid
+}
+
+TEST_F(HwmonFixture, NoiseDefensePerturbationBounded) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  sensor_.advance_to(sim::milliseconds(40));
+  HwmonPolicy policy;
+  policy.noise_lsb = 20.0;  // +/-20 mA of driver noise
+  hwmon_.set_policy(policy);
+  const std::string path = hwmon_.attr_path(0, "curr1_input");
+  bool saw_nonzero_offset = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto v = util::parse_ll(hwmon_.fs().read(path, false).data);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_GE(*v, 1500 - 20);
+    EXPECT_LE(*v, 1500 + 20);
+    if (*v != 1500) saw_nonzero_offset = true;
+  }
+  EXPECT_TRUE(saw_nonzero_offset);
+}
+
+TEST_F(HwmonFixture, RateLimitDefenseFreezesReadings) {
+  hwmon_.register_ina226("ina226_u79", sensor_, nullptr);
+  sim::TimeNs now{0};
+  hwmon_.set_clock([&now]() { return now; });
+  HwmonPolicy policy;
+  policy.min_read_interval = sim::milliseconds(500);
+  hwmon_.set_policy(policy);
+  const std::string path = hwmon_.attr_path(0, "curr1_input");
+
+  // Current changes mid-run: 1.5 A -> 3 A at t=100 ms.
+  current_.append(sim::milliseconds(100), 3.0);
+
+  now = sim::milliseconds(40);
+  sensor_.advance_to(now);
+  const auto first = util::parse_ll(hwmon_.fs().read(path, false).data);
+  EXPECT_EQ(first, 1500);
+
+  // 200 ms later the sensor has converted the new load, but the cached
+  // value is still fresh under the 500 ms limit.
+  now = sim::milliseconds(240);
+  sensor_.advance_to(now);
+  EXPECT_EQ(util::parse_ll(hwmon_.fs().read(path, false).data), 1500);
+
+  // Past the interval, the new value flows through.
+  now = sim::milliseconds(600);
+  sensor_.advance_to(now);
+  const auto later = util::parse_ll(hwmon_.fs().read(path, false).data);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_GT(*later, 2900);
+}
+
+TEST(HwmonSubsystem, PolicyAppliesToDevicesRegisteredAfterwards) {
+  HwmonSubsystem hw(HwmonPolicy{.unprivileged_sensor_read = false});
+  sensors::Ina226 dev(sensors::Ina226Config{}, no_noise(), 3);
+  sim::PiecewiseConstant i(0.0);
+  sim::PiecewiseConstant v(0.85);
+  dev.bind(&i, &v);
+  hw.register_ina226("ina226_u76", dev, nullptr);
+  EXPECT_EQ(hw.fs().read(hw.attr_path(0, "curr1_input"), false).status,
+            VfsStatus::PermissionDenied);
+}
+
+}  // namespace
+}  // namespace amperebleed::hwmon

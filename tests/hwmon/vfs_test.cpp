@@ -1,0 +1,143 @@
+#include "amperebleed/hwmon/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::hwmon {
+namespace {
+
+TEST(VirtualFs, MkdirsCreatesNestedTree) {
+  VirtualFs fs;
+  fs.mkdirs("/sys/class/hwmon");
+  EXPECT_TRUE(fs.exists("/sys"));
+  EXPECT_TRUE(fs.is_directory("/sys/class"));
+  EXPECT_TRUE(fs.is_directory("/sys/class/hwmon"));
+  EXPECT_FALSE(fs.exists("/sys/class/hwmon/hwmon0"));
+}
+
+TEST(VirtualFs, AddFileCreatesParentsAndReads) {
+  VirtualFs fs;
+  fs.add_file("/a/b/value", 0444, []() { return "42\n"; });
+  const auto r = fs.read("/a/b/value", false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, "42\n");
+}
+
+TEST(VirtualFs, DuplicateFileThrows) {
+  VirtualFs fs;
+  fs.add_file("/x", 0444, []() { return ""; });
+  EXPECT_THROW(fs.add_file("/x", 0444, []() { return ""; }),
+               std::runtime_error);
+}
+
+TEST(VirtualFs, FileBlockingDirectoryThrows) {
+  VirtualFs fs;
+  fs.add_file("/x", 0444, []() { return ""; });
+  EXPECT_THROW(fs.mkdirs("/x/y"), std::runtime_error);
+}
+
+TEST(VirtualFs, ReadMissingIsNotFound) {
+  VirtualFs fs;
+  EXPECT_EQ(fs.read("/nope", false).status, VfsStatus::NotFound);
+}
+
+TEST(VirtualFs, ReadDirectoryIsError) {
+  VirtualFs fs;
+  fs.mkdirs("/d");
+  EXPECT_EQ(fs.read("/d", false).status, VfsStatus::IsDirectory);
+}
+
+TEST(VirtualFs, PermissionBitsEnforced) {
+  VirtualFs fs;
+  fs.add_file("/world", 0444, []() { return "w"; });
+  fs.add_file("/root_only", 0400, []() { return "r"; });
+  EXPECT_TRUE(fs.read("/world", false).ok());
+  EXPECT_TRUE(fs.read("/world", true).ok());
+  EXPECT_EQ(fs.read("/root_only", false).status,
+            VfsStatus::PermissionDenied);
+  EXPECT_TRUE(fs.read("/root_only", true).ok());
+}
+
+TEST(VirtualFs, WritePermissions) {
+  VirtualFs fs;
+  std::string stored;
+  fs.add_file(
+      "/attr", 0644, []() { return "v"; },
+      [&stored](std::string_view data) {
+        stored = std::string(data);
+        return true;
+      });
+  // 0644: root can write, user cannot.
+  EXPECT_EQ(fs.write("/attr", "x", false).status,
+            VfsStatus::PermissionDenied);
+  EXPECT_TRUE(fs.write("/attr", "35", true).ok());
+  EXPECT_EQ(stored, "35");
+}
+
+TEST(VirtualFs, WriteWithoutHandlerIsNotWritable) {
+  VirtualFs fs;
+  fs.add_file("/ro", 0644, []() { return "v"; });
+  EXPECT_EQ(fs.write("/ro", "x", true).status, VfsStatus::NotWritable);
+}
+
+TEST(VirtualFs, WriteRejectionIsInvalidArgument) {
+  VirtualFs fs;
+  fs.add_file(
+      "/strict", 0644, []() { return "v"; },
+      [](std::string_view) { return false; });
+  EXPECT_EQ(fs.write("/strict", "garbage", true).status,
+            VfsStatus::InvalidArgument);
+}
+
+TEST(VirtualFs, WriteMissingAndDirectory) {
+  VirtualFs fs;
+  fs.mkdirs("/d");
+  EXPECT_EQ(fs.write("/missing", "x", true).status, VfsStatus::NotFound);
+  EXPECT_EQ(fs.write("/d", "x", true).status, VfsStatus::IsDirectory);
+}
+
+TEST(VirtualFs, ListIsSortedAndScoped) {
+  VirtualFs fs;
+  fs.add_file("/dir/zeta", 0444, []() { return ""; });
+  fs.add_file("/dir/alpha", 0444, []() { return ""; });
+  fs.mkdirs("/dir/beta");
+  const auto names = fs.list("/dir");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "beta");
+  EXPECT_EQ(names[2], "zeta");
+  EXPECT_TRUE(fs.list("/missing").empty());
+}
+
+TEST(VirtualFs, ChmodChangesEnforcement) {
+  VirtualFs fs;
+  fs.add_file("/f", 0444, []() { return "x"; });
+  EXPECT_TRUE(fs.read("/f", false).ok());
+  fs.chmod("/f", 0400);
+  EXPECT_EQ(fs.read("/f", false).status, VfsStatus::PermissionDenied);
+  EXPECT_EQ(fs.mode_of("/f"), 0400);
+  EXPECT_THROW(fs.chmod("/missing", 0444), std::runtime_error);
+  fs.mkdirs("/d");
+  EXPECT_THROW(fs.chmod("/d", 0444), std::runtime_error);
+}
+
+TEST(VirtualFs, ModeOfMissingIsMinusOne) {
+  VirtualFs fs;
+  EXPECT_EQ(fs.mode_of("/nope"), -1);
+}
+
+TEST(VirtualFs, PathNormalizationIgnoresExtraSlashes) {
+  VirtualFs fs;
+  fs.add_file("/a/b", 0444, []() { return "v"; });
+  EXPECT_TRUE(fs.read("//a///b", false).ok());
+  EXPECT_TRUE(fs.read("a/b", false).ok());
+}
+
+TEST(VfsStatusName, AllNamed) {
+  EXPECT_EQ(vfs_status_name(VfsStatus::Ok), "ok");
+  EXPECT_EQ(vfs_status_name(VfsStatus::PermissionDenied),
+            "permission-denied");
+  EXPECT_EQ(vfs_status_name(VfsStatus::InvalidArgument), "invalid-argument");
+}
+
+}  // namespace
+}  // namespace amperebleed::hwmon

@@ -1,0 +1,128 @@
+#include "amperebleed/ml/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+namespace {
+
+Dataset blobs(int classes, int per_class, double spread, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d(2);
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const std::vector<double> row = {rng.gaussian(c * 5.0, spread),
+                                       rng.gaussian(-c * 3.0, spread)};
+      d.add(row, c);
+    }
+  }
+  return d;
+}
+
+TEST(Knn, ClassifiesSeparableBlobs) {
+  const Dataset train = blobs(3, 30, 0.5, 1);
+  const Dataset test = blobs(3, 10, 0.5, 2);
+  KnnClassifier knn(5);
+  knn.fit(train);
+  int hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (knn.predict(test.row(i)) == test.label(i)) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / test.size(), 0.95);
+}
+
+TEST(Knn, OneNearestNeighbourMemorizesTraining) {
+  const Dataset train = blobs(3, 15, 1.0, 3);
+  KnnClassifier knn(1);
+  knn.fit(train);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(knn.predict(train.row(i)), train.label(i));
+  }
+}
+
+TEST(Knn, Validation) {
+  EXPECT_THROW(KnnClassifier(0), std::invalid_argument);
+  KnnClassifier knn(3);
+  EXPECT_THROW(knn.fit(Dataset(2)), std::invalid_argument);
+  const std::vector<double> x = {0.0, 0.0};
+  EXPECT_THROW(static_cast<void>(knn.predict(x)), std::logic_error);
+}
+
+TEST(Knn, KLargerThanTrainingSetIsSafe) {
+  Dataset d(1);
+  const std::vector<double> a = {0.0};
+  const std::vector<double> b = {10.0};
+  d.add(a, 0);
+  d.add(b, 1);
+  KnnClassifier knn(25);
+  knn.fit(d);
+  EXPECT_NO_THROW(static_cast<void>(knn.predict(a)));
+}
+
+TEST(Centroid, ClassifiesByNearestMean) {
+  const Dataset train = blobs(4, 25, 0.6, 4);
+  CentroidClassifier centroid;
+  centroid.fit(train);
+  EXPECT_EQ(centroid.class_count(), 4u);
+  const Dataset test = blobs(4, 10, 0.6, 5);
+  int hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (centroid.predict(test.row(i)) == test.label(i)) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / test.size(), 0.95);
+}
+
+TEST(Centroid, Validation) {
+  CentroidClassifier centroid;
+  EXPECT_THROW(centroid.fit(Dataset(1)), std::invalid_argument);
+  const std::vector<double> x = {0.0};
+  EXPECT_THROW(static_cast<void>(centroid.predict(x)), std::logic_error);
+}
+
+TEST(ForestClassifier, AdapterWorksLikeForest) {
+  const Dataset train = blobs(3, 30, 0.5, 6);
+  ForestConfig config;
+  config.n_trees = 15;
+  ForestClassifier forest(config);
+  forest.fit(train);
+  int hits = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (forest.predict(train.row(i)) == train.label(i)) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / train.size(), 0.95);
+}
+
+TEST(CrossValidateClassifier, AllThreeBeatChanceOnCleanData) {
+  const Dataset data = blobs(3, 30, 0.8, 7);
+  const auto run = [&](auto factory) {
+    return cross_validate_classifier(data, factory, 5, 9).top1_accuracy;
+  };
+  const double knn = run([](std::uint64_t) {
+    return std::make_unique<KnnClassifier>(3);
+  });
+  const double centroid = run([](std::uint64_t) {
+    return std::make_unique<CentroidClassifier>();
+  });
+  const double forest = run([](std::uint64_t seed) {
+    ForestConfig c;
+    c.n_trees = 15;
+    c.seed = seed;
+    return std::make_unique<ForestClassifier>(c);
+  });
+  EXPECT_GT(knn, 0.9);
+  EXPECT_GT(centroid, 0.9);
+  EXPECT_GT(forest, 0.9);
+}
+
+TEST(CrossValidateClassifier, EvaluatesEverySample) {
+  const Dataset data = blobs(2, 20, 1.0, 8);
+  const auto result = cross_validate_classifier(
+      data,
+      [](std::uint64_t) { return std::make_unique<CentroidClassifier>(); },
+      4, 10);
+  EXPECT_EQ(result.evaluated, data.size());
+}
+
+}  // namespace
+}  // namespace amperebleed::ml

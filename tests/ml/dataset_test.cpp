@@ -1,0 +1,75 @@
+#include "amperebleed/ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amperebleed::ml {
+namespace {
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d(3);
+  const std::vector<double> row0 = {1.0, 2.0, 3.0};
+  const std::vector<double> row1 = {4.0, 5.0, 6.0};
+  d.add(row0, 0);
+  d.add(row1, 2);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.feature_count(), 3u);
+  EXPECT_DOUBLE_EQ(d.row(1)[2], 6.0);
+  EXPECT_EQ(d.label(1), 2);
+  EXPECT_EQ(d.class_count(), 3);
+}
+
+TEST(Dataset, InfersWidthFromFirstRow) {
+  Dataset d;
+  const std::vector<double> row = {1.0, 2.0};
+  d.add(row, 0);
+  EXPECT_EQ(d.feature_count(), 2u);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(d.add(bad, 0), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsNegativeLabels) {
+  Dataset d(1);
+  const std::vector<double> row = {1.0};
+  EXPECT_THROW(d.add(row, -1), std::invalid_argument);
+}
+
+TEST(Dataset, RowOutOfRangeThrows) {
+  Dataset d(1);
+  EXPECT_THROW(static_cast<void>(d.row(0)), std::out_of_range);
+}
+
+TEST(Dataset, TruncatedFeaturesKeepsPrefix) {
+  Dataset d(4);
+  const std::vector<double> row = {1.0, 2.0, 3.0, 4.0};
+  d.add(row, 1);
+  const Dataset t = d.truncated_features(2);
+  EXPECT_EQ(t.feature_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.row(0)[1], 2.0);
+  EXPECT_EQ(t.label(0), 1);
+  EXPECT_THROW(d.truncated_features(5), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d(1);
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<double> row = {static_cast<double>(i)};
+    d.add(row, i % 2);
+  }
+  const std::vector<std::size_t> idx = {4, 0, 2};
+  const Dataset s = d.subset(idx);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.row(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(s.row(1)[0], 0.0);
+  EXPECT_EQ(s.label(2), 0);
+}
+
+TEST(Dataset, ClassCountOnEmpty) {
+  Dataset d(1);
+  EXPECT_EQ(d.class_count(), 0);
+  EXPECT_TRUE(d.empty());
+}
+
+}  // namespace
+}  // namespace amperebleed::ml

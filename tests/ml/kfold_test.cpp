@@ -1,0 +1,110 @@
+#include "amperebleed/ml/kfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+namespace {
+
+TEST(StratifiedKfold, PartitionsAllSamples) {
+  std::vector<int> labels;
+  for (int i = 0; i < 50; ++i) labels.push_back(i % 5);
+  const auto folds = stratified_kfold(labels, 5, 1);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (std::size_t i : f.test_indices) {
+      EXPECT_TRUE(seen.insert(i).second) << "test sets overlap";
+    }
+    EXPECT_EQ(f.train_indices.size() + f.test_indices.size(), labels.size());
+  }
+  EXPECT_EQ(seen.size(), labels.size());
+}
+
+TEST(StratifiedKfold, EveryFoldSeesEveryClass) {
+  std::vector<int> labels;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 10; ++i) labels.push_back(c);
+  }
+  const auto folds = stratified_kfold(labels, 10, 2);
+  for (const auto& f : folds) {
+    std::set<int> classes;
+    for (std::size_t i : f.test_indices) classes.insert(labels[i]);
+    EXPECT_EQ(classes.size(), 4u);
+  }
+}
+
+TEST(StratifiedKfold, TrainAndTestDisjoint) {
+  std::vector<int> labels(30, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 3);
+  }
+  const auto folds = stratified_kfold(labels, 3, 3);
+  for (const auto& f : folds) {
+    std::set<std::size_t> test(f.test_indices.begin(), f.test_indices.end());
+    for (std::size_t i : f.train_indices) {
+      EXPECT_EQ(test.count(i), 0u);
+    }
+  }
+}
+
+TEST(StratifiedKfold, Validation) {
+  const std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_THROW(stratified_kfold(labels, 1, 1), std::invalid_argument);
+  EXPECT_THROW(stratified_kfold(labels, 5, 1), std::invalid_argument);
+}
+
+TEST(StratifiedKfold, DeterministicForSeed) {
+  std::vector<int> labels(40);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 4);
+  }
+  const auto a = stratified_kfold(labels, 4, 7);
+  const auto b = stratified_kfold(labels, 4, 7);
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test_indices, b[f].test_indices);
+  }
+}
+
+TEST(CrossValidate, HighAccuracyOnSeparableData) {
+  util::Rng rng(5);
+  Dataset d(2);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      const std::vector<double> row = {rng.gaussian(c * 5.0, 0.4),
+                                       rng.gaussian(c * -3.0, 0.4)};
+      d.add(row, c);
+    }
+  }
+  ForestConfig config;
+  config.n_trees = 20;
+  const auto result = cross_validate(d, config, 5, 11);
+  EXPECT_EQ(result.evaluated, d.size());
+  EXPECT_GT(result.top1_accuracy, 0.95);
+  EXPECT_GE(result.top5_accuracy, result.top1_accuracy);
+}
+
+TEST(CrossValidate, ChanceLevelOnPureNoise) {
+  util::Rng rng(6);
+  Dataset d(3);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 25; ++i) {
+      const std::vector<double> row = {rng.gaussian(), rng.gaussian(),
+                                       rng.gaussian()};
+      d.add(row, c);
+    }
+  }
+  ForestConfig config;
+  config.n_trees = 15;
+  const auto result = cross_validate(d, config, 5, 12);
+  EXPECT_LT(result.top1_accuracy, 0.5);  // well below certainty
+  EXPECT_GT(result.top1_accuracy, 0.0);  // but something gets lucky
+}
+
+}  // namespace
+}  // namespace amperebleed::ml

@@ -1,0 +1,79 @@
+#include "amperebleed/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amperebleed::ml {
+namespace {
+
+TEST(Accuracy, Basics) {
+  const std::vector<int> truth = {0, 1, 2, 1};
+  const std::vector<int> pred = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(truth, pred), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Accuracy, LengthMismatchThrows) {
+  const std::vector<int> a = {0, 1};
+  const std::vector<int> b = {0};
+  EXPECT_THROW(accuracy(a, b), std::invalid_argument);
+}
+
+TEST(TopKAccuracy, CountsMembership) {
+  const std::vector<int> truth = {3, 1, 0};
+  const std::vector<std::vector<int>> candidates = {
+      {0, 1, 3},  // hit at rank 3
+      {2, 0},     // miss
+      {0},        // hit at rank 1
+  };
+  EXPECT_NEAR(top_k_accuracy(truth, candidates), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TopKAccuracy, Validation) {
+  const std::vector<int> truth = {0};
+  EXPECT_THROW(top_k_accuracy(truth, {}), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(top_k_accuracy({}, {}), 0.0);
+}
+
+TEST(ConfusionMatrix, AccumulatesAndSummarizes) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(2, 0);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 0.0);
+}
+
+TEST(ConfusionMatrix, EmptyClassMetricsAreZero) {
+  ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 0.0);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(cm.count(0, 5)), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, RenderContainsAllCells) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 1);
+  const std::string out = cm.render();
+  EXPECT_NE(out.find("truth"), std::string::npos);
+  EXPECT_NE(out.find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amperebleed::ml

@@ -1,0 +1,166 @@
+#include "amperebleed/ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::ml {
+namespace {
+
+Dataset blobs(int classes, int per_class, double spread, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d(3);
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const std::vector<double> row = {
+          rng.gaussian(c * 4.0, spread),
+          rng.gaussian(-c * 2.0, spread),
+          rng.gaussian(c * 1.0, spread),
+      };
+      d.add(row, c);
+    }
+  }
+  return d;
+}
+
+TEST(RandomForest, LearnsSeparableClasses) {
+  const Dataset train = blobs(4, 50, 0.5, 1);
+  const Dataset test = blobs(4, 20, 0.5, 2);
+  ForestConfig config;
+  config.n_trees = 30;
+  RandomForest forest(config);
+  forest.fit(train);
+  int hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (forest.predict(test.row(i)) == test.label(i)) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / test.size(), 0.95);
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+  const Dataset d = blobs(3, 30, 1.0, 3);
+  ForestConfig config;
+  config.n_trees = 10;
+  RandomForest forest(config);
+  forest.fit(d);
+  const auto p = forest.predict_proba(d.row(0));
+  ASSERT_EQ(p.size(), 3u);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RandomForest, TopKOrderedByProbability) {
+  const Dataset d = blobs(5, 40, 0.5, 4);
+  ForestConfig config;
+  config.n_trees = 20;
+  RandomForest forest(config);
+  forest.fit(d);
+  const auto p = forest.predict_proba(d.row(0));
+  const auto top3 = forest.predict_top_k(d.row(0), 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_GE(p[static_cast<std::size_t>(top3[0])],
+            p[static_cast<std::size_t>(top3[1])]);
+  EXPECT_GE(p[static_cast<std::size_t>(top3[1])],
+            p[static_cast<std::size_t>(top3[2])]);
+  EXPECT_EQ(top3[0], forest.predict(d.row(0)));
+}
+
+TEST(RandomForest, TopKClampsToClassCount) {
+  const Dataset d = blobs(2, 20, 0.5, 5);
+  ForestConfig config;
+  config.n_trees = 5;
+  RandomForest forest(config);
+  forest.fit(d);
+  EXPECT_EQ(forest.predict_top_k(d.row(0), 10).size(), 2u);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const Dataset d = blobs(3, 30, 2.0, 6);
+  ForestConfig config;
+  config.n_trees = 15;
+  config.seed = 99;
+  RandomForest f1(config);
+  RandomForest f2(config);
+  f1.fit(d);
+  f2.fit(d);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(f1.predict(d.row(i)), f2.predict(d.row(i)));
+  }
+}
+
+TEST(RandomForest, SeedChangesTrees) {
+  const Dataset d = blobs(3, 30, 3.0, 7);  // noisy: predictions can differ
+  ForestConfig c1;
+  c1.n_trees = 5;
+  c1.seed = 1;
+  ForestConfig c2 = c1;
+  c2.seed = 2;
+  RandomForest f1(c1);
+  RandomForest f2(c2);
+  f1.fit(d);
+  f2.fit(d);
+  int diff = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto p1 = f1.predict_proba(d.row(i));
+    const auto p2 = f2.predict_proba(d.row(i));
+    if (p1 != p2) ++diff;
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RandomForest, Validation) {
+  RandomForest forest;
+  EXPECT_THROW(forest.fit(Dataset(2)), std::invalid_argument);
+  const std::vector<double> x = {0.0, 0.0};
+  EXPECT_THROW(static_cast<void>(forest.predict(x)), std::logic_error);
+  ForestConfig zero;
+  zero.n_trees = 0;
+  RandomForest bad(zero);
+  Dataset d(1);
+  const std::vector<double> row = {1.0};
+  d.add(row, 0);
+  EXPECT_THROW(bad.fit(d), std::invalid_argument);
+}
+
+TEST(RandomForest, WithoutBootstrapUsesAllSamples) {
+  const Dataset d = blobs(2, 25, 0.5, 8);
+  ForestConfig config;
+  config.n_trees = 5;
+  config.bootstrap = false;
+  RandomForest forest(config);
+  forest.fit(d);
+  int hits = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (forest.predict(d.row(i)) == d.label(i)) ++hits;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(hits), d.size());
+}
+
+class ForestSizeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeProperty, AccuracyNondecreasingWithEnoughTrees) {
+  // More trees should never be catastrophically worse on clean data.
+  const Dataset train = blobs(4, 30, 0.8, 9);
+  const Dataset test = blobs(4, 15, 0.8, 10);
+  ForestConfig config;
+  config.n_trees = GetParam();
+  RandomForest forest(config);
+  forest.fit(train);
+  int hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (forest.predict(test.row(i)) == test.label(i)) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / test.size(), 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeCounts, ForestSizeProperty,
+                         ::testing::Values(1u, 5u, 20u, 60u));
+
+}  // namespace
+}  // namespace amperebleed::ml

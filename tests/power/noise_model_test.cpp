@@ -1,0 +1,71 @@
+#include "amperebleed/power/noise_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amperebleed::power {
+namespace {
+
+TEST(RailNoiseProcess, DeterministicForSeed) {
+  RailNoiseConfig config;
+  RailNoiseProcess a(config, 7);
+  RailNoiseProcess b(config, 7);
+  for (int i = 0; i < 20; ++i) {
+    const auto sa = a.step(sim::milliseconds(1));
+    const auto sb = b.step(sim::milliseconds(1));
+    EXPECT_DOUBLE_EQ(sa.current_gain, sb.current_gain);
+    EXPECT_DOUBLE_EQ(sa.current_offset_amps, sb.current_offset_amps);
+    EXPECT_DOUBLE_EQ(sa.voltage_offset_volts, sb.voltage_offset_volts);
+  }
+}
+
+TEST(RailNoiseProcess, WhiteNoiseMagnitudeMatchesConfig) {
+  RailNoiseConfig config;
+  config.current_white_amps = 0.01;
+  config.current_drift_fraction = 0.0;  // isolate the white component
+  config.voltage_drift_volts = 0.0;
+  // OU with zero sigma still needs theta > 0; defaults are fine.
+  RailNoiseProcess p(config, 11);
+  const int n = 50'000;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum_sq += std::pow(p.step(sim::milliseconds(1)).current_offset_amps, 2);
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.01, 0.001);
+}
+
+TEST(RailNoiseProcess, DriftGainStaysNearOne) {
+  RailNoiseConfig config;
+  config.current_drift_fraction = 0.005;
+  RailNoiseProcess p(config, 13);
+  double min_gain = 10.0;
+  double max_gain = -10.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double g = p.step(sim::milliseconds(35)).current_gain;
+    min_gain = std::min(min_gain, g);
+    max_gain = std::max(max_gain, g);
+  }
+  // Gain wanders but stays within ~6 sigma of 1.
+  EXPECT_GT(min_gain, 1.0 - 6 * 0.005);
+  EXPECT_LT(max_gain, 1.0 + 6 * 0.005);
+  EXPECT_NE(min_gain, max_gain);
+}
+
+TEST(RailNoiseProcess, VoltageDriftHasConfiguredStationarySpread) {
+  RailNoiseConfig config;
+  config.voltage_white_volts = 0.0;  // isolate the drift component
+  config.voltage_drift_volts = 0.0001;
+  config.voltage_drift_rate_hz = 10.0;  // fast reversion for quick mixing
+  RailNoiseProcess p(config, 17);
+  const int n = 20'000;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    // 500 ms >> 1/theta so samples are decorrelated.
+    sum_sq += std::pow(p.step(sim::milliseconds(500)).voltage_offset_volts, 2);
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 0.0001, 0.00001);
+}
+
+}  // namespace
+}  // namespace amperebleed::power

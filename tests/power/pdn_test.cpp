@@ -1,0 +1,121 @@
+#include "amperebleed/power/pdn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::power {
+namespace {
+
+TEST(PdnModel, Validation) {
+  PdnConfig bad;
+  bad.v_min = 1.0;
+  bad.v_max = 0.9;
+  EXPECT_THROW(PdnModel{bad}, std::invalid_argument);
+  PdnConfig gain;
+  gain.stabilizer_gain = 1.5;
+  EXPECT_THROW(PdnModel{gain}, std::invalid_argument);
+  PdnConfig neg;
+  neg.r_effective_ohms = -1.0;
+  EXPECT_THROW(PdnModel{neg}, std::invalid_argument);
+}
+
+TEST(PdnModel, SteadyVoltageDropsWithLoad) {
+  PdnConfig c;
+  c.v_nominal = 0.85;
+  c.r_effective_ohms = 0.015;
+  c.stabilizer_gain = 0.0;  // legacy PDN: full droop visible
+  c.idle_current_amps = 0.0;
+  PdnModel pdn(c);
+  EXPECT_DOUBLE_EQ(pdn.steady_voltage(0.0), 0.85);
+  EXPECT_DOUBLE_EQ(pdn.steady_voltage(1.0), 0.85 - 0.015);
+  EXPECT_GT(pdn.steady_voltage(0.5), pdn.steady_voltage(1.5));
+}
+
+TEST(PdnModel, StabilizerShrinksDroop) {
+  PdnConfig legacy;
+  legacy.stabilizer_gain = 0.0;
+  PdnConfig modern = legacy;
+  modern.stabilizer_gain = 0.9875;
+  const double droop_legacy =
+      legacy.v_nominal - PdnModel(legacy).steady_voltage(1.0);
+  const double droop_modern =
+      modern.v_nominal - PdnModel(modern).steady_voltage(1.0);
+  EXPECT_NEAR(droop_modern / droop_legacy, 1.0 - 0.9875, 1e-9);
+}
+
+TEST(PdnModel, ClampsIntoBand) {
+  PdnConfig c;
+  c.v_nominal = 0.85;
+  c.v_min = 0.825;
+  c.v_max = 0.876;
+  c.r_effective_ohms = 0.1;
+  c.stabilizer_gain = 0.0;
+  PdnModel pdn(c);
+  EXPECT_DOUBLE_EQ(pdn.steady_voltage(100.0), 0.825);   // huge load
+  EXPECT_DOUBLE_EQ(pdn.steady_voltage(-100.0), 0.876);  // back-feed clamped
+}
+
+TEST(PdnModel, IdleCurrentTrimsSetpoint) {
+  PdnConfig c;
+  c.stabilizer_gain = 0.0;
+  c.r_effective_ohms = 0.01;
+  c.idle_current_amps = 2.0;
+  PdnModel pdn(c);
+  EXPECT_DOUBLE_EQ(pdn.steady_voltage(2.0), c.v_nominal);
+}
+
+TEST(PdnModel, RawDroopEquation1) {
+  PdnConfig c;
+  c.r_effective_ohms = 0.015;
+  c.l_effective_henries = 1e-9;
+  PdnModel pdn(c);
+  // V_drop = I*R + L*dI/dt
+  EXPECT_DOUBLE_EQ(pdn.raw_droop(2.0, 0.0), 0.03);
+  EXPECT_DOUBLE_EQ(pdn.raw_droop(0.0, 1e6), 1e-3);
+  EXPECT_DOUBLE_EQ(pdn.raw_droop(2.0, 1e6), 0.031);
+}
+
+TEST(PdnModel, VoltageSignalTracksLoadSteps) {
+  PdnConfig c;
+  c.stabilizer_gain = 0.5;
+  c.r_effective_ohms = 0.01;
+  c.idle_current_amps = 1.0;
+  PdnModel pdn(c);
+
+  sim::PiecewiseConstant load(1.0);
+  load.append(sim::milliseconds(10), 3.0);
+  const auto v = pdn.voltage_signal(load);
+
+  EXPECT_DOUBLE_EQ(v.value_at(sim::TimeNs{0}), c.v_nominal);
+  // After the transient settles the steady droop applies.
+  EXPECT_DOUBLE_EQ(v.value_at(sim::milliseconds(11)),
+                   pdn.steady_voltage(3.0));
+  // During the transient the voltage dips below the new steady level.
+  EXPECT_LE(v.value_at(sim::milliseconds(10)), pdn.steady_voltage(3.0));
+}
+
+TEST(PdnModel, VoltageSignalTransientStaysInBand) {
+  PdnConfig c;
+  c.l_effective_henries = 1.0;  // absurdly large to force clamping
+  PdnModel pdn(c);
+  sim::PiecewiseConstant load(0.0);
+  load.append(sim::milliseconds(1), 10.0);
+  const auto v = pdn.voltage_signal(load);
+  EXPECT_GE(v.min_over(sim::TimeNs{0}, sim::seconds(1)), c.v_min);
+  EXPECT_LE(v.max_over(sim::TimeNs{0}, sim::seconds(1)), c.v_max);
+}
+
+TEST(PdnModel, BackToBackStepsDoNotThrow) {
+  // Load changes spaced closer than the transient width must not violate
+  // the signal's monotonic-append invariant.
+  PdnConfig c;
+  c.transient_width = sim::microseconds(10);
+  PdnModel pdn(c);
+  sim::PiecewiseConstant load(0.0);
+  load.append(sim::microseconds(1), 1.0);
+  load.append(sim::microseconds(3), 2.0);
+  load.append(sim::microseconds(5), 1.5);
+  EXPECT_NO_THROW(pdn.voltage_signal(load));
+}
+
+}  // namespace
+}  // namespace amperebleed::power

@@ -1,0 +1,53 @@
+#include "amperebleed/power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::power {
+namespace {
+
+TEST(ComponentCurrents, TotalSumsAllComponents) {
+  ComponentCurrents c;
+  c.logic_elements = 1.0;
+  c.block_ram = 0.5;
+  c.dsp = 0.25;
+  c.clocks = 0.125;
+  c.other = 0.0625;
+  EXPECT_DOUBLE_EQ(c.total(), 1.9375);
+}
+
+TEST(ComponentCurrents, AdditionAndScaling) {
+  ComponentCurrents a{1.0, 2.0, 3.0, 4.0, 5.0};
+  ComponentCurrents b{0.5, 0.5, 0.5, 0.5, 0.5};
+  const ComponentCurrents sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.logic_elements, 1.5);
+  EXPECT_DOUBLE_EQ(sum.other, 5.5);
+  const ComponentCurrents scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled.dsp, 6.0);
+}
+
+TEST(DynamicPower, Equation2) {
+  // P_dyn = V_dd * sum(I) — the physics behind the attack.
+  ComponentCurrents c{1.0, 0.0, 1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(dynamic_power_watts(0.85, c), 1.7);
+  EXPECT_DOUBLE_EQ(dynamic_power_watts(0.0, c), 0.0);
+  EXPECT_THROW(dynamic_power_watts(-0.1, c), std::invalid_argument);
+}
+
+TEST(SwitchingCurrent, LinearInAllFactors) {
+  const double base = switching_current_amps(1000.0, 40e-9, 300.0);
+  EXPECT_DOUBLE_EQ(switching_current_amps(2000.0, 40e-9, 300.0), 2 * base);
+  EXPECT_DOUBLE_EQ(switching_current_amps(1000.0, 80e-9, 300.0), 2 * base);
+  EXPECT_DOUBLE_EQ(switching_current_amps(1000.0, 40e-9, 600.0), 2 * base);
+  EXPECT_THROW(switching_current_amps(-1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(LeakageCurrent, ScalesWithDeployment) {
+  // 160k deployed virus instances at 4 uA leak 0.64 A — why Fig 2's current
+  // does not start from zero.
+  EXPECT_DOUBLE_EQ(leakage_current_amps(160'000.0, 4e-6), 0.64);
+  EXPECT_DOUBLE_EQ(leakage_current_amps(0.0, 4e-6), 0.0);
+  EXPECT_THROW(leakage_current_amps(1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::power

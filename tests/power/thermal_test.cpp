@@ -1,0 +1,80 @@
+#include "amperebleed/power/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amperebleed::power {
+namespace {
+
+TEST(ThermalModel, Validation) {
+  ThermalConfig bad;
+  bad.tau_seconds = 0.0;
+  EXPECT_THROW(ThermalModel{bad}, std::invalid_argument);
+  ThermalConfig neg;
+  neg.r_th_c_per_w = -1.0;
+  EXPECT_THROW(ThermalModel{neg}, std::invalid_argument);
+  ThermalConfig step;
+  step.step = sim::TimeNs{0};
+  EXPECT_THROW(ThermalModel{step}, std::invalid_argument);
+}
+
+TEST(ThermalModel, SteadyTemperatureIsAffine) {
+  ThermalConfig c;
+  c.ambient_celsius = 35.0;
+  c.r_th_c_per_w = 2.0;
+  ThermalModel model(c);
+  EXPECT_DOUBLE_EQ(model.steady_temperature(0.0), 35.0);
+  EXPECT_DOUBLE_EQ(model.steady_temperature(10.0), 55.0);
+}
+
+TEST(ThermalModel, ConstantPowerStaysAtEquilibrium) {
+  ThermalModel model;
+  sim::PiecewiseConstant power(5.0);
+  const auto temp = model.temperature_signal(power, sim::seconds(20));
+  const double expected = model.steady_temperature(5.0);
+  EXPECT_NEAR(temp.value_at(sim::TimeNs{0}), expected, 1e-9);
+  EXPECT_NEAR(temp.value_at(sim::seconds(19)), expected, 1e-6);
+}
+
+TEST(ThermalModel, StepResponseIsExponentialWithTau) {
+  ThermalConfig c;
+  c.tau_seconds = 4.0;
+  c.r_th_c_per_w = 2.0;
+  c.ambient_celsius = 30.0;
+  ThermalModel model(c);
+  sim::PiecewiseConstant power(0.0);
+  power.append(sim::seconds(1), 10.0);  // +20 C step at t=1s
+  const auto temp = model.temperature_signal(power, sim::seconds(40));
+  // One time constant after the step: 63.2% of the way.
+  const double at_tau = temp.value_at(sim::seconds(5));
+  EXPECT_NEAR(at_tau, 30.0 + 20.0 * (1.0 - std::exp(-1.0)), 0.2);
+  // Five time constants: essentially settled.
+  EXPECT_NEAR(temp.value_at(sim::seconds(25)), 50.0, 0.2);
+  // Before the step: at ambient equilibrium.
+  EXPECT_NEAR(temp.value_at(sim::milliseconds(500)), 30.0, 1e-6);
+}
+
+TEST(ThermalModel, TemperatureLagsFastLoadChanges) {
+  // A 100 ms power burst barely moves an 8 s time constant.
+  ThermalModel model;
+  sim::PiecewiseConstant power(2.0);
+  power.append(sim::seconds(2), 12.0);
+  power.append(sim::seconds(2) + sim::milliseconds(100), 2.0);
+  const auto temp = model.temperature_signal(power, sim::seconds(5));
+  const double before = temp.value_at(sim::seconds(2));
+  const double peak = temp.max_over(sim::seconds(2), sim::seconds(5));
+  // Steady delta would be 22 C; the burst achieves ~1.2% of it.
+  EXPECT_LT(peak - before, 0.6);
+  EXPECT_GT(peak - before, 0.05);
+}
+
+TEST(ThermalModel, NegativeEndRejected) {
+  ThermalModel model;
+  sim::PiecewiseConstant power(1.0);
+  EXPECT_THROW(model.temperature_signal(power, sim::TimeNs{-1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::power

@@ -1,0 +1,76 @@
+#include "amperebleed/sensors/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace amperebleed::sensors {
+namespace {
+
+TEST(BoardCatalog, EightBoardsOfTableOne) {
+  const auto& catalog = board_catalog();
+  EXPECT_EQ(catalog.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& b : catalog) names.insert(b.name);
+  for (const char* expected : {"ZCU102", "ZCU111", "ZCU216", "ZCU1285",
+                               "VEK280", "VCK190", "VHK158", "VPK180"}) {
+    EXPECT_EQ(names.count(expected), 1u) << expected;
+  }
+}
+
+TEST(BoardCatalog, EveryBoardHasIna226Sensors) {
+  for (const auto& b : board_catalog()) {
+    EXPECT_GT(b.ina226_count, 0) << b.name;
+  }
+}
+
+TEST(BoardCatalog, FamilyVoltageBandsMatchTableOne) {
+  for (const auto& b : board_catalog()) {
+    if (b.family == FpgaFamily::ZynqUltraScalePlus) {
+      EXPECT_DOUBLE_EQ(b.fpga_voltage_min, 0.825) << b.name;
+      EXPECT_DOUBLE_EQ(b.fpga_voltage_max, 0.876) << b.name;
+      EXPECT_EQ(b.cpu_model, "Cortex-A53") << b.name;
+    } else {
+      EXPECT_DOUBLE_EQ(b.fpga_voltage_min, 0.775) << b.name;
+      EXPECT_DOUBLE_EQ(b.fpga_voltage_max, 0.825) << b.name;
+      EXPECT_EQ(b.cpu_model, "Cortex-A72") << b.name;
+    }
+  }
+}
+
+TEST(BoardSpec, Zcu102RowMatchesPaper) {
+  const BoardSpec& b = board_spec("ZCU102");
+  EXPECT_EQ(b.ina226_count, 18);
+  EXPECT_EQ(b.dram_gb, 4);
+  EXPECT_EQ(b.price_usd, 3'234);
+}
+
+TEST(BoardSpec, UnknownBoardThrows) {
+  EXPECT_THROW(board_spec("ZCU999"), std::invalid_argument);
+}
+
+TEST(SensitiveSensors, FourTableTwoRows) {
+  const auto& sensors = zcu102_sensitive_sensors();
+  EXPECT_EQ(sensors.size(), power::kRailCount);
+  EXPECT_EQ(zcu102_sensor(power::Rail::FpdCpu).designator, "ina226_u76");
+  EXPECT_EQ(zcu102_sensor(power::Rail::LpdCpu).designator, "ina226_u77");
+  EXPECT_EQ(zcu102_sensor(power::Rail::FpgaLogic).designator, "ina226_u79");
+  EXPECT_EQ(zcu102_sensor(power::Rail::Ddr).designator, "ina226_u93");
+}
+
+TEST(SensitiveSensors, RailMappingConsistent) {
+  for (const auto& s : zcu102_sensitive_sensors()) {
+    EXPECT_EQ(zcu102_sensor(s.rail).designator, s.designator);
+    EXPECT_GT(s.shunt_ohms, 0.0);
+    EXPECT_FALSE(s.description.empty());
+  }
+}
+
+TEST(FamilyNames, Render) {
+  EXPECT_EQ(fpga_family_name(FpgaFamily::ZynqUltraScalePlus),
+            "Zynq UltraScale+");
+  EXPECT_EQ(fpga_family_name(FpgaFamily::Versal), "Versal");
+}
+
+}  // namespace
+}  // namespace amperebleed::sensors

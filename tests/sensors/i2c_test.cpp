@@ -1,0 +1,95 @@
+#include "amperebleed/sensors/i2c.hpp"
+
+#include <gtest/gtest.h>
+
+#include "amperebleed/power/noise_model.hpp"
+
+namespace amperebleed::sensors {
+namespace {
+
+class FakeDevice final : public I2cDevice {
+ public:
+  std::uint16_t read_word(std::uint8_t reg) override {
+    last_read = reg;
+    return static_cast<std::uint16_t>(0x1000 + reg);
+  }
+  void write_word(std::uint8_t reg, std::uint16_t value) override {
+    last_write = {reg, value};
+  }
+  std::uint8_t last_read = 0xff;
+  std::pair<std::uint8_t, std::uint16_t> last_write{0xff, 0};
+};
+
+TEST(I2cBus, AttachAndTransact) {
+  I2cBus bus;
+  FakeDevice dev;
+  bus.attach(0x40, dev);
+  EXPECT_TRUE(bus.probe(0x40));
+  EXPECT_FALSE(bus.probe(0x41));
+  EXPECT_EQ(bus.read_word(0x40, 0x04), 0x1004);
+  bus.write_word(0x40, 0x05, 0xbeef);
+  EXPECT_EQ(dev.last_write.first, 0x05);
+  EXPECT_EQ(dev.last_write.second, 0xbeef);
+  EXPECT_EQ(bus.transactions(), 2u);
+}
+
+TEST(I2cBus, NackOnMissingDevice) {
+  I2cBus bus;
+  EXPECT_THROW(bus.read_word(0x40, 0x00), I2cError);
+  EXPECT_THROW(bus.write_word(0x40, 0x00, 1), I2cError);
+}
+
+TEST(I2cBus, ReservedAndConflictingAddressesRejected) {
+  I2cBus bus;
+  FakeDevice a;
+  FakeDevice b;
+  EXPECT_THROW(bus.attach(0x03, a), std::invalid_argument);
+  EXPECT_THROW(bus.attach(0x7c, a), std::invalid_argument);
+  bus.attach(0x40, a);
+  EXPECT_THROW(bus.attach(0x40, b), std::invalid_argument);
+}
+
+TEST(I2cBus, ScanListsSortedAddresses) {
+  I2cBus bus;
+  FakeDevice a;
+  FakeDevice b;
+  FakeDevice c;
+  bus.attach(0x44, a);
+  bus.attach(0x40, b);
+  bus.attach(0x4f, c);
+  EXPECT_EQ(bus.scan(), (std::vector<std::uint8_t>{0x40, 0x44, 0x4f}));
+}
+
+TEST(Ina226Adapter, RoutesRegisterAccess) {
+  power::RailNoiseConfig quiet;
+  quiet.current_white_amps = 0.0;
+  quiet.current_drift_fraction = 0.0;
+  quiet.voltage_white_volts = 0.0;
+  quiet.voltage_drift_volts = 0.0;
+  quiet.thermal_nonlinearity_per_amp = 0.0;
+  Ina226 dev(Ina226Config{}, quiet, 1);
+  sim::PiecewiseConstant current(2.0);
+  sim::PiecewiseConstant voltage(0.85);
+  dev.bind(&current, &voltage);
+
+  int hook_calls = 0;
+  Ina226I2cAdapter adapter(dev, [&]() {
+    ++hook_calls;
+    dev.advance_to(sim::milliseconds(40));
+  });
+  I2cBus bus;
+  bus.attach(0x40, adapter);
+
+  // Identification registers through the bus.
+  EXPECT_EQ(bus.read_word(0x40, 0xFE), 0x5449);
+  // Current register: 2 A at 1 mA LSB -> 2000 counts.
+  EXPECT_EQ(bus.read_word(0x40, 0x04), 2000);
+  EXPECT_EQ(hook_calls, 2);
+
+  // Calibration write through the bus.
+  bus.write_word(0x40, 0x05, 512);
+  EXPECT_EQ(dev.read_register(Ina226Register::Calibration), 512);
+}
+
+}  // namespace
+}  // namespace amperebleed::sensors

@@ -1,0 +1,212 @@
+#include "amperebleed/sensors/ina226.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amperebleed/power/noise_model.hpp"
+
+namespace amperebleed::sensors {
+namespace {
+
+power::RailNoiseConfig no_noise() {
+  power::RailNoiseConfig n;
+  n.current_white_amps = 0.0;
+  n.current_drift_fraction = 0.0;
+  n.voltage_white_volts = 0.0;
+  n.voltage_drift_volts = 0.0;
+  n.thermal_nonlinearity_per_amp = 0.0;
+  return n;
+}
+
+struct Bench {
+  sim::PiecewiseConstant current{0.0};
+  sim::PiecewiseConstant voltage{0.85};
+};
+
+TEST(Ina226, Validation) {
+  Ina226Config bad;
+  bad.shunt_ohms = 0.0;
+  EXPECT_THROW(Ina226(bad, no_noise(), 1), std::invalid_argument);
+  Ina226Config lsb;
+  lsb.current_lsb_amps = 0.0;
+  EXPECT_THROW(Ina226(lsb, no_noise(), 1), std::invalid_argument);
+  Ina226Config avg;
+  avg.avg_count = 0;
+  EXPECT_THROW(Ina226(avg, no_noise(), 1), std::invalid_argument);
+}
+
+TEST(Ina226, CalibrationRegisterPerDatasheet) {
+  // CAL = 0.00512 / (1 mA * 5 mOhm) = 1024.
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  EXPECT_EQ(dev.read_register(Ina226Register::Calibration), 1024);
+}
+
+TEST(Ina226, UpdateIntervalIsAvgTimesConversions) {
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  // 16 * (1.1 ms + 1.1 ms) = 35.2 ms — the paper's default hwmon interval.
+  EXPECT_EQ(dev.update_interval(), sim::microseconds(35'200));
+}
+
+TEST(Ina226, IdentificationRegisters) {
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  EXPECT_EQ(dev.read_register(Ina226Register::ManufacturerId), 0x5449);
+  EXPECT_EQ(dev.read_register(Ina226Register::DieId), 0x2260);
+}
+
+TEST(Ina226, MeasuresConstantCurrentExactly) {
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(1.234);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(40));
+  EXPECT_EQ(dev.conversions_completed(), 1u);
+  EXPECT_NEAR(dev.current_amps(), 1.234, 0.001);  // quantized at 1 mA
+  EXPECT_NEAR(dev.bus_voltage_volts(), 0.85, 0.00125);
+}
+
+TEST(Ina226, CurrentQuantizedToLsb) {
+  // 0.4 mA true load: the shunt ADC sees 2 uV -> code 1 (2.5 uV LSB), and
+  // the current register rounds to one 1 mA LSB — sub-LSB detail is gone.
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(0.0004);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(40));
+  EXPECT_DOUBLE_EQ(dev.current_amps(), 0.001);
+  // Readings are always integer multiples of the current LSB.
+  const double code = dev.current_amps() / dev.current_lsb_amps();
+  EXPECT_DOUBLE_EQ(code, std::round(code));
+}
+
+TEST(Ina226, PowerRegisterIsCurrentTimesBusOver20000) {
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(2.0);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(40));
+  const auto current_code =
+      static_cast<std::int16_t>(dev.read_register(Ina226Register::Current));
+  const auto bus_code = dev.read_register(Ina226Register::BusVoltage);
+  const auto power_code = dev.read_register(Ina226Register::Power);
+  EXPECT_EQ(power_code,
+            static_cast<std::uint16_t>(std::llround(
+                static_cast<double>(current_code) * bus_code / 20000.0)));
+  // Engineering units: P = I*V with 25 mW LSB.
+  EXPECT_NEAR(dev.power_watts(), 2.0 * 0.85, 0.025);
+  EXPECT_DOUBLE_EQ(dev.power_lsb_watts(), 0.025);
+}
+
+TEST(Ina226, PowerLsbIsCoarserThanCurrentLsb) {
+  // The resolution cliff the paper exploits: 25x.
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  EXPECT_DOUBLE_EQ(dev.power_lsb_watts() / (dev.current_lsb_amps() * 0.85),
+                   0.025 / 0.00085);
+  EXPECT_DOUBLE_EQ(dev.power_lsb_watts(), 25.0 * dev.current_lsb_amps());
+}
+
+TEST(Ina226, NoConversionBeforeFirstIntervalCompletes) {
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(1.0);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(30));  // < 35.2 ms
+  EXPECT_EQ(dev.conversions_completed(), 0u);
+  EXPECT_DOUBLE_EQ(dev.current_amps(), 0.0);
+}
+
+TEST(Ina226, RegistersHoldBetweenConversions) {
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(1.0);
+  bench.current.append(sim::milliseconds(36), 3.0);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(36));
+  const double first = dev.current_amps();
+  dev.advance_to(sim::milliseconds(50));  // mid second conversion
+  EXPECT_DOUBLE_EQ(dev.current_amps(), first);
+  dev.advance_to(sim::milliseconds(71));  // second conversion done
+  EXPECT_GT(dev.current_amps(), first);
+}
+
+TEST(Ina226, ConversionAveragesTheWindow) {
+  Bench bench;
+  // 1 A for the first half of the conversion window, 3 A for the second.
+  bench.current = sim::PiecewiseConstant(1.0);
+  bench.current.append(sim::microseconds(17'600), 3.0);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(36));
+  EXPECT_NEAR(dev.current_amps(), 2.0, 0.05);
+}
+
+TEST(Ina226, TimeCannotGoBackwards) {
+  Bench bench;
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(100));
+  EXPECT_THROW(dev.advance_to(sim::milliseconds(99)), std::invalid_argument);
+}
+
+TEST(Ina226, AdvanceRequiresBinding) {
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  EXPECT_THROW(dev.advance_to(sim::milliseconds(40)), std::logic_error);
+  Bench bench;
+  EXPECT_THROW(dev.bind(nullptr, &bench.voltage), std::invalid_argument);
+}
+
+TEST(Ina226, SetTimingChangesUpdateInterval) {
+  Bench bench;
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.set_timing(1, sim::microseconds(1100), sim::microseconds(1100));
+  EXPECT_EQ(dev.update_interval(), sim::microseconds(2200));
+  dev.advance_to(sim::milliseconds(40));
+  EXPECT_GT(dev.conversions_completed(), 10u);
+  EXPECT_THROW(dev.set_timing(0, sim::microseconds(1), sim::microseconds(1)),
+               std::invalid_argument);
+}
+
+TEST(Ina226, DataRegisterWritesIgnored) {
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(1.0);
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(40));
+  const auto before = dev.read_register(Ina226Register::Current);
+  dev.write_register(Ina226Register::Current, 0xdead);
+  EXPECT_EQ(dev.read_register(Ina226Register::Current), before);
+}
+
+TEST(Ina226, ConfigAndCalibrationWritable) {
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.write_register(Ina226Register::Configuration, 0x1234);
+  EXPECT_EQ(dev.read_register(Ina226Register::Configuration), 0x1234);
+  dev.write_register(Ina226Register::Calibration, 2048);
+  EXPECT_EQ(dev.read_register(Ina226Register::Calibration), 2048);
+}
+
+TEST(Ina226, SaturatesAtRegisterLimits) {
+  Bench bench;
+  bench.current = sim::PiecewiseConstant(1000.0);  // absurd load
+  Ina226 dev(Ina226Config{}, no_noise(), 1);
+  dev.bind(&bench.current, &bench.voltage);
+  dev.advance_to(sim::milliseconds(40));
+  EXPECT_LE(dev.current_amps(), 32.767 + 1e-9);
+}
+
+class InaAveragingProperty : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(InaAveragingProperty, UpdateIntervalScalesWithAvg) {
+  Ina226Config c;
+  c.avg_count = GetParam();
+  Ina226 dev(c, no_noise(), 1);
+  EXPECT_EQ(dev.update_interval().ns,
+            static_cast<std::int64_t>(GetParam()) * 2'200'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AvgCounts, InaAveragingProperty,
+                         ::testing::Values(1, 4, 16, 64, 128, 256, 512, 1024));
+
+}  // namespace
+}  // namespace amperebleed::sensors

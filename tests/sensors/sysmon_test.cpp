@@ -1,0 +1,83 @@
+#include "amperebleed/sensors/sysmon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::sensors {
+namespace {
+
+SysmonConfig quiet() {
+  SysmonConfig c;
+  c.temp_noise_celsius = 0.0;
+  return c;
+}
+
+TEST(Sysmon, Validation) {
+  SysmonConfig bad;
+  bad.conversion_period = sim::TimeNs{0};
+  EXPECT_THROW(Sysmon(bad, 1), std::invalid_argument);
+  SysmonConfig scale;
+  scale.temp_scale = 0.0;
+  EXPECT_THROW(Sysmon(scale, 1), std::invalid_argument);
+}
+
+TEST(Sysmon, RequiresBinding) {
+  Sysmon dev(quiet(), 1);
+  EXPECT_THROW(dev.advance_to(sim::milliseconds(10)), std::logic_error);
+  EXPECT_THROW(dev.bind(nullptr), std::invalid_argument);
+}
+
+TEST(Sysmon, MeasuresConstantTemperature) {
+  sim::PiecewiseConstant temp(52.5);
+  Sysmon dev(quiet(), 1);
+  dev.bind(&temp);
+  dev.advance_to(sim::milliseconds(10));
+  EXPECT_GT(dev.conversions_completed(), 5u);
+  // SYSMONE4 transfer quantization is ~7.7 mC — well inside 0.01 C.
+  EXPECT_NEAR(dev.temperature_celsius(), 52.5, 0.01);
+}
+
+TEST(Sysmon, QuantizesToTransferFunction) {
+  sim::PiecewiseConstant temp(40.0);
+  Sysmon dev(quiet(), 2);
+  dev.bind(&temp);
+  dev.advance_to(sim::milliseconds(5));
+  const double scale = dev.config().temp_scale;
+  const double recovered =
+      dev.raw_code() * scale + dev.config().temp_offset;
+  EXPECT_DOUBLE_EQ(dev.temperature_celsius(), recovered);
+}
+
+TEST(Sysmon, TracksChangingTemperature) {
+  sim::PiecewiseConstant temp(40.0);
+  temp.append(sim::milliseconds(50), 60.0);
+  Sysmon dev(quiet(), 3);
+  dev.bind(&temp);
+  dev.advance_to(sim::milliseconds(40));
+  EXPECT_NEAR(dev.temperature_celsius(), 40.0, 0.01);
+  dev.advance_to(sim::milliseconds(100));
+  EXPECT_NEAR(dev.temperature_celsius(), 60.0, 0.01);
+}
+
+TEST(Sysmon, MonotonicTime) {
+  sim::PiecewiseConstant temp(40.0);
+  Sysmon dev(quiet(), 4);
+  dev.bind(&temp);
+  dev.advance_to(sim::milliseconds(20));
+  EXPECT_THROW(dev.advance_to(sim::milliseconds(19)), std::invalid_argument);
+}
+
+TEST(Sysmon, NoiseIsSeededDeterministically) {
+  SysmonConfig noisy;
+  noisy.temp_noise_celsius = 0.5;
+  sim::PiecewiseConstant temp(45.0);
+  Sysmon a(noisy, 7);
+  Sysmon b(noisy, 7);
+  a.bind(&temp);
+  b.bind(&temp);
+  a.advance_to(sim::milliseconds(30));
+  b.advance_to(sim::milliseconds(30));
+  EXPECT_EQ(a.raw_code(), b.raw_code());
+}
+
+}  // namespace
+}  // namespace amperebleed::sensors

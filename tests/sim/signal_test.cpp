@@ -1,0 +1,144 @@
+#include "amperebleed/sim/signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace amperebleed::sim {
+namespace {
+
+TEST(PiecewiseConstant, EmptySignalIsInitialValueEverywhere) {
+  PiecewiseConstant s(2.5);
+  EXPECT_DOUBLE_EQ(s.value_at(TimeNs{0}), 2.5);
+  EXPECT_DOUBLE_EQ(s.value_at(seconds(100)), 2.5);
+  EXPECT_DOUBLE_EQ(s.integrate(TimeNs{0}, seconds(2)), 5.0);
+}
+
+TEST(PiecewiseConstant, ValueAtRespectsRightOpenSemantics) {
+  PiecewiseConstant s(0.0);
+  s.append(milliseconds(10), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(milliseconds(10) - nanoseconds(1)), 0.0);
+  EXPECT_DOUBLE_EQ(s.value_at(milliseconds(10)), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(milliseconds(11)), 1.0);
+}
+
+TEST(PiecewiseConstant, AppendRequiresIncreasingTime) {
+  PiecewiseConstant s(0.0);
+  s.append(milliseconds(1), 1.0);
+  EXPECT_THROW(s.append(milliseconds(1), 2.0), std::invalid_argument);
+  EXPECT_THROW(s.append(microseconds(500), 2.0), std::invalid_argument);
+}
+
+TEST(PiecewiseConstant, CoalescesEqualValuesEvenAtSameInstant) {
+  PiecewiseConstant s(1.0);
+  s.append(milliseconds(1), 1.0);  // no-op: same value as tail
+  EXPECT_EQ(s.segment_count(), 0u);
+  s.append(milliseconds(1), 2.0);
+  s.append(milliseconds(1), 2.0);  // no-op again, same time is fine
+  EXPECT_EQ(s.segment_count(), 1u);
+}
+
+TEST(PiecewiseConstant, IntegrateAcrossSegments) {
+  PiecewiseConstant s(1.0);
+  s.append(seconds(1), 3.0);
+  s.append(seconds(2), 0.0);
+  // [0,1):1, [1,2):3, [2,4):0 -> 1 + 3 + 0 = 4
+  EXPECT_DOUBLE_EQ(s.integrate(TimeNs{0}, seconds(4)), 4.0);
+}
+
+TEST(PiecewiseConstant, IntegratePartialWindows) {
+  PiecewiseConstant s(2.0);
+  s.append(seconds(1), 4.0);
+  EXPECT_DOUBLE_EQ(s.integrate(milliseconds(500), milliseconds(1500)), 3.0);
+}
+
+TEST(PiecewiseConstant, IntegrateEmptyWindowIsZero) {
+  PiecewiseConstant s(5.0);
+  EXPECT_DOUBLE_EQ(s.integrate(seconds(1), seconds(1)), 0.0);
+}
+
+TEST(PiecewiseConstant, IntegrateRejectsReversedWindow) {
+  PiecewiseConstant s(1.0);
+  EXPECT_THROW(static_cast<void>(s.integrate(seconds(2), seconds(1))),
+               std::invalid_argument);
+}
+
+TEST(PiecewiseConstant, MeanOverWindow) {
+  PiecewiseConstant s(0.0);
+  s.append(seconds(1), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(TimeNs{0}, seconds(2)), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(seconds(1), seconds(2)), 10.0);
+}
+
+TEST(PiecewiseConstant, MinMaxOverWindow) {
+  PiecewiseConstant s(1.0);
+  s.append(seconds(1), 5.0);
+  s.append(seconds(2), -2.0);
+  EXPECT_DOUBLE_EQ(s.min_over(TimeNs{0}, seconds(3)), -2.0);
+  EXPECT_DOUBLE_EQ(s.max_over(TimeNs{0}, seconds(3)), 5.0);
+  // Window before any change sees only the initial value.
+  EXPECT_DOUBLE_EQ(s.max_over(TimeNs{0}, milliseconds(500)), 1.0);
+}
+
+TEST(PiecewiseConstant, SumOfSignals) {
+  PiecewiseConstant a(1.0);
+  a.append(seconds(1), 2.0);
+  PiecewiseConstant b(10.0);
+  b.append(seconds(2), 20.0);
+  const PiecewiseConstant c = a + b;
+  EXPECT_DOUBLE_EQ(c.value_at(TimeNs{0}), 11.0);
+  EXPECT_DOUBLE_EQ(c.value_at(seconds(1)), 12.0);
+  EXPECT_DOUBLE_EQ(c.value_at(seconds(2)), 22.0);
+}
+
+TEST(PiecewiseConstant, SumHandlesSimultaneousChanges) {
+  PiecewiseConstant a(0.0);
+  a.append(seconds(1), 1.0);
+  PiecewiseConstant b(0.0);
+  b.append(seconds(1), 2.0);
+  const PiecewiseConstant c = a + b;
+  EXPECT_DOUBLE_EQ(c.value_at(seconds(1)), 3.0);
+  EXPECT_DOUBLE_EQ(c.value_at(seconds(1) - nanoseconds(1)), 0.0);
+  EXPECT_EQ(c.segment_count(), 1u);
+}
+
+TEST(PiecewiseConstant, ScaleMultipliesEverything) {
+  PiecewiseConstant s(1.0);
+  s.append(seconds(1), 3.0);
+  s.scale(2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(TimeNs{0}), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(seconds(1)), 6.0);
+}
+
+TEST(PiecewiseConstant, IntegralMatchesSumOfParts) {
+  // Property: integrate(a,c) == integrate(a,b) + integrate(b,c).
+  PiecewiseConstant s(0.5);
+  s.append(milliseconds(100), 1.5);
+  s.append(milliseconds(250), 0.25);
+  s.append(milliseconds(900), 4.0);
+  const TimeNs a{0};
+  const TimeNs b = milliseconds(400);
+  const TimeNs c = seconds(2);
+  EXPECT_NEAR(s.integrate(a, c), s.integrate(a, b) + s.integrate(b, c), 1e-12);
+}
+
+class SignalWindowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignalWindowProperty, MeanIsBetweenMinAndMax) {
+  PiecewiseConstant s(1.0);
+  s.append(milliseconds(10), 3.0);
+  s.append(milliseconds(20), -1.0);
+  s.append(milliseconds(30), 7.0);
+  const int offset_ms = GetParam();
+  const TimeNs t0 = milliseconds(offset_ms);
+  const TimeNs t1 = milliseconds(offset_ms + 15);
+  const double m = s.mean(t0, t1);
+  EXPECT_GE(m, s.min_over(t0, t1) - 1e-12);
+  EXPECT_LE(m, s.max_over(t0, t1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SignalWindowProperty,
+                         ::testing::Values(0, 5, 10, 15, 22, 28, 40));
+
+}  // namespace
+}  // namespace amperebleed::sim

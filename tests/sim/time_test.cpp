@@ -1,0 +1,46 @@
+#include "amperebleed/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::sim {
+namespace {
+
+TEST(TimeNs, UnitConstructors) {
+  EXPECT_EQ(nanoseconds(5).ns, 5);
+  EXPECT_EQ(microseconds(5).ns, 5'000);
+  EXPECT_EQ(milliseconds(5).ns, 5'000'000);
+  EXPECT_EQ(seconds(5).ns, 5'000'000'000LL);
+}
+
+TEST(TimeNs, Conversions) {
+  const TimeNs t = milliseconds(35);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.035);
+  EXPECT_DOUBLE_EQ(t.millis(), 35.0);
+  EXPECT_DOUBLE_EQ(t.micros(), 35'000.0);
+}
+
+TEST(TimeNs, Arithmetic) {
+  EXPECT_EQ((milliseconds(1) + microseconds(500)).ns, 1'500'000);
+  EXPECT_EQ((milliseconds(2) - milliseconds(1)).ns, 1'000'000);
+  TimeNs t = seconds(1);
+  t += milliseconds(1);
+  EXPECT_EQ(t.ns, 1'001'000'000LL);
+}
+
+TEST(TimeNs, Comparisons) {
+  EXPECT_LT(milliseconds(1), milliseconds(2));
+  EXPECT_LE(milliseconds(2), milliseconds(2));
+  EXPECT_GT(seconds(1), milliseconds(999));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_NE(seconds(1), milliseconds(1001));
+}
+
+TEST(TimeNs, FromSecondsRounds) {
+  EXPECT_EQ(from_seconds(1.5).ns, 1'500'000'000LL);
+  EXPECT_EQ(from_seconds(0.0000000014).ns, 1);  // 1.4 ns -> 1
+  EXPECT_EQ(from_seconds(0.0000000016).ns, 2);  // 1.6 ns -> 2
+  EXPECT_EQ(from_seconds(-1.0).ns, -1'000'000'000LL);
+}
+
+}  // namespace
+}  // namespace amperebleed::sim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "amperebleed/soc/process.hpp"
+
+namespace amperebleed::soc {
+namespace {
+
+TEST(BackgroundActivity, ProducesBurstsOnFpdAndDdr) {
+  BackgroundActivityParams params;
+  const auto activity =
+      make_background_os_activity(params, sim::seconds(2), 1);
+  const auto& fpd = activity.on(power::Rail::FpdCpu);
+  const auto& ddr = activity.on(power::Rail::Ddr);
+  // ~15 bursts/s over 2 s -> tens of segments.
+  EXPECT_GT(fpd.segment_count(), 10u);
+  EXPECT_GT(ddr.segment_count(), 10u);
+  EXPECT_DOUBLE_EQ(fpd.max_over(sim::TimeNs{0}, sim::seconds(2)),
+                   params.cpu_burst_current_amps);
+  EXPECT_DOUBLE_EQ(fpd.min_over(sim::TimeNs{0}, sim::seconds(2)), 0.0);
+}
+
+TEST(BackgroundActivity, TimerTickOnLpd) {
+  BackgroundActivityParams params;
+  params.burst_rate_hz = 0.0;  // isolate the tick
+  const auto activity =
+      make_background_os_activity(params, sim::milliseconds(105), 2);
+  const auto& lpd = activity.on(power::Rail::LpdCpu);
+  // Ticks at 10, 20, ..., 100 ms -> 10 ticks, 2 segments each.
+  EXPECT_EQ(lpd.segment_count(), 20u);
+  EXPECT_DOUBLE_EQ(lpd.value_at(sim::milliseconds(10)),
+                   params.lpd_tick_current_amps);
+  EXPECT_DOUBLE_EQ(lpd.value_at(sim::milliseconds(11)), 0.0);
+}
+
+TEST(BackgroundActivity, MeanLoadMatchesDutyCycle) {
+  BackgroundActivityParams params;
+  params.lpd_tick_period = sim::TimeNs{0};  // disable the tick
+  const auto activity =
+      make_background_os_activity(params, sim::seconds(60), 3);
+  const auto& fpd = activity.on(power::Rail::FpdCpu);
+  // Expected duty: rate * mean_duration; back-to-back merging and the
+  // exponential-tail clamping make this approximate.
+  const double mean = fpd.mean(sim::TimeNs{0}, sim::seconds(60));
+  const double expected = params.burst_rate_hz *
+                          params.mean_burst_duration.seconds() *
+                          params.cpu_burst_current_amps;
+  EXPECT_NEAR(mean, expected, 0.5 * expected);
+}
+
+TEST(BackgroundActivity, DeterministicPerSeed) {
+  BackgroundActivityParams params;
+  const auto a = make_background_os_activity(params, sim::seconds(1), 9);
+  const auto b = make_background_os_activity(params, sim::seconds(1), 9);
+  const auto c = make_background_os_activity(params, sim::seconds(1), 10);
+  EXPECT_EQ(a.on(power::Rail::FpdCpu).segment_count(),
+            b.on(power::Rail::FpdCpu).segment_count());
+  EXPECT_NE(a.on(power::Rail::FpdCpu).segment_count(),
+            c.on(power::Rail::FpdCpu).segment_count());
+}
+
+TEST(BackgroundActivity, ZeroRateIsSilentOnCpuRails) {
+  BackgroundActivityParams params;
+  params.burst_rate_hz = 0.0;
+  params.lpd_tick_period = sim::TimeNs{0};
+  const auto activity =
+      make_background_os_activity(params, sim::seconds(1), 4);
+  EXPECT_EQ(activity.on(power::Rail::FpdCpu).segment_count(), 0u);
+  EXPECT_EQ(activity.on(power::Rail::LpdCpu).segment_count(), 0u);
+  EXPECT_EQ(activity.on(power::Rail::Ddr).segment_count(), 0u);
+}
+
+TEST(BackgroundActivity, NegativeEndRejected) {
+  EXPECT_THROW(
+      make_background_os_activity({}, sim::TimeNs{-1}, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::soc

@@ -1,0 +1,80 @@
+#include "amperebleed/soc/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::soc {
+namespace {
+
+TEST(CpuSchedule, SingleIntervalLoadsFpdRail) {
+  CpuSchedule sched;
+  sched.run({"victim", 0, false}, sim::milliseconds(10), sim::milliseconds(20));
+  const auto activity = sched.activity();
+  const auto& fpd = activity.on(power::Rail::FpdCpu);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(15)), 0.35);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(25)), 0.0);
+}
+
+TEST(CpuSchedule, UtilizationScalesCurrent) {
+  CpuSchedule sched;
+  sched.run({"sampler", 3, false}, sim::TimeNs{0}, sim::seconds(1), 0.25);
+  const auto activity = sched.activity();
+  EXPECT_DOUBLE_EQ(
+      activity.on(power::Rail::FpdCpu).value_at(sim::milliseconds(1)),
+      0.25 * 0.35);
+}
+
+TEST(CpuSchedule, ConcurrentCoresSum) {
+  CpuSchedule sched;
+  sched.run({"a", 0, false}, sim::TimeNs{0}, sim::milliseconds(10));
+  sched.run({"b", 1, false}, sim::milliseconds(5), sim::milliseconds(15));
+  const auto activity = sched.activity();
+  const auto& fpd = activity.on(power::Rail::FpdCpu);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(2)), 0.35);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(7)), 0.70);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(12)), 0.35);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(20)), 0.0);
+}
+
+TEST(CpuSchedule, BackToBackIntervalsOnSameCore) {
+  CpuSchedule sched;
+  sched.run({"a", 2, false}, sim::TimeNs{0}, sim::milliseconds(10));
+  sched.run({"a", 2, false}, sim::milliseconds(10), sim::milliseconds(20));
+  const auto activity = sched.activity();
+  const auto& fpd = activity.on(power::Rail::FpdCpu);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::milliseconds(10)), 0.35);
+}
+
+TEST(CpuSchedule, OverlapOnSameCoreRejected) {
+  CpuSchedule sched;
+  sched.run({"a", 0, false}, sim::TimeNs{0}, sim::milliseconds(10));
+  EXPECT_THROW(
+      sched.run({"b", 0, false}, sim::milliseconds(5), sim::milliseconds(15)),
+      std::invalid_argument);
+}
+
+TEST(CpuSchedule, Validation) {
+  CpuSchedule sched;
+  EXPECT_THROW(
+      sched.run({"x", 4, false}, sim::TimeNs{0}, sim::seconds(1)),
+      std::invalid_argument);  // core out of range on a quad-core part
+  EXPECT_THROW(sched.run({"x", 0, false}, sim::seconds(1), sim::seconds(1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      sched.run({"x", 0, false}, sim::TimeNs{0}, sim::seconds(1), 1.5),
+      std::invalid_argument);
+  CpuPowerParams bad;
+  bad.core_count = 0;
+  EXPECT_THROW(CpuSchedule{bad}, std::invalid_argument);
+}
+
+TEST(CpuSchedule, EmptyScheduleIsSilent) {
+  CpuSchedule sched;
+  const auto activity = sched.activity();
+  const auto& fpd = activity.on(power::Rail::FpdCpu);
+  EXPECT_EQ(fpd.segment_count(), 0u);
+  EXPECT_DOUBLE_EQ(fpd.value_at(sim::seconds(5)), 0.0);
+}
+
+}  // namespace
+}  // namespace amperebleed::soc

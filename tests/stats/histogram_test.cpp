@@ -1,0 +1,66 @@
+#include "amperebleed/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amperebleed::stats {
+namespace {
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), std::invalid_argument);
+}
+
+TEST(Histogram, BinIndexing) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_index(0.0), 0u);
+  EXPECT_EQ(h.bin_index(0.99), 0u);
+  EXPECT_EQ(h.bin_index(5.0), 5u);
+  EXPECT_EQ(h.bin_index(9.99), 9u);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, BinBoundsAndCenters) {
+  Histogram h(0.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 1.5);
+}
+
+TEST(Histogram, DensitySumsToOne) {
+  Histogram h(0.0, 1.0, 5);
+  const std::vector<double> xs = {0.1, 0.3, 0.5, 0.7, 0.9, 0.95};
+  h.add_all(xs);
+  double total = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.density(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyDensityIsZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amperebleed::stats

@@ -1,0 +1,76 @@
+#include "amperebleed/stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::stats {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ConstantXGivesZeroSlope) {
+  const std::vector<double> x = {2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 2.0);
+}
+
+TEST(LinearFit, ConstantYFitsPerfectlyFlat) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 4.0, 4.0};
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 4.0);
+  EXPECT_DOUBLE_EQ(f.r_squared, 1.0);
+}
+
+TEST(LinearFit, Validation) {
+  const std::vector<double> one = {1.0};
+  const std::vector<double> two = {1.0, 2.0};
+  EXPECT_THROW(linear_fit(one, one), std::invalid_argument);
+  EXPECT_THROW(linear_fit(two, one), std::invalid_argument);
+}
+
+TEST(LinearFit, RecoversSlopeUnderNoise) {
+  util::Rng rng(77);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 2'000; ++i) {
+    x.push_back(i);
+    y.push_back(40.0 * i + 500.0 + rng.gaussian(0.0, 20.0));
+  }
+  const LinearFit f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 40.0, 0.05);
+  EXPECT_NEAR(f.intercept, 500.0, 40.0);
+  EXPECT_GT(f.r_squared, 0.999);
+}
+
+TEST(LinearFit, ResidualsOrthogonalToX) {
+  // Property of least squares: sum of residuals and sum of x*residuals ~ 0.
+  const std::vector<double> x = {0.5, 1.5, 2.0, 4.0, 9.0};
+  const std::vector<double> y = {2.0, 1.0, 4.0, 3.0, 8.0};
+  const LinearFit f = linear_fit(x, y);
+  double sum_r = 0.0;
+  double sum_xr = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (f.slope * x[i] + f.intercept);
+    sum_r += r;
+    sum_xr += x[i] * r;
+  }
+  EXPECT_NEAR(sum_r, 0.0, 1e-9);
+  EXPECT_NEAR(sum_xr, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace amperebleed::stats

@@ -1,0 +1,79 @@
+#include "amperebleed/stats/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::stats {
+namespace {
+
+std::vector<double> sine(std::size_t n, double period, double noise_sigma,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(std::sin(2.0 * 3.14159265358979 * i / period) +
+                 rng.gaussian(0.0, noise_sigma));
+  }
+  return xs;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto xs = sine(200, 20.0, 0.1, 1);
+  const auto r = autocorrelation(xs, 50);
+  ASSERT_EQ(r.size(), 51u);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsAllZero) {
+  const std::vector<double> xs(100, 5.0);
+  const auto r = autocorrelation(xs, 10);
+  for (double v : r) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Autocorrelation, EmptyAndClamping) {
+  EXPECT_TRUE(autocorrelation({}, 10).empty());
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_EQ(autocorrelation(xs, 100).size(), 3u);  // clamped to len-1
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  const auto xs = sine(400, 25.0, 0.05, 2);
+  const auto r = autocorrelation(xs, 60);
+  // r(25) should dominate intermediate lags.
+  EXPECT_GT(r[25], 0.8);
+  EXPECT_GT(r[25], r[12]);
+}
+
+TEST(DominantPeriod, RecoversSinePeriod) {
+  const auto xs = sine(500, 30.0, 0.1, 3);
+  const std::size_t p = dominant_period(xs, 100);
+  EXPECT_NEAR(static_cast<double>(p), 30.0, 1.0);
+}
+
+TEST(DominantPeriod, SquareWavePeriod) {
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back((i / 7) % 2 == 0 ? 1.0 : 0.0);  // period 14
+  }
+  EXPECT_EQ(dominant_period(xs, 60), 14u);
+}
+
+TEST(DominantPeriod, WhiteNoiseHasNone) {
+  util::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.gaussian());
+  EXPECT_EQ(dominant_period(xs, 100, 0.3), 0u);
+}
+
+TEST(DominantPeriod, ShortInputIsSafe) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_EQ(dominant_period(xs, 10), 0u);
+}
+
+}  // namespace
+}  // namespace amperebleed::stats

@@ -1,0 +1,53 @@
+#include "amperebleed/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace amperebleed::util {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()),
+                 const_cast<char**>(argv.data()));
+}
+
+TEST(CliArgs, SpaceSeparatedValues) {
+  const auto args = parse({"--samples", "500", "--csv", "out.csv"});
+  EXPECT_EQ(args.get_int("samples", 0), 500);
+  EXPECT_EQ(args.get_string("csv", ""), "out.csv");
+}
+
+TEST(CliArgs, EqualsSeparatedValues) {
+  const auto args = parse({"--levels=42", "--ratio=2.5"});
+  EXPECT_EQ(args.get_int("levels", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 2.5);
+}
+
+TEST(CliArgs, BooleanFlags) {
+  const auto args = parse({"--quick", "--models", "10"});
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_FALSE(args.has("slow"));
+  EXPECT_EQ(args.get_int("quick", 0), 1);
+  EXPECT_EQ(args.get_int("models", 0), 10);
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("s", "d"), "d");
+}
+
+TEST(CliArgs, TrailingBooleanFlag) {
+  const auto args = parse({"--a", "1", "--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(CliArgs, RejectsPositionalArguments) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace amperebleed::util

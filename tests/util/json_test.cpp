@@ -1,0 +1,81 @@
+#include "amperebleed/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace amperebleed::util {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::integer(-42).dump(), "-42");
+  EXPECT_EQ(Json::number(2.5).dump(), "2.5");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json::number(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(Json::number(std::nan("")).dump(), "null");
+}
+
+TEST(Json, ArraysAndObjectsCompact) {
+  Json arr = Json::array();
+  arr.push_back(Json::integer(1));
+  arr.push_back(Json::string("two"));
+  EXPECT_EQ(arr.dump(), "[1,\"two\"]");
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_TRUE(arr.is_array());
+
+  Json obj = Json::object();
+  obj.set("a", Json::integer(1));
+  obj.set("b", arr);
+  EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[1,\"two\"]}");
+}
+
+TEST(Json, ObjectInsertionOrderAndReplace) {
+  Json obj = Json::object();
+  obj.set("z", Json::integer(1));
+  obj.set("a", Json::integer(2));
+  obj.set("z", Json::integer(3));  // replace, keep position
+  EXPECT_EQ(obj.dump(), "{\"z\":3,\"a\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(Json, TypeErrorsThrow) {
+  Json scalar = Json::integer(1);
+  EXPECT_THROW(scalar.push_back(Json()), std::logic_error);
+  EXPECT_THROW(scalar.set("k", Json()), std::logic_error);
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", Json()), std::logic_error);
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(Json::escape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(Json::escape("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(Json::escape("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(Json::escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj.set("x", Json::integer(1));
+  Json arr = Json::array();
+  arr.push_back(Json::integer(2));
+  obj.set("y", arr);
+  const std::string pretty = obj.dump(2);
+  EXPECT_EQ(pretty,
+            "{\n  \"x\": 1,\n  \"y\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::array().dump(2), "[]");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+}  // namespace
+}  // namespace amperebleed::util

@@ -1,0 +1,146 @@
+#include "amperebleed/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace amperebleed::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1'000; ++i) {
+    const double v = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.5);
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  Rng rng(13);
+  const int n = 200'000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaledMoments) {
+  Rng rng(17);
+  const int n = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(21);
+  Rng c1 = parent.fork(0);
+  Rng c2 = parent.fork(1);
+  Rng c1_again = Rng(21).fork(0);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+}  // namespace
+}  // namespace amperebleed::util

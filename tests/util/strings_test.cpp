@@ -1,0 +1,81 @@
+#include "amperebleed/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace amperebleed::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a//b", '/');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Split, EmptyStringYieldsOneEmptyField) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitPath, DropsEmptyComponents) {
+  const auto parts = split_path("/sys//class/hwmon/");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "sys");
+  EXPECT_EQ(parts[1], "class");
+  EXPECT_EQ(parts[2], "hwmon");
+}
+
+TEST(SplitPath, RootIsEmpty) {
+  EXPECT_TRUE(split_path("/").empty());
+  EXPECT_TRUE(split_path("").empty());
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(join({}, "/"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \n"), "hello");
+  EXPECT_EQ(trim("\t\r\n "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("curr1_input", "curr"));
+  EXPECT_FALSE(starts_with("curr", "curr1"));
+  EXPECT_TRUE(ends_with("curr1_input", "_input"));
+  EXPECT_FALSE(ends_with("input", "_input"));
+}
+
+TEST(ParseLl, AcceptsSysfsStyleNumbers) {
+  EXPECT_EQ(parse_ll("1234\n"), 1234);
+  EXPECT_EQ(parse_ll("  -56 "), -56);
+  EXPECT_EQ(parse_ll("+7"), 7);
+  EXPECT_EQ(parse_ll("0"), 0);
+}
+
+TEST(ParseLl, RejectsGarbage) {
+  EXPECT_FALSE(parse_ll("").has_value());
+  EXPECT_FALSE(parse_ll("12a").has_value());
+  EXPECT_FALSE(parse_ll("-").has_value());
+  EXPECT_FALSE(parse_ll("1.5").has_value());
+}
+
+TEST(Format, PrintfSemantics) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace amperebleed::util
