@@ -12,10 +12,12 @@
 #include "amperebleed/ml/baselines.hpp"
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_classifier");
 
   core::FingerprintConfig config;
   config.model_limit = static_cast<std::size_t>(args.get_int("models", 12));
@@ -68,5 +70,10 @@ int main(int argc, char** argv) {
   std::puts("Reading: even the trivial baselines are competitive with the");
   std::puts("paper's forest — the information lives in the current channel");
   std::puts("itself, not in the learner.");
+
+  session.record().set_number("forest_top1", forest);
+  session.record().set_number("knn_top1", knn);
+  session.record().set_number("centroid_top1", centroid);
+  session.finish();
   return 0;
 }

@@ -15,10 +15,12 @@
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/rng.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_constant_time");
   const auto samples =
       static_cast<std::size_t>(args.get_int("samples", 3'000));
 
@@ -87,5 +89,8 @@ int main(int argc, char** argv) {
   std::puts("(which multiplier ran, for how long), not data-level switching;");
   std::puts("a balanced-activity core like AES is outside the channel's");
   std::puts("reach at hwmon timescales.");
+  session.record().set_integer("aes_key_groups",
+                               static_cast<std::int64_t>(n_groups));
+  session.finish();
   return n_groups == 1 ? 0 : 0;
 }

@@ -17,6 +17,7 @@
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/rng.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 namespace {
 
@@ -86,6 +87,7 @@ Outcome evaluate(const hwmon::HwmonPolicy& policy, std::size_t samples,
 
 int main(int argc, char** argv) {
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_defenses");
   const auto samples =
       static_cast<std::size_t>(args.get_int("samples", 2'000));
   const std::vector<std::size_t> weights = {1,   128, 256, 384, 512,
@@ -132,5 +134,6 @@ int main(int argc, char** argv) {
   std::puts("the distributions past the separability threshold at this trace");
   std::puts("length, but sample means stay unbiased, so a longer collection");
   std::puts("defeats it unless reads are also rate-limited.");
+  session.finish();
   return 0;
 }

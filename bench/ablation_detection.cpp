@@ -1,0 +1,181 @@
+// Ablation A10: defender-side detectability of AmpereBleed's access pattern.
+// The attack needs no privilege and no crafted circuit — but it cannot avoid
+// *reading the sensor interface*, and the hwmon access-audit layer sees every
+// read. This bench replays a mixed timeline of benign consumers (a health
+// daemon reading four rails at 1 Hz, a user-space governor at 2 Hz) and two
+// attacker profiles (the 35 ms characterization cadence and the 1 kHz RSA
+// cadence) against one SoC, then runs the sliding-window read-rate detector
+// over the audit trail and reports per-principal rates plus window-level
+// TPR/FPR across a threshold sweep.
+//
+// Stated operating point: 10 reads/s per attribute sustained for 3
+// consecutive 1 s windows. Both attacker cadences sit far above it (28.6 Hz
+// and 1000 Hz on a single attribute); every benign consumer sits far below.
+//
+// Flags: --duration S (virtual seconds, default 60) --threshold R (reads/s)
+//        plus the shared obs flags (see obs_session.hpp)
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+/// One sensor consumer on the shared timeline: reads its channels every
+/// `period`, starting at `next`.
+struct Actor {
+  core::Sampler sampler;
+  std::vector<core::Channel> channels;
+  sim::TimeNs period;
+  sim::TimeNs next;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_detection");
+
+  const double duration_s = args.get_double("duration", 60.0);
+  const double threshold = args.get_double("threshold", 10.0);
+
+  // The detector consumes the audit trail, so this bench needs obs on even
+  // without any --obs flag.
+  if (!obs::audit_enabled()) obs::init();
+
+  std::printf("Ablation: audit-layer detection of sensor-polling attackers\n"
+              "(%.0f virtual seconds; benign daemons vs 35 ms and 1 kHz "
+              "attacker cadences)\n\n",
+              duration_s);
+
+  // One victim platform; the workload is irrelevant to the detector (it only
+  // sees the access pattern), but keep a real one so reads return live data.
+  fpga::PowerVirus virus;
+  virus.set_active_groups(sim::seconds(1), 60);
+  soc::Soc soc(soc::zcu102_config(0xab10));
+  soc.fabric().deploy(virus.descriptor());
+  soc.add_activity(virus.activity());
+  soc.finalize();
+
+  const core::Channel fpga_i{power::Rail::FpgaLogic, core::Quantity::Current};
+  const std::vector<core::Channel> all_rails = {
+      {power::Rail::FpdCpu, core::Quantity::Current},
+      {power::Rail::LpdCpu, core::Quantity::Current},
+      {power::Rail::FpgaLogic, core::Quantity::Current},
+      {power::Rail::Ddr, core::Quantity::Current},
+  };
+
+  // The merged timeline. Offsets desynchronize the actors the way real
+  // daemons drift apart; every read lands in the audit log under the
+  // actor's principal name via the Sampler's PrincipalScope.
+  std::vector<Actor> actors;
+  actors.push_back({core::Sampler(soc, core::Principal::root("health-daemon")),
+                    all_rails, sim::seconds(1), sim::milliseconds(40)});
+  actors.push_back({core::Sampler(soc, core::Principal::unprivileged("governor")),
+                    {fpga_i}, sim::milliseconds(500), sim::milliseconds(140)});
+  actors.push_back(
+      {core::Sampler(soc, core::Principal::unprivileged("attacker-35ms")),
+       {fpga_i}, sim::milliseconds(35), sim::milliseconds(60)});
+  actors.push_back(
+      {core::Sampler(soc, core::Principal::unprivileged("attacker-1khz")),
+       {fpga_i}, sim::milliseconds(1), sim::milliseconds(75)});
+
+  const sim::TimeNs end = sim::from_seconds(duration_s);
+  for (;;) {
+    // Next actor due on the merged timeline.
+    Actor* due = nullptr;
+    for (auto& a : actors) {
+      if (due == nullptr || a.next < due->next) due = &a;
+    }
+    if (due->next >= end) break;
+    soc.advance_to(due->next);
+    for (const auto& c : due->channels) {
+      static_cast<void>(due->sampler.read_now(c));
+    }
+    due->next = due->next + due->period;
+  }
+
+  // Detector at the stated operating point.
+  obs::RateDetectorConfig det;
+  det.window = sim::seconds(1);
+  det.threshold_reads_per_s = threshold;
+  det.consecutive_windows = 3;
+  const auto report = obs::detect_rate_anomalies(obs::audit_log(), det);
+
+  core::TextTable table({"Principal", "Accesses", "Peak rate (r/s)",
+                         "Mean rate (r/s)", "Hot windows", "Flagged",
+                         "Detected after"});
+  for (const auto& p : report.principals) {
+    table.add_row({
+        p.principal,
+        util::format("%llu", static_cast<unsigned long long>(p.accesses)),
+        core::fmt(p.peak_path_rate_hz, 1),
+        core::fmt(p.mean_rate_hz, 1),
+        util::format("%zu / %zu", p.hot_windows, p.active_windows),
+        p.flagged ? "YES" : "no",
+        p.flagged ? util::format("%.1f s", p.detection_time.seconds())
+                  : "-",
+    });
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const std::set<std::string> attackers = {"attacker-35ms", "attacker-1khz"};
+  const auto eval = obs::evaluate_detector(obs::audit_log(), det, attackers);
+  std::printf("\nOperating point: %.0f reads/s/attr over %zu consecutive "
+              "%.0f s windows\n",
+              det.threshold_reads_per_s, det.consecutive_windows,
+              det.window.seconds());
+  std::printf("Window-level TPR = %.3f, FPR = %.3f  (tp=%llu fp=%llu "
+              "tn=%llu fn=%llu)\n",
+              eval.tpr(), eval.fpr(),
+              static_cast<unsigned long long>(eval.tp),
+              static_cast<unsigned long long>(eval.fp),
+              static_cast<unsigned long long>(eval.tn),
+              static_cast<unsigned long long>(eval.fn));
+
+  // Threshold sweep: where does the detector's operating band sit between
+  // the loudest benign consumer (4 r/s) and the quietest attacker (28.6 r/s)?
+  std::puts("\nThreshold sweep (3 consecutive 1 s windows):");
+  core::TextTable sweep({"Threshold (r/s)", "TPR", "FPR", "Verdict"});
+  for (double t : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 200.0}) {
+    obs::RateDetectorConfig c = det;
+    c.threshold_reads_per_s = t;
+    const auto e = obs::evaluate_detector(obs::audit_log(), c, attackers);
+    const char* verdict = (e.tpr() > 0.9 && e.fpr() == 0.0)
+                              ? "separates cleanly"
+                              : (e.fpr() > 0.0 ? "false alarms"
+                                               : "misses attackers");
+    sweep.add_row({core::fmt(t, 0), core::fmt(e.tpr(), 3),
+                   core::fmt(e.fpr(), 3), verdict});
+  }
+  std::fputs(sweep.render().c_str(), stdout);
+
+  std::puts("\nReading: the attack's polling loop is loud. Any threshold in");
+  std::puts("the decade between the busiest benign consumer and the slowest");
+  std::puts("useful attack cadence (35 ms) yields TPR ~1 at FPR 0 — the");
+  std::puts("audit layer detects AmpereBleed without restricting access,");
+  std::puts("complementing the paper's chmod-style mitigation (Sec V).");
+
+  session.record().set_number("threshold_reads_per_s",
+                              det.threshold_reads_per_s);
+  session.record().set_number("tpr", eval.tpr());
+  session.record().set_number("fpr", eval.fpr());
+  const auto* atk = report.find("attacker-1khz");
+  if (atk != nullptr) {
+    session.record().set_number("attacker_1khz_peak_rate_hz",
+                                atk->peak_path_rate_hz);
+  }
+  session.finish();
+  return 0;
+}

@@ -10,7 +10,9 @@
 #include "amperebleed/fpga/power_virus.hpp"
 #include "amperebleed/soc/soc.hpp"
 #include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 namespace {
 
@@ -51,9 +53,8 @@ Outcome run_scenario(bool unprivileged_access) {
 
   // Root-side health monitoring must keep working either way.
   try {
-    core::SamplerConfig root = sc;
-    root.privileged = true;
-    const auto t = sampler.collect(channel, sim::seconds(3), root);
+    core::Sampler fleet_monitor(soc, core::Principal::root("fleet-monitor"));
+    const auto t = fleet_monitor.collect(channel, sim::seconds(3), sc);
     outcome.root_monitoring_ok = !t.empty();
   } catch (const core::SamplingError&) {
     outcome.root_monitoring_ok = false;
@@ -63,7 +64,9 @@ Outcome run_scenario(bool unprivileged_access) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_mitigation");
   std::puts("Ablation: hwmon access-control mitigation (paper Sec V)\n");
 
   core::TextTable table({"hwmon policy", "Unprivileged attack",
@@ -83,5 +86,14 @@ int main() {
   std::puts("\nReading: chmod 0400 on the measurement attributes stops the");
   std::puts("unprivileged attack outright, at the cost of breaking every");
   std::puts("unprivileged consumer (the deployment tension Sec V discusses).");
+
+  session.record().set_text("open_attack",
+                            open.attack_succeeded ? "succeeds" : "fails");
+  session.record().set_text(
+      "mitigated_attack", restricted.attack_succeeded ? "succeeds" : "fails");
+  session.record().set_text(
+      "mitigated_root_monitoring",
+      restricted.root_monitoring_ok ? "works" : "broken");
+  session.finish();
   return 0;
 }

@@ -16,10 +16,12 @@
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/rng.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_resolution");
   const auto samples =
       static_cast<std::size_t>(args.get_int("samples", 4'000));
   const auto weights = core::default_hamming_weights();
@@ -75,5 +77,6 @@ int main(int argc, char** argv) {
   std::puts("\nReading: the 25x resolution gap between the CURRENT and POWER");
   std::puts("registers (INA226 datasheet) is alone enough to collapse the");
   std::puts("HW classes — matching Fig 4's current-vs-power comparison.");
+  session.finish();
   return 0;
 }

@@ -9,10 +9,12 @@
 #include "amperebleed/core/characterize.hpp"
 #include "amperebleed/core/report.hpp"
 #include "amperebleed/util/cli.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_stabilizer");
 
   std::puts("Ablation: sensing-channel response vs PDN stabilizer gain");
   std::puts("(17 activity levels, 40 mA per level)\n");
@@ -54,5 +56,6 @@ int main(int argc, char** argv) {
   std::puts("\nReading: on a legacy PDN (gain 0) the RO is a usable sensor;");
   std::puts("as boards stabilize the rail, the RO loses its signal while the");
   std::puts("hwmon current channel keeps the full 40 LSB/level response.");
+  session.finish();
   return 0;
 }

@@ -13,9 +13,12 @@
 #include "amperebleed/soc/soc.hpp"
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_thermal");
 
   // Victim: alternate between 0 and 120 active groups with several dwell
   // times; measure how much of the square wave each channel preserves.
@@ -88,5 +91,6 @@ int main() {
   std::puts("every dwell time, while the thermal RC (~8 s) crushes the");
   std::puts("temperature channel as soon as the victim switches faster than");
   std::puts("seconds — why AmpereBleed samples current, not temperature.");
+  session.finish();
   return 0;
 }

@@ -10,10 +10,12 @@
 #include "amperebleed/core/report.hpp"
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_update_interval");
 
   std::puts("Ablation: DPU fingerprinting accuracy vs hwmon update interval");
   std::puts("(reduced zoo; 2 s observation window)\n");
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
   std::puts("noisier dimensions do not help. The 35 ms default an");
   std::puts("unprivileged attacker is stuck with loses nothing — root-only");
   std::puts("reconfiguration is not the binding constraint of the attack.");
+  session.finish();
   return 0;
 }

@@ -11,10 +11,12 @@
 #include "amperebleed/soc/soc.hpp"
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "covert_channel");
   const std::string message =
       args.get_string("message", "AmpereBleed covert channel");
   const auto payload = core::bytes_to_bits(message);
@@ -65,5 +67,8 @@ int main(int argc, char** argv) {
   std::puts("per bit (~14 b/s) and collapses once bits outrun the 35 ms");
   std::puts("conversion interval — the same resolution limit that shapes the");
   std::puts("eavesdropping attacks.");
+  session.record().set_integer("payload_bits",
+                               static_cast<std::int64_t>(payload.size()));
+  session.finish();
   return 0;
 }

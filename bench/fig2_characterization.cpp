@@ -8,6 +8,8 @@
 //
 // Flags: --levels N (default 161) --samples N (per level, default 1000)
 //        --csv PATH (dump per-level series)
+//        plus the shared obs flags (see obs_session.hpp):
+//        --obs --metrics-out PATH --trace-out PATH --audit-out PATH
 
 #include <cstdio>
 
@@ -16,10 +18,12 @@
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/csv.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "fig2_characterization");
 
   core::CharacterizationConfig config;
   config.levels = static_cast<std::size_t>(args.get_int("levels", 161));
@@ -93,5 +97,16 @@ int main(int argc, char** argv) {
     }
     std::printf("Per-level series written to %s\n", csv_path.c_str());
   }
+
+  session.record().set_integer("levels", static_cast<std::int64_t>(config.levels));
+  session.record().set_integer("samples_per_level",
+                               static_cast<std::int64_t>(config.samples_per_level));
+  session.record().set_number("current_pearson_r", result.current.pearson_vs_level);
+  session.record().set_number("voltage_pearson_r", result.voltage.pearson_vs_level);
+  session.record().set_number("power_pearson_r", result.power.pearson_vs_level);
+  session.record().set_number("ro_pearson_r", result.ro.pearson_vs_level);
+  session.record().set_number("current_over_ro_variation",
+                              result.current_over_ro_variation);
+  session.finish();
   return 0;
 }

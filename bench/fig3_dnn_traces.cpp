@@ -14,6 +14,7 @@
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/csv.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 namespace {
 
@@ -34,6 +35,7 @@ std::string sparkline(std::span<const double> values) {
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "fig3_dnn_traces");
 
   core::FingerprintConfig config;
   config.trace_duration =
@@ -106,5 +108,9 @@ int main(int argc, char** argv) {
     }
     std::printf("Raw traces written to %s\n", csv_path.c_str());
   }
+
+  session.record().set_integer("models", static_cast<std::int64_t>(traces.size()));
+  session.record().set_number("trace_duration_s", config.trace_duration.seconds());
+  session.finish();
   return 0;
 }

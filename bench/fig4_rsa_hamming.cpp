@@ -18,10 +18,12 @@
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/csv.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "fig4_rsa_hamming");
 
   core::RsaAttackConfig config;
   config.sample_count =
@@ -105,5 +107,13 @@ int main(int argc, char** argv) {
     }
     std::printf("Per-key distributions written to %s\n", csv_path.c_str());
   }
+
+  session.record().set_integer("keys", static_cast<std::int64_t>(result.keys.size()));
+  session.record().set_integer("current_groups",
+                               static_cast<std::int64_t>(result.current_groups));
+  session.record().set_integer("power_groups",
+                               static_cast<std::int64_t>(result.power_groups));
+  session.record().set_number("worst_adjacent_ks_d", worst_ks_d);
+  session.finish();
   return 0;
 }

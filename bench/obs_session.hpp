@@ -1,0 +1,91 @@
+#pragma once
+// Shared observability plumbing for the bench binaries. Every bench accepts
+// the same flags:
+//
+//   --obs                 enable instrumentation without writing snapshots
+//   --metrics-out PATH    enable obs; write a metrics snapshot (.json / .csv)
+//   --trace-out PATH      enable obs; write a Chrome trace_event JSON
+//   --audit-out PATH      enable obs; write the hwmon access-audit log JSON
+//   --record-out PATH     run-record path (default BENCH_<name>.json)
+//   --no-record           skip the run record entirely
+//
+// With none of the obs flags present, instrumentation stays disabled (the
+// library's default) and the bench's stdout/CSV output is bit-identical to
+// an uninstrumented build; only the small BENCH_<name>.json run record is
+// written. Usage:
+//
+//   util::CliArgs args(argc, argv);
+//   bench::ObsSession session(args, "fig2_characterization");
+//   ... experiment; session.record().set_number("snr_db", snr) ...
+//   session.finish();   // also runs from the destructor
+
+#include <string>
+#include <utility>
+
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/obs/run_record.hpp"
+#include "amperebleed/util/cli.hpp"
+
+namespace amperebleed::bench {
+
+class ObsSession {
+ public:
+  ObsSession(const util::CliArgs& args, std::string bench_name)
+      : record_(std::move(bench_name)),
+        metrics_out_(args.get_string("metrics-out", "")),
+        trace_out_(args.get_string("trace-out", "")),
+        audit_out_(args.get_string("audit-out", "")),
+        record_out_(args.get_string("record-out", "")),
+        write_record_(!args.has("no-record")) {
+    const bool want_obs = args.has("obs") || !metrics_out_.empty() ||
+                          !trace_out_.empty() || !audit_out_.empty();
+    if (want_obs) obs::init();
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession() { finish(); }
+
+  /// The bench's run record: add headline numbers as the experiment goes.
+  [[nodiscard]] obs::RunRecord& record() { return record_; }
+
+  /// Write all requested outputs exactly once, then disable obs again.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (obs::metrics_enabled()) {
+      // Fold a few universal counters into the run record so the BENCH_*
+      // files are comparable across benches without opening the snapshots.
+      const auto& m = obs::metrics();
+      record_.set_integer(
+          "obs_hwmon_reads_ok",
+          static_cast<std::int64_t>(m.counter_value("hwmon.vfs.read.ok")));
+      record_.set_integer(
+          "obs_hwmon_reads_denied",
+          static_cast<std::int64_t>(
+              m.counter_value("hwmon.vfs.read.permission-denied")));
+      record_.set_integer(
+          "obs_sampler_reads",
+          static_cast<std::int64_t>(m.counter_value("sampler.reads")));
+    }
+    if (!metrics_out_.empty()) obs::metrics().write_snapshot(metrics_out_);
+    if (!trace_out_.empty()) obs::tracer().write_chrome_trace(trace_out_);
+    if (!audit_out_.empty()) obs::audit_log().write_json(audit_out_);
+    if (write_record_) {
+      record_.write(record_out_.empty() ? record_.default_path()
+                                        : record_out_);
+    }
+    if (obs::enabled()) obs::shutdown();
+  }
+
+ private:
+  obs::RunRecord record_;
+  std::string metrics_out_;
+  std::string trace_out_;
+  std::string audit_out_;
+  std::string record_out_;
+  bool write_record_ = true;
+  bool finished_ = false;
+};
+
+}  // namespace amperebleed::bench

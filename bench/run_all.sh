@@ -1,0 +1,127 @@
+#!/usr/bin/env sh
+# Run the full bench suite and collect the per-run BENCH_*.json records into
+# one directory. Usage:
+#
+#   bench/run_all.sh [--quick] [--out-dir DIR] [--build-dir DIR] [--obs]
+#
+#   --quick      scale every experiment down (CI-sized: seconds, not minutes)
+#   --out-dir    where run records + per-bench stdout logs land
+#                (default: bench_results)
+#   --build-dir  where the built binaries live (default: build)
+#   --obs        additionally write metrics/trace/audit snapshots per bench
+#
+# The script exits nonzero if any bench fails; the failing bench's log is
+# printed. micro_primitives (google-benchmark) is run last and writes no run
+# record of its own.
+set -u
+
+quick=0
+obs=0
+out_dir="bench_results"
+build_dir="build"
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --obs) obs=1 ;;
+    --out-dir) out_dir="$2"; shift ;;
+    --build-dir) build_dir="$2"; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+bench_dir="$build_dir/bench"
+if [ ! -d "$bench_dir" ]; then
+  echo "error: '$bench_dir' not found — build first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+mkdir -p "$out_dir"
+out_abs=$(cd "$out_dir" && pwd)
+
+failures=0
+run() {
+  name="$1"
+  shift
+  bin="$bench_dir/$name"
+  if [ ! -x "$bin" ]; then
+    echo "SKIP  $name (not built)"
+    return
+  fi
+  extra=""
+  if [ "$obs" -eq 1 ]; then
+    extra="--metrics-out $out_abs/${name}_metrics.json \
+           --trace-out $out_abs/${name}_trace.json \
+           --audit-out $out_abs/${name}_audit.json"
+  fi
+  start=$(date +%s)
+  # shellcheck disable=SC2086
+  if "$bin" "$@" --record-out "$out_abs/BENCH_${name}.json" $extra \
+      > "$out_abs/${name}.log" 2>&1; then
+    end=$(date +%s)
+    echo "OK    $name ($((end - start)) s)"
+  else
+    echo "FAIL  $name — log follows:"
+    cat "$out_abs/${name}.log"
+    failures=$((failures + 1))
+  fi
+}
+
+if [ "$quick" -eq 1 ]; then
+  echo "Bench suite (quick scale) -> $out_abs"
+  run table1_boards
+  run table2_sensors
+  run fig2_characterization --levels 11 --samples 100
+  run fig3_dnn_traces --duration 1
+  run table3_fingerprint --models 6 --traces 6 --folds 3 --trees 30
+  run fig4_rsa_hamming --samples 2000
+  run ablation_stabilizer --samples 500
+  run ablation_resolution --samples 500
+  run ablation_update_interval --models 6 --traces 10 --trees 30
+  run ablation_mitigation
+  run ablation_thermal
+  run ablation_constant_time --samples 1000
+  run ablation_classifier --models 6 --traces 6 --folds 3
+  run ablation_defenses --samples 500
+  run ablation_detection --duration 20
+  run covert_channel
+else
+  echo "Bench suite (paper scale) -> $out_abs"
+  run table1_boards
+  run table2_sensors
+  run fig2_characterization --csv "$out_abs/fig2.csv"
+  run fig3_dnn_traces --csv "$out_abs/fig3.csv"
+  run table3_fingerprint
+  run fig4_rsa_hamming --csv "$out_abs/fig4.csv"
+  run ablation_stabilizer
+  run ablation_resolution
+  run ablation_update_interval
+  run ablation_mitigation
+  run ablation_thermal
+  run ablation_constant_time
+  run ablation_classifier
+  run ablation_defenses
+  run ablation_detection
+  run covert_channel
+fi
+
+# google-benchmark micro suite (no ObsSession; own flag set).
+if [ -x "$bench_dir/micro_primitives" ]; then
+  micro_args="--benchmark_out=$out_abs/micro_primitives.json --benchmark_out_format=json"
+  [ "$quick" -eq 1 ] && micro_args="$micro_args --benchmark_min_time=0.01"
+  # shellcheck disable=SC2086
+  if "$bench_dir/micro_primitives" $micro_args \
+      > "$out_abs/micro_primitives.log" 2>&1; then
+    echo "OK    micro_primitives"
+  else
+    echo "FAIL  micro_primitives — log follows:"
+    cat "$out_abs/micro_primitives.log"
+    failures=$((failures + 1))
+  fi
+fi
+
+records=$(ls "$out_abs"/BENCH_*.json 2>/dev/null | wc -l)
+echo "Collected $records run records in $out_abs"
+if [ "$failures" -gt 0 ]; then
+  echo "$failures bench(es) failed" >&2
+  exit 1
+fi

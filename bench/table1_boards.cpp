@@ -5,10 +5,14 @@
 
 #include "amperebleed/core/report.hpp"
 #include "amperebleed/sensors/board.hpp"
+#include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "table1_boards");
 
   std::puts("Table I: Integrated INA226 sensors on ARM-FPGA SoC boards");
   std::puts("(paper Table I; static survey data encoded in sensors/board)");
@@ -32,5 +36,9 @@ int main() {
   std::puts("");
   std::puts("Every surveyed board integrates INA226 sensors; all expose them");
   std::puts("through the unprivileged hwmon interface AmpereBleed exploits.");
+
+  session.record().set_integer(
+      "boards", static_cast<std::int64_t>(sensors::board_catalog().size()));
+  session.finish();
   return 0;
 }

@@ -7,10 +7,14 @@
 #include "amperebleed/core/report.hpp"
 #include "amperebleed/sensors/board.hpp"
 #include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace amperebleed;
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "table2_sensors");
 
   std::puts("Table II: Sensitive sensors with unprivileged hwmon access "
             "(ZCU102)");
@@ -41,5 +45,10 @@ int main() {
                 std::string(util::trim(curr.data)).c_str(),
                 fs.mode_of(base + "/curr1_input"));
   }
+
+  session.record().set_integer(
+      "hwmon_devices",
+      static_cast<std::int64_t>(fs.list("/sys/class/hwmon").size()));
+  session.finish();
   return 0;
 }

@@ -18,10 +18,12 @@
 #include "amperebleed/core/report.hpp"
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
 
 int main(int argc, char** argv) {
   using namespace amperebleed;
   const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "table3_fingerprint");
 
   core::FingerprintConfig config;
   config.model_limit = static_cast<std::size_t>(
@@ -74,5 +76,15 @@ int main(int argc, char** argv) {
   std::printf("\nRandom-guess baseline: %.4f\n", result.random_guess_top1());
   std::puts("Paper reference (5 s, top-1): FPD-I 0.837, LPD-I 0.557, "
             "DRAM-I 0.958,\n  FPGA-I 0.997, FPGA-V 0.116, FPGA-P 0.989");
+
+  session.record().set_integer("models",
+                               static_cast<std::int64_t>(config.model_limit));
+  session.record().set_number("random_guess_top1", result.random_guess_top1());
+  // Headline: FPGA-current top-1 at the longest observation window.
+  if (!result.cells.empty() && !result.cells[3].empty()) {
+    session.record().set_number("fpga_current_top1",
+                                result.cells[3].back().top1);
+  }
+  session.finish();
   return 0;
 }

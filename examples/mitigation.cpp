@@ -46,9 +46,11 @@ int main() {
     std::puts("[mitigated]      attacker read -> EACCES: attack dead");
   }
 
-  // Phase 3: legitimate root tooling is unaffected...
+  // Phase 3: legitimate root tooling is unaffected — privilege lives in the
+  // Principal a sampler is constructed with, so root tooling gets its own.
+  core::Sampler fleet_monitor(soc, core::Principal::root("fleet-monitor"));
   std::printf("[root tooling]   fleet monitor reads: %.0f mA — still works\n",
-              attacker.read_now(channel, /*privileged=*/true));
+              fleet_monitor.read_now(channel));
 
   // ...but every unprivileged consumer breaks too — the deployment cost.
   std::puts("\nTrade-off: unprivileged health dashboards, thermal daemons and");

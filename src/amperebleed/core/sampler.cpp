@@ -1,30 +1,62 @@
 #include "amperebleed/core/sampler.hpp"
 
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/strings.hpp"
 
 namespace amperebleed::core {
 
-Sampler::Sampler(soc::Soc& soc) : soc_(soc) {
+Sampler::Sampler(soc::Soc& soc, Principal principal)
+    : soc_(soc), principal_(std::move(principal)) {
   if (!soc.finalized()) {
     throw std::logic_error("Sampler: SoC must be finalized first");
   }
 }
 
-double Sampler::read_now(const Channel& channel, bool privileged) {
+double Sampler::read_now(const Channel& channel) {
+  // Label this read's audit records with the sampler's identity; read_now
+  // and collect_multi both come through here, so single reads and trace
+  // collection are audit-logged identically.
+  std::optional<obs::PrincipalScope> scope;
+  if (obs::audit_enabled()) scope.emplace(principal_.name);
+
+  const bool instrumented = obs::metrics_enabled();
+  const std::int64_t t0 = instrumented ? obs::tracer().wall_now_ns() : 0;
+
   const int index = soc_.hwmon_index(channel.rail);
   const std::string path =
       soc_.hwmon().attr_path(index, quantity_attr(channel.quantity));
-  const auto result = soc_.hwmon().fs().read(path, privileged);
+  const auto result = soc_.hwmon().fs().read(path, principal_.privileged);
+
+  if (instrumented) {
+    obs::count("sampler.reads");
+    obs::observe("sampler.poll_latency_ns",
+                 static_cast<double>(obs::tracer().wall_now_ns() - t0));
+  }
   if (result.status == hwmon::VfsStatus::PermissionDenied) {
+    obs::count("sampler.denied");
     throw SamplingError("hwmon read denied: " + path);
   }
   if (!result.ok()) {
+    obs::count("sampler.read_failures");
     throw SamplingError("hwmon read failed (" +
                         std::string(vfs_status_name(result.status)) +
                         "): " + path);
   }
+  if (instrumented) {
+    // Stale-register detection: polling faster than the sensor's conversion
+    // cadence re-reads the latest completed conversion, so the raw text
+    // repeats. (A genuine repeat of the measured value counts too — at mA
+    // LSBs under board noise that is rare, so this is a faithful proxy.)
+    auto& last = last_raw_[path];
+    if (last == result.data && !last.empty()) {
+      obs::count("sampler.stale_reads");
+    }
+    last = result.data;
+  }
+
   const auto value = util::parse_ll(result.data);
   if (!value) {
+    obs::count("sampler.parse_failures");
     throw std::runtime_error("hwmon attribute not numeric: " + path);
   }
   return static_cast<double>(*value);
@@ -39,6 +71,14 @@ Trace Sampler::collect(const Channel& channel, sim::TimeNs start,
 std::vector<Trace> Sampler::collect_multi(const std::vector<Channel>& channels,
                                           sim::TimeNs start,
                                           const SamplerConfig& config) {
+  auto span = obs::span("sampler.collect", "sampler");
+  span.set_arg("channels", static_cast<double>(channels.size()));
+  span.set_arg("samples", static_cast<double>(config.sample_count));
+  span.set_arg("period_ms", config.period.millis());
+
+  const bool instrumented = obs::metrics_enabled();
+  std::int64_t prev_poll_ns = -1;
+
   std::vector<Trace> traces;
   traces.reserve(channels.size());
   for (const auto& c : channels) {
@@ -49,10 +89,23 @@ std::vector<Trace> Sampler::collect_multi(const std::vector<Channel>& channels,
     const sim::TimeNs t{start.ns +
                         config.period.ns * static_cast<std::int64_t>(i)};
     soc_.advance_to(t);
+    if (instrumented) {
+      // Host-side cadence jitter: wall time between successive poll rounds.
+      const std::int64_t now_ns = obs::tracer().wall_now_ns();
+      if (prev_poll_ns >= 0) {
+        obs::observe("sampler.poll_interval_wall_ns",
+                     static_cast<double>(now_ns - prev_poll_ns));
+      }
+      prev_poll_ns = now_ns;
+    }
     for (std::size_t c = 0; c < channels.size(); ++c) {
-      traces[c].push(read_now(channels[c], config.privileged));
+      traces[c].push(read_now(channels[c]));
     }
   }
+  if (instrumented) {
+    obs::count("sampler.collections");
+  }
+  span.set_virtual_ns(soc_.now());
   return traces;
 }
 

@@ -1,11 +1,18 @@
 #pragma once
 // The attacker: an unprivileged user-space process that polls hwmon text
 // attributes at a fixed cadence. Everything it learns goes through
-// VirtualFs::read() with privileged=false — the same permission gate a real
-// /sys tree enforces — so the mitigation policy genuinely stops it.
+// VirtualFs::read() with the sampler's principal — the same permission gate
+// a real /sys tree enforces — so the mitigation policy genuinely stops it.
+//
+// Privilege lives in exactly one place: the Principal the Sampler is
+// constructed with. Single reads (read_now) and trace collection (collect /
+// collect_multi) share the same identity, and both paths land identically in
+// the obs access-audit log under that principal's name.
 
+#include <map>
 #include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "amperebleed/core/trace.hpp"
@@ -20,24 +27,40 @@ class SamplingError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Who is reading the sensors. The name labels audit-log records (so the
+/// detection study can tell an attacker from a health daemon); the flag is
+/// the uid-0 bit the permission gate checks.
+struct Principal {
+  std::string name = "attacker";
+  bool privileged = false;
+
+  /// Unprivileged identity (the paper's threat model).
+  static Principal unprivileged(std::string name = "attacker") {
+    return Principal{std::move(name), false};
+  }
+  /// uid-0 identity for root-tooling scenarios (fleet monitors, admins).
+  static Principal root(std::string name = "root") {
+    return Principal{std::move(name), true};
+  }
+};
+
 struct SamplerConfig {
   /// Polling period. The paper uses the default 35 ms conversion cadence for
   /// characterization/fingerprinting and 1 kHz polling for the RSA attack
   /// (reads between conversions return the latest completed registers).
   sim::TimeNs period = sim::milliseconds(35);
   std::size_t sample_count = 100;
-  /// Unprivileged by assumption; set true only for root-tooling scenarios.
-  bool privileged = false;
 };
 
 class Sampler {
  public:
-  /// The SoC must be finalized.
-  explicit Sampler(soc::Soc& soc);
+  /// The SoC must be finalized. The principal fixes this sampler's identity
+  /// and privilege for every read it ever performs.
+  explicit Sampler(soc::Soc& soc, Principal principal = {});
 
   /// Read one channel once at the SoC's current time. Throws SamplingError
   /// on permission failure; throws std::runtime_error on malformed data.
-  [[nodiscard]] double read_now(const Channel& channel, bool privileged = false);
+  [[nodiscard]] double read_now(const Channel& channel);
 
   /// Poll one channel `sample_count` times starting at `start` (the SoC
   /// clock is advanced to each sample instant).
@@ -51,8 +74,15 @@ class Sampler {
       const std::vector<Channel>& channels, sim::TimeNs start,
       const SamplerConfig& config);
 
+  [[nodiscard]] const Principal& principal() const { return principal_; }
+
  private:
   soc::Soc& soc_;
+  Principal principal_;
+  /// Last raw attribute text per path — only maintained while obs metrics
+  /// are enabled, to count stale-register reads (polls faster than the
+  /// 35 ms conversion cadence return the previous conversion's registers).
+  std::map<std::string, std::string> last_raw_;
 };
 
 }  // namespace amperebleed::core

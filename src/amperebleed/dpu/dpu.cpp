@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/rng.hpp"
 
 namespace amperebleed::dpu {
@@ -104,6 +106,9 @@ DpuAccelerator::RunResult DpuAccelerator::run(const dnn::Model& model,
     throw std::invalid_argument("DpuAccelerator::run: empty model");
   }
 
+  auto run_span = obs::span("dpu.run", "dpu");
+  run_span.set_arg("layers", static_cast<double>(model.layers.size()));
+
   RunResult out;
   auto& fpga_rail = out.activity.on(power::Rail::FpgaLogic);
   auto& dram_rail = out.activity.on(power::Rail::Ddr);
@@ -136,12 +141,27 @@ DpuAccelerator::RunResult DpuAccelerator::run(const dnn::Model& model,
     // Accelerator: layer pipeline (the DPU runtime keeps feeding it through
     // the LPD-side platform path while it runs).
     lpd_rail.append(cursor, config_.lpd_driver_current_amps);
-    for (const auto& t : timings) {
+    const bool trace_layers = obs::tracing_enabled();
+    for (std::size_t li = 0; li < timings.size(); ++li) {
+      const auto& t = timings[li];
       fpga_rail.append(cursor,
                        config_.fpga_idle_current_amps + t.fpga_current_amps);
       dram_rail.append(cursor, t.dram_current_amps);
+      if (trace_layers) {
+        // One virtual-time span per executed layer: the per-layer current
+        // plateaus the fingerprinting attack keys on, as trace events.
+        obs::virtual_span(
+            "dpu.layer." +
+                std::string(dnn::layer_kind_name(model.layers[li].kind)),
+            "dpu", cursor, t.duration,
+            {{"layer_index", static_cast<double>(li)},
+             {"fpga_ma", t.fpga_current_amps * 1e3},
+             {"dram_ma", t.dram_current_amps * 1e3},
+             {"mac_utilization", t.mac_utilization}});
+      }
       cursor += t.duration;
     }
+    obs::count("dpu.layers", timings.size());
     fpga_rail.append(cursor, config_.fpga_idle_current_amps);
     dram_rail.append(cursor, 0.0);
 
@@ -157,6 +177,9 @@ DpuAccelerator::RunResult DpuAccelerator::run(const dnn::Model& model,
     ++out.inference_count;
   }
   fpd_rail.append(cursor, 0.0);
+  obs::count("dpu.inferences", out.inference_count);
+  run_span.set_arg("inferences", static_cast<double>(out.inference_count));
+  run_span.set_virtual_ns(cursor);
   return out;
 }
 

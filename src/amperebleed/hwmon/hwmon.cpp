@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/strings.hpp"
 
 namespace amperebleed::hwmon {
@@ -41,11 +42,13 @@ long long HwmonSubsystem::harden(const std::string& path, long long raw,
       const double q = lsb_units * policy_.quantize_factor;
       value = static_cast<long long>(
           std::llround(std::round(static_cast<double>(value) / q) * q));
+      obs::count("hwmon.defense.quantized_reads");
     }
     if (policy_.noise_lsb > 0.0) {
       value += static_cast<long long>(std::llround(
           defense_rng_.uniform(-policy_.noise_lsb, policy_.noise_lsb) *
           lsb_units));
+      obs::count("hwmon.defense.noised_reads");
     }
     return value;
   };
@@ -56,6 +59,7 @@ long long HwmonSubsystem::harden(const std::string& path, long long raw,
     auto& entry = read_cache_[path];
     const sim::TimeNs now = now_fn_();
     if (entry.valid && now < entry.at + policy_.min_read_interval) {
+      obs::count("hwmon.defense.rate_limited_hits");
       return entry.value;
     }
     entry = CachedRead{now, degrade(raw), true};

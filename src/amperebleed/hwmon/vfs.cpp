@@ -3,9 +3,37 @@
 #include <stdexcept>
 #include <utility>
 
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/strings.hpp"
 
 namespace amperebleed::hwmon {
+
+namespace {
+
+/// Observability tap on the permission gate itself. Every read/write result
+/// — success or any distinct failure branch — increments its own counter
+/// ("hwmon.vfs.read.permission-denied", ...) and lands in the access-audit
+/// log. No-ops (one relaxed atomic load) when observability is disabled.
+void note_access(const char* op, std::string_view path, bool privileged,
+                 VfsStatus status) {
+  if (obs::metrics_enabled()) {
+    obs::metrics()
+        .counter(util::format("hwmon.vfs.%s.%s", op,
+                              std::string(vfs_status_name(status)).c_str()))
+        .inc();
+  }
+  if (obs::audit_enabled()) {
+    obs::AccessOutcome outcome = obs::AccessOutcome::Error;
+    if (status == VfsStatus::Ok) {
+      outcome = obs::AccessOutcome::Ok;
+    } else if (status == VfsStatus::PermissionDenied) {
+      outcome = obs::AccessOutcome::Denied;
+    }
+    obs::audit_log().record(path, privileged, outcome);
+  }
+}
+
+}  // namespace
 
 std::string_view vfs_status_name(VfsStatus s) {
   switch (s) {
@@ -25,6 +53,13 @@ std::string_view vfs_status_name(VfsStatus s) {
       return "invalid-argument";
   }
   return "unknown";
+}
+
+std::optional<VfsStatus> vfs_status_from_name(std::string_view name) {
+  for (VfsStatus s : kAllVfsStatuses) {
+    if (vfs_status_name(s) == name) return s;
+  }
+  return std::nullopt;
 }
 
 VirtualFs::VirtualFs() : root_(std::make_unique<Node>()) {
@@ -104,27 +139,35 @@ void VirtualFs::chmod(std::string_view path, int mode) {
 }
 
 VfsResult VirtualFs::read(std::string_view path, bool privileged) const {
-  const Node* node = find(path);
-  if (node == nullptr) return {VfsStatus::NotFound, {}};
-  if (node->directory) return {VfsStatus::IsDirectory, {}};
-  const bool readable =
-      privileged ? (node->mode & 0400) != 0 : (node->mode & 0004) != 0;
-  if (!readable) return {VfsStatus::PermissionDenied, {}};
-  if (!node->reader) return {VfsStatus::Ok, {}};
-  return {VfsStatus::Ok, node->reader()};
+  VfsResult result = [&]() -> VfsResult {
+    const Node* node = find(path);
+    if (node == nullptr) return {VfsStatus::NotFound, {}};
+    if (node->directory) return {VfsStatus::IsDirectory, {}};
+    const bool readable =
+        privileged ? (node->mode & 0400) != 0 : (node->mode & 0004) != 0;
+    if (!readable) return {VfsStatus::PermissionDenied, {}};
+    if (!node->reader) return {VfsStatus::Ok, {}};
+    return {VfsStatus::Ok, node->reader()};
+  }();
+  note_access("read", path, privileged, result.status);
+  return result;
 }
 
 VfsResult VirtualFs::write(std::string_view path, std::string_view data,
                            bool privileged) {
-  Node* node = find(path);
-  if (node == nullptr) return {VfsStatus::NotFound, {}};
-  if (node->directory) return {VfsStatus::IsDirectory, {}};
-  const bool writable =
-      privileged ? (node->mode & 0200) != 0 : (node->mode & 0002) != 0;
-  if (!writable) return {VfsStatus::PermissionDenied, {}};
-  if (!node->writer) return {VfsStatus::NotWritable, {}};
-  if (!node->writer(data)) return {VfsStatus::InvalidArgument, {}};
-  return {VfsStatus::Ok, {}};
+  VfsResult result = [&]() -> VfsResult {
+    Node* node = find(path);
+    if (node == nullptr) return {VfsStatus::NotFound, {}};
+    if (node->directory) return {VfsStatus::IsDirectory, {}};
+    const bool writable =
+        privileged ? (node->mode & 0200) != 0 : (node->mode & 0002) != 0;
+    if (!writable) return {VfsStatus::PermissionDenied, {}};
+    if (!node->writer) return {VfsStatus::NotWritable, {}};
+    if (!node->writer(data)) return {VfsStatus::InvalidArgument, {}};
+    return {VfsStatus::Ok, {}};
+  }();
+  note_access("write", path, privileged, result.status);
+  return result;
 }
 
 std::vector<std::string> VirtualFs::list(std::string_view path) const {

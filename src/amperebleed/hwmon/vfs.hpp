@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,7 +24,18 @@ enum class VfsStatus {
   InvalidArgument,  // write rejected by the attribute (EINVAL)
 };
 
+/// All statuses, in declaration order (for exhaustive iteration in tests
+/// and per-status counter registration).
+inline constexpr VfsStatus kAllVfsStatuses[] = {
+    VfsStatus::Ok,          VfsStatus::NotFound,
+    VfsStatus::PermissionDenied, VfsStatus::IsDirectory,
+    VfsStatus::NotDirectory,     VfsStatus::NotWritable,
+    VfsStatus::InvalidArgument,
+};
+
 std::string_view vfs_status_name(VfsStatus s);
+/// Inverse of vfs_status_name; nullopt for unknown names.
+std::optional<VfsStatus> vfs_status_from_name(std::string_view name);
 
 struct VfsResult {
   VfsStatus status = VfsStatus::Ok;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "amperebleed/ml/metrics.hpp"
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/rng.hpp"
 
 namespace amperebleed::ml {
@@ -54,7 +55,15 @@ CrossValResult cross_validate(const Dataset& data, const ForestConfig& config,
   std::vector<int> top1;
   std::vector<std::vector<int>> top5;
 
+  auto cv_span = obs::span("ml.cross_validate", "ml");
+  cv_span.set_arg("folds", static_cast<double>(folds.size()));
+  cv_span.set_arg("samples", static_cast<double>(data.size()));
+  const bool instrumented = obs::metrics_enabled();
+
   for (std::size_t f = 0; f < folds.size(); ++f) {
+    auto fold_span = obs::span("ml.fold", "ml");
+    fold_span.set_arg("fold", static_cast<double>(f));
+    const std::int64_t t0 = instrumented ? obs::tracer().wall_now_ns() : 0;
     const Dataset train = data.subset(folds[f].train_indices);
     ForestConfig fold_config = config;
     fold_config.seed = util::hash_combine(config.seed, f);
@@ -65,6 +74,11 @@ CrossValResult cross_validate(const Dataset& data, const ForestConfig& config,
       const auto candidates = forest.predict_top_k(data.row(i), 5);
       top1.push_back(candidates.empty() ? -1 : candidates.front());
       top5.push_back(candidates);
+    }
+    if (instrumented) {
+      obs::count("ml.folds");
+      obs::observe("ml.fold_wall_ns",
+                   static_cast<double>(obs::tracer().wall_now_ns() - t0));
     }
   }
 

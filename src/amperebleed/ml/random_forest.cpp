@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "amperebleed/obs/obs.hpp"
+
 namespace amperebleed::ml {
 
 void RandomForest::fit(const Dataset& data) {
@@ -11,6 +13,10 @@ void RandomForest::fit(const Dataset& data) {
   if (config_.n_trees == 0) {
     throw std::invalid_argument("RandomForest::fit: n_trees must be > 0");
   }
+  auto span = obs::span("ml.rf.fit", "ml");
+  span.set_arg("trees", static_cast<double>(config_.n_trees));
+  span.set_arg("samples", static_cast<double>(data.size()));
+
   class_count_ = data.class_count();
   trees_.clear();
   trees_.reserve(config_.n_trees);
@@ -18,8 +24,11 @@ void RandomForest::fit(const Dataset& data) {
   util::Rng master(config_.seed);
   const std::size_t n = data.size();
   std::vector<std::size_t> indices(n);
+  const bool instrumented = obs::metrics_enabled();
 
   for (std::size_t t = 0; t < config_.n_trees; ++t) {
+    const std::int64_t t0 =
+        instrumented ? obs::tracer().wall_now_ns() : 0;
     util::Rng tree_rng = master.fork(t);
     if (config_.bootstrap) {
       for (auto& idx : indices) {
@@ -31,6 +40,11 @@ void RandomForest::fit(const Dataset& data) {
     DecisionTree tree(config_.tree);
     tree.fit(data, indices, class_count_, tree_rng);
     trees_.push_back(std::move(tree));
+    if (instrumented) {
+      obs::count("ml.trees_fitted");
+      obs::observe("ml.tree_fit_wall_ns",
+                   static_cast<double>(obs::tracer().wall_now_ns() - t0));
+    }
   }
 }
 

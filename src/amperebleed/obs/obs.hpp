@@ -1,0 +1,117 @@
+#pragma once
+// Process-wide observability context. Off by default: every instrumentation
+// site first checks a relaxed atomic flag, so with ObsConfig{enabled=false}
+// (the default) the whole layer costs one predicted-not-taken branch per
+// site and experiments stay bit-identical to an uninstrumented build.
+//
+//   obs::init();                               // or init(config)
+//   ... run experiment ...
+//   obs::metrics().write_snapshot("m.json");
+//   obs::tracer().write_chrome_trace("t.json");
+//   obs::audit_log().write_json("audit.json");
+//   obs::shutdown();
+//
+// The registries themselves always exist (so tests can poke them directly);
+// the flags only gate whether the library's instrumentation records into
+// them.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "amperebleed/obs/audit.hpp"
+#include "amperebleed/obs/metrics.hpp"
+#include "amperebleed/obs/span.hpp"
+
+namespace amperebleed::obs {
+
+struct ObsConfig {
+  bool enabled = false;  // master switch
+  // Sub-layer switches (only effective while enabled).
+  bool metrics = true;
+  bool tracing = true;
+  bool audit = true;
+};
+
+namespace detail {
+extern std::atomic<bool> g_metrics_on;
+extern std::atomic<bool> g_tracing_on;
+extern std::atomic<bool> g_audit_on;
+}  // namespace detail
+
+/// Apply `config` (default: everything on). Does not clear prior data —
+/// call reset() for a clean slate.
+void init(const ObsConfig& config = ObsConfig{.enabled = true});
+
+/// Disable all recording (flags only; data stays readable).
+void disable();
+
+/// Disable and drop all recorded data (metrics, spans, audit events).
+void shutdown();
+
+/// Drop all recorded data but keep the current enable flags.
+void reset_data();
+
+[[nodiscard]] inline bool metrics_enabled() {
+  return detail::g_metrics_on.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool tracing_enabled() {
+  return detail::g_tracing_on.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool audit_enabled() {
+  return detail::g_audit_on.load(std::memory_order_relaxed);
+}
+[[nodiscard]] inline bool enabled() {
+  return metrics_enabled() || tracing_enabled() || audit_enabled();
+}
+
+/// Global registries (constructed on first use, never destroyed before
+/// program exit).
+MetricsRegistry& metrics();
+SpanTracer& tracer();
+AccessAuditLog& audit_log();
+
+// ---------------------------------------------------------------------------
+// Convenience helpers for instrumentation sites. All of them no-op when the
+// corresponding layer is disabled.
+
+inline void count(const char* name, std::uint64_t n = 1) {
+  if (!metrics_enabled()) return;
+  metrics().counter(name).inc(n);
+}
+
+inline void gauge_set(const char* name, double v) {
+  if (!metrics_enabled()) return;
+  metrics().gauge(name).set(v);
+}
+
+inline void observe(const char* name, double v) {
+  if (!metrics_enabled()) return;
+  metrics().histogram(name).observe(v);
+}
+
+/// A wall-clock span against the global tracer; inert when tracing is off.
+[[nodiscard]] inline ScopedSpan span(std::string name,
+                                     std::string category = "") {
+  if (!tracing_enabled()) return ScopedSpan();
+  return ScopedSpan(&tracer(), std::move(name), std::move(category));
+}
+
+/// Record a virtual-time span against the global tracer.
+inline void virtual_span(
+    std::string name, std::string category, sim::TimeNs start,
+    sim::TimeNs duration,
+    std::vector<std::pair<std::string, double>> args = {}) {
+  if (!tracing_enabled()) return;
+  tracer().add_virtual_span(std::move(name), std::move(category), start,
+                            duration, std::move(args));
+}
+
+/// Audit one sensor-interface access (used by hwmon::VirtualFs).
+inline void audit_access(std::string_view path, bool privileged,
+                         AccessOutcome outcome) {
+  if (!audit_enabled()) return;
+  audit_log().record(path, privileged, outcome);
+}
+
+}  // namespace amperebleed::obs

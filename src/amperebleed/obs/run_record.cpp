@@ -1,0 +1,77 @@
+#include "amperebleed/obs/run_record.hpp"
+
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+
+namespace amperebleed::obs {
+
+RunRecord::RunRecord(std::string bench_name)
+    : name_(std::move(bench_name)), start_(std::chrono::steady_clock::now()) {}
+
+void RunRecord::set_number(const std::string& key, double value) {
+  for (auto& [k, v] : numbers_) {
+    if (k == key) {
+      v = util::Json::number(value);
+      return;
+    }
+  }
+  numbers_.emplace_back(key, util::Json::number(value));
+}
+
+void RunRecord::set_integer(const std::string& key, std::int64_t value) {
+  for (auto& [k, v] : numbers_) {
+    if (k == key) {
+      v = util::Json::integer(value);
+      return;
+    }
+  }
+  numbers_.emplace_back(key, util::Json::integer(value));
+}
+
+void RunRecord::set_text(const std::string& key, std::string value) {
+  for (auto& [k, v] : text_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  text_.emplace_back(key, std::move(value));
+}
+
+double RunRecord::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+util::Json RunRecord::to_json() const {
+  auto root = util::Json::object();
+  root.set("bench", util::Json::string(name_));
+  root.set("wall_seconds", util::Json::number(elapsed_seconds()));
+  root.set("unix_time",
+           util::Json::integer(static_cast<std::int64_t>(std::time(nullptr))));
+
+  auto numbers = util::Json::object();
+  for (const auto& [k, v] : numbers_) numbers.set(k, v);
+  root.set("numbers", std::move(numbers));
+
+  auto text = util::Json::object();
+  for (const auto& [k, v] : text_) text.set(k, util::Json::string(v));
+  root.set("text", std::move(text));
+  return root;
+}
+
+std::string RunRecord::default_path() const {
+  return "BENCH_" + name_ + ".json";
+}
+
+void RunRecord::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("RunRecord: cannot open '" + path + "'");
+  }
+  out << to_json().dump(2) << "\n";
+}
+
+}  // namespace amperebleed::obs

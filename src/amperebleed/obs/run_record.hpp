@@ -1,0 +1,45 @@
+#pragma once
+// Machine-readable bench run records: every bench binary writes a
+// BENCH_<name>.json capturing wall time, throughput and its headline
+// accuracy numbers, so the repo accumulates a perf trajectory across
+// commits (bench/run_all.sh collects them into one directory).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+
+class RunRecord {
+ public:
+  explicit RunRecord(std::string bench_name);
+
+  /// Record a headline number ("top1_accuracy", "samples_per_sec", ...).
+  void set_number(const std::string& key, double value);
+  void set_integer(const std::string& key, std::int64_t value);
+  void set_text(const std::string& key, std::string value);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// Wall seconds since construction.
+  [[nodiscard]] double elapsed_seconds() const;
+
+  /// {"bench": ..., "wall_seconds": ..., "unix_time": ...,
+  ///  "numbers": {...}, "text": {...}}
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Default output filename: BENCH_<name>.json.
+  [[nodiscard]] std::string default_path() const;
+  void write(const std::string& path) const;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, util::Json>> numbers_;
+  std::vector<std::pair<std::string, std::string>> text_;
+};
+
+}  // namespace amperebleed::obs

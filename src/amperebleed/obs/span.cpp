@@ -1,0 +1,190 @@
+#include "amperebleed/obs/span.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+
+namespace amperebleed::obs {
+
+namespace {
+
+constexpr std::int64_t kWallPid = 1;
+constexpr std::int64_t kVirtualPid = 2;
+
+}  // namespace
+
+std::uint64_t current_thread_tid() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t tid = next.fetch_add(1);
+  return tid;
+}
+
+SpanTracer::SpanTracer(std::size_t max_events)
+    : max_events_(max_events), epoch_(std::chrono::steady_clock::now()) {}
+
+void SpanTracer::add_event(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void SpanTracer::add_virtual_span(
+    std::string name, std::string category, sim::TimeNs start,
+    sim::TimeNs duration, std::vector<std::pair<std::string, double>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.clock = SpanClock::Virtual;
+  e.ts_us = static_cast<double>(start.ns) * 1e-3;
+  e.dur_us = static_cast<double>(duration.ns) * 1e-3;
+  e.tid = current_thread_tid();
+  e.other_clock_ns = wall_now_ns();
+  e.args = std::move(args);
+  add_event(std::move(e));
+}
+
+double SpanTracer::wall_now_us() const {
+  return static_cast<double>(wall_now_ns()) * 1e-3;
+}
+
+std::int64_t SpanTracer::wall_now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+util::Json SpanTracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto events = util::Json::array();
+
+  // Metadata: name the two clock-domain "processes".
+  const auto process_name = [](std::int64_t pid, const char* name) {
+    auto m = util::Json::object();
+    m.set("name", util::Json::string("process_name"));
+    m.set("ph", util::Json::string("M"));
+    m.set("pid", util::Json::integer(pid));
+    m.set("tid", util::Json::integer(0));
+    auto args = util::Json::object();
+    args.set("name", util::Json::string(name));
+    m.set("args", std::move(args));
+    return m;
+  };
+  events.push_back(process_name(kWallPid, "wall-clock"));
+  events.push_back(process_name(kVirtualPid, "virtual-time"));
+
+  for (const auto& e : events_) {
+    auto j = util::Json::object();
+    j.set("name", util::Json::string(e.name));
+    if (!e.category.empty()) {
+      j.set("cat", util::Json::string(e.category));
+    }
+    j.set("ph", util::Json::string("X"));
+    j.set("pid", util::Json::integer(
+                     e.clock == SpanClock::Wall ? kWallPid : kVirtualPid));
+    j.set("tid", util::Json::integer(static_cast<std::int64_t>(e.tid)));
+    j.set("ts", util::Json::number(e.ts_us));
+    j.set("dur", util::Json::number(e.dur_us));
+    auto args = util::Json::object();
+    if (e.other_clock_ns >= 0) {
+      args.set(e.clock == SpanClock::Wall ? "virtual_ns" : "wall_ns",
+               util::Json::integer(e.other_clock_ns));
+    }
+    for (const auto& [key, value] : e.args) {
+      args.set(key, util::Json::number(value));
+    }
+    if (args.size() > 0) j.set("args", std::move(args));
+    events.push_back(std::move(j));
+  }
+
+  auto root = util::Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", util::Json::string("ms"));
+  if (dropped_ > 0) {
+    root.set("droppedEvents",
+             util::Json::integer(static_cast<std::int64_t>(dropped_)));
+  }
+  return root;
+}
+
+void SpanTracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("SpanTracer: cannot open '" + path + "'");
+  }
+  out << to_chrome_json().dump(1) << "\n";
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// ScopedSpan
+
+ScopedSpan::ScopedSpan(SpanTracer* tracer, std::string name,
+                       std::string category)
+    : tracer_(tracer), name_(std::move(name)), category_(std::move(category)) {
+  if (tracer_ != nullptr) start_us_ = tracer_->wall_now_us();
+}
+
+ScopedSpan::ScopedSpan(ScopedSpan&& other) noexcept
+    : tracer_(other.tracer_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      start_us_(other.start_us_),
+      virtual_ns_(other.virtual_ns_),
+      args_(std::move(other.args_)) {
+  other.tracer_ = nullptr;
+}
+
+ScopedSpan& ScopedSpan::operator=(ScopedSpan&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    start_us_ = other.start_us_;
+    virtual_ns_ = other.virtual_ns_;
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+ScopedSpan::~ScopedSpan() { finish(); }
+
+void ScopedSpan::set_arg(std::string key, double value) {
+  if (tracer_ != nullptr) args_.emplace_back(std::move(key), value);
+}
+
+void ScopedSpan::finish() {
+  if (tracer_ == nullptr) return;
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.category = std::move(category_);
+  e.clock = SpanClock::Wall;
+  e.ts_us = start_us_;
+  e.dur_us = tracer_->wall_now_us() - start_us_;
+  e.tid = current_thread_tid();
+  e.other_clock_ns = virtual_ns_;
+  e.args = std::move(args_);
+  tracer_->add_event(std::move(e));
+  tracer_ = nullptr;
+}
+
+}  // namespace amperebleed::obs

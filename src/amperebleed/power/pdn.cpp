@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "amperebleed/obs/obs.hpp"
+
 namespace amperebleed::power {
 
 PdnModel::PdnModel(PdnConfig config) : config_(config) {
@@ -40,6 +42,10 @@ double PdnModel::raw_droop(double current_amps,
 
 sim::PiecewiseConstant PdnModel::voltage_signal(
     const sim::PiecewiseConstant& rail_current) const {
+  // Signal compilation happens once per finalize(); the step count tracks
+  // how large the compiled voltage waveform is (memory/time proxy).
+  obs::count("pdn.compiles");
+  obs::count("pdn.voltage_steps", rail_current.segments().size());
   sim::PiecewiseConstant v(steady_voltage(rail_current.initial_value()));
   double prev_current = rail_current.initial_value();
   const auto& segs = rail_current.segments();

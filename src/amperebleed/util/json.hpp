@@ -1,7 +1,8 @@
 #pragma once
-// Minimal JSON writer for machine-readable experiment output (--json flags
-// on the bench binaries). Write-only by design — the library never needs to
-// parse JSON, so no parser is shipped.
+// Minimal JSON value for machine-readable experiment output (--json /
+// --metrics-out / --trace-out flags on the bench binaries). Ships both a
+// writer and a small recursive-descent parser — the obs tests parse exported
+// metrics snapshots and Chrome trace files back to verify well-formedness.
 
 #include <cstdint>
 #include <map>
@@ -25,15 +26,39 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parse a JSON document. Throws std::runtime_error (with an offset in the
+  /// message) on malformed input or trailing garbage. Numbers without '.',
+  /// 'e' or 'E' that fit an int64 parse as integers, everything else as
+  /// double; \uXXXX escapes decode to UTF-8 (surrogate pairs included).
+  static Json parse(std::string_view text);
+
   /// Append to an array. Throws std::logic_error if not an array.
   Json& push_back(Json v);
   /// Set an object member (inserting or replacing). Throws if not an object.
   Json& set(const std::string& key, Json v);
 
   [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_boolean() const;
+  [[nodiscard]] bool is_number() const;   // double or integer
+  [[nodiscard]] bool is_integer() const;  // integer representation only
+  [[nodiscard]] bool is_string() const;
   [[nodiscard]] bool is_array() const;
   [[nodiscard]] bool is_object() const;
   [[nodiscard]] std::size_t size() const;  // array/object arity, else 0
+
+  // --- Read access (for parsed documents). Type mismatches throw
+  // std::logic_error; as_number() accepts both double and integer values.
+  [[nodiscard]] bool as_boolean() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::int64_t as_integer() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Object member lookup; nullptr when absent (throws if not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Array element; throws std::out_of_range / std::logic_error.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  /// Object member keys in insertion order (throws if not an object).
+  [[nodiscard]] std::vector<std::string> keys() const;
 
   /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 0) const;

@@ -128,9 +128,11 @@ TEST(Sampler, MitigationPolicyStopsUnprivilegedSampler) {
       static_cast<void>(
           sampler.read_now({power::Rail::FpgaLogic, Quantity::Current})),
       SamplingError);
-  // Privileged tooling still reads.
-  EXPECT_NO_THROW(static_cast<void>(sampler.read_now(
-      {power::Rail::FpgaLogic, Quantity::Current}, /*privileged=*/true)));
+  // Privileged tooling still reads — via its own root-principal sampler,
+  // the single place privilege now lives.
+  Sampler root(soc, Principal::root());
+  EXPECT_NO_THROW(static_cast<void>(
+      root.read_now({power::Rail::FpgaLogic, Quantity::Current})));
 }
 
 }  // namespace

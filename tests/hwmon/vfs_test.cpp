@@ -2,6 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <iterator>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "amperebleed/obs/obs.hpp"
+
 namespace amperebleed::hwmon {
 namespace {
 
@@ -137,6 +145,121 @@ TEST(VfsStatusName, AllNamed) {
   EXPECT_EQ(vfs_status_name(VfsStatus::PermissionDenied),
             "permission-denied");
   EXPECT_EQ(vfs_status_name(VfsStatus::InvalidArgument), "invalid-argument");
+}
+
+TEST(VfsStatusName, RoundTripsEveryStatus) {
+  std::set<std::string> names;
+  for (const VfsStatus s : kAllVfsStatuses) {
+    const std::string name(vfs_status_name(s));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+    const auto back = vfs_status_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_EQ(names.size(), std::size(kAllVfsStatuses));
+  EXPECT_FALSE(vfs_status_from_name("no-such-status").has_value());
+  EXPECT_FALSE(vfs_status_from_name("").has_value());
+  EXPECT_FALSE(vfs_status_from_name("OK").has_value());  // case-sensitive
+}
+
+// ---------------------------------------------------------------------------
+// Per-status obs counters: every read/write failure branch increments its own
+// distinct "hwmon.vfs.<op>.<status-name>" counter.
+
+class VfsObsCounters : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::init(); }
+  void TearDown() override { obs::shutdown(); }
+
+  static std::uint64_t reads(VfsStatus s) {
+    return obs::metrics()
+        .counter_value("hwmon.vfs.read." + std::string(vfs_status_name(s)));
+  }
+  static std::uint64_t writes(VfsStatus s) {
+    return obs::metrics()
+        .counter_value("hwmon.vfs.write." + std::string(vfs_status_name(s)));
+  }
+};
+
+TEST_F(VfsObsCounters, EveryReadBranchHasADistinctCounter) {
+  VirtualFs fs;
+  fs.mkdirs("/d");
+  fs.add_file("/world", 0444, []() { return "w"; });
+  fs.add_file("/root_only", 0400, []() { return "r"; });
+
+  EXPECT_TRUE(fs.read("/world", false).ok());
+  EXPECT_TRUE(fs.read("/world", true).ok());
+  EXPECT_EQ(fs.read("/missing", false).status, VfsStatus::NotFound);
+  EXPECT_EQ(fs.read("/d", false).status, VfsStatus::IsDirectory);
+  EXPECT_EQ(fs.read("/root_only", false).status,
+            VfsStatus::PermissionDenied);
+
+  EXPECT_EQ(reads(VfsStatus::Ok), 2u);
+  EXPECT_EQ(reads(VfsStatus::NotFound), 1u);
+  EXPECT_EQ(reads(VfsStatus::IsDirectory), 1u);
+  EXPECT_EQ(reads(VfsStatus::PermissionDenied), 1u);
+  EXPECT_EQ(reads(VfsStatus::NotWritable), 0u);
+  EXPECT_EQ(reads(VfsStatus::InvalidArgument), 0u);
+}
+
+TEST_F(VfsObsCounters, EveryWriteBranchHasADistinctCounter) {
+  VirtualFs fs;
+  fs.mkdirs("/d");
+  fs.add_file(
+      "/attr", 0644, []() { return "v"; },
+      [](std::string_view data) { return data == "good"; });
+  fs.add_file("/ro", 0644, []() { return "v"; });
+
+  EXPECT_TRUE(fs.write("/attr", "good", true).ok());
+  EXPECT_EQ(fs.write("/attr", "bad", true).status,
+            VfsStatus::InvalidArgument);
+  EXPECT_EQ(fs.write("/attr", "x", false).status,
+            VfsStatus::PermissionDenied);
+  EXPECT_EQ(fs.write("/ro", "x", true).status, VfsStatus::NotWritable);
+  EXPECT_EQ(fs.write("/missing", "x", true).status, VfsStatus::NotFound);
+  EXPECT_EQ(fs.write("/d", "x", true).status, VfsStatus::IsDirectory);
+
+  for (const VfsStatus s :
+       {VfsStatus::Ok, VfsStatus::InvalidArgument, VfsStatus::PermissionDenied,
+        VfsStatus::NotWritable, VfsStatus::NotFound, VfsStatus::IsDirectory}) {
+    EXPECT_EQ(writes(s), 1u) << vfs_status_name(s);
+  }
+  // Write accounting never bleeds into the read counters.
+  EXPECT_EQ(reads(VfsStatus::Ok), 0u);
+}
+
+TEST_F(VfsObsCounters, AccessesLandInAuditLogWithCoarseOutcome) {
+  VirtualFs fs;
+  fs.add_file("/curr1_input", 0400, []() { return "1500\n"; });
+  {
+    obs::PrincipalScope scope("attacker");
+    EXPECT_EQ(fs.read("/curr1_input", false).status,
+              VfsStatus::PermissionDenied);
+  }
+  EXPECT_TRUE(fs.read("/curr1_input", true).ok());
+  static_cast<void>(fs.read("/missing", true));  // -> Error outcome
+
+  EXPECT_EQ(obs::audit_log().total_accesses(), 3u);
+  EXPECT_EQ(obs::audit_log().total_denials(), 1u);
+  bool saw_attacker_denial = false;
+  for (const auto& s : obs::audit_log().stats()) {
+    if (s.principal == "attacker") {
+      EXPECT_EQ(s.denied, 1u);
+      EXPECT_EQ(s.path, "/curr1_input");
+      saw_attacker_denial = true;
+    }
+  }
+  EXPECT_TRUE(saw_attacker_denial);
+}
+
+TEST(VfsObsDisabled, NoCountersOrAuditWhileObsIsOff) {
+  obs::shutdown();
+  VirtualFs fs;
+  fs.add_file("/f", 0400, []() { return "x"; });
+  static_cast<void>(fs.read("/f", false));
+  EXPECT_FALSE(obs::metrics().has_counter("hwmon.vfs.read.permission-denied"));
+  EXPECT_EQ(obs::audit_log().total_accesses(), 0u);
 }
 
 }  // namespace

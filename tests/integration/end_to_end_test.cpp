@@ -134,8 +134,8 @@ TEST(EndToEnd, MitigationKillsTheAttackButNotRootMonitoring) {
                                  core::Quantity::Current},
                                 sim::milliseconds(40), sc),
                core::SamplingError);
-  sc.privileged = true;
-  EXPECT_NO_THROW(attacker.collect(
+  core::Sampler monitor(soc, core::Principal::root());
+  EXPECT_NO_THROW(monitor.collect(
       {power::Rail::FpgaLogic, core::Quantity::Current},
       sim::milliseconds(40), sc));
 }

@@ -1,0 +1,203 @@
+#include "amperebleed/obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+TEST(SpanTracer, RecordsExplicitEvents) {
+  SpanTracer tracer;
+  TraceEvent e;
+  e.name = "work";
+  e.category = "test";
+  e.ts_us = 10.0;
+  e.dur_us = 5.0;
+  e.tid = 7;
+  tracer.add_event(e);
+  EXPECT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(SpanTracer, VirtualSpansUseSimClockMicroseconds) {
+  SpanTracer tracer;
+  tracer.add_virtual_span("layer", "dpu", sim::milliseconds(2),
+                          sim::milliseconds(3), {{"index", 4.0}});
+  const auto doc = util::Json::parse(tracer.to_chrome_json().dump());
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Find the "layer" event among any metadata records.
+  const util::Json* layer = nullptr;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const auto* name = events->at(i).find("name");
+    if (name != nullptr && name->as_string() == "layer") {
+      layer = &events->at(i);
+    }
+  }
+  ASSERT_NE(layer, nullptr);
+  EXPECT_DOUBLE_EQ(layer->find("ts")->as_number(), 2'000.0);
+  EXPECT_DOUBLE_EQ(layer->find("dur")->as_number(), 3'000.0);
+  EXPECT_EQ(layer->find("ph")->as_string(), "X");
+  // Virtual-time events live on pid 2.
+  EXPECT_EQ(layer->find("pid")->as_integer(), 2);
+  const auto* jargs = layer->find("args");
+  ASSERT_NE(jargs, nullptr);
+  ASSERT_NE(jargs->find("index"), nullptr);
+  EXPECT_DOUBLE_EQ(jargs->find("index")->as_number(), 4.0);
+}
+
+TEST(SpanTracer, ChromeJsonHasEnvelopeAndProcessMetadata) {
+  SpanTracer tracer;
+  TraceEvent wall;
+  wall.name = "host";
+  wall.clock = SpanClock::Wall;
+  tracer.add_event(wall);
+  tracer.add_virtual_span("sim", "", sim::TimeNs{0}, sim::microseconds(1));
+
+  const auto doc = util::Json::parse(tracer.to_chrome_json().dump());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ms");
+  const auto* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Both clock-domain process-name metadata records plus the two spans.
+  std::set<long long> pids;
+  bool saw_metadata = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const auto& ev = events->at(i);
+    pids.insert(static_cast<long long>(ev.find("pid")->as_integer()));
+    if (ev.find("ph")->as_string() == "M") saw_metadata = true;
+  }
+  EXPECT_TRUE(saw_metadata);
+  EXPECT_TRUE(pids.count(1));  // wall clock domain
+  EXPECT_TRUE(pids.count(2));  // virtual clock domain
+}
+
+TEST(SpanTracer, BoundedCapacityCountsDrops) {
+  SpanTracer tracer(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent e;
+    e.name = "e";
+    tracer.add_event(e);
+  }
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ScopedSpan, RecordsOnDestruction) {
+  SpanTracer tracer;
+  {
+    ScopedSpan span(&tracer, "fit", "ml");
+    span.set_arg("trees", 100.0);
+    span.set_virtual_ns(sim::milliseconds(7));
+    EXPECT_TRUE(span.active());
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const auto doc = util::Json::parse(tracer.to_chrome_json().dump());
+  const auto* events = doc.find("traceEvents");
+  const util::Json* fit = nullptr;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const auto* name = events->at(i).find("name");
+    if (name != nullptr && name->as_string() == "fit") fit = &events->at(i);
+  }
+  ASSERT_NE(fit, nullptr);
+  EXPECT_EQ(fit->find("pid")->as_integer(), 1);  // wall-clock domain
+  EXPECT_EQ(fit->find("cat")->as_string(), "ml");
+  const auto* jargs = fit->find("args");
+  ASSERT_NE(jargs, nullptr);
+  EXPECT_DOUBLE_EQ(jargs->find("trees")->as_number(), 100.0);
+  // Cross-clock reference: virtual ns recorded on the wall event.
+  ASSERT_NE(jargs->find("virtual_ns"), nullptr);
+  EXPECT_DOUBLE_EQ(jargs->find("virtual_ns")->as_number(),
+                   static_cast<double>(sim::milliseconds(7).ns));
+}
+
+TEST(ScopedSpan, FinishRecordsOnceAndDeactivates) {
+  SpanTracer tracer;
+  ScopedSpan span(&tracer, "once");
+  span.finish();
+  EXPECT_FALSE(span.active());
+  span.finish();  // idempotent
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(ScopedSpan, MoveTransfersOwnership) {
+  SpanTracer tracer;
+  {
+    ScopedSpan a(&tracer, "moved");
+    ScopedSpan b(std::move(a));
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(tracer.size(), 1u);  // recorded exactly once
+}
+
+TEST(ScopedSpan, DefaultConstructedIsInert) {
+  ScopedSpan span;
+  EXPECT_FALSE(span.active());
+  span.set_arg("k", 1.0);  // must be safe no-ops
+  span.finish();
+}
+
+TEST(ScopedSpan, GlobalHelperInertWhenTracingDisabled) {
+  shutdown();
+  {
+    auto span = obs::span("never", "test");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(tracer().size(), 0u);
+}
+
+TEST(ScopedSpan, GlobalHelperRecordsWhenEnabled) {
+  init();
+  {
+    auto span = obs::span("global_span_test", "test");
+    EXPECT_TRUE(span.active());
+  }
+  EXPECT_GE(tracer().size(), 1u);
+  shutdown();
+}
+
+TEST(SpanTracer, ThreadsGetDistinctTids) {
+  const std::uint64_t main_tid = current_thread_tid();
+  EXPECT_EQ(current_thread_tid(), main_tid);  // stable per thread
+  std::uint64_t worker_tid = main_tid;
+  std::thread worker([&worker_tid]() { worker_tid = current_thread_tid(); });
+  worker.join();
+  EXPECT_NE(worker_tid, main_tid);
+}
+
+TEST(SpanTracer, ConcurrentAddsAreAllRecorded) {
+  SpanTracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.name = "c";
+        e.tid = current_thread_tid();
+        tracer.add_event(e);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(tracer.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

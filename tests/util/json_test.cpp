@@ -77,5 +77,114 @@ TEST(Json, EmptyContainers) {
   EXPECT_EQ(Json::object().dump(2), "{}");
 }
 
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_boolean());
+  EXPECT_FALSE(Json::parse("false").as_boolean());
+  EXPECT_EQ(Json::parse("-42").as_integer(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5").as_number(), 2.5);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("  \t\n 7 \r\n").as_integer(), 7);
+}
+
+TEST(JsonParse, IntegerVsDoubleDetection) {
+  EXPECT_TRUE(Json::parse("5").is_integer());
+  EXPECT_FALSE(Json::parse("5.0").is_integer());
+  EXPECT_TRUE(Json::parse("5.0").is_number());
+  EXPECT_FALSE(Json::parse("1e3").is_integer());
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  // as_number() accepts integers too.
+  EXPECT_DOUBLE_EQ(Json::parse("5").as_number(), 5.0);
+  // Beyond int64 range falls back to double instead of failing.
+  EXPECT_FALSE(Json::parse("99999999999999999999").is_integer());
+  EXPECT_GT(Json::parse("99999999999999999999").as_number(), 9e19);
+}
+
+TEST(JsonParse, ContainersAndLookup) {
+  const Json doc = Json::parse(
+      R"({"a": [1, 2.5, "x", null, {"deep": true}], "b": {"c": -1}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.keys(), (std::vector<std::string>{"a", "b"}));
+  const Json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 5u);
+  EXPECT_EQ(a->at(0).as_integer(), 1);
+  EXPECT_TRUE(a->at(3).is_null());
+  EXPECT_TRUE(a->at(4).find("deep")->as_boolean());
+  EXPECT_EQ(doc.find("b")->find("c")->as_integer(), -1);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(static_cast<void>(a->at(5)), std::out_of_range);
+}
+
+TEST(JsonParse, RoundTripsOwnOutput) {
+  Json obj = Json::object();
+  obj.set("name", Json::string("line\nbreak \"quoted\" back\\slash"));
+  obj.set("pi", Json::number(3.141592653589793));
+  obj.set("n", Json::integer(-7));
+  Json arr = Json::array();
+  arr.push_back(Json::boolean(true));
+  arr.push_back(Json());
+  obj.set("flags", arr);
+  for (int indent : {0, 2}) {
+    const Json back = Json::parse(obj.dump(indent));
+    EXPECT_EQ(back.dump(), obj.dump());
+  }
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\/d\n\t\r\b\f")").as_string(),
+            "a\"b\\c/d\n\t\r\b\f");
+  // Escaped code points across the UTF-8 encoding lengths (inputs are built
+  // as backslash-u sequences so the parser's decoder is exercised).
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");      // 2-byte
+  EXPECT_EQ(Json::parse("\"\\u20aC\"").as_string(), "\xe2\x82\xac");  // 3-byte
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8 (emoji).
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Raw multibyte text passes through untouched.
+  EXPECT_EQ(Json::parse("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  const auto expect_error_at = [](std::string_view text, const char* what,
+                                  std::size_t offset) {
+    try {
+      Json::parse(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(what), std::string::npos) << msg;
+      EXPECT_NE(msg.find("offset " + std::to_string(offset)),
+                std::string::npos)
+          << msg;
+    }
+  };
+  expect_error_at("", "unexpected end of input", 0);
+  expect_error_at("[1, 2", "unexpected end of input", 5);
+  expect_error_at("{\"a\" 1}", "expected ':'", 5);
+  expect_error_at("tru", "invalid literal", 0);
+  expect_error_at("1 2", "trailing characters", 2);
+  expect_error_at("\"abc", "unterminated string", 4);
+  expect_error_at(R"("\q")", "invalid escape", 3);
+  expect_error_at(R"("\ud800x")", "unpaired surrogate", 7);
+  expect_error_at("-x", "invalid number", 1);
+}
+
+TEST(JsonParse, DepthLimit) {
+  // 256 levels parse; past the limit the parser refuses instead of
+  // overflowing the stack.
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  EXPECT_NO_THROW(Json::parse(nested(256)));
+  EXPECT_THROW(Json::parse(nested(300)), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace amperebleed::util
