@@ -2,26 +2,37 @@
 // Shared observability plumbing for the bench binaries. Every bench accepts
 // the same flags:
 //
-//   --obs                 enable instrumentation without writing snapshots
-//   --metrics-out PATH    enable obs; write a metrics snapshot (.json / .csv)
-//   --trace-out PATH      enable obs; write a Chrome trace_event JSON
-//   --audit-out PATH      enable obs; write the hwmon access-audit log JSON
-//   --record-out PATH     run-record path (default BENCH_<name>.json)
-//   --no-record           skip the run record entirely
+//   --obs                  enable instrumentation without writing snapshots
+//   --metrics-out PATH     enable obs; write a metrics snapshot (.json/.csv)
+//   --trace-out PATH       enable obs; write a Chrome trace_event JSON
+//   --audit-out PATH       enable obs; write the hwmon access-audit log JSON
+//   --serve-port N         enable obs; serve live telemetry over HTTP while
+//                          the bench runs: GET /metrics (Prometheus text),
+//                          /healthz, /runrecord. N=0 picks a free port (the
+//                          chosen port is printed to stderr).
+//   --snapshot-out PATH    enable obs; periodically write a JSON telemetry
+//                          snapshot to PATH (atomic rename) while running
+//   --flush-interval-ms N  exporter flush/snapshot cadence (default 500)
+//   --record-out PATH      run-record path (default BENCH_<name>.json)
+//   --no-record            skip the run record entirely
 //
 // With none of the obs flags present, instrumentation stays disabled (the
-// library's default) and the bench's stdout/CSV output is bit-identical to
-// an uninstrumented build; only the small BENCH_<name>.json run record is
-// written. Usage:
+// library's default), no exporter or HTTP thread is ever started, and the
+// bench's stdout/CSV output is bit-identical to an uninstrumented build;
+// only the small BENCH_<name>.json run record is written. Usage:
 //
 //   util::CliArgs args(argc, argv);
 //   bench::ObsSession session(args, "fig2_characterization");
 //   ... experiment; session.record().set_number("snr_db", snr) ...
 //   session.finish();   // also runs from the destructor
 
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "amperebleed/obs/exporter.hpp"
+#include "amperebleed/obs/http_exporter.hpp"
 #include "amperebleed/obs/obs.hpp"
 #include "amperebleed/obs/run_record.hpp"
 #include "amperebleed/util/cli.hpp"
@@ -35,11 +46,45 @@ class ObsSession {
         metrics_out_(args.get_string("metrics-out", "")),
         trace_out_(args.get_string("trace-out", "")),
         audit_out_(args.get_string("audit-out", "")),
+        snapshot_out_(args.get_string("snapshot-out", "")),
         record_out_(args.get_string("record-out", "")),
         write_record_(!args.has("no-record")) {
+    const bool want_serve = args.has("serve-port");
     const bool want_obs = args.has("obs") || !metrics_out_.empty() ||
-                          !trace_out_.empty() || !audit_out_.empty();
-    if (want_obs) obs::init();
+                          !trace_out_.empty() || !audit_out_.empty() ||
+                          !snapshot_out_.empty() || want_serve;
+    if (!want_obs) return;
+    obs::init();
+
+    // Live export layer: only spun up when explicitly requested, so the
+    // default path never starts a thread.
+    if (want_serve || !snapshot_out_.empty()) {
+      obs::ExporterConfig config;
+      config.flush_interval_ms =
+          static_cast<int>(args.get_int("flush-interval-ms", 500));
+      exporter_ =
+          std::make_unique<obs::Exporter>(obs::metrics(), config);
+      if (!snapshot_out_.empty()) {
+        exporter_->add_sink(
+            std::make_unique<obs::SnapshotSink>(snapshot_out_));
+      }
+      exporter_->start();
+    }
+    if (want_serve) {
+      obs::HttpExporter::Config http_config;
+      http_config.port = static_cast<int>(args.get_int("serve-port", 0));
+      http_ = std::make_unique<obs::HttpExporter>(obs::metrics(),
+                                                  http_config);
+      http_->set_runrecord_provider(
+          [this]() { return record_.to_json(); });
+      http_->start();
+      // stderr so bench stdout stays exactly the experiment's output.
+      std::fprintf(stderr,
+                   "obs: serving /metrics /healthz /runrecord on "
+                   "http://127.0.0.1:%d (flush every %d ms)\n",
+                   http_->port(),
+                   exporter_ ? exporter_->config().flush_interval_ms : 0);
+    }
   }
 
   ObsSession(const ObsSession&) = delete;
@@ -49,10 +94,17 @@ class ObsSession {
   /// The bench's run record: add headline numbers as the experiment goes.
   [[nodiscard]] obs::RunRecord& record() { return record_; }
 
+  /// The live HTTP endpoint, when --serve-port was given (else nullptr).
+  [[nodiscard]] obs::HttpExporter* http() { return http_.get(); }
+
   /// Write all requested outputs exactly once, then disable obs again.
   void finish() {
     if (finished_) return;
     finished_ = true;
+    // Stop serving before tearing down data: the exporter drains its ring
+    // (graceful shutdown), then the final snapshots are written.
+    if (http_) http_->stop();
+    if (exporter_) exporter_->stop();
     if (obs::metrics_enabled()) {
       // Fold a few universal counters into the run record so the BENCH_*
       // files are comparable across benches without opening the snapshots.
@@ -83,7 +135,10 @@ class ObsSession {
   std::string metrics_out_;
   std::string trace_out_;
   std::string audit_out_;
+  std::string snapshot_out_;
   std::string record_out_;
+  std::unique_ptr<obs::Exporter> exporter_;
+  std::unique_ptr<obs::HttpExporter> http_;
   bool write_record_ = true;
   bool finished_ = false;
 };

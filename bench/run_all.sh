@@ -1,23 +1,35 @@
 #!/usr/bin/env sh
 # Run the full bench suite and collect the per-run BENCH_*.json records into
-# one directory. Usage:
+# one trajectory directory. Usage:
 #
 #   bench/run_all.sh [--quick] [--out-dir DIR] [--build-dir DIR] [--obs]
 #
 #   --quick      scale every experiment down (CI-sized: seconds, not minutes)
 #   --out-dir    where run records + per-bench stdout logs land
-#                (default: bench_results)
+#                (default: bench/trajectory/<git-sha>-<date>/)
 #   --build-dir  where the built binaries live (default: build)
 #   --obs        additionally write metrics/trace/audit snapshots per bench
+#
+# Successive runs accumulate under bench/trajectory/ (gitignored), one
+# directory per commit+day; the script ends by printing the
+# tools/bench_compare invocation against the previous trajectory directory
+# (or the committed bench/baseline/ seed) so regressions are one paste away.
 #
 # The script exits nonzero if any bench fails; the failing bench's log is
 # printed. micro_primitives (google-benchmark) is run last and writes no run
 # record of its own.
 set -u
 
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+# Provenance: run records stamp "env.git_sha" from this variable (falling
+# back to the sha baked in at configure time).
+git_sha=$(git -C "$repo_root" rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+export AMPEREBLEED_GIT_SHA="$git_sha"
+
 quick=0
 obs=0
-out_dir="bench_results"
+out_dir=""
 build_dir="build"
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -29,6 +41,11 @@ while [ $# -gt 0 ]; do
   esac
   shift
 done
+
+trajectory_root="$repo_root/bench/trajectory"
+if [ -z "$out_dir" ]; then
+  out_dir="$trajectory_root/${git_sha}-$(date +%Y%m%d)"
+fi
 
 bench_dir="$build_dir/bench"
 if [ ! -d "$bench_dir" ]; then
@@ -121,6 +138,22 @@ fi
 
 records=$(ls "$out_abs"/BENCH_*.json 2>/dev/null | wc -l)
 echo "Collected $records run records in $out_abs"
+
+# Point at the previous trajectory directory (or the committed baseline) so
+# the perf-regression check is copy-paste away.
+compare_bin="$build_dir/tools/bench_compare"
+previous=""
+if [ -d "$trajectory_root" ]; then
+  previous=$(ls -1d "$trajectory_root"/*/ 2>/dev/null \
+    | grep -v -F "$out_abs" | sort | tail -n 1)
+fi
+[ -z "$previous" ] && [ -d "$repo_root/bench/baseline" ] && previous="$repo_root/bench/baseline"
+if [ -n "$previous" ]; then
+  echo ""
+  echo "Compare against the previous run with:"
+  echo "  $compare_bin $previous $out_abs"
+fi
+
 if [ "$failures" -gt 0 ]; then
   echo "$failures bench(es) failed" >&2
   exit 1

@@ -59,6 +59,9 @@ double Sampler::read_now(const Channel& channel) {
     obs::count("sampler.parse_failures");
     throw std::runtime_error("hwmon attribute not numeric: " + path);
   }
+  // Last raw reading as a gauge: a live scrape (/metrics) sees the current
+  // sensor LSB value without touching the experiment's data path.
+  obs::gauge_set("sampler.last_reading_lsb", static_cast<double>(*value));
   return static_cast<double>(*value);
 }
 

@@ -1,0 +1,121 @@
+#pragma once
+// Perf-trajectory comparison of bench run records: loads BENCH_*.json files
+// (or whole trajectory directories produced by bench/run_all.sh), matches
+// records by bench name, and computes per-metric deltas with noise-aware
+// verdicts. This is what turns the accumulated run records into a
+// regression *gate*: tools/bench_compare wraps this into a CLI that exits
+// non-zero on regression, and CI runs it against the committed
+// bench/baseline/ snapshot.
+//
+// Verdict policy per metric:
+//  * direction is inferred from the key (latency/time/error-ish keys are
+//    lower-is-better, everything else higher-is-better),
+//  * the fast path flags |relative delta| > threshold in the bad direction,
+//  * when both records carry repetition samples for the key, a Mann-Whitney
+//    U test must ALSO reject (p < alpha) before a delta counts — a noisy
+//    wall-clock wiggle inside the null distribution stays "unchanged".
+//
+// Records embed provenance (env.hostname / env.build_type / env.git_sha);
+// comparing across hosts or build types is refused unless forced, because
+// such deltas measure the machine, not the code.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+
+struct BenchRecord {
+  std::string bench;
+  std::int64_t unix_time = 0;
+  std::map<std::string, double> numbers;  // includes "wall_seconds"
+  std::map<std::string, std::string> text;
+  std::map<std::string, std::string> env;  // git_sha / hostname / build_type
+  std::map<std::string, std::vector<double>> samples;
+  std::string source_path;  // where it was loaded from (diagnostics)
+};
+
+/// Parse one run-record document. Throws std::runtime_error on documents
+/// without a "bench" name.
+BenchRecord parse_bench_record(const util::Json& doc,
+                               std::string source_path = "");
+/// Load + parse one BENCH_*.json file.
+BenchRecord load_bench_record(const std::string& path);
+/// All BENCH_*.json in a directory, sorted by bench name. Throws when the
+/// directory cannot be read or holds no records.
+std::vector<BenchRecord> load_trajectory_dir(const std::string& dir);
+/// `path` may be a single record file or a trajectory directory.
+std::vector<BenchRecord> load_records(const std::string& path);
+
+enum class MetricDirection {
+  HigherIsBetter,
+  LowerIsBetter,
+};
+
+/// Heuristic direction from the metric key: keys smelling of time, latency,
+/// errors or drops are lower-is-better; everything else higher-is-better.
+MetricDirection metric_direction(std::string_view key);
+
+enum class Verdict {
+  Unchanged,    // within threshold, or not statistically significant
+  Improvement,  // beyond threshold in the good direction
+  Regression,   // beyond threshold in the bad direction
+};
+
+const char* verdict_name(Verdict verdict);
+
+struct MetricComparison {
+  std::string bench;
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double abs_delta = 0.0;  // current - baseline
+  double rel_delta = 0.0;  // abs_delta / |baseline| (0 when baseline == 0)
+  MetricDirection direction = MetricDirection::HigherIsBetter;
+  Verdict verdict = Verdict::Unchanged;
+  bool used_mann_whitney = false;
+  double p_value = 1.0;  // Mann-Whitney two-sided p (1 when unused)
+};
+
+struct CompareOptions {
+  /// Relative-delta threshold for the fast-path verdict.
+  double threshold = 0.10;
+  /// Mann-Whitney significance level for sampled metrics.
+  double alpha = 0.01;
+  /// Proceed despite hostname/build_type mismatches.
+  bool force = false;
+  /// Only compare metrics whose key contains one of these substrings
+  /// (empty: all).
+  std::vector<std::string> include;
+  /// Skip metrics whose key contains one of these substrings.
+  std::vector<std::string> exclude;
+};
+
+struct CompareReport {
+  std::vector<MetricComparison> comparisons;
+  std::vector<std::string> warnings;  // unmatched benches, skipped keys, ...
+  /// Records disagree on hostname or build type — deltas measure the
+  /// machine, not the code. The CLI refuses without --force.
+  bool env_mismatch = false;
+
+  [[nodiscard]] std::size_t regressions() const;
+  [[nodiscard]] std::size_t improvements() const;
+
+  [[nodiscard]] util::Json to_json() const;
+  /// Human-readable table (regressions and improvements first).
+  [[nodiscard]] std::string to_table(bool verbose = false) const;
+};
+
+/// Compare two snapshots (baseline vs current), matching records by bench
+/// name. Benches present on only one side become warnings, not errors — a
+/// new bench must not fail the gate.
+CompareReport compare_records(const std::vector<BenchRecord>& baseline,
+                              const std::vector<BenchRecord>& current,
+                              const CompareOptions& options = {});
+
+}  // namespace amperebleed::obs

@@ -1,0 +1,318 @@
+#include "amperebleed/obs/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace amperebleed::obs {
+
+namespace detail {
+std::atomic<EventRing*> g_export_ring{nullptr};
+
+std::uint64_t export_clock_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+}  // namespace detail
+
+const char* export_event_kind_name(ExportEvent::Kind kind) {
+  switch (kind) {
+    case ExportEvent::Kind::CounterAdd:
+      return "counter";
+    case ExportEvent::Kind::GaugeSet:
+      return "gauge";
+    case ExportEvent::Kind::HistogramObserve:
+      return "histogram";
+    case ExportEvent::Kind::SpanEnd:
+      return "span";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// EventRing
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+EventRing::EventRing(std::size_t capacity)
+    : mask_(round_up_pow2(capacity < 2 ? 2 : capacity) - 1),
+      slots_(mask_ + 1) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool EventRing::try_push(const ExportEvent& event) {
+  std::size_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::intptr_t>(seq) -
+                      static_cast<std::intptr_t>(pos);
+    if (diff == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        slot.event = event;
+        slot.seq.store(pos + 1, std::memory_order_release);
+        pushed_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // CAS failed: pos was reloaded; retry.
+    } else if (diff < 0) {
+      // Slot still holds an unconsumed event one lap behind: ring is full.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      // Another producer claimed this position; chase the head.
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t EventRing::drain(std::vector<ExportEvent>& out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    Slot& slot = slots_[tail_ & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != tail_ + 1) break;
+    out.push_back(slot.event);
+    slot.seq.store(tail_ + mask_ + 1, std::memory_order_release);
+    ++tail_;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t EventRing::approx_size() const {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  return head >= tail_ ? head - tail_ : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+namespace {
+util::Json event_to_json(const ExportEvent& event) {
+  auto e = util::Json::object();
+  e.set("kind", util::Json::string(export_event_kind_name(event.kind)));
+  e.set("name", util::Json::string(event.name));
+  e.set("value", util::Json::number(event.value));
+  e.set("ts_ns",
+        util::Json::integer(static_cast<std::int64_t>(event.ts_ns)));
+  return e;
+}
+}  // namespace
+
+SnapshotSink::SnapshotSink(std::string path, std::size_t keep_recent)
+    : path_(std::move(path)), keep_recent_(keep_recent) {
+  if (path_.empty()) {
+    throw std::invalid_argument("SnapshotSink: empty path");
+  }
+}
+
+void SnapshotSink::consume(const std::vector<ExportEvent>& events) {
+  for (const auto& event : events) {
+    recent_.push_back(event);
+    if (recent_.size() > keep_recent_) recent_.pop_front();
+  }
+}
+
+void SnapshotSink::flush(const MetricsRegistry& registry,
+                         const ExporterStats& stats) {
+  auto root = util::Json::object();
+  auto exporter = util::Json::object();
+  exporter.set("events_exported",
+               util::Json::integer(
+                   static_cast<std::int64_t>(stats.events_exported)));
+  exporter.set("events_dropped",
+               util::Json::integer(
+                   static_cast<std::int64_t>(stats.events_dropped)));
+  exporter.set("flushes",
+               util::Json::integer(static_cast<std::int64_t>(stats.flushes)));
+  root.set("exporter", std::move(exporter));
+  root.set("metrics", registry.to_json());
+  auto recent = util::Json::array();
+  for (const auto& event : recent_) recent.push_back(event_to_json(event));
+  root.set("recent_events", std::move(recent));
+
+  // Write-then-rename so a concurrent reader never sees a torn snapshot.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("SnapshotSink: cannot open '" + tmp + "'");
+    }
+    out << root.dump(2) << "\n";
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("SnapshotSink: rename to '" + path_ +
+                             "' failed");
+  }
+  ++writes_;
+}
+
+void CollectorSink::consume(const std::vector<ExportEvent>& events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& event : events) {
+    if (events_.size() >= max_events_) break;
+    events_.push_back(event);
+  }
+}
+
+void CollectorSink::flush(const MetricsRegistry& registry,
+                          const ExporterStats& stats) {
+  (void)registry;
+  (void)stats;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++flushes_;
+}
+
+std::vector<ExportEvent> CollectorSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t CollectorSink::flush_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushes_;
+}
+
+// ---------------------------------------------------------------------------
+// Exporter
+
+Exporter::Exporter(MetricsRegistry& registry, ExporterConfig config)
+    : registry_(registry),
+      config_(config),
+      ring_(config.ring_capacity) {
+  if (config_.flush_interval_ms <= 0) config_.flush_interval_ms = 1;
+  if (config_.drain_batch == 0) config_.drain_batch = 1;
+}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::add_sink(std::unique_ptr<ExportSink> sink) {
+  if (running()) {
+    throw std::logic_error("Exporter: add_sink while running");
+  }
+  if (sink == nullptr) {
+    throw std::invalid_argument("Exporter: null sink");
+  }
+  sinks_.push_back(std::move(sink));
+}
+
+void Exporter::start() {
+  std::lock_guard<std::mutex> state(state_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_requested_ = false;
+  started_at_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  if (config_.attach_global_hook) {
+    detail::g_export_ring.store(&ring_, std::memory_order_release);
+  }
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Exporter::stop() {
+  {
+    std::lock_guard<std::mutex> state(state_mu_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    // Detach the hook first so producers stop feeding the ring, then let
+    // the thread run its final drain-to-empty cycle.
+    if (config_.attach_global_hook &&
+        detail::g_export_ring.load(std::memory_order_acquire) == &ring_) {
+      detail::g_export_ring.store(nullptr, std::memory_order_release);
+    }
+    stop_requested_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+ExporterStats Exporter::stats() const {
+  ExporterStats stats;
+  {
+    std::lock_guard<std::mutex> lock(cycle_mu_);
+    stats.events_exported = exported_;
+    stats.flushes = flushes_;
+  }
+  stats.events_dropped = ring_.dropped();
+  return stats;
+}
+
+void Exporter::flush_now() { cycle(/*drain_to_empty=*/true); }
+
+void Exporter::thread_main() {
+  for (;;) {
+    bool stopping;
+    {
+      std::unique_lock<std::mutex> state(state_mu_);
+      cv_.wait_for(state,
+                   std::chrono::milliseconds(config_.flush_interval_ms),
+                   [this] { return stop_requested_; });
+      stopping = stop_requested_;
+    }
+    cycle(/*drain_to_empty=*/stopping);
+    if (stopping) return;
+  }
+}
+
+void Exporter::cycle(bool drain_to_empty) {
+  std::lock_guard<std::mutex> lock(cycle_mu_);
+  // Drain the ring in batches. A normal cycle caps its work at a few
+  // batches (live producers cannot livelock the exporter); the shutdown
+  // cycle keeps going until the — by then detached — producers' backlog is
+  // exhausted, so stop() never loses buffered events.
+  const std::size_t max_batches =
+      drain_to_empty ? std::numeric_limits<std::size_t>::max()
+                     : 1 + ring_.capacity() / config_.drain_batch;
+  for (std::size_t b = 0; b < max_batches; ++b) {
+    batch_.clear();
+    const std::size_t n = ring_.drain(batch_, config_.drain_batch);
+    if (n > 0) {
+      for (auto& sink : sinks_) sink->consume(batch_);
+      exported_ += n;
+    }
+    if (n < config_.drain_batch) break;
+  }
+
+  // Publish exporter accounting as ordinary metrics so every sink (and the
+  // HTTP /metrics endpoint) sees them.
+  const std::uint64_t dropped = ring_.dropped();
+  if (dropped > published_dropped_) {
+    registry_.counter("obs_exporter_dropped_total")
+        .inc(dropped - published_dropped_);
+    published_dropped_ = dropped;
+  }
+  if (exported_ > published_exported_) {
+    registry_.counter("obs_exporter_events_total")
+        .inc(exported_ - published_exported_);
+    published_exported_ = exported_;
+  }
+  registry_.gauge("obs_exporter_ring_fill")
+      .set(static_cast<double>(ring_.approx_size()));
+  registry_.gauge("obs_exporter_uptime_seconds")
+      .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_at_)
+               .count());
+
+  ExporterStats stats;
+  stats.events_exported = exported_;
+  stats.events_dropped = dropped;
+  stats.flushes = flushes_ + 1;
+  for (auto& sink : sinks_) sink->flush(registry_, stats);
+  ++flushes_;
+  registry_.counter("obs_exporter_flushes_total").inc();
+}
+
+}  // namespace amperebleed::obs

@@ -1,0 +1,272 @@
+#pragma once
+// Live telemetry export for amperebleed::obs. PR 1's registries are
+// end-of-run snapshots; this layer streams them out while the system runs:
+//
+//   instrumentation site ──try_push──▶ EventRing (bounded, lock-free MPSC)
+//                                         │ drained by
+//                                  Exporter thread (flush interval)
+//                                         │ fan-out
+//                              ExportSink*  (SnapshotSink → JSON file via
+//                                            atomic rename; HTTP server in
+//                                            http_exporter.hpp reads the
+//                                            registry directly)
+//
+// Invariants:
+//  * The hot path never blocks. try_push on a full ring increments a dropped
+//    counter and returns; the exporter publishes the total as the
+//    `obs_exporter_dropped_total` counter every flush.
+//  * The MetricsRegistry stays the aggregation point — events are *also*
+//    applied at the instrumentation site exactly as before, so turning the
+//    exporter on or off never changes any metric value, only whether the
+//    per-event stream reaches sinks.
+//  * stop() is graceful: it detaches the global emit hook, drains every
+//    event still in the ring into the sinks, runs one final flush, then
+//    joins the thread. The Exporter must outlive any thread that may still
+//    record obs events (ObsSession keeps it alive until bench exit).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amperebleed/obs/metrics.hpp"
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+
+/// One timestamped telemetry event. POD with a fixed-size, NUL-terminated
+/// (truncating) name buffer so ring slots never allocate.
+struct ExportEvent {
+  enum class Kind : std::uint8_t {
+    CounterAdd,        // value = increment
+    GaugeSet,          // value = new gauge value
+    HistogramObserve,  // value = observation
+    SpanEnd,           // value = span duration in microseconds
+  };
+
+  static constexpr std::size_t kMaxName = 47;
+
+  Kind kind = Kind::CounterAdd;
+  char name[kMaxName + 1] = {};
+  double value = 0.0;
+  std::uint64_t ts_ns = 0;  // steady-clock ns (process-relative epoch)
+
+  void set_name(const char* s) {
+    std::strncpy(name, s == nullptr ? "" : s, kMaxName);
+    name[kMaxName] = '\0';
+  }
+};
+
+const char* export_event_kind_name(ExportEvent::Kind kind);
+
+/// Bounded lock-free multi-producer single-consumer ring (Vyukov-style
+/// sequenced slots). Producers never block: a full ring rejects the push and
+/// counts it in dropped(). drain() must only be called from one consumer
+/// thread at a time (the Exporter serializes this internally).
+class EventRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (min 2).
+  explicit EventRing(std::size_t capacity);
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Lock-free, wait-free-on-full. Returns false (and counts the drop) when
+  /// the ring is full.
+  bool try_push(const ExportEvent& event);
+
+  /// Move up to `max` events into `out` (appended). Single consumer only.
+  std::size_t drain(std::vector<ExportEvent>& out, std::size_t max);
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Entries currently buffered (consumer-side estimate).
+  [[nodiscard]] std::size_t approx_size() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    ExportEvent event;
+  };
+
+  std::size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producers
+  alignas(64) std::size_t tail_ = 0;              // consumer-owned
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct ExporterStats {
+  std::uint64_t events_exported = 0;  // drained and handed to sinks
+  std::uint64_t events_dropped = 0;   // rejected by the full ring
+  std::uint64_t flushes = 0;          // completed flush cycles
+};
+
+/// A pluggable consumer of the live telemetry stream. consume() receives
+/// each drained event batch (possibly empty between flushes); flush() runs
+/// once per flush interval and at shutdown with the authoritative registry.
+class ExportSink {
+ public:
+  virtual ~ExportSink() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void consume(const std::vector<ExportEvent>& events) {
+    (void)events;
+  }
+  virtual void flush(const MetricsRegistry& registry,
+                     const ExporterStats& stats) {
+    (void)registry;
+    (void)stats;
+  }
+};
+
+/// Periodic JSON snapshot to a file. Writes to `<path>.tmp` then renames so
+/// scrapers never observe a torn file; the document carries the full metrics
+/// snapshot, exporter accounting and the most recent events.
+class SnapshotSink : public ExportSink {
+ public:
+  explicit SnapshotSink(std::string path, std::size_t keep_recent = 128);
+
+  [[nodiscard]] const char* name() const override { return "snapshot"; }
+  void consume(const std::vector<ExportEvent>& events) override;
+  void flush(const MetricsRegistry& registry,
+             const ExporterStats& stats) override;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::string path_;
+  std::size_t keep_recent_;
+  std::deque<ExportEvent> recent_;
+  std::uint64_t writes_ = 0;
+};
+
+/// Collects drained events in memory (bounded); used by tests and as a cheap
+/// in-process "recent activity" feed.
+class CollectorSink : public ExportSink {
+ public:
+  explicit CollectorSink(std::size_t max_events = 1 << 16)
+      : max_events_(max_events) {}
+
+  [[nodiscard]] const char* name() const override { return "collector"; }
+  void consume(const std::vector<ExportEvent>& events) override;
+  void flush(const MetricsRegistry& registry,
+             const ExporterStats& stats) override;
+
+  [[nodiscard]] std::vector<ExportEvent> events() const;
+  [[nodiscard]] std::uint64_t flush_count() const;
+
+ private:
+  std::size_t max_events_;
+  mutable std::mutex mu_;
+  std::vector<ExportEvent> events_;
+  std::uint64_t flushes_ = 0;
+};
+
+struct ExporterConfig {
+  /// How often the background thread drains the ring and flushes sinks.
+  int flush_interval_ms = 500;
+  /// Ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 14;
+  /// Max events moved per drain call (bounds per-cycle work).
+  std::size_t drain_batch = 4096;
+  /// Attach the process-wide emit hook (obs::count/observe/... feed the
+  /// ring) while running. Tests that drive the ring directly turn this off.
+  bool attach_global_hook = true;
+};
+
+/// Background exporter thread: drains the ring every flush interval, feeds
+/// sinks, and publishes its own accounting into the registry
+/// (`obs_exporter_*` counters/gauges). start()/stop() are idempotent.
+class Exporter {
+ public:
+  explicit Exporter(MetricsRegistry& registry, ExporterConfig config = {});
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Sinks must be added before start().
+  void add_sink(std::unique_ptr<ExportSink> sink);
+
+  void start();
+  /// Graceful shutdown: detach hook, drain remaining events, final flush,
+  /// join. Safe to call repeatedly / without start().
+  void stop();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] EventRing& ring() { return ring_; }
+  [[nodiscard]] ExporterStats stats() const;
+  [[nodiscard]] const ExporterConfig& config() const { return config_; }
+
+  /// Run one drain+flush cycle synchronously on the calling thread
+  /// (serialized with the background thread). Mainly for tests.
+  void flush_now();
+
+ private:
+  void thread_main();
+  void cycle(bool drain_to_empty);
+
+  MetricsRegistry& registry_;
+  ExporterConfig config_;
+  EventRing ring_;
+  std::vector<std::unique_ptr<ExportSink>> sinks_;
+
+  // Serializes cycle() between thread and flush_now(); mutable so stats()
+  // can read the cycle-owned totals.
+  mutable std::mutex cycle_mu_;
+  std::vector<ExportEvent> batch_;  // guarded by cycle_mu_
+
+  std::mutex state_mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+
+  std::uint64_t exported_ = 0;          // guarded by cycle_mu_
+  std::uint64_t flushes_ = 0;           // guarded by cycle_mu_
+  std::uint64_t published_dropped_ = 0;  // guarded by cycle_mu_
+  std::uint64_t published_exported_ = 0; // guarded by cycle_mu_
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+namespace detail {
+/// Global emit hook: non-null while an Exporter with attach_global_hook is
+/// running. The obs.hpp helpers feed it after updating the registry.
+extern std::atomic<EventRing*> g_export_ring;
+
+/// Steady-clock ns against a process-local epoch (monotonic; cheap).
+std::uint64_t export_clock_ns();
+}  // namespace detail
+
+/// Push one event to the attached exporter ring, if any. Never blocks;
+/// drops (with accounting) when the ring is full. Safe to call from any
+/// thread that the Exporter outlives.
+inline void export_event(ExportEvent::Kind kind, const char* name,
+                         double value) {
+  EventRing* ring = detail::g_export_ring.load(std::memory_order_acquire);
+  if (ring == nullptr) return;
+  ExportEvent event;
+  event.kind = kind;
+  event.set_name(name);
+  event.value = value;
+  event.ts_ns = detail::export_clock_ns();
+  ring->try_push(event);
+}
+
+}  // namespace amperebleed::obs

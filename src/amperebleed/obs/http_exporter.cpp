@@ -1,0 +1,223 @@
+#include "amperebleed/obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "amperebleed/obs/prometheus.hpp"
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+constexpr int kPollIntervalMs = 100;
+constexpr int kClientTimeoutMs = 2000;
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string response = util::format(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      status, reason, content_type, body.size());
+  response += body;
+  return response;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return;  // client went away; nothing to salvage
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(MetricsRegistry& registry)
+    : HttpExporter(registry, Config{}) {}
+
+HttpExporter::HttpExporter(MetricsRegistry& registry, Config config)
+    : registry_(registry), config_(std::move(config)) {}
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::set_runrecord_provider(
+    std::function<util::Json()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  runrecord_provider_ = std::move(provider);
+}
+
+void HttpExporter::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpExporter: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpExporter: bad bind address '" +
+                             config_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(
+        util::format("HttpExporter: bind to %s:%d failed (%s)",
+                     config_.bind_address.c_str(), config_.port,
+                     std::strerror(err)));
+  }
+  if (::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpExporter: listen() failed");
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = config_.port;
+  }
+
+  stop_requested_.store(false, std::memory_order_release);
+  started_at_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void HttpExporter::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpExporter::serve_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout / EINTR: re-check the stop flag
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpExporter::handle_connection(int client_fd) {
+  timeval timeout{};
+  timeout.tv_sec = kClientTimeoutMs / 1000;
+  timeout.tv_usec = (kClientTimeoutMs % 1000) * 1000;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  // Only the request line matters: "<METHOD> <path> HTTP/1.1".
+  const std::size_t eol = request.find_first_of("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  const auto parts = util::split(line, ' ');
+  if (parts.size() < 2) {
+    send_all(client_fd, make_response(400, "Bad Request", "text/plain",
+                                      "bad request\n"));
+    return;
+  }
+  const std::string& method = parts[0];
+  // Strip any query string; routes don't take parameters.
+  std::string path = parts[1];
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  registry_.counter("obs_http_requests_total").inc();
+  send_all(client_fd, build_response(method, path));
+}
+
+std::string HttpExporter::build_response(const std::string& method,
+                                         const std::string& path) {
+  if (method != "GET" && method != "HEAD") {
+    return make_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  if (path == "/metrics") {
+    return make_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         to_prometheus_text(registry_));
+  }
+  if (path == "/healthz") {
+    auto body = util::Json::object();
+    body.set("status", util::Json::string("ok"));
+    body.set("uptime_seconds",
+             util::Json::number(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    started_at_)
+                                    .count()));
+    body.set("requests_served",
+             util::Json::integer(static_cast<std::int64_t>(
+                 requests_.load(std::memory_order_relaxed))));
+    return make_response(200, "OK", "application/json",
+                         body.dump(2) + "\n");
+  }
+  if (path == "/runrecord") {
+    std::function<util::Json()> provider;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      provider = runrecord_provider_;
+    }
+    if (!provider) {
+      return make_response(503, "Service Unavailable", "application/json",
+                           "{\"error\":\"no run record wired\"}\n");
+    }
+    return make_response(200, "OK", "application/json",
+                         provider().dump(2) + "\n");
+  }
+  return make_response(404, "Not Found", "text/plain",
+                       "unknown path; try /metrics /healthz /runrecord\n");
+}
+
+}  // namespace amperebleed::obs

@@ -78,6 +78,12 @@ void P2Quantile::observe(double v) {
   }
 }
 
+std::array<double, 5> P2Quantile::marker_heights() const {
+  std::array<double, 5> out{};
+  std::copy(heights_, heights_ + 5, out.begin());
+  return out;
+}
+
 double P2Quantile::estimate() const {
   if (count_ == 0) return 0.0;
   if (count_ < 5) {

@@ -8,6 +8,7 @@
 // References held from counter()/gauge()/histogram() stay valid until
 // reset() — instruments are never deleted individually.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -63,6 +64,10 @@ class P2Quantile {
   [[nodiscard]] double estimate() const;
   [[nodiscard]] double quantile() const { return q_; }
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Current marker heights — exposed so tests can assert the P-square
+  /// monotonic-marker invariant. Only the first min(count, 5) entries are
+  /// meaningful; once count >= 5 the array is non-decreasing.
+  [[nodiscard]] std::array<double, 5> marker_heights() const;
 
  private:
   double q_;

@@ -1,0 +1,31 @@
+#pragma once
+// Prometheus text exposition (format version 0.0.4) rendering of a
+// MetricsRegistry snapshot, served by obs::HttpExporter at /metrics and
+// usable standalone (e.g. to dump a scrape-compatible file).
+//
+// Mapping:
+//   Counter   -> `# TYPE <name> counter`  + one sample
+//   Gauge     -> `# TYPE <name> gauge`    + one sample
+//   Histogram -> `# TYPE <name> histogram` with cumulative `_bucket{le=...}`
+//                samples (including the `+Inf` bucket), `_sum` and `_count`,
+//                plus a companion `<name>_quantiles` summary carrying the
+//                streaming P-square quantile estimates.
+//
+// Instrument names use dots ("sampler.poll_latency_ns"); Prometheus names
+// must match [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid rune becomes '_'.
+
+#include <string>
+#include <string_view>
+
+#include "amperebleed/obs/metrics.hpp"
+
+namespace amperebleed::obs {
+
+/// Sanitize an instrument name into a valid Prometheus metric name.
+std::string prometheus_metric_name(std::string_view raw);
+
+/// Render the whole registry. Deterministic: instruments appear in registry
+/// (lexicographic) order, so scrapes diff cleanly.
+std::string to_prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace amperebleed::obs

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "amperebleed/obs/exporter.hpp"
+
 namespace amperebleed::obs {
 
 namespace {
@@ -34,6 +36,8 @@ void SpanTracer::add_event(TraceEvent event) {
 void SpanTracer::add_virtual_span(
     std::string name, std::string category, sim::TimeNs start,
     sim::TimeNs duration, std::vector<std::pair<std::string, double>> args) {
+  export_event(ExportEvent::Kind::SpanEnd, name.c_str(),
+               static_cast<double>(duration.ns) * 1e-3);
   TraceEvent e;
   e.name = std::move(name);
   e.category = std::move(category);
@@ -175,6 +179,10 @@ void ScopedSpan::set_arg(std::string key, double value) {
 void ScopedSpan::finish() {
   if (tracer_ == nullptr) return;
   TraceEvent e;
+  // Feed the live exporter (no-op unless an Exporter is attached) before
+  // name_ is moved into the trace event.
+  export_event(ExportEvent::Kind::SpanEnd, name_.c_str(),
+               tracer_->wall_now_us() - start_us_);
   e.name = std::move(name_);
   e.category = std::move(category_);
   e.clock = SpanClock::Wall;

@@ -27,6 +27,21 @@ struct KsResult {
 /// hundreds-to-thousands sample sizes used here). Throws on empty samples.
 KsResult ks_test(std::span<const double> a, std::span<const double> b);
 
+struct MannWhitneyResult {
+  double u = 0.0;        // U statistic of sample `a`
+  double z = 0.0;        // tie-corrected normal approximation (0 when df)
+  double p_value = 1.0;  // two-sided
+};
+
+/// Two-sample Mann-Whitney U (Wilcoxon rank-sum) test: distribution-free
+/// location shift, robust to the outliers wall-clock benchmark samples carry.
+/// Uses midranks for ties, the tie-corrected normal approximation and a 0.5
+/// continuity correction (fine for the n >= ~8 repetition counts the bench
+/// harness records). Throws on empty samples; two all-identical samples give
+/// p = 1.
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b);
+
 /// Regularized incomplete beta function I_x(a, b) (Lentz continued
 /// fraction); exposed because the t-test needs it and tests pin it down.
 double incomplete_beta(double a, double b, double x);

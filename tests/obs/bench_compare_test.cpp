@@ -1,0 +1,218 @@
+#include "amperebleed/obs/bench_compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+// Canned JSON run records — the fixture the CI perf gate is modeled on.
+BenchRecord make_record(const std::string& bench, double accuracy,
+                        double wall_seconds,
+                        const std::string& hostname = "hostA",
+                        const std::string& build_type = "Release") {
+  const std::string text =
+      "{\"bench\":\"" + bench + "\",\"wall_seconds\":" +
+      std::to_string(wall_seconds) +
+      ",\"unix_time\":1700000000,"
+      "\"env\":{\"git_sha\":\"abc123\",\"hostname\":\"" + hostname +
+      "\",\"build_type\":\"" + build_type + "\"},"
+      "\"numbers\":{\"top1_accuracy\":" + std::to_string(accuracy) +
+      ",\"samples_per_sec\":1000.0},\"text\":{}}";
+  return parse_bench_record(util::Json::parse(text));
+}
+
+TEST(MetricDirection, HeuristicsMatchIntent) {
+  EXPECT_EQ(metric_direction("top1_accuracy"),
+            MetricDirection::HigherIsBetter);
+  EXPECT_EQ(metric_direction("samples_per_sec"),
+            MetricDirection::HigherIsBetter);
+  EXPECT_EQ(metric_direction("wall_seconds"), MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("poll_latency_ns"),
+            MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("obs_hwmon_reads_denied"),
+            MetricDirection::LowerIsBetter);
+  EXPECT_EQ(metric_direction("fpr_at_10rps"), MetricDirection::LowerIsBetter);
+}
+
+TEST(CompareRecords, UnchangedBuildHasNoRegressions) {
+  const auto base = make_record("fig2", 0.95, 10.0);
+  const auto cur = make_record("fig2", 0.95, 10.2);  // 2% wall noise
+  const auto report = compare_records({base}, {cur}, {});
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_FALSE(report.env_mismatch);
+  EXPECT_FALSE(report.comparisons.empty());
+}
+
+TEST(CompareRecords, DegradedMetricBeyondThresholdRegresses) {
+  const auto base = make_record("fig2", 0.95, 10.0);
+  // Accuracy down 20% (higher-is-better) and wall up 50% (lower-is-better).
+  const auto cur = make_record("fig2", 0.76, 15.0);
+  CompareOptions options;
+  options.threshold = 0.10;
+  const auto report = compare_records({base}, {cur}, options);
+  EXPECT_EQ(report.regressions(), 2u);
+
+  bool saw_accuracy = false;
+  for (const auto& c : report.comparisons) {
+    if (c.key == "top1_accuracy") {
+      saw_accuracy = true;
+      EXPECT_EQ(c.verdict, Verdict::Regression);
+      EXPECT_NEAR(c.rel_delta, -0.2, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_accuracy);
+}
+
+TEST(CompareRecords, ImprovementIsNotARegression) {
+  const auto base = make_record("fig2", 0.80, 10.0);
+  const auto cur = make_record("fig2", 0.95, 5.0);
+  const auto report = compare_records({base}, {cur}, {});
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_GE(report.improvements(), 2u);
+}
+
+TEST(CompareRecords, EnvMismatchFlagsButStillCompares) {
+  const auto base = make_record("fig2", 0.95, 10.0, "hostA", "Release");
+  const auto cur = make_record("fig2", 0.95, 10.0, "hostB", "Debug");
+  const auto report = compare_records({base}, {cur}, {});
+  EXPECT_TRUE(report.env_mismatch);
+  EXPECT_GE(report.warnings.size(), 2u);  // hostname + build_type
+  EXPECT_FALSE(report.comparisons.empty());
+}
+
+TEST(CompareRecords, UnmatchedBenchesBecomeWarningsNotErrors) {
+  const auto base = make_record("old_bench", 0.95, 10.0);
+  const auto cur = make_record("new_bench", 0.95, 10.0);
+  const auto report = compare_records({base}, {cur}, {});
+  EXPECT_TRUE(report.comparisons.empty());
+  EXPECT_EQ(report.warnings.size(), 2u);
+  EXPECT_EQ(report.regressions(), 0u);
+}
+
+TEST(CompareRecords, IncludeExcludeFilters) {
+  const auto base = make_record("fig2", 0.95, 10.0);
+  const auto cur = make_record("fig2", 0.50, 20.0);  // both degrade
+  CompareOptions options;
+  options.include = {"accuracy"};
+  auto report = compare_records({base}, {cur}, options);
+  ASSERT_EQ(report.comparisons.size(), 1u);
+  EXPECT_EQ(report.comparisons[0].key, "top1_accuracy");
+
+  options = {};
+  options.exclude = {"wall", "per_sec"};
+  report = compare_records({base}, {cur}, options);
+  ASSERT_EQ(report.comparisons.size(), 1u);
+  EXPECT_EQ(report.comparisons[0].key, "top1_accuracy");
+}
+
+// Noise-aware path: identical sample distributions must neutralize an
+// apparently-large mean delta; clearly shifted distributions must not.
+TEST(CompareRecords, MannWhitneyGatesNoisyMetrics) {
+  const std::string base_text =
+      "{\"bench\":\"noisy\",\"numbers\":{\"wall_ms\":100.0},"
+      "\"samples\":{\"wall_ms\":[90,110,95,105,100,98,102,97,103,99]}}";
+  // Mean says +30% (beyond threshold) but the samples overlap heavily.
+  const std::string same_text =
+      "{\"bench\":\"noisy\",\"numbers\":{\"wall_ms\":130.0},"
+      "\"samples\":{\"wall_ms\":[91,109,96,104,101,99,103,96,102,98]}}";
+  const std::string worse_text =
+      "{\"bench\":\"noisy\",\"numbers\":{\"wall_ms\":130.0},"
+      "\"samples\":{\"wall_ms\":[128,132,129,131,130,127,133,128,131,130]}}";
+
+  const auto base = parse_bench_record(util::Json::parse(base_text));
+  const auto same = parse_bench_record(util::Json::parse(same_text));
+  const auto worse = parse_bench_record(util::Json::parse(worse_text));
+
+  CompareOptions options;
+  options.threshold = 0.10;
+  options.alpha = 0.01;
+
+  auto report = compare_records({base}, {same}, options);
+  ASSERT_EQ(report.comparisons.size(), 1u);
+  EXPECT_TRUE(report.comparisons[0].used_mann_whitney);
+  EXPECT_EQ(report.comparisons[0].verdict, Verdict::Unchanged)
+      << "p=" << report.comparisons[0].p_value;
+
+  report = compare_records({base}, {worse}, options);
+  ASSERT_EQ(report.comparisons.size(), 1u);
+  EXPECT_TRUE(report.comparisons[0].used_mann_whitney);
+  EXPECT_EQ(report.comparisons[0].verdict, Verdict::Regression)
+      << "p=" << report.comparisons[0].p_value;
+  EXPECT_LT(report.comparisons[0].p_value, 0.01);
+}
+
+TEST(CompareRecords, ZeroBaselineDoesNotDivide) {
+  const std::string base_text =
+      "{\"bench\":\"z\",\"numbers\":{\"errors\":0.0}}";
+  const std::string cur_text =
+      "{\"bench\":\"z\",\"numbers\":{\"errors\":5.0}}";
+  const auto report = compare_records(
+      {parse_bench_record(util::Json::parse(base_text))},
+      {parse_bench_record(util::Json::parse(cur_text))}, {});
+  ASSERT_EQ(report.comparisons.size(), 1u);
+  EXPECT_EQ(report.comparisons[0].verdict, Verdict::Regression);
+}
+
+TEST(CompareReport, JsonAndTableRoundTrip) {
+  const auto base = make_record("fig2", 0.95, 10.0);
+  const auto cur = make_record("fig2", 0.50, 10.0);
+  const auto report = compare_records({base}, {cur}, {});
+  const util::Json doc = report.to_json();
+  EXPECT_EQ(doc.find("regressions")->as_integer(), 1);
+  // Serialized report parses back.
+  const util::Json reparsed = util::Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.find("comparisons")->size(), doc.find("comparisons")->size());
+
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("top1_accuracy"), std::string::npos);
+  EXPECT_NE(table.find("regression"), std::string::npos);
+}
+
+TEST(LoadRecords, TrajectoryDirectoryRoundTrip) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "amperebleed_traj_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    std::ofstream a(dir / "BENCH_fig2.json");
+    a << "{\"bench\":\"fig2\",\"wall_seconds\":1.5,"
+         "\"numbers\":{\"snr_db\":20.0}}\n";
+    std::ofstream b(dir / "BENCH_abla.json");
+    b << "{\"bench\":\"abla\",\"wall_seconds\":0.5,\"numbers\":{}}\n";
+    std::ofstream noise(dir / "notes.txt");
+    noise << "not a record\n";
+  }
+  const auto records = load_trajectory_dir(dir.string());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].bench, "abla");  // sorted by bench name
+  EXPECT_EQ(records[1].bench, "fig2");
+  EXPECT_DOUBLE_EQ(records[1].numbers.at("snr_db"), 20.0);
+  EXPECT_DOUBLE_EQ(records[1].numbers.at("wall_seconds"), 1.5);
+
+  // load_records dispatches file vs directory.
+  EXPECT_EQ(load_records(dir.string()).size(), 2u);
+  EXPECT_EQ(load_records((dir / "BENCH_fig2.json").string()).size(), 1u);
+
+  EXPECT_THROW(load_trajectory_dir((dir / "missing").string()),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(ParseBenchRecord, RejectsNamelessRecords) {
+  EXPECT_THROW(parse_bench_record(util::Json::parse("{\"numbers\":{}}")),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench_record(util::Json::parse("[1,2]")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

@@ -1,0 +1,301 @@
+#include "amperebleed/obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+ExportEvent make_event(double value,
+                       ExportEvent::Kind kind = ExportEvent::Kind::CounterAdd,
+                       const char* name = "test.metric") {
+  ExportEvent e;
+  e.kind = kind;
+  e.set_name(name);
+  e.value = value;
+  e.ts_ns = detail::export_clock_ns();
+  return e;
+}
+
+TEST(ExportEvent, NameTruncatesAndTerminates) {
+  ExportEvent e;
+  const std::string longname(200, 'x');
+  e.set_name(longname.c_str());
+  EXPECT_EQ(std::string(e.name).size(), ExportEvent::kMaxName);
+  e.set_name(nullptr);
+  EXPECT_EQ(std::string(e.name), "");
+}
+
+TEST(EventRing, RoundsCapacityUpToPowerOfTwo) {
+  EventRing ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  EventRing tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(EventRing, FifoOrderSingleThread) {
+  EventRing ring(16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.try_push(make_event(i)));
+  }
+  EXPECT_EQ(ring.approx_size(), 10u);
+  std::vector<ExportEvent> out;
+  EXPECT_EQ(ring.drain(out, 1000), 10u);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(i)].value, i);
+  }
+  EXPECT_EQ(ring.approx_size(), 0u);
+}
+
+TEST(EventRing, OverflowNeverBlocksAndCountsDrops) {
+  EventRing ring(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_push(make_event(i)));
+  }
+  EXPECT_FALSE(ring.try_push(make_event(99)));
+  EXPECT_FALSE(ring.try_push(make_event(100)));
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring.pushed(), 8u);
+
+  // Draining frees slots; pushes succeed again and order is preserved.
+  std::vector<ExportEvent> out;
+  EXPECT_EQ(ring.drain(out, 4), 4u);
+  EXPECT_TRUE(ring.try_push(make_event(8)));
+  out.clear();
+  EXPECT_EQ(ring.drain(out, 100), 5u);
+  EXPECT_DOUBLE_EQ(out.front().value, 4.0);
+  EXPECT_DOUBLE_EQ(out.back().value, 8.0);
+}
+
+// The TSan workout the CI sanitizer matrix runs: 8 producers hammer the ring
+// while one consumer drains concurrently. Checks total conservation
+// (received + dropped == pushed) and per-producer FIFO order.
+TEST(EventRing, EightProducersConcurrentDrainConservesEvents) {
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 20'000;
+  EventRing ring(1 << 10);  // small on purpose: forces overflow under load
+
+  std::atomic<bool> start{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Encode producer id + sequence so the consumer can check order.
+        ring.try_push(make_event(static_cast<double>(p) * 1e9 + i));
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  std::vector<ExportEvent> received;
+  received.reserve(static_cast<std::size_t>(kProducers) * kPerProducer);
+  std::thread consumer([&]() {
+    std::vector<ExportEvent> batch;
+    while (done.load(std::memory_order_acquire) < kProducers ||
+           ring.approx_size() > 0) {
+      batch.clear();
+      if (ring.drain(batch, 512) == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      received.insert(received.end(), batch.begin(), batch.end());
+    }
+  });
+
+  start.store(true, std::memory_order_release);
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kProducers) * kPerProducer;
+  EXPECT_EQ(ring.pushed() + ring.dropped(), total);
+  EXPECT_EQ(received.size(), ring.pushed());
+
+  // Per-producer sequences must arrive strictly increasing (drops allowed).
+  std::map<int, double> last_seq;
+  for (const auto& event : received) {
+    const int producer = static_cast<int>(event.value / 1e9);
+    const double seq = event.value - producer * 1e9;
+    const auto it = last_seq.find(producer);
+    if (it != last_seq.end()) {
+      EXPECT_LT(it->second, seq) << "producer " << producer;
+    }
+    last_seq[producer] = seq;
+  }
+  // At least one producer must have landed events. (All eight are not
+  // guaranteed: on a small machine a producer's entire burst can run while
+  // the ring is full and the consumer is descheduled.)
+  EXPECT_GE(last_seq.size(), 1u);
+  EXPECT_LE(last_seq.size(), static_cast<std::size_t>(kProducers));
+}
+
+TEST(Exporter, StartStopDrainsEverythingGracefully) {
+  MetricsRegistry registry;
+  ExporterConfig config;
+  config.flush_interval_ms = 5;
+  config.attach_global_hook = false;
+  Exporter exporter(registry, config);
+  auto* collector = new CollectorSink();
+  exporter.add_sink(std::unique_ptr<ExportSink>(collector));
+  exporter.start();
+  EXPECT_TRUE(exporter.running());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&exporter]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        exporter.ring().try_push(make_event(i, ExportEvent::Kind::GaugeSet));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  exporter.stop();  // must drain the backlog before joining
+  EXPECT_FALSE(exporter.running());
+
+  const auto stats = exporter.stats();
+  EXPECT_EQ(stats.events_exported + stats.events_dropped,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(collector->events().size(), stats.events_exported);
+  EXPECT_GE(collector->flush_count(), 1u);
+
+  // Accounting was published into the registry.
+  EXPECT_EQ(registry.counter_value("obs_exporter_events_total"),
+            stats.events_exported);
+  if (stats.events_dropped > 0) {
+    EXPECT_EQ(registry.counter_value("obs_exporter_dropped_total"),
+              stats.events_dropped);
+  }
+  EXPECT_GE(registry.counter_value("obs_exporter_flushes_total"), 1u);
+
+  // stop() again is a no-op.
+  exporter.stop();
+}
+
+TEST(Exporter, GlobalHookFeedsObsHelpers) {
+  obs::init();
+  ExporterConfig config;
+  config.flush_interval_ms = 1000;  // rely on flush_now / stop, not timing
+  Exporter exporter(obs::metrics(), config);
+  auto* collector = new CollectorSink();
+  exporter.add_sink(std::unique_ptr<ExportSink>(collector));
+  exporter.start();
+
+  obs::count("exporter_hook.counter", 3);
+  obs::gauge_set("exporter_hook.gauge", 1.5);
+  obs::observe("exporter_hook.histogram", 42.0);
+  { auto span = obs::span("exporter_hook.span"); }
+
+  exporter.stop();
+  obs::shutdown();
+
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_histogram = false;
+  bool saw_span = false;
+  for (const auto& event : collector->events()) {
+    const std::string name = event.name;
+    if (name == "exporter_hook.counter") {
+      saw_counter = true;
+      EXPECT_EQ(event.kind, ExportEvent::Kind::CounterAdd);
+      EXPECT_DOUBLE_EQ(event.value, 3.0);
+    } else if (name == "exporter_hook.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(event.kind, ExportEvent::Kind::GaugeSet);
+    } else if (name == "exporter_hook.histogram") {
+      saw_histogram = true;
+      EXPECT_EQ(event.kind, ExportEvent::Kind::HistogramObserve);
+    } else if (name == "exporter_hook.span") {
+      saw_span = true;
+      EXPECT_EQ(event.kind, ExportEvent::Kind::SpanEnd);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(Exporter, HookDetachedWhenNotRunning) {
+  EXPECT_EQ(detail::g_export_ring.load(), nullptr);
+  obs::init();
+  obs::count("no_exporter.counter");  // must not crash, nothing attached
+  obs::shutdown();
+  EXPECT_EQ(detail::g_export_ring.load(), nullptr);
+}
+
+TEST(SnapshotSink, WritesAtomicJsonSnapshot) {
+  MetricsRegistry registry;
+  registry.counter("snap.counter").inc(7);
+  registry.gauge("snap.gauge").set(2.5);
+
+  const std::string path =
+      testing::TempDir() + "/amperebleed_snapshot_test.json";
+  std::remove(path.c_str());
+
+  ExporterConfig config;
+  config.flush_interval_ms = 60'000;  // only explicit flushes
+  config.attach_global_hook = false;
+  Exporter exporter(registry, config);
+  auto* sink = new SnapshotSink(path, /*keep_recent=*/4);
+  exporter.add_sink(std::unique_ptr<ExportSink>(sink));
+
+  for (int i = 0; i < 10; ++i) {
+    exporter.ring().try_push(make_event(i));
+  }
+  exporter.flush_now();
+
+  EXPECT_EQ(sink->writes(), 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const util::Json doc = util::Json::parse(text);
+  ASSERT_NE(doc.find("exporter"), nullptr);
+  EXPECT_EQ(doc.find("exporter")->find("events_exported")->as_integer(), 10);
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_EQ(doc.find("metrics")
+                ->find("counters")
+                ->find("snap.counter")
+                ->as_integer(),
+            7);
+  // keep_recent bounds the event tail.
+  ASSERT_NE(doc.find("recent_events"), nullptr);
+  EXPECT_EQ(doc.find("recent_events")->size(), 4u);
+  // No torn temp file left behind.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, RejectsSinkChangesWhileRunning) {
+  MetricsRegistry registry;
+  ExporterConfig config;
+  config.attach_global_hook = false;
+  Exporter exporter(registry, config);
+  exporter.start();
+  EXPECT_THROW(exporter.add_sink(std::make_unique<CollectorSink>()),
+               std::logic_error);
+  exporter.stop();
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "amperebleed/obs/metrics.hpp"
+#include "amperebleed/util/json.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+// Edge-case coverage for the P-square streaming quantile estimator that
+// backs histogram quantiles (and, via the exporter, the Prometheus
+// `_quantiles` summaries).
+
+TEST(P2QuantileEdge, ConstructorRejectsOutOfRangeQ) {
+  EXPECT_THROW(P2Quantile(-0.01), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.01), std::invalid_argument);
+  EXPECT_NO_THROW(P2Quantile(0.0));
+  EXPECT_NO_THROW(P2Quantile(1.0));
+}
+
+TEST(P2QuantileEdge, QZeroTracksMinimumQOneTracksMaximum) {
+  P2Quantile q0(0.0);
+  P2Quantile q1(1.0);
+  util::Rng rng(42);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(-50.0, 50.0);
+    q0.observe(v);
+    q1.observe(v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // q=0 clamps the middle marker toward the running minimum; q=1 toward the
+  // running maximum. The estimate must stay inside the observed range and
+  // hug the matching extreme.
+  EXPECT_GE(q0.estimate(), lo);
+  EXPECT_LE(q0.estimate(), hi);
+  EXPECT_NEAR(q0.estimate(), lo, (hi - lo) * 0.05);
+  EXPECT_GE(q1.estimate(), lo);
+  EXPECT_LE(q1.estimate(), hi);
+  EXPECT_NEAR(q1.estimate(), hi, (hi - lo) * 0.05);
+}
+
+TEST(P2QuantileEdge, FewerThanFiveObservationsIsExact) {
+  P2Quantile median(0.5);
+  EXPECT_DOUBLE_EQ(median.estimate(), 0.0);  // empty -> 0 by contract
+
+  median.observe(7.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 7.0);
+
+  median.observe(1.0);
+  // Two samples: linear interpolation at rank 0.5 -> midpoint.
+  EXPECT_DOUBLE_EQ(median.estimate(), 4.0);
+
+  median.observe(100.0);
+  EXPECT_DOUBLE_EQ(median.estimate(), 7.0);  // exact middle of {1,7,100}
+
+  median.observe(-3.0);
+  // {-3,1,7,100}: rank 1.5 -> (1+7)/2.
+  EXPECT_DOUBLE_EQ(median.estimate(), 4.0);
+  EXPECT_EQ(median.count(), 4u);
+
+  // q=0 / q=1 on the small-sample path hit the sorted endpoints exactly.
+  P2Quantile qmin(0.0);
+  P2Quantile qmax(1.0);
+  for (double v : {5.0, -2.0, 9.0}) {
+    qmin.observe(v);
+    qmax.observe(v);
+  }
+  EXPECT_DOUBLE_EQ(qmin.estimate(), -2.0);
+  EXPECT_DOUBLE_EQ(qmax.estimate(), 9.0);
+}
+
+TEST(P2QuantileEdge, DuplicateValuesDoNotBreakInterpolation) {
+  // All-equal stream: every marker collapses to the same height and the
+  // parabolic update must not divide itself into NaN.
+  P2Quantile median(0.5);
+  for (int i = 0; i < 1000; ++i) median.observe(3.5);
+  EXPECT_DOUBLE_EQ(median.estimate(), 3.5);
+  for (double h : median.marker_heights()) EXPECT_DOUBLE_EQ(h, 3.5);
+
+  // Two-valued stream 0/1 with p(1)=0.7: the median estimate must settle
+  // inside [0, 1] (the true median is 1).
+  P2Quantile bimodal(0.5);
+  util::Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    bimodal.observe(rng.bernoulli(0.7) ? 1.0 : 0.0);
+  }
+  EXPECT_GE(bimodal.estimate(), 0.0);
+  EXPECT_LE(bimodal.estimate(), 1.0);
+  EXPECT_GT(bimodal.estimate(), 0.5);
+}
+
+TEST(P2QuantileEdge, MarkerInvariantHoldsUnderRandomInserts) {
+  // The five P-square markers must remain sorted (non-decreasing heights)
+  // after every one of 10k random inserts, across several distributions.
+  struct Case {
+    double q;
+    int mode;  // 0 uniform, 1 gaussian, 2 heavy duplicates
+  };
+  const Case cases[] = {{0.5, 0}, {0.9, 1}, {0.99, 2}, {0.1, 1}};
+  for (const auto& c : cases) {
+    P2Quantile est(c.q);
+    util::Rng rng(static_cast<std::uint64_t>(c.mode) * 1000 + 17);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (int i = 0; i < 10000; ++i) {
+      double v = 0.0;
+      switch (c.mode) {
+        case 0: v = rng.uniform(-1.0, 1.0); break;
+        case 1: v = rng.gaussian(10.0, 3.0); break;
+        default:
+          v = static_cast<double>(rng.uniform_below(8));  // lots of ties
+          break;
+      }
+      est.observe(v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      if (est.count() < 5) continue;
+      const std::array<double, 5> h = est.marker_heights();
+      for (int m = 1; m < 5; ++m) {
+        ASSERT_LE(h[static_cast<std::size_t>(m - 1)],
+                  h[static_cast<std::size_t>(m)])
+            << "marker order violated at insert " << i << " q=" << c.q
+            << " mode=" << c.mode;
+      }
+      ASSERT_DOUBLE_EQ(h[0], lo);
+      ASSERT_DOUBLE_EQ(h[4], hi);
+      ASSERT_GE(est.estimate(), lo);
+      ASSERT_LE(est.estimate(), hi);
+    }
+  }
+}
+
+TEST(P2QuantileEdge, TracksTrueQuantileOfGaussianStream) {
+  P2Quantile p90(0.9);
+  util::Rng rng(99);
+  std::vector<double> all;
+  all.reserve(10000);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.gaussian(0.0, 1.0);
+    p90.observe(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<std::size_t>(0.9 * all.size())];
+  EXPECT_NEAR(p90.estimate(), exact, 0.1);
+}
+
+// Histogram snapshot -> JSON text -> parse-back: the quantile estimates,
+// bucket layout and counts all survive the round trip through util::Json.
+TEST(HistogramJson, SnapshotParsesBackWithQuantiles) {
+  MetricsRegistry registry;
+  HistogramConfig config;
+  config.bucket_bounds = {10.0, 100.0, 1000.0};
+  config.quantiles = {0.5, 0.99};
+  auto& histogram = registry.histogram("rt.latency_us", config);
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) histogram.observe(rng.uniform(0.0, 500.0));
+
+  const std::string text = registry.to_json().dump(2);
+  const util::Json parsed = util::Json::parse(text);
+  const util::Json* entry =
+      parsed.find("histograms")->find("rt.latency_us");
+  ASSERT_NE(entry, nullptr);
+  // JSON serialization keeps ~12 significant digits; compare with a
+  // matching relative tolerance.
+  const auto near_rel = [](double got, double want) {
+    EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::fabs(want)));
+  };
+  EXPECT_EQ(entry->find("count")->as_integer(), 2000);
+  near_rel(entry->find("mean")->as_number(), histogram.mean());
+  near_rel(entry->find("min")->as_number(), histogram.min());
+  near_rel(entry->find("max")->as_number(), histogram.max());
+  near_rel(entry->find("p50")->as_number(), histogram.quantile(0.5));
+  near_rel(entry->find("p99")->as_number(), histogram.quantile(0.99));
+
+  // Buckets: 3 bounded + the +inf overflow bucket; totals must conserve.
+  const util::Json* buckets = entry->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(), 4u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets->size(); ++i) {
+    total += static_cast<std::uint64_t>(buckets->at(i).find("count")->as_integer());
+  }
+  EXPECT_EQ(total, 2000u);
+  EXPECT_DOUBLE_EQ(buckets->at(0).find("le")->as_number(), 10.0);
+}
+
+}  // namespace
+}  // namespace amperebleed::obs
