@@ -15,6 +15,11 @@
 //   --flush-interval-ms N  exporter flush/snapshot cadence (default 500)
 //   --record-out PATH      run-record path (default BENCH_<name>.json)
 //   --no-record            skip the run record entirely
+//   --threads N            size the global util::ThreadPool to N executors
+//                          (N=1 forces exact serial execution). Without the
+//                          flag the pool honours AMPEREBLEED_THREADS, else
+//                          hardware concurrency. Results are bit-identical
+//                          at any setting; only wall-clock changes.
 //
 // With none of the obs flags present, instrumentation stays disabled (the
 // library's default), no exporter or HTTP thread is ever started, and the
@@ -36,6 +41,7 @@
 #include "amperebleed/obs/obs.hpp"
 #include "amperebleed/obs/run_record.hpp"
 #include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/thread_pool.hpp"
 
 namespace amperebleed::bench {
 
@@ -49,6 +55,21 @@ class ObsSession {
         snapshot_out_(args.get_string("snapshot-out", "")),
         record_out_(args.get_string("record-out", "")),
         write_record_(!args.has("no-record")) {
+    // Pool sizing first, before any experiment code can touch the pool:
+    // --threads beats AMPEREBLEED_THREADS beats hardware concurrency. Only
+    // an explicit flag lands in the run record — the effective pool size is
+    // host-dependent, and baking it into default records would make the
+    // committed perf baseline compare thread counts across machines.
+    if (args.has("threads")) {
+      const auto threads = args.get_int("threads", 0);
+      if (threads > 0) {
+        util::ThreadPool::set_global_threads(
+            static_cast<std::size_t>(threads));
+      }
+      record_.set_integer(
+          "pool_threads",
+          static_cast<std::int64_t>(util::ThreadPool::global().size()));
+    }
     const bool want_serve = args.has("serve-port");
     const bool want_obs = args.has("obs") || !metrics_out_.empty() ||
                           !trace_out_.empty() || !audit_out_.empty() ||

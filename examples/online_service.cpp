@@ -83,11 +83,20 @@ int main() {
   std::printf("[train] forest over %zu traces, %zu classes\n\n",
               service.enrolled_traces(), service.class_names().size());
 
-  std::puts("[classify] fresh observations:");
+  // Batched classification: record all fresh observations, then score the
+  // whole batch in one classify_many call (forest inference for the batch
+  // runs in parallel on the thread pool; verdicts come back in input order,
+  // identical to per-trace classify()).
+  std::puts("[classify] fresh observations (batched):");
+  std::vector<core::Trace> observations;
+  observations.reserve(enrolled.size());
   for (std::size_t m = 0; m < enrolled.size(); ++m) {
-    const auto trace =
-        record_trace(enrolled[m], n_samples, 0xbeef00 + m);
-    report(service.classify(trace), trace, enrolled[m].c_str());
+    observations.push_back(
+        record_trace(enrolled[m], n_samples, 0xbeef00 + m));
+  }
+  const auto verdicts = service.classify_many(observations);
+  for (std::size_t m = 0; m < enrolled.size(); ++m) {
+    report(verdicts[m], observations[m], enrolled[m].c_str());
   }
 
   // A model the service never saw: Inception-V4.

@@ -152,43 +152,50 @@ Table3Result evaluate_fingerprint(const FingerprintTraceSet& traces,
 }
 
 std::vector<Fig3Trace> collect_fig3_traces(const FingerprintConfig& config) {
-  std::vector<Fig3Trace> out;
+  const auto names = dnn::fig3_model_names();
   const std::size_t n_samples =
       samples_for_duration(config.trace_duration, config.sample_period);
 
-  for (const auto& name : dnn::fig3_model_names()) {
-    const dnn::Model model = dnn::build_model(name);
+  // One victim run per model, recorded in parallel into pre-sized slots.
+  // Every per-model seed is a pure function of (config.seed, m) — the same
+  // values the former serial loop derived from out.size() — so the traces
+  // are bit-identical at any thread count.
+  std::vector<Fig3Trace> out(names.size());
+  util::parallel_for(
+      names.size(),
+      [&](std::size_t m) {
+        const dnn::Model model = dnn::build_model(names[m]);
 
-    dpu::DpuAccelerator dpu(config.dpu);
-    const sim::TimeNs run_end{config.trace_duration.ns +
-                              sim::milliseconds(200).ns};
-    auto run = dpu.run(model, sim::TimeNs{0}, run_end,
-                       util::hash_combine(config.seed, model.total_macs()));
+        dpu::DpuAccelerator dpu(config.dpu);
+        const sim::TimeNs run_end{config.trace_duration.ns +
+                                  sim::milliseconds(200).ns};
+        auto run = dpu.run(model, sim::TimeNs{0}, run_end,
+                           util::hash_combine(config.seed, model.total_macs()));
 
-    soc::Soc soc(soc::zcu102_config(
-        util::hash_combine(config.seed, 0xf13 + out.size())));
-    soc.fabric().deploy(dpu.descriptor());
-    soc.add_activity(run.activity);
-    soc.add_activity(soc::make_background_os_activity(
-        config.background, run_end,
-        util::hash_combine(config.seed, 0xb05 + out.size())));
-    soc.finalize();
+        soc::Soc soc(
+            soc::zcu102_config(util::hash_combine(config.seed, 0xf13 + m)));
+        soc.fabric().deploy(dpu.descriptor());
+        soc.add_activity(run.activity);
+        soc.add_activity(soc::make_background_os_activity(
+            config.background, run_end,
+            util::hash_combine(config.seed, 0xb05 + m)));
+        soc.finalize();
 
-    Sampler sampler(soc);
-    SamplerConfig sc;
-    sc.period = config.sample_period;
-    sc.sample_count = n_samples;
+        Sampler sampler(soc);
+        SamplerConfig sc;
+        sc.period = config.sample_period;
+        sc.sample_count = n_samples;
 
-    std::vector<Channel> channels;
-    for (power::Rail rail : power::kAllRails) {
-      channels.push_back(Channel{rail, Quantity::Current});
-    }
-    Fig3Trace ft;
-    ft.model_name = name;
-    ft.model_size_bytes = model.total_weight_bytes();
-    ft.rail_current = sampler.collect_multi(channels, sim::TimeNs{0}, sc);
-    out.push_back(std::move(ft));
-  }
+        std::vector<Channel> channels;
+        for (power::Rail rail : power::kAllRails) {
+          channels.push_back(Channel{rail, Quantity::Current});
+        }
+        Fig3Trace& ft = out[m];
+        ft.model_name = names[m];
+        ft.model_size_bytes = model.total_weight_bytes();
+        ft.rail_current = sampler.collect_multi(channels, sim::TimeNs{0}, sc);
+      },
+      config.threads);
   return out;
 }
 

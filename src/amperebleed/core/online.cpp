@@ -43,12 +43,8 @@ void OnlineFingerprinter::train() {
   trained_ = true;
 }
 
-OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
-    const Trace& trace) const {
-  if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
-  const auto features = trace.prefix(feature_count_);
-  const auto proba = forest_.predict_proba(features);
-
+OnlineFingerprinter::Verdict OnlineFingerprinter::verdict_from_proba(
+    std::span<const double> proba) const {
   Verdict verdict;
   verdict.ranking.reserve(proba.size());
   for (std::size_t c = 0; c < proba.size(); ++c) {
@@ -66,6 +62,37 @@ OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
   verdict.known = verdict.confidence >= config_.min_confidence &&
                   verdict.margin >= config_.min_margin;
   return verdict;
+}
+
+OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
+    const Trace& trace) const {
+  if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
+  const auto features = trace.prefix(feature_count_);
+  return verdict_from_proba(forest_.predict_proba(features));
+}
+
+std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
+    const std::vector<Trace>& traces) const {
+  if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
+  // Materialize feature rows first (prefix() copies), then hand the whole
+  // batch to the forest in one predict_proba_many call: rows are scored in
+  // parallel on the thread pool, results come back in input order.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(traces.size());
+  for (const auto& trace : traces) {
+    rows.push_back(trace.prefix(feature_count_));
+  }
+  std::vector<std::span<const double>> row_spans;
+  row_spans.reserve(rows.size());
+  for (const auto& row : rows) row_spans.emplace_back(row);
+
+  const auto probas = forest_.predict_proba_many(row_spans);
+  std::vector<Verdict> verdicts;
+  verdicts.reserve(probas.size());
+  for (const auto& proba : probas) {
+    verdicts.push_back(verdict_from_proba(proba));
+  }
+  return verdicts;
 }
 
 }  // namespace amperebleed::core

@@ -6,6 +6,7 @@
 //     model outside the enrolled zoo yields "unknown" rather than a
 //     confidently wrong answer.
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,13 @@ class OnlineFingerprinter {
   /// the trace is shorter than the enrolled feature width.
   [[nodiscard]] Verdict classify(const Trace& trace) const;
 
+  /// Classify a batch of observed traces in one pass. Forest inference for
+  /// the whole batch runs through RandomForest::predict_proba_many, so the
+  /// rows are scored in parallel on the util::ThreadPool while the verdicts
+  /// come back in input order, identical to calling classify() per trace.
+  [[nodiscard]] std::vector<Verdict> classify_many(
+      const std::vector<Trace>& traces) const;
+
   [[nodiscard]] bool trained() const { return trained_; }
   [[nodiscard]] std::size_t enrolled_traces() const { return data_.size(); }
   [[nodiscard]] std::size_t feature_count() const { return feature_count_; }
@@ -57,6 +65,11 @@ class OnlineFingerprinter {
   }
 
  private:
+  /// Shared verdict construction: rank classes by probability and apply the
+  /// open-set rejection thresholds. classify and classify_many both funnel
+  /// through here so single and batched paths agree bit-for-bit.
+  [[nodiscard]] Verdict verdict_from_proba(std::span<const double> proba) const;
+
   OnlineFingerprinterConfig config_;
   std::size_t feature_count_ = 0;
   std::vector<std::string> class_names_;

@@ -12,6 +12,15 @@ Sampler::Sampler(soc::Soc& soc, Principal principal)
   }
 }
 
+Sampler::Sampler(Sampler&& other) noexcept
+    : soc_(other.soc_), principal_(std::move(other.principal_)) {
+  // Fresh mutex for this object; the cache contents transfer. Guarding the
+  // source keeps the handover well-defined if the source had been shared
+  // (concurrent use of the source during the move is still unsupported).
+  std::lock_guard<std::mutex> lock(other.stale_mu_);
+  last_raw_ = std::move(other.last_raw_);
+}
+
 double Sampler::read_now(const Channel& channel) {
   // Label this read's audit records with the sampler's identity; read_now
   // and collect_multi both come through here, so single reads and trace
@@ -47,11 +56,23 @@ double Sampler::read_now(const Channel& channel) {
     // cadence re-reads the latest completed conversion, so the raw text
     // repeats. (A genuine repeat of the measured value counts too — at mA
     // LSBs under board noise that is rare, so this is a faithful proxy.)
-    auto& last = last_raw_[path];
-    if (last == result.data && !last.empty()) {
-      obs::count("sampler.stale_reads");
+    // The cache is mutex-guarded (pool-shared samplers) and bounded: at
+    // kStaleCacheCap entries it is flushed rather than growing forever,
+    // costing at most one missed stale detection per flushed path.
+    std::lock_guard<std::mutex> lock(stale_mu_);
+    const auto it = last_raw_.find(path);
+    if (it != last_raw_.end()) {
+      if (it->second == result.data && !result.data.empty()) {
+        obs::count("sampler.stale_reads");
+      }
+      it->second = result.data;
+    } else {
+      if (last_raw_.size() >= kStaleCacheCap) {
+        last_raw_.clear();
+        obs::count("sampler.stale_cache_flushes");
+      }
+      last_raw_.emplace(path, result.data);
     }
-    last = result.data;
   }
 
   const auto value = util::parse_ll(result.data);
@@ -63,6 +84,11 @@ double Sampler::read_now(const Channel& channel) {
   // sensor LSB value without touching the experiment's data path.
   obs::gauge_set("sampler.last_reading_lsb", static_cast<double>(*value));
   return static_cast<double>(*value);
+}
+
+std::size_t Sampler::stale_cache_size() const {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  return last_raw_.size();
 }
 
 Trace Sampler::collect(const Channel& channel, sim::TimeNs start,

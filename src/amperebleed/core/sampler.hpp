@@ -10,6 +10,7 @@
 // the obs access-audit log under that principal's name.
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -58,6 +59,15 @@ class Sampler {
   /// and privilege for every read it ever performs.
   explicit Sampler(soc::Soc& soc, Principal principal = {});
 
+  /// Movable so benches can keep Samplers in vectors. The stale-read cache
+  /// contents transfer; the mutex itself is not moved (the new object owns a
+  /// fresh one). Moving while another thread concurrently reads through the
+  /// source object is not supported.
+  Sampler(Sampler&& other) noexcept;
+  Sampler& operator=(Sampler&&) = delete;  // soc_ is a reference
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
   /// Read one channel once at the SoC's current time. Throws SamplingError
   /// on permission failure; throws std::runtime_error on malformed data.
   [[nodiscard]] double read_now(const Channel& channel);
@@ -76,12 +86,28 @@ class Sampler {
 
   [[nodiscard]] const Principal& principal() const { return principal_; }
 
+  /// Number of attribute paths currently held by the stale-read detector
+  /// cache. Never exceeds kStaleCacheCap (the cache is flushed when it
+  /// would), so a long-running sampler cannot grow without bound.
+  [[nodiscard]] std::size_t stale_cache_size() const;
+
+  /// Upper bound on cached last-raw attribute texts — comfortably above the
+  /// number of hwmon attributes one SoC exposes, small enough that a
+  /// long-running service's memory stays bounded.
+  static constexpr std::size_t kStaleCacheCap = 64;
+
  private:
   soc::Soc& soc_;
   Principal principal_;
   /// Last raw attribute text per path — only maintained while obs metrics
   /// are enabled, to count stale-register reads (polls faster than the
   /// 35 ms conversion cadence return the previous conversion's registers).
+  /// Guarded by stale_mu_ so a sampler shared by concurrent readers (the
+  /// online-service case) stays safe, and bounded by kStaleCacheCap.
+  /// (The simulation substrate underneath — Soc::advance_to and the sensor
+  /// conversion clocks — still requires external synchronization when the
+  /// virtual clock is advanced concurrently.)
+  mutable std::mutex stale_mu_;
   std::map<std::string, std::string> last_raw_;
 };
 

@@ -7,6 +7,7 @@
 
 #include "amperebleed/ml/kfold.hpp"
 #include "amperebleed/ml/metrics.hpp"
+#include "amperebleed/util/parallel.hpp"
 #include "amperebleed/util/rng.hpp"
 
 namespace amperebleed::ml {
@@ -104,15 +105,30 @@ ClassifierCvResult cross_validate_classifier(
     const std::function<std::unique_ptr<Classifier>(std::uint64_t)>& factory,
     std::size_t folds, std::uint64_t seed) {
   const auto fold_list = stratified_kfold(data.labels(), folds, seed);
-  std::vector<int> truth;
-  std::vector<int> predicted;
-  for (std::size_t f = 0; f < fold_list.size(); ++f) {
+  // Folds run concurrently (fresh classifier per fold, per-fold seed is a
+  // pure function of the fold index); per-fold outcomes land in pre-sized
+  // slots and are concatenated in fold order, so the accuracy is
+  // bit-identical to a serial sweep at any pool size.
+  struct FoldOutcome {
+    std::vector<int> truth;
+    std::vector<int> predicted;
+  };
+  std::vector<FoldOutcome> outcomes(fold_list.size());
+  util::parallel_for(fold_list.size(), [&](std::size_t f) {
     auto model = factory(util::hash_combine(seed, f));
     model->fit(data.subset(fold_list[f].train_indices));
+    FoldOutcome& out = outcomes[f];
     for (std::size_t i : fold_list[f].test_indices) {
-      truth.push_back(data.label(i));
-      predicted.push_back(model->predict(data.row(i)));
+      out.truth.push_back(data.label(i));
+      out.predicted.push_back(model->predict(data.row(i)));
     }
+  });
+  std::vector<int> truth;
+  std::vector<int> predicted;
+  for (auto& out : outcomes) {
+    truth.insert(truth.end(), out.truth.begin(), out.truth.end());
+    predicted.insert(predicted.end(), out.predicted.begin(),
+                     out.predicted.end());
   }
   ClassifierCvResult result;
   result.evaluated = truth.size();

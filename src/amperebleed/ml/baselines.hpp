@@ -67,7 +67,11 @@ struct ClassifierCvResult {
 };
 
 /// Stratified k-fold CV for any classifier; `factory(seed)` builds a fresh
-/// instance per fold (seed varies per fold for stochastic learners).
+/// instance per fold (seed varies per fold for stochastic learners). Folds
+/// run concurrently on the util::ThreadPool, so `factory` may be invoked
+/// from several threads at once — it must be safe to call concurrently
+/// (stateless lambdas and by-value captures are fine). Results are
+/// bit-identical at any pool size.
 ClassifierCvResult cross_validate_classifier(
     const Dataset& data,
     const std::function<std::unique_ptr<Classifier>(std::uint64_t)>& factory,

@@ -4,6 +4,7 @@
 
 #include "amperebleed/ml/metrics.hpp"
 #include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/parallel.hpp"
 #include "amperebleed/util/rng.hpp"
 
 namespace amperebleed::ml {
@@ -26,12 +27,19 @@ std::vector<Fold> stratified_kfold(const std::vector<int>& labels,
 
   util::Rng rng(seed);
   // Deal each class round-robin into folds (after shuffling within class).
+  // The dealing offset carries over from class to class: if every class
+  // restarted at fold 0, fold 0 would collect the remainder sample of every
+  // class whose size is not a multiple of k and end up systematically the
+  // largest. Rotating keeps overall fold sizes within +/-1 while each class
+  // still spreads floor/ceil(|class|/k) samples over every fold.
   std::vector<std::vector<std::size_t>> fold_members(k);
+  std::size_t offset = 0;
   for (auto& members : by_class) {
     rng.shuffle(members);
     for (std::size_t i = 0; i < members.size(); ++i) {
-      fold_members[i % k].push_back(members[i]);
+      fold_members[(i + offset) % k].push_back(members[i]);
     }
+    offset = (offset + members.size()) % k;
   }
 
   std::vector<Fold> folds(k);
@@ -50,17 +58,25 @@ std::vector<Fold> stratified_kfold(const std::vector<int>& labels,
 CrossValResult cross_validate(const Dataset& data, const ForestConfig& config,
                               std::size_t k, std::uint64_t seed) {
   const auto folds = stratified_kfold(data.labels(), k, seed);
-  CrossValResult result;
-  std::vector<int> truth;
-  std::vector<int> top1;
-  std::vector<std::vector<int>> top5;
 
   auto cv_span = obs::span("ml.cross_validate", "ml");
   cv_span.set_arg("folds", static_cast<double>(folds.size()));
   cv_span.set_arg("samples", static_cast<double>(data.size()));
   const bool instrumented = obs::metrics_enabled();
 
-  for (std::size_t f = 0; f < folds.size(); ++f) {
+  // Folds run concurrently on the thread pool. Each fold is seeded with
+  // hash_combine(config.seed, f) — a pure function of the fold index — and
+  // writes into its own pre-sized outcome slot; the slots are concatenated
+  // in fold order afterwards, so accuracies are bit-identical to the serial
+  // sweep at any pool size.
+  struct FoldOutcome {
+    std::vector<int> truth;
+    std::vector<int> top1;
+    std::vector<std::vector<int>> top5;
+  };
+  std::vector<FoldOutcome> outcomes(folds.size());
+
+  util::parallel_for(folds.size(), [&](std::size_t f) {
     auto fold_span = obs::span("ml.fold", "ml");
     fold_span.set_arg("fold", static_cast<double>(f));
     const std::int64_t t0 = instrumented ? obs::tracer().wall_now_ns() : 0;
@@ -69,19 +85,41 @@ CrossValResult cross_validate(const Dataset& data, const ForestConfig& config,
     fold_config.seed = util::hash_combine(config.seed, f);
     RandomForest forest(fold_config);
     forest.fit(train);
-    for (std::size_t i : folds[f].test_indices) {
-      truth.push_back(data.label(i));
-      const auto candidates = forest.predict_top_k(data.row(i), 5);
-      top1.push_back(candidates.empty() ? -1 : candidates.front());
-      top5.push_back(candidates);
+
+    // Classify the held-out fold in one batch off the shared trees.
+    std::vector<std::span<const double>> rows;
+    rows.reserve(folds[f].test_indices.size());
+    for (std::size_t i : folds[f].test_indices) rows.push_back(data.row(i));
+    const auto probas = forest.predict_proba_many(rows);
+
+    FoldOutcome& out = outcomes[f];
+    out.truth.reserve(rows.size());
+    out.top1.reserve(rows.size());
+    out.top5.reserve(rows.size());
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      out.truth.push_back(data.label(folds[f].test_indices[j]));
+      auto candidates = top_k_from_proba(probas[j], 5);
+      out.top1.push_back(candidates.empty() ? -1 : candidates.front());
+      out.top5.push_back(std::move(candidates));
     }
     if (instrumented) {
       obs::count("ml.folds");
       obs::observe("ml.fold_wall_ns",
                    static_cast<double>(obs::tracer().wall_now_ns() - t0));
     }
+  });
+
+  // Order-stable aggregation: fold 0's samples first, then fold 1's, ...
+  std::vector<int> truth;
+  std::vector<int> top1;
+  std::vector<std::vector<int>> top5;
+  for (auto& out : outcomes) {
+    truth.insert(truth.end(), out.truth.begin(), out.truth.end());
+    top1.insert(top1.end(), out.top1.begin(), out.top1.end());
+    for (auto& c : out.top5) top5.push_back(std::move(c));
   }
 
+  CrossValResult result;
   result.evaluated = truth.size();
   result.top1_accuracy = accuracy(truth, top1);
   result.top5_accuracy = top_k_accuracy(truth, top5);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/parallel.hpp"
 
 namespace amperebleed::ml {
 
@@ -19,17 +20,21 @@ void RandomForest::fit(const Dataset& data) {
 
   class_count_ = data.class_count();
   trees_.clear();
-  trees_.reserve(config_.n_trees);
 
-  util::Rng master(config_.seed);
+  const util::Rng master(config_.seed);
   const std::size_t n = data.size();
-  std::vector<std::size_t> indices(n);
   const bool instrumented = obs::metrics_enabled();
 
-  for (std::size_t t = 0; t < config_.n_trees; ++t) {
-    const std::int64_t t0 =
-        instrumented ? obs::tracer().wall_now_ns() : 0;
+  // Trees are trained in parallel into pre-sized slots. Tree t's RNG is
+  // master.fork(t) — a pure function of (seed, t) — and its bootstrap
+  // indices are drawn from that private stream, so the fitted forest is
+  // bit-identical at any pool size. All obs calls below are thread-safe
+  // (atomic counters, mutex-guarded histograms/tracer).
+  std::vector<DecisionTree> trees(config_.n_trees, DecisionTree(config_.tree));
+  util::parallel_for(config_.n_trees, [&](std::size_t t) {
+    const std::int64_t t0 = instrumented ? obs::tracer().wall_now_ns() : 0;
     util::Rng tree_rng = master.fork(t);
+    std::vector<std::size_t> indices(n);
     if (config_.bootstrap) {
       for (auto& idx : indices) {
         idx = static_cast<std::size_t>(tree_rng.uniform_below(n));
@@ -39,13 +44,16 @@ void RandomForest::fit(const Dataset& data) {
     }
     DecisionTree tree(config_.tree);
     tree.fit(data, indices, class_count_, tree_rng);
-    trees_.push_back(std::move(tree));
+    trees[t] = std::move(tree);
     if (instrumented) {
       obs::count("ml.trees_fitted");
       obs::observe("ml.tree_fit_wall_ns",
                    static_cast<double>(obs::tracer().wall_now_ns() - t0));
     }
-  }
+  });
+  // Only publish on full success: a cancelled sweep leaves the forest
+  // unfitted rather than holding a partially trained ensemble.
+  trees_ = std::move(trees);
 }
 
 std::vector<double> RandomForest::predict_proba(
@@ -61,6 +69,15 @@ std::vector<double> RandomForest::predict_proba(
   return acc;
 }
 
+std::vector<std::vector<double>> RandomForest::predict_proba_many(
+    std::span<const std::span<const double>> rows) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<std::vector<double>> out(rows.size());
+  util::parallel_for(rows.size(),
+                     [&](std::size_t i) { out[i] = predict_proba(rows[i]); });
+  return out;
+}
+
 int RandomForest::predict(std::span<const double> features) const {
   const auto proba = predict_proba(features);
   return static_cast<int>(std::distance(
@@ -69,7 +86,11 @@ int RandomForest::predict(std::span<const double> features) const {
 
 std::vector<int> RandomForest::predict_top_k(std::span<const double> features,
                                              std::size_t k) const {
-  const auto proba = predict_proba(features);
+  return top_k_from_proba(predict_proba(features), k);
+}
+
+std::vector<int> top_k_from_proba(std::span<const double> proba,
+                                  std::size_t k) {
   std::vector<int> order(proba.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {

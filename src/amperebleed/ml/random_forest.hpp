@@ -1,7 +1,14 @@
 #pragma once
 // Random forest matching the paper's fingerprinting classifier: 100 trees,
 // max depth 32, Gini impurity, bootstrap sampling with replacement.
+//
+// Training parallelizes across trees on the util::ThreadPool: every tree t
+// derives its RNG from master.fork(t) and lands in a pre-sized slot, so the
+// fitted forest is bit-identical at any thread count. A fitted forest is
+// immutable; all predict* members are const and safe to call concurrently
+// from many threads (the online service shares one forest across requests).
 
+#include <span>
 #include <vector>
 
 #include "amperebleed/ml/dataset.hpp"
@@ -31,6 +38,13 @@ class RandomForest {
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> features) const;
 
+  /// Batched inference: one averaged class distribution per input row, in
+  /// input order. Rows are evaluated in parallel on the thread pool (the
+  /// trees are shared immutable state), falling back to a serial loop when
+  /// the pool has size 1 or the call is nested inside a parallel region.
+  [[nodiscard]] std::vector<std::vector<double>> predict_proba_many(
+      std::span<const std::span<const double>> rows) const;
+
   /// The k most probable classes, most probable first (ties broken by
   /// smaller class id, matching the deterministic evaluation in benches).
   [[nodiscard]] std::vector<int> predict_top_k(std::span<const double> features,
@@ -46,5 +60,11 @@ class RandomForest {
   int class_count_ = 0;
   std::vector<DecisionTree> trees_;
 };
+
+/// The k most probable classes of a probability vector, most probable first
+/// (stable ties: smaller class id wins) — the ranking rule behind
+/// RandomForest::predict_top_k, shared with the batched CV path.
+[[nodiscard]] std::vector<int> top_k_from_proba(std::span<const double> proba,
+                                                std::size_t k);
 
 }  // namespace amperebleed::ml

@@ -1,53 +1,43 @@
 #pragma once
-// Tiny deterministic work-sharing helper: run fn(i) for i in [0, n) on up to
-// `threads` std::threads. Results must be written to pre-sized slots (no
-// shared mutable state inside fn), which keeps every experiment bit-for-bit
-// reproducible regardless of the thread count.
+// Deterministic work-sharing helper: run fn(i) for i in [0, n) on the
+// process-wide util::ThreadPool (see thread_pool.hpp) instead of spawning
+// fresh std::threads per call. Results must be written to pre-sized slots
+// (no shared mutable state inside fn), which keeps every experiment
+// bit-for-bit reproducible regardless of the pool size.
+//
+// Semantics:
+//   * `max_threads` caps how many pool executors participate (0 = the
+//     pool's configured size). It never grows the pool — size the pool with
+//     AMPEREBLEED_THREADS / --threads / ThreadPool::set_global_threads().
+//   * With an effective thread count of 1, or when already inside another
+//     parallel region (nested call), the loop runs serially inline on the
+//     caller, in index order.
+//   * Fail-fast: the first exception thrown by fn cancels the remaining
+//     sweep (participants check a shared cancellation flag before each
+//     fn(i)) and is rethrown on the caller.
 
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <functional>
+
+#include "amperebleed/util/thread_pool.hpp"
 
 namespace amperebleed::util {
 
 template <typename Fn>
-void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
-  if (threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw == 0 ? 1 : hw;
-  }
-  if (threads <= 1 || n <= 1) {
+void parallel_for(std::size_t n, Fn&& fn, std::size_t max_threads = 0) {
+  if (n == 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (n == 1 || max_threads == 1 || pool.size() <= 1 ||
+      ThreadPool::in_worker()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  threads = std::min(threads, n);
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
-    }
+  // One type-erasure per region (not per index); the callable lives on this
+  // stack frame for the duration of the region.
+  const std::function<void(std::size_t)> erased = [&fn](std::size_t i) {
+    fn(i);
   };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  pool.run(n, erased, max_threads);
 }
 
 }  // namespace amperebleed::util

@@ -108,6 +108,32 @@ TEST(OnlineFingerprinter, EmptyTraceRejectedAtEnroll) {
   EXPECT_THROW(service.enroll(empty, "x"), std::invalid_argument);
 }
 
+TEST(OnlineFingerprinter, ClassifyManyMatchesPerTraceClassify) {
+  const auto service = trained_service();
+  std::vector<Trace> probes;
+  for (int cls = 0; cls < 3; ++cls) {
+    probes.push_back(synthetic_trace(cls, 5000 + cls));
+    probes.push_back(synthetic_trace(cls, 6000 + cls));
+  }
+  const auto batched = service.classify_many(probes);
+  ASSERT_EQ(batched.size(), probes.size());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const auto single = service.classify(probes[i]);
+    EXPECT_EQ(batched[i].known, single.known) << i;
+    EXPECT_EQ(batched[i].model_name, single.model_name) << i;
+    EXPECT_EQ(batched[i].confidence, single.confidence) << i;  // exact
+    EXPECT_EQ(batched[i].margin, single.margin) << i;
+    EXPECT_EQ(batched[i].ranking, single.ranking) << i;
+  }
+}
+
+TEST(OnlineFingerprinter, ClassifyManyEmptyBatchAndLifecycle) {
+  OnlineFingerprinter untrained;
+  EXPECT_THROW(untrained.classify_many({}), std::logic_error);
+  const auto service = trained_service();
+  EXPECT_TRUE(service.classify_many({}).empty());
+}
+
 TEST(OnlineFingerprinter, HighThresholdsRejectEverything) {
   OnlineFingerprinterConfig config;
   config.forest.n_trees = 20;

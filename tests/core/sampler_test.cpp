@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "amperebleed/fpga/power_virus.hpp"
+#include "amperebleed/obs/obs.hpp"
 
 namespace amperebleed::core {
 namespace {
@@ -116,6 +117,50 @@ TEST(Sampler, SoftDefensesApplyThroughTheFullStack) {
   // ~1530 mA true -> reported on the 250 mA grid.
   EXPECT_DOUBLE_EQ(std::fmod(ma, 250.0), 0.0);
   EXPECT_NEAR(ma, 1500.0, 250.0);
+}
+
+TEST(Sampler, StaleCacheOnlyGrowsWhileInstrumented) {
+  auto soc_ptr = make_soc_with_step_load(1.0, sim::microseconds(1));
+  Sampler sampler(*soc_ptr);
+  soc_ptr->advance_to(sim::milliseconds(40));
+  // obs disabled (the default): the stale-read cache is never touched.
+  static_cast<void>(
+      sampler.read_now({power::Rail::FpgaLogic, Quantity::Current}));
+  EXPECT_EQ(sampler.stale_cache_size(), 0u);
+
+  obs::init();
+  static_cast<void>(
+      sampler.read_now({power::Rail::FpgaLogic, Quantity::Current}));
+  static_cast<void>(
+      sampler.read_now({power::Rail::FpgaLogic, Quantity::Voltage}));
+  EXPECT_EQ(sampler.stale_cache_size(), 2u);
+  obs::shutdown();
+}
+
+TEST(Sampler, StaleCacheIsBoundedByCap) {
+  // Hammer every channel of every rail repeatedly: the cache holds one
+  // entry per distinct attribute path and never exceeds kStaleCacheCap,
+  // so a long-running sampler cannot grow without bound.
+  auto soc_ptr = make_soc_with_step_load(1.0, sim::microseconds(1));
+  Sampler sampler(*soc_ptr);
+  soc_ptr->advance_to(sim::milliseconds(40));
+  obs::init();
+  std::size_t paths = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (power::Rail rail : power::kAllRails) {
+      for (Quantity q :
+           {Quantity::Current, Quantity::Voltage, Quantity::Power}) {
+        static_cast<void>(sampler.read_now({rail, q}));
+        if (round == 0) ++paths;
+      }
+    }
+  }
+  EXPECT_EQ(sampler.stale_cache_size(), paths);  // one entry per path
+  EXPECT_LE(sampler.stale_cache_size(), Sampler::kStaleCacheCap);
+  // Repeated polling at the same instant re-reads identical registers, so
+  // the stale-read counter must have fired.
+  EXPECT_GT(obs::metrics().counter_value("sampler.stale_reads"), 0u);
+  obs::shutdown();
 }
 
 TEST(Sampler, MitigationPolicyStopsUnprivilegedSampler) {

@@ -1,0 +1,163 @@
+// Determinism contract of the parallel ML engine: forest training,
+// cross-validation and batched inference must be bit-identical at any
+// thread-pool size. Every test sweeps the global pool over {1, 2, 8}
+// executors and compares results with exact equality (==, not tolerance) —
+// per-tree RNGs are pure functions of (seed, tree index), per-fold seeds are
+// pure functions of (seed, fold index), and aggregation is order-stable, so
+// nothing may drift with the schedule.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "amperebleed/ml/baselines.hpp"
+#include "amperebleed/ml/kfold.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+#include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/thread_pool.hpp"
+
+namespace amperebleed::ml {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+Dataset clustered_data(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d(6);
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      std::vector<double> row;
+      row.reserve(6);
+      for (int f = 0; f < 6; ++f) {
+        row.push_back(rng.gaussian(c * 2.0 + f * 0.1, 1.0));
+      }
+      d.add(row, c);
+    }
+  }
+  return d;
+}
+
+/// Restores the previous global pool size even when an assertion fails.
+class PoolSizeGuard {
+ public:
+  PoolSizeGuard() : before_(util::ThreadPool::global().size()) {}
+  ~PoolSizeGuard() { util::ThreadPool::set_global_threads(before_); }
+
+ private:
+  std::size_t before_;
+};
+
+TEST(Determinism, ForestFitBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const Dataset data = clustered_data(0xd5);
+  ForestConfig config;
+  config.n_trees = 24;
+  config.seed = 0xf0;
+
+  std::vector<std::vector<double>> flattened;
+  for (std::size_t threads : kThreadCounts) {
+    util::ThreadPool::set_global_threads(threads);
+    RandomForest forest(config);
+    forest.fit(data);
+    std::vector<double> probas;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto p = forest.predict_proba(data.row(i));
+      probas.insert(probas.end(), p.begin(), p.end());
+    }
+    flattened.push_back(std::move(probas));
+  }
+  ASSERT_EQ(flattened.size(), 3u);
+  EXPECT_EQ(flattened[0], flattened[1]);  // exact, not approximate
+  EXPECT_EQ(flattened[0], flattened[2]);
+}
+
+TEST(Determinism, CrossValidateBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const Dataset data = clustered_data(0xcf);
+  ForestConfig config;
+  config.n_trees = 16;
+  config.seed = 0xc51;
+
+  std::vector<CrossValResult> results;
+  for (std::size_t threads : kThreadCounts) {
+    util::ThreadPool::set_global_threads(threads);
+    results.push_back(cross_validate(data, config, 5, 0x11));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].top1_accuracy, results[i].top1_accuracy);
+    EXPECT_EQ(results[0].top5_accuracy, results[i].top5_accuracy);
+    EXPECT_EQ(results[0].evaluated, results[i].evaluated);
+  }
+}
+
+TEST(Determinism, ClassifierCvBitIdenticalAcrossThreadCounts) {
+  PoolSizeGuard guard;
+  const Dataset data = clustered_data(0xba);
+
+  std::vector<ClassifierCvResult> forest_results;
+  std::vector<ClassifierCvResult> knn_results;
+  for (std::size_t threads : kThreadCounts) {
+    util::ThreadPool::set_global_threads(threads);
+    forest_results.push_back(cross_validate_classifier(
+        data,
+        [](std::uint64_t seed) {
+          ForestConfig fc;
+          fc.n_trees = 12;
+          fc.seed = seed;
+          return std::make_unique<ForestClassifier>(fc);
+        },
+        4, 0x77));
+    knn_results.push_back(cross_validate_classifier(
+        data,
+        [](std::uint64_t) { return std::make_unique<KnnClassifier>(3); }, 4,
+        0x77));
+  }
+  for (std::size_t i = 1; i < forest_results.size(); ++i) {
+    EXPECT_EQ(forest_results[0].top1_accuracy,
+              forest_results[i].top1_accuracy);
+    EXPECT_EQ(knn_results[0].top1_accuracy, knn_results[i].top1_accuracy);
+  }
+}
+
+TEST(Determinism, BatchedInferenceMatchesPerRowExactly) {
+  PoolSizeGuard guard;
+  const Dataset data = clustered_data(0xbe);
+  ForestConfig config;
+  config.n_trees = 20;
+  RandomForest forest(config);
+  forest.fit(data);
+
+  std::vector<std::span<const double>> rows;
+  for (std::size_t i = 0; i < data.size(); ++i) rows.push_back(data.row(i));
+
+  for (std::size_t threads : kThreadCounts) {
+    util::ThreadPool::set_global_threads(threads);
+    const auto batched = forest.predict_proba_many(rows);
+    ASSERT_EQ(batched.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(batched[i], forest.predict_proba(rows[i])) << "row " << i;
+    }
+  }
+}
+
+TEST(Determinism, StratifiedKfoldIndependentOfPoolSize) {
+  // kfold itself is serial, but it feeds every parallel consumer — pin down
+  // that pool sizing cannot leak into the fold composition.
+  PoolSizeGuard guard;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) labels.push_back(i % 4);
+  util::ThreadPool::set_global_threads(1);
+  const auto a = stratified_kfold(labels, 5, 9);
+  util::ThreadPool::set_global_threads(8);
+  const auto b = stratified_kfold(labels, 5, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_EQ(a[f].test_indices, b[f].test_indices);
+    EXPECT_EQ(a[f].train_indices, b[f].train_indices);
+  }
+}
+
+}  // namespace
+}  // namespace amperebleed::ml

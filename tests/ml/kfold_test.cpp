@@ -53,6 +53,62 @@ TEST(StratifiedKfold, TrainAndTestDisjoint) {
   }
 }
 
+TEST(StratifiedKfold, FoldSizesStayWithinOneOfEachOther) {
+  // Class sizes 7, 9 and 11 with k=5: every class leaves a remainder, and
+  // the rotating deal must spread those remainders over different folds so
+  // overall fold sizes differ by at most one (27 samples -> sizes 5 or 6).
+  std::vector<int> labels;
+  for (int i = 0; i < 7; ++i) labels.push_back(0);
+  for (int i = 0; i < 9; ++i) labels.push_back(1);
+  for (int i = 0; i < 11; ++i) labels.push_back(2);
+  const auto folds = stratified_kfold(labels, 5, 21);
+  std::size_t min_size = labels.size();
+  std::size_t max_size = 0;
+  for (const auto& f : folds) {
+    min_size = std::min(min_size, f.test_indices.size());
+    max_size = std::max(max_size, f.test_indices.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u)
+      << "fold sizes " << min_size << ".." << max_size;
+}
+
+TEST(StratifiedKfold, FoldZeroDoesNotCollectEveryRemainder) {
+  // Regression test for the pre-rotation dealer: with 5 classes of 7
+  // samples and k=5, restarting every class at fold 0 put all five
+  // remainder samples into fold 0 (10 vs 7 elsewhere). The rotating deal
+  // gives every fold exactly 35/5 = 7 samples.
+  std::vector<int> labels;
+  for (int c = 0; c < 5; ++c) {
+    for (int i = 0; i < 7; ++i) labels.push_back(c);
+  }
+  const auto folds = stratified_kfold(labels, 5, 3);
+  for (const auto& f : folds) {
+    EXPECT_EQ(f.test_indices.size(), 7u);
+  }
+}
+
+TEST(StratifiedKfold, PerFoldClassCountsStayStratified) {
+  // Rotation must not break stratification: within every fold, each class
+  // still contributes floor or ceil of |class|/k samples.
+  std::vector<int> labels;
+  for (int i = 0; i < 8; ++i) labels.push_back(0);
+  for (int i = 0; i < 13; ++i) labels.push_back(1);
+  for (int i = 0; i < 6; ++i) labels.push_back(2);
+  const std::size_t k = 4;
+  const auto folds = stratified_kfold(labels, k, 17);
+  const std::size_t class_sizes[] = {8, 13, 6};
+  for (const auto& f : folds) {
+    std::size_t per_class[3] = {0, 0, 0};
+    for (std::size_t i : f.test_indices) {
+      ++per_class[static_cast<std::size_t>(labels[i])];
+    }
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GE(per_class[c], class_sizes[c] / k) << "class " << c;
+      EXPECT_LE(per_class[c], class_sizes[c] / k + 1) << "class " << c;
+    }
+  }
+}
+
 TEST(StratifiedKfold, Validation) {
   const std::vector<int> labels = {0, 1, 0, 1};
   EXPECT_THROW(stratified_kfold(labels, 1, 1), std::invalid_argument);

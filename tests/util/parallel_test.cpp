@@ -56,6 +56,41 @@ TEST(ParallelFor, PropagatesFirstException) {
       std::runtime_error);
 }
 
+TEST(ParallelFor, FailFastCancelsRemainingSweep) {
+  // Run against a genuinely multi-threaded global pool regardless of the
+  // host's core count, then restore the previous size.
+  const std::size_t before = ThreadPool::global().size();
+  ThreadPool::set_global_threads(4);
+  std::atomic<bool> thrown{false};
+  std::atomic<int> started_after_throw{0};
+  EXPECT_THROW(
+      parallel_for(2000,
+                   [&](std::size_t i) {
+                     if (i == 0) {
+                       thrown = true;
+                       throw std::invalid_argument("stop");
+                     }
+                     if (thrown) ++started_after_throw;
+                   }),
+      std::invalid_argument);
+  // With 4 participants, at most the 3 non-throwing executors can have a
+  // task in flight when the cancellation flag flips; everything else must
+  // be skipped, not executed.
+  EXPECT_LE(started_after_throw.load(), 3);
+  ThreadPool::set_global_threads(before);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  const std::size_t before = ThreadPool::global().size();
+  ThreadPool::set_global_threads(4);
+  std::atomic<int> inner{0};
+  parallel_for(6, [&](std::size_t) {
+    parallel_for(5, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(inner.load(), 30);
+  ThreadPool::set_global_threads(before);
+}
+
 TEST(ParallelFor, WorkSharingCoversUnevenLoads) {
   // Tasks with wildly different costs must all still complete.
   std::atomic<int> done{0};

@@ -1,0 +1,154 @@
+#include "amperebleed/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "amperebleed/obs/obs.hpp"
+
+namespace amperebleed::util {
+namespace {
+
+TEST(ThreadPool, DefaultSizeHonoursEnvironmentOverride) {
+  ::setenv("AMPEREBLEED_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_size(), 3u);
+  ::setenv("AMPEREBLEED_THREADS", "garbage", 1);
+  EXPECT_GE(ThreadPool::default_size(), 1u);  // falls back to hardware
+  ::setenv("AMPEREBLEED_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::default_size(), 1u);
+  ::unsetenv("AMPEREBLEED_THREADS");
+  EXPECT_GE(ThreadPool::default_size(), 1u);
+}
+
+TEST(ThreadPool, SizeOneIsAnExactSerialLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<std::size_t> order;
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    order.push_back(i);
+  };
+  pool.run(6, fn);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ThreadPool, RunVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 5000;
+  std::vector<int> hits(n, 0);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    ++hits[i];  // each slot touched by exactly one task
+  };
+  pool.run(n, fn);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, MaxParticipantsCapStillCompletesAllWork) {
+  ThreadPool pool(8);
+  const std::size_t n = 300;
+  std::vector<int> hits(n, 0);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    ++hits[i];
+  };
+  pool.run(n, fn, /*max_participants=*/2);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPool, NestedRegionsRunSeriallyInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_calls{0};
+  std::atomic<bool> saw_worker_flag{false};
+  const std::function<void(std::size_t)> outer = [&](std::size_t) {
+    if (ThreadPool::in_worker()) saw_worker_flag = true;
+    // A nested region must not deadlock and must still visit every index.
+    const std::function<void(std::size_t)> inner = [&](std::size_t) {
+      ++inner_calls;
+    };
+    pool.run(10, inner);
+  };
+  pool.run(8, outer);
+  EXPECT_EQ(inner_calls.load(), 80);
+  EXPECT_TRUE(saw_worker_flag.load());
+  EXPECT_FALSE(ThreadPool::in_worker());  // flag is scoped to task execution
+}
+
+TEST(ThreadPool, ExceptionIsRethrownOnCaller) {
+  ThreadPool pool(4);
+  const std::function<void(std::size_t)> fn = [](std::size_t i) {
+    if (i == 7) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.run(64, fn), std::runtime_error);
+  // The pool survives a cancelled region and runs the next one normally.
+  std::atomic<int> calls{0};
+  const std::function<void(std::size_t)> ok = [&](std::size_t) { ++calls; };
+  pool.run(32, ok);
+  EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ThreadPool, CancellationStopsTasksAfterTheThrow) {
+  // Fail-fast contract: once a task has thrown, at most the tasks already
+  // in flight (one per other participant) may still start.
+  ThreadPool pool(4);
+  std::atomic<bool> thrown{false};
+  std::atomic<int> started_after_throw{0};
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    if (i == 0) {
+      thrown = true;
+      throw std::runtime_error("cancel the sweep");
+    }
+    if (thrown) ++started_after_throw;
+  };
+  EXPECT_THROW(pool.run(2000, fn), std::runtime_error);
+  // 4 participants: the thrower plus at most 3 tasks that had already
+  // passed their cancellation check when the flag flipped.
+  EXPECT_LE(started_after_throw.load(), 3);
+}
+
+TEST(ThreadPool, ResizeChangesExecutorCount) {
+  ThreadPool pool(1);
+  pool.resize(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<int> hits(128, 0);
+  const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+    ++hits[i];
+  };
+  pool.run(hits.size(), fn);
+  for (int h : hits) EXPECT_EQ(h, 1);
+  pool.resize(1);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolResizableViaSetGlobalThreads) {
+  const std::size_t before = ThreadPool::global().size();
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2u);
+  ThreadPool::set_global_threads(before);
+  EXPECT_EQ(ThreadPool::global().size(), before);
+}
+
+TEST(ThreadPool, ObsRegionMetricsWhenEnabled) {
+  obs::init();
+  ThreadPool pool(2);
+  const std::function<void(std::size_t)> fn = [](std::size_t) {};
+  pool.run(50, fn);
+  const auto& m = obs::metrics();
+  EXPECT_EQ(m.counter_value("pool.tasks"), 50u);
+  EXPECT_EQ(m.counter_value("pool.regions"), 1u);
+  obs::shutdown();
+}
+
+TEST(ThreadPool, NoObsTrafficWhenDisabled) {
+  // With obs off (the experiment default), a region must not register pool
+  // counters: instrumentation never perturbs the uninstrumented path.
+  ThreadPool pool(2);
+  const std::function<void(std::size_t)> fn = [](std::size_t) {};
+  pool.run(10, fn);
+  obs::init();
+  EXPECT_EQ(obs::metrics().counter_value("pool.tasks"), 0u);
+  obs::shutdown();
+}
+
+}  // namespace
+}  // namespace amperebleed::util
