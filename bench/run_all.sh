@@ -16,8 +16,9 @@
 # (or the committed bench/baseline/ seed) so regressions are one paste away.
 #
 # The script exits nonzero if any bench fails; the failing bench's log is
-# printed. micro_primitives (google-benchmark) is run last and writes no run
-# record of its own.
+# printed. micro_primitives (google-benchmark) is run last; its custom main
+# writes BENCH_micro_primitives.json with per-benchmark ns and the
+# tree_fit/forest_predict_batch A/B speedup ratios.
 set -u
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -121,9 +122,12 @@ else
   run covert_channel
 fi
 
-# google-benchmark micro suite (no ObsSession; own flag set).
+# google-benchmark micro suite (no ObsSession; own flag set). Its custom
+# main mirrors results + A/B speedup ratios into BENCH_micro_primitives.json
+# so the micro numbers ride the same trajectory as the table/figure records.
 if [ -x "$bench_dir/micro_primitives" ]; then
   micro_args="--benchmark_out=$out_abs/micro_primitives.json --benchmark_out_format=json"
+  micro_args="$micro_args --record-out $out_abs/BENCH_micro_primitives.json"
   [ "$quick" -eq 1 ] && micro_args="$micro_args --benchmark_min_time=0.01"
   # shellcheck disable=SC2086
   if "$bench_dir/micro_primitives" $micro_args \

@@ -75,8 +75,10 @@ std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
     const std::vector<Trace>& traces) const {
   if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
   // Materialize feature rows first (prefix() copies), then hand the whole
-  // batch to the forest in one predict_proba_many call: rows are scored in
-  // parallel on the thread pool, results come back in input order.
+  // batch to the forest in one predict_proba_many call: the cache-blocked
+  // SoA arena kernel streams the packed trees once per block of rows (no
+  // per-tree pointer chasing), blocks run in parallel on the thread pool,
+  // and results come back in input order.
   std::vector<std::vector<double>> rows;
   rows.reserve(traces.size());
   for (const auto& trace : traces) {

@@ -5,6 +5,55 @@
 
 namespace amperebleed::ml {
 
+Dataset::Dataset(const Dataset& other)
+    : feature_count_(other.feature_count_),
+      data_(other.data_),
+      labels_(other.labels_),
+      max_label_(other.max_label_) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  feature_count_ = other.feature_count_;
+  data_ = other.data_;
+  labels_ = other.labels_;
+  max_label_ = other.max_label_;
+  invalidate_mirror();
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : feature_count_(other.feature_count_),
+      data_(std::move(other.data_)),
+      labels_(std::move(other.labels_)),
+      max_label_(other.max_label_),
+      mirror_(std::move(other.mirror_)) {
+  mirror_ready_.store(other.mirror_ready_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  other.mirror_ready_.store(false, std::memory_order_release);
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  feature_count_ = other.feature_count_;
+  data_ = std::move(other.data_);
+  labels_ = std::move(other.labels_);
+  max_label_ = other.max_label_;
+  mirror_ = std::move(other.mirror_);
+  mirror_ready_.store(other.mirror_ready_.load(std::memory_order_acquire),
+                      std::memory_order_release);
+  other.mirror_ready_.store(false, std::memory_order_release);
+  return *this;
+}
+
+void Dataset::invalidate_mirror() {
+  if (mirror_ready_.load(std::memory_order_relaxed)) {
+    const std::lock_guard<std::mutex> lock(mirror_mu_);
+    mirror_.clear();
+    mirror_.shrink_to_fit();
+    mirror_ready_.store(false, std::memory_order_release);
+  }
+}
+
 void Dataset::add(std::span<const double> features, int label) {
   if (feature_count_ == 0 && labels_.empty()) {
     feature_count_ = features.size();
@@ -17,6 +66,8 @@ void Dataset::add(std::span<const double> features, int label) {
   }
   data_.insert(data_.end(), features.begin(), features.end());
   labels_.push_back(label);
+  max_label_ = std::max(max_label_, label);
+  invalidate_mirror();
 }
 
 std::span<const double> Dataset::row(std::size_t i) const {
@@ -24,10 +75,37 @@ std::span<const double> Dataset::row(std::size_t i) const {
   return {data_.data() + i * feature_count_, feature_count_};
 }
 
-int Dataset::class_count() const {
-  int max_label = -1;
-  for (int l : labels_) max_label = std::max(max_label, l);
-  return max_label + 1;
+std::span<const double> Dataset::column_major() const {
+  if (!mirror_ready_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(mirror_mu_);
+    if (!mirror_ready_.load(std::memory_order_relaxed)) {
+      const std::size_t rows = labels_.size();
+      const std::size_t cols = feature_count_;
+      mirror_.resize(rows * cols);
+      // Tiled transpose: both the row-major reads and the column-major
+      // writes stay within a cache-friendly tile.
+      constexpr std::size_t kTile = 32;
+      for (std::size_t r0 = 0; r0 < rows; r0 += kTile) {
+        const std::size_t r1 = std::min(r0 + kTile, rows);
+        for (std::size_t f0 = 0; f0 < cols; f0 += kTile) {
+          const std::size_t f1 = std::min(f0 + kTile, cols);
+          for (std::size_t r = r0; r < r1; ++r) {
+            const double* src = data_.data() + r * cols;
+            for (std::size_t f = f0; f < f1; ++f) {
+              mirror_[f * rows + r] = src[f];
+            }
+          }
+        }
+      }
+      mirror_ready_.store(true, std::memory_order_release);
+    }
+  }
+  return mirror_;
+}
+
+std::span<const double> Dataset::column(std::size_t f) const {
+  if (f >= feature_count_) throw std::out_of_range("Dataset::column");
+  return column_major().subspan(f * size(), size());
 }
 
 Dataset Dataset::truncated_features(std::size_t prefix_features) const {
@@ -35,6 +113,8 @@ Dataset Dataset::truncated_features(std::size_t prefix_features) const {
     throw std::invalid_argument("truncated_features: prefix too wide");
   }
   Dataset out(prefix_features);
+  out.data_.reserve(size() * prefix_features);
+  out.labels_.reserve(size());
   for (std::size_t i = 0; i < size(); ++i) {
     out.add(row(i).subspan(0, prefix_features), labels_[i]);
   }
@@ -43,6 +123,8 @@ Dataset Dataset::truncated_features(std::size_t prefix_features) const {
 
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {
   Dataset out(feature_count_);
+  out.data_.reserve(indices.size() * feature_count_);
+  out.labels_.reserve(indices.size());
   for (std::size_t i : indices) out.add(row(i), label(i));
   return out;
 }

@@ -2,7 +2,10 @@
 // Tabular dataset for the fingerprinting classifier: one row per side-channel
 // trace, one column per (resampled) time step or derived feature.
 
+#include <atomic>
+#include <cassert>
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -10,10 +13,29 @@ namespace amperebleed::ml {
 
 /// Dense row-major feature matrix with integer class labels.
 /// Invariant: every row has the same width; labels.size() == rows.
+///
+/// For the tree-training hot path the dataset also maintains a lazily built
+/// column-major mirror (`column_major()` / `column()`): split finding scans
+/// one feature at a time, and gathering a candidate column from contiguous
+/// memory instead of striding across rows is what keeps the per-node sort
+/// cache-resident (see DESIGN.md §9). The mirror is built at most once per
+/// mutation epoch — `add()` invalidates it — and the build is guarded by a
+/// double-checked lock, so concurrent readers (the tree-parallel region of
+/// RandomForest::fit) can all call `column_major()` safely. Mutation
+/// (`add`) is NOT thread-safe against concurrent reads, exactly like the
+/// underlying std::vectors.
 class Dataset {
  public:
   Dataset() = default;
   explicit Dataset(std::size_t feature_count) : feature_count_(feature_count) {}
+
+  // The mirror cache (mutex + atomic flag) is not copyable; copies restart
+  // with a cold mirror and rebuild it on demand.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
+  ~Dataset() = default;
 
   /// Append one sample. Throws std::invalid_argument on width mismatch.
   void add(std::span<const double> features, int label);
@@ -23,11 +45,26 @@ class Dataset {
   [[nodiscard]] bool empty() const { return labels_.empty(); }
 
   [[nodiscard]] std::span<const double> row(std::size_t i) const;
-  [[nodiscard]] int label(std::size_t i) const { return labels_.at(i); }
+
+  /// Label of row `i`. Hot-loop accessor: bounds are a debug assertion, not
+  /// a checked throw (`row()` keeps its range check for external callers).
+  [[nodiscard]] int label(std::size_t i) const {
+    assert(i < labels_.size() && "Dataset::label: index out of range");
+    return labels_[i];
+  }
   [[nodiscard]] const std::vector<int>& labels() const { return labels_; }
 
   /// Number of distinct classes = 1 + max(label). Labels must be >= 0.
-  [[nodiscard]] int class_count() const;
+  /// Memoized: maintained eagerly by add(), O(1) per call.
+  [[nodiscard]] int class_count() const { return max_label_ + 1; }
+
+  /// Column-major mirror of the feature matrix: element (r, f) lives at
+  /// [f * size() + r]. Built on first call (thread-safe, double-checked),
+  /// cached until the next add().
+  [[nodiscard]] std::span<const double> column_major() const;
+
+  /// One contiguous feature column of the mirror: column(f)[r] == row(r)[f].
+  [[nodiscard]] std::span<const double> column(std::size_t f) const;
 
   /// Dataset restricted to the first `prefix_features` columns (used to
   /// evaluate shorter trace durations without re-collecting traces).
@@ -37,9 +74,18 @@ class Dataset {
   [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
 
  private:
+  void invalidate_mirror();
+
   std::size_t feature_count_ = 0;
   std::vector<double> data_;  // rows * feature_count_
   std::vector<int> labels_;
+  int max_label_ = -1;  // memoized class_count() - 1
+
+  // Lazily built column-major mirror. `mirror_ready_` is the acquire/release
+  // publication flag; `mirror_mu_` serializes the one-time build.
+  mutable std::mutex mirror_mu_;
+  mutable std::vector<double> mirror_;
+  mutable std::atomic<bool> mirror_ready_{false};
 };
 
 }  // namespace amperebleed::ml

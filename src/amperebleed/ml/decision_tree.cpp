@@ -1,15 +1,23 @@
 #include "amperebleed/ml/decision_tree.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "amperebleed/ml/forest_arena.hpp"
+#include "amperebleed/obs/obs.hpp"
 
 namespace amperebleed::ml {
 
 namespace {
 
-// Gini impurity from class counts.
+// Gini impurity from class counts. Shared verbatim by both splitters: the
+// bit-identity contract requires the exact same floating-point operations
+// in the exact same order, because split selection compares these doubles
+// with strict `<`.
 double gini(std::span<const std::size_t> counts, std::size_t total) {
   if (total == 0) return 0.0;
   double sum_sq = 0.0;
@@ -20,7 +28,81 @@ double gini(std::span<const std::size_t> counts, std::size_t total) {
   return 1.0 - sum_sq;
 }
 
+struct BestSplit {
+  double impurity = std::numeric_limits<double>::infinity();
+  std::size_t feature = 0;
+  double threshold = 0.0;
+};
+
+/// Feature subsample shared by both splitters: partial Fisher-Yates over
+/// `features` (pre-filled with iota), drawing exactly k variates from `rng`.
+/// Identical RNG consumption is part of the bit-identity contract.
+std::size_t subsample_features(std::size_t total_features,
+                               std::size_t max_features,
+                               std::size_t* features, util::Rng& rng) {
+  std::size_t k = max_features;
+  if (k == 0) {
+    k = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(total_features))));
+    k = std::max<std::size_t>(k, 1);
+  }
+  k = std::min(k, total_features);
+  std::iota(features, features + total_features, std::size_t{0});
+  // Partial Fisher-Yates: first k entries are a uniform sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_below(total_features - i));
+    std::swap(features[i], features[j]);
+  }
+  return k;
+}
+
 }  // namespace
+
+/// Reusable per-tree scratch arena: one allocation set per fit, shared by
+/// every node of the tree (each buffer's lifetime ends before recursing, so
+/// children can overwrite freely). Exposed as the ml.fit.scratch_bytes
+/// gauge.
+struct DecisionTree::FitScratch {
+  struct ValueLabel {
+    double value;
+    std::int32_t label;  // compact (node-local) class id
+  };
+
+  std::vector<std::size_t> indices;        // working sample-index array
+  std::vector<std::int32_t> node_labels;   // original labels of the node
+  std::vector<std::int32_t> compact;       // node labels remapped to 0..m-1
+  std::vector<ValueLabel> column;          // per-feature sort buffer
+  std::vector<std::size_t> features;       // Fisher-Yates candidate pool
+  std::vector<std::int32_t> remap;         // class id -> compact id (or -1)
+  std::vector<std::size_t> node_counts;    // per-compact-class node totals
+  std::vector<std::size_t> left_counts;
+  std::vector<std::size_t> right_counts;
+
+  void resize(std::size_t n, std::size_t feature_count, int class_count) {
+    indices.resize(n);
+    node_labels.resize(n);
+    compact.resize(n);
+    column.resize(n);
+    features.resize(feature_count);
+    remap.resize(static_cast<std::size_t>(class_count));
+    node_counts.resize(static_cast<std::size_t>(class_count));
+    left_counts.resize(static_cast<std::size_t>(class_count));
+    right_counts.resize(static_cast<std::size_t>(class_count));
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    return indices.capacity() * sizeof(std::size_t) +
+           node_labels.capacity() * sizeof(std::int32_t) +
+           compact.capacity() * sizeof(std::int32_t) +
+           column.capacity() * sizeof(ValueLabel) +
+           features.capacity() * sizeof(std::size_t) +
+           remap.capacity() * sizeof(std::int32_t) +
+           node_counts.capacity() * sizeof(std::size_t) +
+           left_counts.capacity() * sizeof(std::size_t) +
+           right_counts.capacity() * sizeof(std::size_t);
+  }
+};
 
 void DecisionTree::fit(const Dataset& data,
                        std::span<const std::size_t> sample_indices,
@@ -34,10 +116,33 @@ void DecisionTree::fit(const Dataset& data,
   nodes_.clear();
   leaf_dists_.clear();
   class_count_ = class_count;
-  std::vector<std::size_t> indices(sample_indices.begin(),
-                                   sample_indices.end());
-  build(data, indices, 0, indices.size(), 0, rng);
+  depth_ = 0;
+
+  if (config_.splitter == TreeConfig::Splitter::kReference) {
+    std::vector<std::size_t> indices(sample_indices.begin(),
+                                     sample_indices.end());
+    build_reference(data, indices, 0, indices.size(), 0, rng);
+    return;
+  }
+
+  const std::size_t n = sample_indices.size();
+  nodes_.reserve(2 * n);  // a tree over n samples has < 2n nodes
+  FitScratch scratch;
+  scratch.resize(n, data.feature_count(), class_count);
+  std::copy(sample_indices.begin(), sample_indices.end(),
+            scratch.indices.begin());
+  // Column-major mirror: built once per dataset mutation epoch (the forest
+  // warms it before the tree-parallel region), then shared read-only.
+  const std::span<const double> columns = data.column_major();
+  build_presorted(data, columns.data(), scratch, 0, n, 0, rng);
+  obs::gauge_set("ml.fit.scratch_bytes",
+                 static_cast<double>(scratch.bytes()));
 }
+
+// ---------------------------------------------------------------------------
+// Leaf construction. Both variants count labels into a fresh distribution
+// slice and normalize by the sample count; counts are exact small integers
+// in double, so the result is independent of accumulation order.
 
 std::int32_t DecisionTree::make_leaf(const Dataset& data,
                                      std::span<const std::size_t> indices,
@@ -57,13 +162,35 @@ std::int32_t DecisionTree::make_leaf(const Dataset& data,
                 static_cast<std::size_t>(c)] /= total;
   }
   nodes_.push_back(leaf);
+  depth_ = std::max(depth_, depth);
   return static_cast<std::int32_t>(nodes_.size() - 1);
 }
 
-std::int32_t DecisionTree::build(const Dataset& data,
-                                 std::vector<std::size_t>& indices,
-                                 std::size_t begin, std::size_t end, int depth,
-                                 util::Rng& rng) {
+std::int32_t DecisionTree::make_leaf_from_labels(
+    std::span<const std::int32_t> labels, int depth) {
+  Node leaf;
+  leaf.node_depth = depth;
+  leaf.dist_offset = static_cast<std::int32_t>(leaf_dists_.size());
+  leaf_dists_.resize(leaf_dists_.size() + static_cast<std::size_t>(class_count_),
+                     0.0);
+  double* dist = leaf_dists_.data() + leaf.dist_offset;
+  for (std::int32_t l : labels) dist[l] += 1.0;
+  const double total = static_cast<double>(labels.size());
+  for (int c = 0; c < class_count_; ++c) dist[c] /= total;
+  nodes_.push_back(leaf);
+  depth_ = std::max(depth_, depth);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Reference splitter: the original per-node materialize-and-sort scan,
+// retained as the golden oracle (tests/ml/golden_split_test.cpp) and the
+// pre-optimization baseline (BM_TreeFitReference).
+
+std::int32_t DecisionTree::build_reference(const Dataset& data,
+                                           std::vector<std::size_t>& indices,
+                                           std::size_t begin, std::size_t end,
+                                           int depth, util::Rng& rng) {
   const std::size_t n = end - begin;
   const std::span<const std::size_t> here{indices.data() + begin, n};
 
@@ -81,29 +208,13 @@ std::int32_t DecisionTree::build(const Dataset& data,
 
   // Feature subsample.
   const std::size_t total_features = data.feature_count();
-  std::size_t k = config_.max_features;
-  if (k == 0) {
-    k = static_cast<std::size_t>(
-        std::lround(std::sqrt(static_cast<double>(total_features))));
-    k = std::max<std::size_t>(k, 1);
-  }
-  k = std::min(k, total_features);
   std::vector<std::size_t> features(total_features);
-  std::iota(features.begin(), features.end(), std::size_t{0});
-  // Partial Fisher-Yates: first k entries are a uniform sample.
-  for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j =
-        i + static_cast<std::size_t>(rng.uniform_below(total_features - i));
-    std::swap(features[i], features[j]);
-  }
+  const std::size_t k =
+      subsample_features(total_features, config_.max_features, features.data(),
+                         rng);
 
   // Find the best (feature, threshold) by exhaustive sorted scan.
-  struct Best {
-    double impurity = std::numeric_limits<double>::infinity();
-    std::size_t feature = 0;
-    double threshold = 0.0;
-  } best;
-
+  BestSplit best;
   std::vector<std::pair<double, int>> column(n);  // (value, label)
   std::vector<std::size_t> left_counts(static_cast<std::size_t>(class_count_));
   std::vector<std::size_t> right_counts(static_cast<std::size_t>(class_count_));
@@ -165,12 +276,165 @@ std::int32_t DecisionTree::build(const Dataset& data,
   nodes_.push_back(node);
   const auto my_index = static_cast<std::int32_t>(nodes_.size() - 1);
 
-  const std::int32_t left = build(data, indices, begin, mid, depth + 1, rng);
-  const std::int32_t right = build(data, indices, mid, end, depth + 1, rng);
+  const std::int32_t left =
+      build_reference(data, indices, begin, mid, depth + 1, rng);
+  const std::int32_t right =
+      build_reference(data, indices, mid, end, depth + 1, rng);
   nodes_[static_cast<std::size_t>(my_index)].left = left;
   nodes_[static_cast<std::size_t>(my_index)].right = right;
   return my_index;
 }
+
+// ---------------------------------------------------------------------------
+// Presorted cache-resident splitter. Same splits as build_reference, proved
+// by three exact-equivalence arguments (each asserted by the golden tests):
+//
+//  1. Index-order sorting: the scan only evaluates impurity at value
+//     boundaries, where the accumulated left/right class counts cover whole
+//     equal-value runs — the counts are multiset properties, independent of
+//     how ties were ordered by the sort. Sorting (value, label) pairs
+//     (reference) and sorting by value alone (here) therefore score the
+//     exact same candidate thresholds with the exact same count vectors.
+//  2. Compact class remap: classes absent from a node contribute p*p = +0.0
+//     to the Gini sum, and sum_sq is always >= +0.0, so skipping them leaves
+//     every partial sum bit-identical as long as the present classes are
+//     visited in ascending class order — which the remap preserves.
+//  3. Node-total counts: the reference's per-feature right_counts
+//     initialization accumulates the node's label multiset, which is the
+//     same integer vector for every feature; computing it once per node and
+//     memcpy'ing is exact.
+
+std::int32_t DecisionTree::build_presorted(const Dataset& data,
+                                           const double* columns,
+                                           FitScratch& scratch,
+                                           std::size_t begin, std::size_t end,
+                                           int depth, util::Rng& rng) {
+  const std::size_t n = end - begin;
+  const std::size_t n_rows = data.size();
+  const std::size_t* here = scratch.indices.data() + begin;
+  const int* all_labels = data.labels().data();
+
+  // Gather the node's labels once (reused by the purity check, the split
+  // scan via the compact remap, and leaf construction).
+  std::int32_t* node_labels = scratch.node_labels.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    node_labels[i] = static_cast<std::int32_t>(all_labels[here[i]]);
+  }
+
+  bool pure = true;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (node_labels[i] != node_labels[0]) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= config_.max_depth || n < config_.min_samples_split) {
+    return make_leaf_from_labels({node_labels, n}, depth);
+  }
+
+  // Compact class remap: compact ids are assigned in ascending class order
+  // so Gini accumulation visits classes in the reference order.
+  std::int32_t* remap = scratch.remap.data();
+  std::fill(remap, remap + class_count_, std::int32_t{-1});
+  for (std::size_t i = 0; i < n; ++i) remap[node_labels[i]] = 0;
+  std::size_t m = 0;
+  for (int c = 0; c < class_count_; ++c) {
+    if (remap[c] == 0) remap[c] = static_cast<std::int32_t>(m++);
+  }
+  std::int32_t* compact = scratch.compact.data();
+  std::size_t* node_counts = scratch.node_counts.data();
+  std::fill(node_counts, node_counts + m, std::size_t{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    compact[i] = remap[node_labels[i]];
+    ++node_counts[compact[i]];
+  }
+
+  const std::size_t total_features = data.feature_count();
+  const std::size_t k =
+      subsample_features(total_features, config_.max_features,
+                         scratch.features.data(), rng);
+
+  BestSplit best;
+  FitScratch::ValueLabel* column = scratch.column.data();
+  std::size_t* left_counts = scratch.left_counts.data();
+  std::size_t* right_counts = scratch.right_counts.data();
+
+  for (std::size_t fi = 0; fi < k; ++fi) {
+    const std::size_t f = scratch.features[fi];
+    const double* col = columns + f * n_rows;  // contiguous feature column
+    bool constant = true;
+    const double first = col[here[0]];
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = col[here[i]];
+      column[i] = {v, compact[i]};
+      constant = constant && v == first;
+    }
+    if (constant) continue;  // same skip decision as the post-sort check
+
+    std::sort(column, column + n,
+              [](const FitScratch::ValueLabel& a,
+                 const FitScratch::ValueLabel& b) { return a.value < b.value; });
+
+    std::fill(left_counts, left_counts + m, std::size_t{0});
+    std::copy(node_counts, node_counts + m, right_counts);
+    std::size_t n_left = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto label = static_cast<std::size_t>(column[i].label);
+      ++left_counts[label];
+      --right_counts[label];
+      ++n_left;
+      if (column[i].value == column[i + 1].value) continue;  // not a boundary
+      const std::size_t n_right = n - n_left;
+      const double impurity =
+          (static_cast<double>(n_left) * gini({left_counts, m}, n_left) +
+           static_cast<double>(n_right) * gini({right_counts, m}, n_right)) /
+          static_cast<double>(n);
+      if (impurity < best.impurity) {
+        best.impurity = impurity;
+        best.feature = f;
+        best.threshold = 0.5 * (column[i].value + column[i + 1].value);
+      }
+    }
+  }
+
+  if (!std::isfinite(best.impurity)) {
+    // Every sampled feature was constant on this node.
+    return make_leaf_from_labels({node_labels, n}, depth);
+  }
+
+  // Partition indices in place around the chosen split, reading the stored
+  // values from the contiguous mirror column (bit-equal to the row-major
+  // elements, so the partition is identical).
+  const double* best_col = columns + best.feature * n_rows;
+  const auto mid_it =
+      std::partition(scratch.indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                     scratch.indices.begin() + static_cast<std::ptrdiff_t>(end),
+                     [&](std::size_t i) { return best_col[i] <= best.threshold; });
+  const auto mid =
+      static_cast<std::size_t>(std::distance(scratch.indices.begin(), mid_it));
+  if (mid == begin || mid == end) {
+    // Degenerate split. The leaf distribution is a label multiset count, so
+    // the partition's reordering of `indices` cannot change it.
+    return make_leaf_from_labels({node_labels, n}, depth);
+  }
+
+  Node node;
+  node.feature = static_cast<std::int32_t>(best.feature);
+  node.threshold = best.threshold;
+  node.node_depth = depth;
+  nodes_.push_back(node);
+  const auto my_index = static_cast<std::int32_t>(nodes_.size() - 1);
+
+  const std::int32_t left =
+      build_presorted(data, columns, scratch, begin, mid, depth + 1, rng);
+  const std::int32_t right =
+      build_presorted(data, columns, scratch, mid, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(my_index)].left = left;
+  nodes_[static_cast<std::size_t>(my_index)].right = right;
+  return my_index;
+}
+
+// ---------------------------------------------------------------------------
 
 std::size_t DecisionTree::leaf_for(std::span<const double> features) const {
   if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
@@ -196,10 +460,29 @@ std::span<const double> DecisionTree::predict_proba(
           static_cast<std::size_t>(class_count_)};
 }
 
-int DecisionTree::depth() const {
-  int d = 0;
-  for (const Node& n : nodes_) d = std::max(d, n.node_depth);
-  return d;
+void DecisionTree::append_to(ForestArena& arena) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::append_to: not fitted");
+  }
+  const auto base = static_cast<std::int32_t>(arena.feature.size());
+  const auto dist_base = static_cast<std::int32_t>(arena.dists.size());
+  arena.roots.push_back(base);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.dist_offset >= 0) {  // leaf
+      arena.feature.push_back(ForestArena::kLeaf);
+      arena.threshold.push_back(0.0);
+      arena.right.push_back(dist_base + node.dist_offset);
+    } else {
+      // Preorder invariant: the left child immediately follows its parent.
+      assert(node.left == static_cast<std::int32_t>(i) + 1);
+      arena.feature.push_back(node.feature);
+      arena.threshold.push_back(node.threshold);
+      arena.right.push_back(base + node.right);
+    }
+  }
+  arena.dists.insert(arena.dists.end(), leaf_dists_.begin(),
+                     leaf_dists_.end());
 }
 
 }  // namespace amperebleed::ml

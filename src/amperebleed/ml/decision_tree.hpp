@@ -1,6 +1,20 @@
 #pragma once
 // CART decision tree with Gini impurity — the base learner of the paper's
 // random forest (100 trees, max depth 32, Gini splitting, bootstrap).
+//
+// Two split-finding implementations share one tree representation:
+//
+//  * kPresorted (default) — the cache-resident fast path. Candidate columns
+//    are gathered from the Dataset's column-major mirror into a per-tree
+//    reusable scratch arena and sorted by value only; class counts are
+//    remapped to the classes actually present in the node. Equal-value runs
+//    are merged at threshold boundaries and absent classes contribute an
+//    exact +0.0 to the Gini sum, so the selected (feature, threshold) — and
+//    therefore the fitted tree — is bit-identical to the reference splitter
+//    (asserted by tests/ml/golden_split_test.cpp).
+//  * kReference — the original materialize-and-sort splitter, retained as
+//    the golden oracle for bit-identity tests and as the pre-optimization
+//    baseline for bench/micro_primitives.cpp's BM_TreeFitReference.
 
 #include <cstdint>
 #include <span>
@@ -11,17 +25,24 @@
 
 namespace amperebleed::ml {
 
+struct ForestArena;
+
 struct TreeConfig {
   int max_depth = 32;
   std::size_t min_samples_split = 2;
   /// Number of candidate features examined per split; 0 means
   /// round(sqrt(feature_count)) — the random-forest default.
   std::size_t max_features = 0;
+  /// Split-finding algorithm; both select identical splits (see header
+  /// comment). kReference exists for golden tests and A/B benchmarks.
+  enum class Splitter { kPresorted, kReference };
+  Splitter splitter = Splitter::kPresorted;
 };
 
-/// A fitted classification tree. Nodes are stored in a flat array; leaves
-/// keep the full class distribution so the forest can produce calibrated
-/// top-k probabilities.
+/// A fitted classification tree. Nodes are stored in a flat array in
+/// preorder (an internal node's left child is the next node); leaves keep
+/// the full class distribution so the forest can produce calibrated top-k
+/// probabilities.
 class DecisionTree {
  public:
   explicit DecisionTree(TreeConfig config = {}) : config_(config) {}
@@ -39,9 +60,19 @@ class DecisionTree {
   [[nodiscard]] std::span<const double> predict_proba(
       std::span<const double> features) const;
 
+  /// Append this fitted tree's nodes and leaf distributions to a flat SoA
+  /// forest arena (see forest_arena.hpp). Node order and distributions are
+  /// preserved verbatim.
+  void append_to(ForestArena& arena) const;
+
   [[nodiscard]] bool fitted() const { return !nodes_.empty(); }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
-  [[nodiscard]] int depth() const;
+  /// Total doubles held by leaf distributions (class_count per leaf).
+  [[nodiscard]] std::size_t leaf_value_count() const {
+    return leaf_dists_.size();
+  }
+  /// Depth of the fitted tree. Cached at fit time (O(1)); 0 when unfitted.
+  [[nodiscard]] int depth() const { return depth_; }
   [[nodiscard]] const TreeConfig& config() const { return config_; }
 
  private:
@@ -56,15 +87,31 @@ class DecisionTree {
     std::int32_t node_depth = 0;
   };
 
-  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices,
-                     std::size_t begin, std::size_t end, int depth,
-                     util::Rng& rng);
+  /// Per-tree reusable scratch arena of the presorted splitter: sized once
+  /// per fit, reused by every node, no per-node allocations. Defined in
+  /// decision_tree.cpp.
+  struct FitScratch;
+
+  // Reference (original) splitter.
+  std::int32_t build_reference(const Dataset& data,
+                               std::vector<std::size_t>& indices,
+                               std::size_t begin, std::size_t end, int depth,
+                               util::Rng& rng);
   std::int32_t make_leaf(const Dataset& data,
                          std::span<const std::size_t> indices, int depth);
+
+  // Presorted cache-resident splitter.
+  std::int32_t build_presorted(const Dataset& data, const double* columns,
+                               FitScratch& scratch, std::size_t begin,
+                               std::size_t end, int depth, util::Rng& rng);
+  std::int32_t make_leaf_from_labels(std::span<const std::int32_t> labels,
+                                     int depth);
+
   [[nodiscard]] std::size_t leaf_for(std::span<const double> features) const;
 
   TreeConfig config_;
   int class_count_ = 0;
+  int depth_ = 0;  // cached max leaf depth, set during fit
   std::vector<Node> nodes_;
   std::vector<double> leaf_dists_;  // class_count_ doubles per leaf
 };

@@ -1,0 +1,52 @@
+#include "amperebleed/ml/forest_arena.hpp"
+
+namespace amperebleed::ml {
+
+void ForestArena::clear() {
+  feature.clear();
+  threshold.clear();
+  right.clear();
+  dists.clear();
+  roots.clear();
+  class_count = 0;
+}
+
+std::size_t ForestArena::bytes() const {
+  return feature.capacity() * sizeof(std::int32_t) +
+         threshold.capacity() * sizeof(double) +
+         right.capacity() * sizeof(std::int32_t) +
+         dists.capacity() * sizeof(double) +
+         roots.capacity() * sizeof(std::int32_t);
+}
+
+void ForestArena::accumulate(const double* row, double* acc) const {
+  const auto classes = static_cast<std::size_t>(class_count);
+  for (std::size_t t = 0; t < roots.size(); ++t) {
+    const double* d = leaf_dist(t, row);
+    for (std::size_t c = 0; c < classes; ++c) acc[c] += d[c];
+  }
+}
+
+void ForestArena::predict_proba_rows(
+    std::span<const std::span<const double>> rows, std::size_t lo,
+    std::size_t hi, std::vector<std::vector<double>>& out) const {
+  const auto classes = static_cast<std::size_t>(class_count);
+  for (std::size_t r = lo; r < hi; ++r) out[r].assign(classes, 0.0);
+  // Trees outer, rows inner: one tree's nodes stay hot in L1 while every
+  // row of the block walks it. Per row the trees are still visited in
+  // ascending order, so the floating-point accumulation order — and hence
+  // every probability bit — matches the row-at-a-time loop exactly.
+  for (std::size_t t = 0; t < roots.size(); ++t) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const double* d = leaf_dist(t, rows[r].data());
+      double* acc = out[r].data();
+      for (std::size_t c = 0; c < classes; ++c) acc[c] += d[c];
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(roots.size());
+  for (std::size_t r = lo; r < hi; ++r) {
+    for (double& v : out[r]) v *= inv;
+  }
+}
+
+}  // namespace amperebleed::ml

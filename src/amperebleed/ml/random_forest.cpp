@@ -9,6 +9,16 @@
 
 namespace amperebleed::ml {
 
+namespace {
+
+/// Rows per block of the batched arena kernel: 16 rows of a few hundred
+/// features (~tens of KB) fit L1/L2 alongside one tree's nodes, and a block
+/// is also the parallel_for work item — large enough to amortize
+/// scheduling, small enough to load-balance across the pool.
+constexpr std::size_t kPredictRowBlock = 16;
+
+}  // namespace
+
 void RandomForest::fit(const Dataset& data) {
   if (data.empty()) throw std::invalid_argument("RandomForest::fit: empty data");
   if (config_.n_trees == 0) {
@@ -20,10 +30,18 @@ void RandomForest::fit(const Dataset& data) {
 
   class_count_ = data.class_count();
   trees_.clear();
+  arena_.clear();
 
   const util::Rng master(config_.seed);
   const std::size_t n = data.size();
   const bool instrumented = obs::metrics_enabled();
+
+  // Warm the dataset's column-major mirror once, serially, so the
+  // tree-parallel region below shares one read-only copy instead of racing
+  // to build it behind the double-checked lock.
+  if (config_.tree.splitter == TreeConfig::Splitter::kPresorted) {
+    static_cast<void>(data.column_major());
+  }
 
   // Trees are trained in parallel into pre-sized slots. Tree t's RNG is
   // master.fork(t) — a pure function of (seed, t) — and its bootstrap
@@ -54,9 +72,37 @@ void RandomForest::fit(const Dataset& data) {
   // Only publish on full success: a cancelled sweep leaves the forest
   // unfitted rather than holding a partially trained ensemble.
   trees_ = std::move(trees);
+
+  // Pack the fitted trees into the flat SoA arena that all predict paths
+  // walk. Packing preserves node order and copies leaf distributions
+  // verbatim — the arena is a relayout, not a re-fit.
+  arena_.class_count = class_count_;
+  std::size_t total_nodes = 0;
+  std::size_t total_dists = 0;
+  for (const auto& tree : trees_) {
+    total_nodes += tree.node_count();
+    total_dists += tree.leaf_value_count();
+  }
+  arena_.feature.reserve(total_nodes);
+  arena_.threshold.reserve(total_nodes);
+  arena_.right.reserve(total_nodes);
+  arena_.dists.reserve(total_dists);
+  arena_.roots.reserve(trees_.size());
+  for (const auto& tree : trees_) tree.append_to(arena_);
+  obs::gauge_set("ml.forest.arena_bytes", static_cast<double>(arena_.bytes()));
 }
 
 std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> acc(static_cast<std::size_t>(class_count_), 0.0);
+  arena_.accumulate(features.data(), acc.data());
+  const double inv = 1.0 / static_cast<double>(arena_.tree_count());
+  for (double& v : acc) v *= inv;
+  return acc;
+}
+
+std::vector<double> RandomForest::predict_proba_reference(
     std::span<const double> features) const {
   if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
   std::vector<double> acc(static_cast<std::size_t>(class_count_), 0.0);
@@ -73,8 +119,13 @@ std::vector<std::vector<double>> RandomForest::predict_proba_many(
     std::span<const std::span<const double>> rows) const {
   if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
   std::vector<std::vector<double>> out(rows.size());
-  util::parallel_for(rows.size(),
-                     [&](std::size_t i) { out[i] = predict_proba(rows[i]); });
+  const std::size_t blocks =
+      (rows.size() + kPredictRowBlock - 1) / kPredictRowBlock;
+  util::parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kPredictRowBlock;
+    const std::size_t hi = std::min(lo + kPredictRowBlock, rows.size());
+    arena_.predict_proba_rows(rows, lo, hi, out);
+  });
   return out;
 }
 
@@ -93,11 +144,20 @@ std::vector<int> top_k_from_proba(std::span<const double> proba,
                                   std::size_t k) {
   std::vector<int> order(proba.size());
   std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return proba[static_cast<std::size_t>(a)] >
-           proba[static_cast<std::size_t>(b)];
-  });
-  order.resize(std::min(k, order.size()));
+  const std::size_t kk = std::min(k, order.size());
+  // partial_sort over the first k ranks instead of a full stable_sort. The
+  // comparator is a TOTAL order (probability desc, class id asc on ties),
+  // so the prefix is unique — identical to the stable_sort's output, where
+  // stability resolved ties toward the smaller (earlier-iota) class id.
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(kk),
+                    order.end(), [&](int a, int b) {
+                      const double pa = proba[static_cast<std::size_t>(a)];
+                      const double pb = proba[static_cast<std::size_t>(b)];
+                      if (pa != pb) return pa > pb;
+                      return a < b;  // smaller class id wins the tie
+                    });
+  order.resize(kk);
   return order;
 }
 

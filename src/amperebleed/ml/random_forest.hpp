@@ -4,15 +4,20 @@
 //
 // Training parallelizes across trees on the util::ThreadPool: every tree t
 // derives its RNG from master.fork(t) and lands in a pre-sized slot, so the
-// fitted forest is bit-identical at any thread count. A fitted forest is
-// immutable; all predict* members are const and safe to call concurrently
-// from many threads (the online service shares one forest across requests).
+// fitted forest is bit-identical at any thread count. After training the
+// forest is packed into a flat SoA arena (forest_arena.hpp) — one
+// allocation spanning all trees — which every predict* member walks; the
+// original per-tree pointer walk is retained as predict_proba_reference for
+// golden tests and A/B benchmarks. A fitted forest is immutable; all
+// predict* members are const and safe to call concurrently from many
+// threads (the online service shares one forest across requests).
 
 #include <span>
 #include <vector>
 
 #include "amperebleed/ml/dataset.hpp"
 #include "amperebleed/ml/decision_tree.hpp"
+#include "amperebleed/ml/forest_arena.hpp"
 #include "amperebleed/util/rng.hpp"
 
 namespace amperebleed::ml {
@@ -34,14 +39,24 @@ class RandomForest {
   /// Most probable class (averaged leaf distributions).
   [[nodiscard]] int predict(std::span<const double> features) const;
 
-  /// Averaged class distribution across trees.
+  /// Averaged class distribution across trees (arena walk, tree order
+  /// 0..T-1 — bit-identical to predict_proba_reference).
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> features) const;
 
+  /// Averaged class distribution via the retained per-tree pointer walk.
+  /// Exists as the pre-arena oracle: golden tests assert exact equality
+  /// against the arena path, and BM_ForestPredictBatchReference uses it as
+  /// the A/B baseline. Prefer predict_proba.
+  [[nodiscard]] std::vector<double> predict_proba_reference(
+      std::span<const double> features) const;
+
   /// Batched inference: one averaged class distribution per input row, in
-  /// input order. Rows are evaluated in parallel on the thread pool (the
-  /// trees are shared immutable state), falling back to a serial loop when
-  /// the pool has size 1 or the call is nested inside a parallel region.
+  /// input order. Rows are processed in cache-sized blocks through the SoA
+  /// arena (trees stream once per block instead of once per row); blocks
+  /// are evaluated in parallel on the thread pool, falling back to a serial
+  /// loop when the pool has size 1 or the call is nested inside a parallel
+  /// region. Bit-identical to calling predict_proba per row.
   [[nodiscard]] std::vector<std::vector<double>> predict_proba_many(
       std::span<const std::span<const double>> rows) const;
 
@@ -54,16 +69,21 @@ class RandomForest {
   [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
   [[nodiscard]] const ForestConfig& config() const { return config_; }
   [[nodiscard]] int class_count() const { return class_count_; }
+  /// The packed SoA forest (valid once fitted).
+  [[nodiscard]] const ForestArena& arena() const { return arena_; }
 
  private:
   ForestConfig config_;
   int class_count_ = 0;
   std::vector<DecisionTree> trees_;
+  ForestArena arena_;
 };
 
 /// The k most probable classes of a probability vector, most probable first
-/// (stable ties: smaller class id wins) — the ranking rule behind
-/// RandomForest::predict_top_k, shared with the batched CV path.
+/// (ties: smaller class id wins) — the ranking rule behind
+/// RandomForest::predict_top_k, shared with the batched CV path. Uses a
+/// partial sort over the first k ranks; the tie-break makes the comparator a
+/// total order, so the output equals the former full stable_sort prefix.
 [[nodiscard]] std::vector<int> top_k_from_proba(std::span<const double> proba,
                                                 std::size_t k);
 

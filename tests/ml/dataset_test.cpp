@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace amperebleed::ml {
@@ -69,6 +71,103 @@ TEST(Dataset, ClassCountOnEmpty) {
   Dataset d(1);
   EXPECT_EQ(d.class_count(), 0);
   EXPECT_TRUE(d.empty());
+}
+
+TEST(Dataset, ClassCountMemoTracksEveryAdd) {
+  Dataset d(1);
+  const std::vector<double> row = {0.0};
+  d.add(row, 4);
+  EXPECT_EQ(d.class_count(), 5);
+  d.add(row, 1);  // smaller label must not shrink the count
+  EXPECT_EQ(d.class_count(), 5);
+  d.add(row, 9);
+  EXPECT_EQ(d.class_count(), 10);
+  // Derived datasets recompute their own memo from the rows they keep.
+  const std::vector<std::size_t> idx = {1};  // only the label-1 row
+  EXPECT_EQ(d.subset(idx).class_count(), 2);
+  EXPECT_EQ(d.truncated_features(1).class_count(), 10);
+}
+
+Dataset counting_dataset(std::size_t rows, std::size_t features) {
+  Dataset d(features);
+  std::vector<double> row(features);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t f = 0; f < features; ++f) {
+      row[f] = static_cast<double>(r * 100 + f);
+    }
+    d.add(row, static_cast<int>(r % 3));
+  }
+  return d;
+}
+
+TEST(Dataset, ColumnMajorMirrorsEveryElement) {
+  const Dataset d = counting_dataset(7, 5);
+  const auto mirror = d.column_major();
+  ASSERT_EQ(mirror.size(), d.size() * d.feature_count());
+  for (std::size_t f = 0; f < d.feature_count(); ++f) {
+    const auto col = d.column(f);
+    ASSERT_EQ(col.size(), d.size());
+    for (std::size_t r = 0; r < d.size(); ++r) {
+      EXPECT_EQ(col[r], d.row(r)[f]) << "r=" << r << " f=" << f;
+      EXPECT_EQ(mirror[f * d.size() + r], d.row(r)[f]);
+    }
+  }
+}
+
+TEST(Dataset, MirrorInvalidatedByAdd) {
+  Dataset d = counting_dataset(4, 3);
+  EXPECT_EQ(d.column(2)[3], d.row(3)[2]);  // builds the mirror
+  const std::vector<double> row = {-1.0, -2.0, -3.0};
+  d.add(row, 0);  // must drop the stale mirror
+  const auto col = d.column(2);
+  ASSERT_EQ(col.size(), 5u);
+  EXPECT_EQ(col[4], -3.0);
+  EXPECT_EQ(col[0], d.row(0)[2]);
+}
+
+TEST(Dataset, ConcurrentMirrorBuildIsSafeAndConsistent) {
+  const Dataset d = counting_dataset(64, 9);
+  std::vector<std::thread> threads;
+  std::vector<double> first_seen(8, 0.0);
+  for (std::size_t t = 0; t < first_seen.size(); ++t) {
+    threads.emplace_back([&, t] {
+      const auto col = d.column(4);
+      first_seen[t] = col[17];
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (double v : first_seen) EXPECT_EQ(v, d.row(17)[4]);
+}
+
+TEST(Dataset, CopyStartsWithColdMirrorButSameContents) {
+  Dataset d = counting_dataset(5, 4);
+  EXPECT_EQ(d.column(0)[0], 0.0);  // warm the source mirror
+  const Dataset copy = d;          // NOLINT(performance-unnecessary-copy...)
+  EXPECT_EQ(copy.size(), d.size());
+  EXPECT_EQ(copy.class_count(), d.class_count());
+  for (std::size_t f = 0; f < d.feature_count(); ++f) {
+    const auto a = copy.column(f);
+    const auto b = d.column(f);
+    for (std::size_t r = 0; r < d.size(); ++r) EXPECT_EQ(a[r], b[r]);
+  }
+  Dataset assigned(4);
+  assigned = d;
+  EXPECT_EQ(assigned.size(), d.size());
+  EXPECT_EQ(assigned.column(3)[2], d.row(2)[3]);
+}
+
+TEST(Dataset, MoveTransfersMirrorAndMemo) {
+  Dataset d = counting_dataset(6, 3);
+  const double expect = d.row(5)[2];
+  EXPECT_EQ(d.column(2)[5], expect);  // warm mirror before the move
+  Dataset moved(std::move(d));
+  EXPECT_EQ(moved.size(), 6u);
+  EXPECT_EQ(moved.class_count(), 3);
+  EXPECT_EQ(moved.column(2)[5], expect);
+  Dataset target(3);
+  target = std::move(moved);
+  EXPECT_EQ(target.size(), 6u);
+  EXPECT_EQ(target.column(2)[5], expect);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "amperebleed/util/rng.hpp"
@@ -69,6 +71,63 @@ TEST(RandomForest, TopKOrderedByProbability) {
   EXPECT_GE(p[static_cast<std::size_t>(top3[1])],
             p[static_cast<std::size_t>(top3[2])]);
   EXPECT_EQ(top3[0], forest.predict(d.row(0)));
+}
+
+/// The ranking rule top_k_from_proba replaced: a full stable_sort over
+/// descending probability, where stability resolved ties toward the smaller
+/// class id (the iota order). The partial_sort must reproduce its prefix
+/// exactly on tie-heavy inputs.
+std::vector<int> stable_sort_reference(std::span<const double> proba,
+                                       std::size_t k) {
+  std::vector<int> order(proba.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return proba[static_cast<std::size_t>(a)] >
+           proba[static_cast<std::size_t>(b)];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+TEST(TopKFromProba, TieHeavyInputsMatchStableSortPrefix) {
+  // Hand-built pathological vectors: plateaus, all-equal, zeros.
+  const std::vector<std::vector<double>> cases = {
+      {0.2, 0.2, 0.2, 0.2, 0.2},
+      {0.5, 0.1, 0.5, 0.1, 0.5, 0.1},
+      {0.0, 0.0, 1.0, 0.0},
+      {0.25, 0.25, 0.5},
+      {1.0},
+      {0.125, 0.125, 0.125, 0.125, 0.25, 0.25},
+  };
+  for (const auto& proba : cases) {
+    for (std::size_t k = 1; k <= proba.size() + 2; ++k) {
+      EXPECT_EQ(top_k_from_proba(proba, k), stable_sort_reference(proba, k))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(TopKFromProba, RandomQuantizedProbasMatchStableSortPrefix) {
+  // Quantized random vectors manufacture many exact duplicates, as leaf
+  // distributions over a few trees do (multiples of 1/trees).
+  util::Rng rng(0x70'9a);
+  for (int rep = 0; rep < 200; ++rep) {
+    const std::size_t n = 2 + rng.uniform_below(38);  // up to 39+ classes
+    std::vector<double> proba(n);
+    for (auto& v : proba) {
+      v = static_cast<double>(rng.uniform_below(8)) / 8.0;
+    }
+    const std::size_t k = 1 + rng.uniform_below(n);
+    ASSERT_EQ(top_k_from_proba(proba, k), stable_sort_reference(proba, k))
+        << "rep=" << rep << " n=" << n << " k=" << k;
+  }
+}
+
+TEST(TopKFromProba, TiesBrokenTowardSmallerClassId) {
+  const std::vector<double> proba = {0.3, 0.4, 0.3, 0.4};
+  const auto top = top_k_from_proba(proba, 4);
+  const std::vector<int> expected = {1, 3, 0, 2};
+  EXPECT_EQ(top, expected);
 }
 
 TEST(RandomForest, TopKClampsToClassCount) {
