@@ -1,0 +1,161 @@
+// Ablation A11: acquisition robustness under hwmon fault injection. Sweeps
+// a seeded chaos schedule (EAGAIN storms, driver rebinds, permission flaps,
+// torn/garbage text, frozen registers) over the Table III fingerprinting
+// pipeline, with the resilience policy off (strict legacy semantics: the
+// first failed read aborts the collection) and on (bounded retries with
+// deterministic backoff, per-channel health tracking, gap-aware traces).
+//
+// Headline: the resilient attacker retains nearly all of the clean-run
+// fingerprinting accuracy even at a 10% per-read fault rate, while the
+// strict attacker cannot finish a single collection. The whole sweep is
+// byte-reproducible: fault schedules, retry jitter and gap positions are
+// pure functions of the seeds, independent of the worker-pool size.
+//
+// Flags: --models N      zoo subset size (default 10; 6 with --quick)
+//        --traces N      traces per model (default 10; 6 with --quick)
+//        --trees N       forest size (default 60; 30 with --quick)
+//        --folds N       CV folds (default 3)
+//        --threads N     worker threads (default: hardware concurrency)
+//        --seed S        pipeline seed (default 0xdf3)
+//        --fault-seed S  chaos-plan seed (default: AMPEREBLEED_FAULT_SEED
+//                        or 0xfa17)
+
+#include <cstdio>
+#include <vector>
+
+#include "amperebleed/core/fingerprint.hpp"
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/faults/faults.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+struct Leg {
+  bool completed = false;      // collection ran to the end
+  double top1 = 0.0;           // FPGA-current top-1 at the 1 s window
+  std::uint64_t injected = 0;  // faults injected across the leg
+  std::uint64_t retries = 0;
+  std::uint64_t gaps = 0;
+  std::uint64_t samples = 0;   // total samples collected (all channels)
+};
+
+Leg run_leg(core::FingerprintConfig config, double rate, bool resilient,
+            std::uint64_t fault_seed) {
+  // Per-leg counters: the schedule/retry/gap totals are sums of per-run
+  // deterministic schedules, so they diff clean at any thread count.
+  obs::reset_data();
+
+  if (rate > 0.0) {
+    config.fault_plan = faults::FaultPlan::chaos(fault_seed, rate);
+  }
+  config.resilience.enabled = resilient;
+
+  Leg leg;
+  try {
+    const auto traces = core::collect_fingerprint_traces(config);
+    const auto result = core::evaluate_fingerprint(traces, config);
+    leg.completed = true;
+    leg.top1 = result.cells[3].back().top1;  // FPGA current row
+    leg.samples = static_cast<std::uint64_t>(
+        traces.per_channel.size() * traces.per_channel.front().size() *
+        traces.samples_per_trace);
+  } catch (const core::SamplingError&) {
+    // Strict mode under chaos: the first exhausted read aborts the whole
+    // collection. The message is deliberately not printed — parallel
+    // fail-fast surfaces whichever worker threw first, and this bench's
+    // stdout must stay byte-identical across pool sizes.
+    leg.completed = false;
+  }
+  leg.injected = obs::metrics().counter_value("faults.injected_total");
+  leg.retries = obs::metrics().counter_value("sampler.retries");
+  leg.gaps = obs::metrics().counter_value("sampler.gap_samples");
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_faults");
+
+  core::FingerprintConfig config;
+  config.model_limit = static_cast<std::size_t>(
+      args.get_int("models", args.has("quick") ? 6 : 10));
+  config.traces_per_model = static_cast<std::size_t>(
+      args.get_int("traces", args.has("quick") ? 6 : 10));
+  config.forest.n_trees = static_cast<std::size_t>(
+      args.get_int("trees", args.has("quick") ? 30 : 60));
+  config.forest.tree.max_depth = 32;
+  config.folds = static_cast<std::size_t>(args.get_int("folds", 3));
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 0xdf3));
+  config.trace_duration = sim::seconds(1);
+  config.durations_s = {1.0};
+
+  std::uint64_t fault_seed = faults::FaultPlan::from_env().seed;
+  if (args.has("fault-seed")) {
+    fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
+
+  // Metrics only (no tracing/audit accumulation): the leg counters above
+  // come from the obs registry. Deterministic regardless of pool size.
+  obs::init(obs::ObsConfig{.enabled = true,
+                           .metrics = true,
+                           .tracing = false,
+                           .audit = false});
+
+  std::printf("Ablation A11: fault injection vs acquisition resilience — "
+              "%zu models, %zu traces each,\nRF(%zu trees), %zu-fold CV, "
+              "1 s window, chaos seed 0x%llx\n\n",
+              config.model_limit, config.traces_per_model,
+              config.forest.n_trees, config.folds,
+              static_cast<unsigned long long>(fault_seed));
+
+  const double rates[] = {0.0, 0.02, 0.05, 0.10};
+
+  core::TextTable table({"Fault rate", "Strict top-1", "Resilient top-1",
+                         "Retention", "Faults", "Retries", "Gaps"});
+  double clean_top1 = 0.0;
+  std::vector<std::pair<double, double>> retentions;  // (rate, retention)
+  for (const double rate : rates) {
+    const Leg strict = run_leg(config, rate, /*resilient=*/false, fault_seed);
+    const Leg res = run_leg(config, rate, /*resilient=*/true, fault_seed);
+    if (rate == 0.0) clean_top1 = res.top1;
+    const double retention =
+        clean_top1 > 0.0 && res.completed ? res.top1 / clean_top1 : 0.0;
+    if (rate > 0.0) retentions.emplace_back(rate, retention);
+    const double gap_pct =
+        res.samples == 0 ? 0.0
+                         : 100.0 * static_cast<double>(res.gaps) /
+                               static_cast<double>(res.samples);
+    table.add_row(
+        {util::format("%.0f%%", rate * 100.0),
+         strict.completed ? core::fmt(strict.top1, 3) : "aborts",
+         res.completed ? core::fmt(res.top1, 3) : "aborts",
+         util::format("%.3f", retention),
+         util::format("%llu", static_cast<unsigned long long>(res.injected)),
+         util::format("%llu", static_cast<unsigned long long>(res.retries)),
+         util::format("%llu (%.1f%%)",
+                      static_cast<unsigned long long>(res.gaps), gap_pct)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::puts("\nReading: without the retry/health layer a single exhausted");
+  std::puts("read kills the whole offline collection; with it the attack");
+  std::puts("degrades gracefully — gaps are reconstructed (hold-last) and");
+  std::puts("the classifier keeps nearly all of its clean-run accuracy.");
+
+  session.record().set_number("fpga_current_top1_clean", clean_top1);
+  for (const auto& [rate, retention] : retentions) {
+    session.record().set_number(
+        util::format("accuracy_retention_r%02.0f", rate * 100.0), retention);
+  }
+  session.finish();
+  return 0;
+}

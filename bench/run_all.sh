@@ -101,6 +101,7 @@ if [ "$quick" -eq 1 ]; then
   run ablation_classifier --models 6 --traces 6 --folds 3
   run ablation_defenses --samples 500
   run ablation_detection --duration 20
+  run ablation_faults --quick
   run covert_channel
 else
   echo "Bench suite (paper scale) -> $out_abs"
@@ -119,6 +120,7 @@ else
   run ablation_classifier
   run ablation_defenses
   run ablation_detection
+  run ablation_faults
   run covert_channel
 fi
 

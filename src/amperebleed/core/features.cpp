@@ -1,6 +1,7 @@
 #include "amperebleed/core/features.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "amperebleed/stats/descriptive.hpp"
 
@@ -23,6 +24,25 @@ void standardize(std::vector<double>& xs) {
 void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
                std::size_t feature_count) {
   dataset.add(trace.prefix(feature_count), label);
+}
+
+void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
+               std::size_t feature_count, GapPolicy policy) {
+  if (trace.fully_valid()) {
+    add_trace(dataset, trace, label, feature_count);
+    return;
+  }
+  if (policy == GapPolicy::Drop) {
+    throw std::invalid_argument(
+        "add_trace: GapPolicy::Drop would change the feature length; use "
+        "hold-last or linear-interpolate");
+  }
+  std::vector<double> filled = fill_gaps(trace, policy);
+  if (filled.size() < feature_count) {
+    throw std::invalid_argument("add_trace: trace too short");
+  }
+  filled.resize(feature_count);
+  dataset.add(filled, label);
 }
 
 ml::Dataset build_dataset(

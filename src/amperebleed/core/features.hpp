@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "amperebleed/core/preprocess.hpp"
 #include "amperebleed/core/trace.hpp"
 #include "amperebleed/ml/dataset.hpp"
 
@@ -20,6 +21,13 @@ void standardize(std::vector<double>& xs);
 /// Append a labelled trace (first `feature_count` samples) to a dataset.
 void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
                std::size_t feature_count);
+
+/// Gap-aware variant: reconstruct any gap samples per `policy` before
+/// truncation, so holey traces never leak 0.0 placeholders into features.
+/// A gapless trace takes the exact plain-add path (bit-identical features).
+/// GapPolicy::Drop is rejected — feature vectors are fixed-length.
+void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
+               std::size_t feature_count, GapPolicy policy);
 
 /// Assemble a dataset from per-label trace groups, using each trace's first
 /// `feature_count` samples. Throws if any trace is too short.

@@ -64,7 +64,19 @@ std::vector<Trace> record_run(const dnn::Model& model,
   soc.add_activity(background);
   soc.finalize();
 
+  // Per-run chaos: the injector's seed mixes the plan seed with the run
+  // seed, so every run replays its own schedule regardless of which worker
+  // thread records it.
+  std::optional<faults::FaultInjector> injector;
+  if (config.fault_plan && config.fault_plan->any()) {
+    faults::FaultPlan plan = *config.fault_plan;
+    plan.seed = util::hash_combine(plan.seed, run_seed);
+    injector.emplace(plan);
+    injector->attach(soc.hwmon().fs());
+  }
+
   Sampler sampler(soc);
+  sampler.set_resilience(config.resilience);
   SamplerConfig sc;
   sc.period = config.sample_period;
   sc.sample_count = n_samples;
@@ -107,7 +119,7 @@ FingerprintTraceSet collect_fingerprint_traces(
     const int label = static_cast<int>(r / config.traces_per_model);
     for (std::size_t c = 0; c < out.per_channel.size(); ++c) {
       add_trace(out.per_channel[c], recorded[r][c], label,
-                out.samples_per_trace);
+                out.samples_per_trace, config.gap_policy);
     }
   }
   return out;

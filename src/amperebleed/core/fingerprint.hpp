@@ -10,8 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "amperebleed/core/preprocess.hpp"
+#include "amperebleed/core/resilience.hpp"
 #include "amperebleed/core/trace.hpp"
 #include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/faults/faults.hpp"
 #include "amperebleed/ml/dataset.hpp"
 #include "amperebleed/ml/kfold.hpp"
 #include "amperebleed/soc/process.hpp"
@@ -46,6 +49,17 @@ struct FingerprintConfig {
   std::optional<std::uint16_t> sensor_avg_override;
   /// Limit to the first N zoo models (0 = all 39). Tests use small subsets.
   std::size_t model_limit = 0;
+  /// Chaos schedule installed on every victim run's hwmon read path (the
+  /// plan's seed is combined with the per-run seed, so runs draw
+  /// independent but exactly reproducible fault schedules). Unset: clean
+  /// acquisition, bit-identical to the pre-fault pipeline.
+  std::optional<faults::FaultPlan> fault_plan;
+  /// Acquisition resilience policy for the per-run samplers (disabled =
+  /// strict legacy semantics: any failed read aborts the run).
+  ResilienceConfig resilience{};
+  /// How gap samples are reconstructed before traces become feature
+  /// vectors (only holey traces take this path).
+  GapPolicy gap_policy = GapPolicy::HoldLast;
   std::uint64_t seed = 0xdf3;
   /// Worker threads for collection/evaluation (0 = hardware concurrency).
   std::size_t threads = 0;

@@ -1,0 +1,65 @@
+#include "amperebleed/core/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "amperebleed/util/rng.hpp"
+
+namespace amperebleed::core {
+
+sim::TimeNs RetryPolicy::backoff(std::size_t attempt,
+                                 std::uint64_t stream) const {
+  if (attempt == 0) return sim::TimeNs{0};
+  // Exponential growth, clamped before jitter so the cap is a true cap.
+  double base = static_cast<double>(initial_backoff.ns);
+  for (std::size_t i = 1; i < attempt; ++i) {
+    base *= multiplier;
+    if (base >= static_cast<double>(max_backoff.ns)) break;
+  }
+  base = std::min(base, static_cast<double>(max_backoff.ns));
+
+  double scale = 1.0;
+  if (jitter > 0.0) {
+    // One seeded draw per (stream, attempt): fully deterministic, no
+    // shared rng state to race on or to perturb across thread counts.
+    util::Rng rng(util::hash_combine(util::hash_combine(jitter_seed, stream),
+                                     attempt));
+    scale = rng.uniform(1.0 - jitter, 1.0 + jitter);
+  }
+  const double jittered = std::max(0.0, base * scale);
+  return sim::TimeNs{static_cast<std::int64_t>(std::llround(jittered))};
+}
+
+std::string_view channel_health_name(ChannelHealth h) {
+  static_assert(kChannelHealthCount == 4,
+                "new ChannelHealth: add a case below and extend "
+                "kAllChannelHealths");
+  switch (h) {
+    case ChannelHealth::Healthy:
+      return "healthy";
+    case ChannelHealth::Degraded:
+      return "degraded";
+    case ChannelHealth::Quarantined:
+      return "quarantined";
+    case ChannelHealth::Probing:
+      return "probing";
+  }
+  return "unknown";
+}
+
+std::vector<Channel> fallback_chain(const Channel& primary) {
+  // Table III accuracy ordering (5 s window, top-1): FPGA current 0.997,
+  // FPGA power 0.989, DRAM current 0.958.
+  static const Channel kPreferred[] = {
+      {power::Rail::FpgaLogic, Quantity::Current},
+      {power::Rail::FpgaLogic, Quantity::Power},
+      {power::Rail::Ddr, Quantity::Current},
+  };
+  std::vector<Channel> chain;
+  for (const Channel& c : kPreferred) {
+    if (!(c == primary)) chain.push_back(c);
+  }
+  return chain;
+}
+
+}  // namespace amperebleed::core

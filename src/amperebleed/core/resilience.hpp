@@ -1,0 +1,95 @@
+#pragma once
+// Acquisition resilience policy: bounded retries with deterministic
+// exponential backoff + seeded jitter, per-sample/per-trace backoff
+// deadlines, and a per-channel health state machine with graceful
+// degradation to fallback channels. The Sampler consumes all of this; the
+// policy types live here so benches, tests and the fingerprint pipeline can
+// configure chaos runs without pulling in the sampler.
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <string_view>
+#include <vector>
+
+#include "amperebleed/core/trace.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::core {
+
+/// Bounded retry with deterministic exponential backoff. The jitter for
+/// retry `attempt` of decision stream `stream` is a pure function of
+/// (jitter_seed, stream, attempt), so identical seeds replay identical
+/// backoff schedules — chaos runs stay byte-reproducible.
+struct RetryPolicy {
+  /// Total tries per sample (1 = no retries).
+  std::size_t max_attempts = 4;
+  sim::TimeNs initial_backoff = sim::microseconds(200);
+  double multiplier = 2.0;
+  sim::TimeNs max_backoff = sim::milliseconds(8);
+  /// Backoff is scaled by a seeded uniform draw in [1-jitter, 1+jitter).
+  double jitter = 0.25;
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Cap on the cumulative backoff spent on one sample (0 = unlimited).
+  sim::TimeNs per_sample_deadline{0};
+  /// Cap on the cumulative backoff spent across one collect/collect_multi
+  /// call (0 = unlimited). Exhausting it fails remaining samples fast.
+  sim::TimeNs per_trace_deadline{0};
+
+  /// Backoff before retry `attempt` (1-based: the wait after the
+  /// attempt-th failure).
+  [[nodiscard]] sim::TimeNs backoff(std::size_t attempt,
+                                    std::uint64_t stream) const;
+};
+
+/// Per-channel acquisition health.
+///
+///   Healthy ──consecutive failures──▶ Degraded ──more──▶ Quarantined
+///      ▲                                                     │
+///      └────────── Probing ◀──── skip probe_after instants ──┘
+///            (probe ok → Healthy; probe fails → Quarantined)
+enum class ChannelHealth { Healthy, Degraded, Quarantined, Probing };
+
+inline constexpr std::size_t kChannelHealthCount = 4;
+inline constexpr ChannelHealth kAllChannelHealths[] = {
+    ChannelHealth::Healthy,
+    ChannelHealth::Degraded,
+    ChannelHealth::Quarantined,
+    ChannelHealth::Probing,
+};
+static_assert(std::size(kAllChannelHealths) == kChannelHealthCount,
+              "kAllChannelHealths must enumerate every state exactly once");
+
+std::string_view channel_health_name(ChannelHealth h);
+
+/// Thresholds driving the state machine (counts of *samples*, each of
+/// which already exhausted its retry budget).
+struct HealthPolicy {
+  /// Consecutive failed samples before Healthy -> Degraded.
+  std::size_t degrade_after = 2;
+  /// Consecutive failed samples before -> Quarantined.
+  std::size_t quarantine_after = 4;
+  /// Sample instants skipped while Quarantined before a recovery probe.
+  std::size_t probe_after = 8;
+};
+
+/// The sampler's complete resilience configuration. Disabled (the default)
+/// preserves the strict legacy semantics: any failed read throws. Enabled
+/// with a zero-fault board it is an exact no-op — no retry ever fires, no
+/// gap is ever recorded, and traces stay bit-identical.
+struct ResilienceConfig {
+  bool enabled = false;
+  RetryPolicy retry{};
+  HealthPolicy health{};
+  /// When a sample ultimately fails, substitute a single-shot read of the
+  /// best available fallback channel (Table III accuracy order) instead of
+  /// recording a gap.
+  bool fallback_enabled = false;
+};
+
+/// Fallback channels for `primary`, ordered by Table III fingerprinting
+/// accuracy (FPGA current 0.997 → FPGA power 0.989 → DRAM current 0.958),
+/// with the primary itself removed.
+std::vector<Channel> fallback_chain(const Channel& primary);
+
+}  // namespace amperebleed::core

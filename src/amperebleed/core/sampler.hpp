@@ -9,14 +9,18 @@
 // collect_multi) share the same identity, and both paths land identically in
 // the obs access-audit log under that principal's name.
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "amperebleed/core/resilience.hpp"
 #include "amperebleed/core/trace.hpp"
+#include "amperebleed/hwmon/vfs.hpp"
 #include "amperebleed/soc/soc.hpp"
 
 namespace amperebleed::core {
@@ -26,6 +30,49 @@ namespace amperebleed::core {
 class SamplingError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A SamplingError carrying acquisition context: which channel failed, the
+/// hwmon path involved, and how many attempts the retry policy spent before
+/// giving up (1 in strict mode — no retries ever fire there).
+class DetailedSamplingError : public SamplingError {
+ public:
+  DetailedSamplingError(const std::string& what, Channel channel,
+                        std::string path, std::size_t attempts)
+      : SamplingError(what),
+        channel_(channel),
+        path_(std::move(path)),
+        attempts_(attempts) {}
+
+  [[nodiscard]] const Channel& channel() const { return channel_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t attempts() const { return attempts_; }
+
+ private:
+  Channel channel_;
+  std::string path_;
+  std::size_t attempts_;
+};
+
+/// The read kept surfacing EAGAIN (or the retry budget/deadline ran out on a
+/// retryable failure) — the canonical "try later" error.
+class TransientError : public DetailedSamplingError {
+ public:
+  using DetailedSamplingError::DetailedSamplingError;
+};
+
+/// The attribute text read fine but never parsed as a number (garbage or
+/// torn text that stayed corrupt across every attempt).
+class MalformedData : public DetailedSamplingError {
+ public:
+  using DetailedSamplingError::DetailedSamplingError;
+};
+
+/// The attribute vanished (ENOENT — driver rebind / hwmon renumbering) and
+/// stayed gone for every attempt.
+class ChannelGone : public DetailedSamplingError {
+ public:
+  using DetailedSamplingError::DetailedSamplingError;
 };
 
 /// Who is reading the sensors. The name labels audit-log records (so the
@@ -51,6 +98,16 @@ struct SamplerConfig {
   /// (reads between conversions return the latest completed registers).
   sim::TimeNs period = sim::milliseconds(35);
   std::size_t sample_count = 100;
+};
+
+/// Resilience bookkeeping, all-zero on a clean run.
+struct SamplerStats {
+  std::uint64_t retries = 0;        // backoff-and-retry rounds taken
+  std::uint64_t gap_samples = 0;    // samples recorded as gaps
+  std::uint64_t fallback_substitutions = 0;
+  std::uint64_t deadline_failures = 0;  // samples failed by a deadline cap
+  std::uint64_t probes = 0;         // quarantine recovery probes attempted
+  std::uint64_t failed_samples = 0;  // samples that exhausted every attempt
 };
 
 class Sampler {
@@ -86,6 +143,24 @@ class Sampler {
 
   [[nodiscard]] const Principal& principal() const { return principal_; }
 
+  /// Install the resilience policy. Disabled (the default) keeps the strict
+  /// legacy semantics above; enabled, read_now retries retryable failures
+  /// with deterministic backoff (advancing the virtual clock), and
+  /// collect/collect_multi additionally run the per-channel health state
+  /// machine, substitute fallback reads, and record gaps instead of
+  /// throwing. With a fault-free board an enabled policy is an exact no-op.
+  void set_resilience(ResilienceConfig config) {
+    resilience_ = std::move(config);
+  }
+  [[nodiscard]] const ResilienceConfig& resilience() const {
+    return resilience_;
+  }
+
+  /// Current acquisition health of a channel (Healthy when never observed).
+  [[nodiscard]] ChannelHealth health(const Channel& channel) const;
+  /// Resilience bookkeeping so far (all-zero on clean runs / strict mode).
+  [[nodiscard]] SamplerStats stats() const;
+
   /// Number of attribute paths currently held by the stale-read detector
   /// cache. Never exceeds kStaleCacheCap (the cache is flushed when it
   /// would), so a long-running sampler cannot grow without bound.
@@ -97,8 +172,60 @@ class Sampler {
   static constexpr std::size_t kStaleCacheCap = 64;
 
  private:
+  /// One raw single-shot read, fully classified but never throwing: the
+  /// strict path, the retry loop, fallback substitution and recovery probes
+  /// all share it, so every read — resilient or not — emits identical
+  /// metrics and audit records.
+  struct RawRead {
+    bool ok = false;
+    bool malformed = false;  // text arrived but did not parse as a number
+    double value = 0.0;
+    hwmon::VfsStatus status = hwmon::VfsStatus::Ok;
+    std::string path;
+  };
+  RawRead read_raw(const Channel& channel);
+
+  /// Retry loop around read_raw per resilience_.retry. Backoff waits
+  /// advance the virtual clock. `trace_backoff_left` (may be null) is the
+  /// shared per-trace backoff budget; exhausting it fails the sample fast.
+  /// Sets *attempts_out to the attempts consumed.
+  RawRead read_with_retry(const Channel& channel,
+                          sim::TimeNs* trace_backoff_left,
+                          std::size_t* attempts_out);
+
+  /// Throw the typed error matching a failed RawRead.
+  [[noreturn]] void throw_for(const RawRead& r, const Channel& channel,
+                              std::size_t attempts) const;
+
+  /// One resilient sample of `channel` appended to `trace`: quarantine
+  /// gate / recovery probe, retry loop, fallback substitution, gap record.
+  void sample_resilient(const Channel& channel, Trace& trace,
+                        sim::TimeNs* trace_backoff_left);
+
+  /// Per-channel health bookkeeping (keyed by (rail, quantity)).
+  struct HealthState {
+    ChannelHealth state = ChannelHealth::Healthy;
+    std::size_t consecutive_failures = 0;
+    std::size_t skipped = 0;  // instants skipped while Quarantined
+  };
+  using HealthKey = std::pair<int, int>;
+  static HealthKey health_key(const Channel& c) {
+    return {static_cast<int>(c.rail), static_cast<int>(c.quantity)};
+  }
+  /// Advance the health machine after a resolved sample; publishes the new
+  /// state as an obs gauge when it changed. Caller holds res_mu_.
+  void note_sample_result_locked(const Channel& channel, bool ok);
+  void publish_health(const Channel& channel, ChannelHealth h) const;
+
   soc::Soc& soc_;
   Principal principal_;
+  ResilienceConfig resilience_{};
+  /// Guards stats_ and health_ (the sampler may be shared by concurrent
+  /// readers in the online-service case; the simulation substrate below
+  /// still requires external synchronization for clock advances).
+  mutable std::mutex res_mu_;
+  SamplerStats stats_;
+  std::map<HealthKey, HealthState> health_;
   /// Last raw attribute text per path — only maintained while obs metrics
   /// are enabled, to count stale-register reads (polls faster than the
   /// 35 ms conversion cadence return the previous conversion's registers).

@@ -1,5 +1,6 @@
 #include "amperebleed/core/trace.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace amperebleed::core {
@@ -48,6 +49,12 @@ std::string channel_name(const Channel& c) {
 Trace::Trace(Channel channel, sim::TimeNs start, sim::TimeNs period)
     : channel_(channel), start_(start), period_(period) {
   if (period.ns <= 0) throw std::invalid_argument("Trace: period must be > 0");
+}
+
+std::size_t Trace::gap_count() const {
+  if (validity_.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::count(validity_.begin(), validity_.end(), std::uint8_t{0}));
 }
 
 std::vector<double> Trace::prefix(std::size_t count) const {

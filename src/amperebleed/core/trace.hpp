@@ -5,6 +5,7 @@
 // current-vs-voltage-vs-power comparison.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,18 +35,45 @@ struct Channel {
 
 std::string channel_name(const Channel& c);
 
-/// Uniformly sampled series.
+/// Uniformly sampled series, gap-aware: every sample is either valid (a
+/// real hwmon reading) or a gap (the resilient sampler exhausted its retry
+/// budget at that instant). Gapless traces — the overwhelmingly common case
+/// — carry no mask at all: the validity vector is only materialized on the
+/// first push_gap(), so the fault-free fast path stays bit- and
+/// allocation-identical to the pre-gap-aware Trace.
 class Trace {
  public:
   Trace(Channel channel, sim::TimeNs start, sim::TimeNs period);
 
-  void push(double value) { values_.push_back(value); }
+  void push(double value) {
+    values_.push_back(value);
+    if (!validity_.empty()) validity_.push_back(1);
+  }
+  /// Record a gap: a placeholder value (0.0) marked invalid. Consumers
+  /// reconstruct via preprocess::fill_gaps / a GapPolicy — never feed raw
+  /// gap placeholders to features/ml.
+  void push_gap() {
+    if (validity_.empty()) validity_.assign(values_.size(), 1);
+    values_.push_back(0.0);
+    validity_.push_back(0);
+  }
   void reserve(std::size_t n) { values_.reserve(n); }
 
   [[nodiscard]] std::span<const double> values() const { return values_; }
   [[nodiscard]] std::size_t size() const { return values_.size(); }
   [[nodiscard]] bool empty() const { return values_.empty(); }
   [[nodiscard]] double operator[](std::size_t i) const { return values_.at(i); }
+
+  /// True when sample i holds a real reading (false: gap placeholder).
+  [[nodiscard]] bool valid(std::size_t i) const {
+    return validity_.empty() || validity_.at(i) != 0;
+  }
+  /// Per-sample validity mask; empty means "all valid" (gapless fast path).
+  [[nodiscard]] std::span<const std::uint8_t> validity() const {
+    return validity_;
+  }
+  [[nodiscard]] bool fully_valid() const { return gap_count() == 0; }
+  [[nodiscard]] std::size_t gap_count() const;
 
   [[nodiscard]] const Channel& channel() const { return channel_; }
   [[nodiscard]] sim::TimeNs start() const { return start_; }
@@ -67,6 +95,9 @@ class Trace {
   sim::TimeNs start_;
   sim::TimeNs period_;
   std::vector<double> values_;
+  /// Lazily materialized: empty while the trace is gapless (the common
+  /// case), first push_gap() backfills it with 1s. Parallel to values_.
+  std::vector<std::uint8_t> validity_;
 };
 
 }  // namespace amperebleed::core

@@ -37,10 +37,16 @@ void save_trace_csv(const Trace& trace, const std::string& path) {
       << " rail=" << power::rail_name(trace.channel().rail)
       << " start_ns=" << trace.start().ns
       << " period_ns=" << trace.period().ns << "\n";
-  out << "index,time_ms,value\n";
+  // Gapless traces keep the legacy 3-column format byte-for-byte; only a
+  // trace that actually holds gaps grows the `valid` column.
+  const bool with_validity = !trace.fully_valid();
+  out << (with_validity ? "index,time_ms,value,valid\n"
+                        : "index,time_ms,value\n");
   for (std::size_t i = 0; i < trace.size(); ++i) {
     out << i << ',' << util::format("%.3f", trace.time_of(i).millis()) << ','
-        << util::format("%.17g", trace[i]) << "\n";
+        << util::format("%.17g", trace[i]);
+    if (with_validity) out << ',' << (trace.valid(i) ? 1 : 0);
+    out << "\n";
   }
   if (!out) throw std::runtime_error("trace_io: write failed for " + path);
 }
@@ -81,10 +87,16 @@ Trace load_trace_csv(const std::string& path) {
   while (std::getline(in, line)) {
     if (util::trim(line).empty()) continue;
     const auto cells = util::split(line, ',');
-    if (cells.size() != 3) {
+    if (cells.size() != 3 && cells.size() != 4) {
       throw std::runtime_error("trace_io: malformed row in " + path);
     }
-    trace.push(std::stod(cells[2]));
+    // Legacy 3-column rows are fully valid; a 4th column of 0 marks a gap
+    // placeholder (its value cell is ignored on reconstruction anyway).
+    if (cells.size() == 4 && util::trim(cells[3]) == "0") {
+      trace.push_gap();
+    } else {
+      trace.push(std::stod(cells[2]));
+    }
   }
   return trace;
 }

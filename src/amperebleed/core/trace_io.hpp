@@ -10,11 +10,16 @@
 namespace amperebleed::core {
 
 /// Write a trace as CSV: a `# amperebleed-trace ...` metadata line followed
-/// by `index,time_ms,value` rows. Throws std::runtime_error on I/O failure.
+/// by `index,time_ms,value` rows. A gapless trace writes the legacy
+/// 3-column format byte-for-byte (archived artifacts stay diffable); a
+/// trace with gaps writes `index,time_ms,value,valid` rows instead, so the
+/// validity mask round-trips. Throws std::runtime_error on I/O failure.
 void save_trace_csv(const Trace& trace, const std::string& path);
 
 /// Load a trace written by save_trace_csv (metadata line restores channel,
-/// start and period exactly). Throws std::runtime_error on malformed input.
+/// start and period exactly; a 4th `valid` column restores the gap mask,
+/// and legacy 3-column files load as fully valid). Throws
+/// std::runtime_error on malformed input.
 Trace load_trace_csv(const std::string& path);
 
 }  // namespace amperebleed::core

@@ -1,0 +1,175 @@
+#pragma once
+// Deterministic fault injection for the acquisition stack. On a real ZCU102
+// the attack's signal path hangs off flaky kernel plumbing: hwmon sysfs
+// reads hit EAGAIN, driver rebinds make attributes vanish (ENOENT), udev
+// races flip permissions, short reads tear attribute text, conversion
+// registers freeze, and the update-interval cadence jitters. This module
+// reproduces all of it as a *seeded, exactly replayable* schedule:
+//
+//   faults::FaultPlan plan;
+//   plan.seed = 0xfa17;
+//   plan.rates[faults::FaultKind::Transient] = 0.05;
+//   faults::FaultInjector injector(plan);
+//   injector.attach(soc.hwmon().fs());     // hwmon read path
+//   injector.attach_bus(soc.i2c());        // raw INA226 register path
+//
+// Determinism contract: the decision for the n-th access of a given path
+// (or i2c register) is a pure function of (plan.seed, path, n). Two
+// injectors with the same plan produce byte-identical fault schedules no
+// matter how accesses to *different* paths interleave — which is what makes
+// chaos runs reproducible across thread-pool sizes and machines.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "amperebleed/hwmon/vfs.hpp"
+#include "amperebleed/sensors/i2c.hpp"
+
+namespace amperebleed::faults {
+
+/// Everything that can go wrong on the way from a shunt register to a
+/// parsed sample.
+enum class FaultKind {
+  Transient,       // EAGAIN: read surfaces VfsStatus::TryAgain
+  Hotplug,         // ENOENT: driver rebind / hwmon renumbering
+  PermissionFlap,  // EACCES: udev race re-chmods the attribute briefly
+  TornRead,        // short read: truncated attribute text
+  GarbageText,     // corrupted attribute text (non-numeric)
+  FrozenRegister,  // stuck conversion: the previous raw text repeats
+  LatencySpike,    // conversion-latency spike: one stale re-read
+  I2cNack,         // raw-path bus NACK (only drawn on the i2c path)
+};
+
+/// Bump together with the enum; every table below static_asserts against
+/// it so a new kind cannot silently miss a rate slot, the name map, or the
+/// per-kind obs counters.
+inline constexpr std::size_t kFaultKindCount = 8;
+
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::Transient,      FaultKind::Hotplug,
+    FaultKind::PermissionFlap, FaultKind::TornRead,
+    FaultKind::GarbageText,    FaultKind::FrozenRegister,
+    FaultKind::LatencySpike,   FaultKind::I2cNack,
+};
+static_assert(std::size(kAllFaultKinds) == kFaultKindCount,
+              "kAllFaultKinds must enumerate every FaultKind exactly once");
+
+std::string_view fault_kind_name(FaultKind k);
+/// Inverse of fault_kind_name; nullopt for unknown names.
+std::optional<FaultKind> fault_kind_from_name(std::string_view name);
+
+/// Per-access injection probability for each kind. Rates are independent;
+/// at most one fault fires per access (kinds are checked in declaration
+/// order against a single uniform draw, so the sum should stay <= 1).
+struct FaultRates {
+  std::array<double, kFaultKindCount> rate{};
+
+  double& operator[](FaultKind k) {
+    return rate[static_cast<std::size_t>(k)];
+  }
+  double operator[](FaultKind k) const {
+    return rate[static_cast<std::size_t>(k)];
+  }
+  /// Sum over the hwmon read-path kinds (everything but I2cNack).
+  [[nodiscard]] double read_total() const;
+  [[nodiscard]] bool any() const;
+};
+
+/// Burst model: once a fault fires on a path, it extends to the following
+/// accesses of the *same path* with geometric continuation — EAGAIN storms
+/// and rebind windows on real boards span several polls, not one.
+struct BurstModel {
+  double continue_probability = 0.0;  // P(fault persists to the next access)
+  std::size_t max_length = 4;         // hard cap on a burst, in accesses
+};
+
+/// A complete, reproducible chaos schedule.
+struct FaultPlan {
+  std::uint64_t seed = 0xfa17;
+  FaultRates rates{};
+  BurstModel burst{};
+
+  [[nodiscard]] bool any() const { return rates.any(); }
+
+  /// Uniform transient-flavoured chaos at total rate `r`: the mix the
+  /// ablation sweeps (mostly EAGAIN, plus rebinds, flaps, torn/garbage
+  /// text and frozen registers in the tail).
+  static FaultPlan chaos(std::uint64_t seed, double r);
+  /// Only EAGAIN at rate `r` (the cleanest retry-policy stressor).
+  static FaultPlan transient_only(std::uint64_t seed, double r);
+  /// Seed from AMPEREBLEED_FAULT_SEED and total rate from
+  /// AMPEREBLEED_FAULT_RATE (defaults: 0xfa17, 0.05) — the CI chaos
+  /// matrix's entry point.
+  static FaultPlan from_env();
+};
+
+/// Seeded injector that wraps a VirtualFs read path and/or an I2C bus.
+/// Thread-safe: per-path state is mutex-guarded, and determinism holds
+/// per path regardless of cross-path interleaving.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  /// Detaches from any attached filesystem/bus.
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Install this injector on a filesystem's read path. The injector must
+  /// outlive the attachment (detach() or destruction removes the hook).
+  void attach(hwmon::VirtualFs& fs);
+  /// Install this injector on a bus (I2cNack faults only).
+  void attach_bus(sensors::I2cBus& bus);
+  void detach();
+
+  /// Decision core, public for tests: the (possibly faulted) result the
+  /// n-th read of `path` surfaces given its clean result.
+  [[nodiscard]] hwmon::VfsResult filter_read(std::string_view path,
+                                             bool privileged,
+                                             hwmon::VfsResult clean);
+  /// True when the n-th transaction on (address, reg) should NACK.
+  [[nodiscard]] bool filter_i2c(std::uint8_t address, std::uint8_t reg,
+                                bool is_write);
+
+  struct Stats {
+    std::array<std::uint64_t, kFaultKindCount> injected{};
+    std::uint64_t accesses = 0;  // decisions taken (reads + i2c)
+    [[nodiscard]] std::uint64_t total_injected() const;
+    [[nodiscard]] std::uint64_t by_kind(FaultKind k) const {
+      return injected[static_cast<std::size_t>(k)];
+    }
+  };
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct PathState {
+    std::uint64_t accesses = 0;    // decision sequence number
+    std::string last_clean;        // latest clean text (frozen/latency)
+    FaultKind burst_kind = FaultKind::Transient;
+    std::size_t burst_left = 0;    // active burst continuation
+  };
+
+  /// Draw the fault (if any) for the next access of `state`, advancing its
+  /// sequence number. `stream` identifies the path. Burst continuation and
+  /// corruption parameters all derive from the same per-access rng.
+  std::optional<FaultKind> draw(PathState& state, std::uint64_t stream,
+                                bool i2c_path, std::uint64_t* corrupt_word);
+  void note_injected(FaultKind k, std::string_view path, bool privileged);
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::map<std::string, PathState, std::less<>> paths_;
+  Stats stats_;
+  hwmon::VirtualFs* fs_ = nullptr;
+  sensors::I2cBus* bus_ = nullptr;
+};
+
+}  // namespace amperebleed::faults

@@ -36,6 +36,11 @@ void note_access(const char* op, std::string_view path, bool privileged,
 }  // namespace
 
 std::string_view vfs_status_name(VfsStatus s) {
+  // -Wswitch flags a missing case here; kVfsStatusCount static_asserts keep
+  // kAllVfsStatuses (and thus the per-status obs counters and the
+  // vfs_status_from_name inverse, which both iterate it) in lock-step.
+  static_assert(kVfsStatusCount == 8,
+                "new VfsStatus: add a case below and extend kAllVfsStatuses");
   switch (s) {
     case VfsStatus::Ok:
       return "ok";
@@ -51,6 +56,8 @@ std::string_view vfs_status_name(VfsStatus s) {
       return "not-writable";
     case VfsStatus::InvalidArgument:
       return "invalid-argument";
+    case VfsStatus::TryAgain:
+      return "try-again";
   }
   return "unknown";
 }
@@ -149,8 +156,22 @@ VfsResult VirtualFs::read(std::string_view path, bool privileged) const {
     if (!node->reader) return {VfsStatus::Ok, {}};
     return {VfsStatus::Ok, node->reader()};
   }();
+  // Fault injection happens between the clean read and the accounting, so
+  // an injected EAGAIN/ENOENT/torn read is indistinguishable from a real
+  // one to every consumer — including the per-status counters below.
+  if (read_fault_hook_) {
+    result = read_fault_hook_(path, privileged, std::move(result));
+  }
   note_access("read", path, privileged, result.status);
   return result;
+}
+
+void VirtualFs::set_read_fault_hook(ReadFaultHook hook) {
+  if (hook && read_fault_hook_) {
+    throw std::logic_error(
+        "VirtualFs: a read-fault hook is already installed");
+  }
+  read_fault_hook_ = std::move(hook);
 }
 
 VfsResult VirtualFs::write(std::string_view path, std::string_view data,

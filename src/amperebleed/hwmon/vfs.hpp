@@ -4,7 +4,9 @@
 // interface the attack uses — reads go through the same permission checks a
 // real /sys/class/hwmon tree would apply.
 
+#include <cstddef>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,7 +24,14 @@ enum class VfsStatus {
   NotDirectory,
   NotWritable,
   InvalidArgument,  // write rejected by the attribute (EINVAL)
+  TryAgain,         // transient failure (EAGAIN) — retry may succeed
 };
+
+/// Number of VfsStatus values. When adding a status, bump this in the same
+/// change — every table below static_asserts against it, so a new status
+/// cannot silently miss kAllVfsStatuses, the name map, or the per-status
+/// obs counters (which derive their names from vfs_status_name).
+inline constexpr std::size_t kVfsStatusCount = 8;
 
 /// All statuses, in declaration order (for exhaustive iteration in tests
 /// and per-status counter registration).
@@ -30,8 +39,10 @@ inline constexpr VfsStatus kAllVfsStatuses[] = {
     VfsStatus::Ok,          VfsStatus::NotFound,
     VfsStatus::PermissionDenied, VfsStatus::IsDirectory,
     VfsStatus::NotDirectory,     VfsStatus::NotWritable,
-    VfsStatus::InvalidArgument,
+    VfsStatus::InvalidArgument,  VfsStatus::TryAgain,
 };
+static_assert(std::size(kAllVfsStatuses) == kVfsStatusCount,
+              "kAllVfsStatuses must enumerate every VfsStatus exactly once");
 
 std::string_view vfs_status_name(VfsStatus s);
 /// Inverse of vfs_status_name; nullopt for unknown names.
@@ -48,6 +59,16 @@ struct VfsResult {
 using ReadFn = std::function<std::string()>;
 /// Attribute write callback: apply the value; return false to signal EINVAL.
 using WriteFn = std::function<bool(std::string_view)>;
+
+/// Read-fault hook: invoked after a read's clean result is computed and may
+/// replace it — the seam `faults::FaultInjector` uses to model EAGAIN,
+/// driver rebinds, permission flaps, torn/garbage attribute text and stuck
+/// conversion registers without the filesystem knowing about fault plans.
+/// The surfaced (possibly faulted) status is what lands in the per-status
+/// obs counters and the access-audit log.
+using ReadFaultHook =
+    std::function<VfsResult(std::string_view path, bool privileged,
+                            VfsResult clean)>;
 
 class VirtualFs {
  public:
@@ -68,6 +89,14 @@ class VirtualFs {
 
   /// Read a file. `privileged` models uid 0.
   [[nodiscard]] VfsResult read(std::string_view path, bool privileged) const;
+
+  /// Install (or clear, with nullptr) the read-fault hook. At most one hook
+  /// is active; installing over an existing hook throws so two injectors
+  /// cannot silently fight over the same tree.
+  void set_read_fault_hook(ReadFaultHook hook);
+  [[nodiscard]] bool has_read_fault_hook() const {
+    return static_cast<bool>(read_fault_hook_);
+  }
 
   /// Write a file.
   VfsResult write(std::string_view path, std::string_view data,
@@ -95,6 +124,7 @@ class VirtualFs {
                     std::size_t count);
 
   std::unique_ptr<Node> root_;
+  ReadFaultHook read_fault_hook_;
 };
 
 }  // namespace amperebleed::hwmon

@@ -7,6 +7,15 @@
 
 namespace amperebleed::util {
 
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::vector<std::string> split(std::string_view s, char sep) {
   std::vector<std::string> out;
   std::size_t start = 0;

@@ -2,12 +2,18 @@
 // Small string helpers shared by the hwmon virtual filesystem and report
 // rendering. Kept header-light; implementations in strings.cpp.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace amperebleed::util {
+
+/// FNV-1a 64-bit — a stable, platform-independent string hash, used to turn
+/// attribute paths into decision-stream identifiers for fault schedules and
+/// retry jitter (std::hash makes no cross-platform promise).
+std::uint64_t fnv1a(std::string_view s) noexcept;
 
 /// Split `s` on `sep`, keeping empty fields ("a//b" -> {"a","","b"}).
 std::vector<std::string> split(std::string_view s, char sep);

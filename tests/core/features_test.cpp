@@ -46,6 +46,35 @@ TEST(AddTrace, AppendsPrefixWithLabel) {
   EXPECT_DOUBLE_EQ(d.row(0)[2], 20.0);
 }
 
+TEST(AddTrace, GapAwareVariantReconstructsBeforeTruncation) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  t.push(10.0);
+  t.push_gap();
+  t.push(30.0);
+  t.push(40.0);
+  ml::Dataset d(3);
+  add_trace(d, t, 2, 3, GapPolicy::LinearInterpolate);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 10.0);
+  EXPECT_DOUBLE_EQ(d.row(0)[1], 20.0);  // reconstructed, not the 0.0 slot
+  EXPECT_DOUBLE_EQ(d.row(0)[2], 30.0);
+  // Fixed-length feature vectors cannot drop samples.
+  EXPECT_THROW(add_trace(d, t, 2, 3, GapPolicy::Drop), std::invalid_argument);
+}
+
+TEST(AddTrace, GapAwareVariantMatchesPlainPathOnGaplessTraces) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  for (int i = 0; i < 4; ++i) t.push(i * 10.0);
+  ml::Dataset plain(3);
+  add_trace(plain, t, 1, 3);
+  ml::Dataset gap_aware(3);
+  add_trace(gap_aware, t, 1, 3, GapPolicy::HoldLast);
+  ASSERT_EQ(plain.size(), gap_aware.size());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(plain.row(0)[i], gap_aware.row(0)[i]);
+  }
+}
+
 TEST(BuildDataset, LabelsFollowGroupOrder) {
   std::vector<std::vector<Trace>> groups;
   for (int label = 0; label < 3; ++label) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -89,6 +90,76 @@ TEST_F(TraceIoTest, RejectsBadMetadata) {
            "period_ns=0\n";
   }
   EXPECT_THROW(load_trace_csv(path_), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Validity-mask round trip (resilient acquisition leaves gaps in traces).
+
+TEST_F(TraceIoTest, GaplessFileStaysLegacyThreeColumn) {
+  // Fault-free traces must keep the exact legacy on-disk format so archived
+  // trajectories diff clean against new saves.
+  save_trace_csv(make_trace(), path_);
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);  // metadata comment
+  std::getline(in, line);
+  EXPECT_EQ(line, "index,time_ms,value");
+  while (std::getline(in, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 2) << line;
+  }
+}
+
+TEST_F(TraceIoTest, HoleyTraceRoundTripsValidityMask) {
+  Trace original({power::Rail::FpgaLogic, Quantity::Current},
+                 sim::milliseconds(5), sim::milliseconds(2));
+  original.push(120.0);
+  original.push_gap();
+  original.push(130.0);
+  original.push_gap();
+  save_trace_csv(original, path_);
+
+  const Trace loaded = load_trace_csv(path_);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.gap_count(), 2u);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.valid(i), original.valid(i)) << "index " << i;
+    EXPECT_DOUBLE_EQ(loaded[i], original[i]) << "index " << i;
+  }
+}
+
+TEST_F(TraceIoTest, HoleyFileCarriesValidColumn) {
+  Trace t({power::Rail::Ddr, Quantity::Current}, sim::TimeNs{0},
+          sim::milliseconds(1));
+  t.push(7.0);
+  t.push_gap();
+  save_trace_csv(t, path_);
+  std::ifstream in(path_);
+  std::string line;
+  std::getline(in, line);  // metadata comment
+  std::getline(in, line);
+  EXPECT_EQ(line, "index,time_ms,value,valid");
+  std::getline(in, line);
+  EXPECT_EQ(std::count(line.begin(), line.end(), ','), 3) << line;
+  EXPECT_EQ(line.back(), '1');
+  std::getline(in, line);
+  EXPECT_EQ(line.back(), '0');
+}
+
+TEST_F(TraceIoTest, LegacyThreeColumnFileLoadsFullyValid) {
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=current rail=ddr start_ns=0 "
+           "period_ns=1000000\n";
+    out << "index,time_ms,value\n";
+    out << "0,0.000,5\n";
+    out << "1,1.000,6\n";
+  }
+  const Trace loaded = load_trace_csv(path_);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.fully_valid());
+  EXPECT_EQ(loaded.gap_count(), 0u);
+  EXPECT_DOUBLE_EQ(loaded[0], 5.0);
+  EXPECT_DOUBLE_EQ(loaded[1], 6.0);
 }
 
 }  // namespace

@@ -47,6 +47,45 @@ TEST(Trace, ValuesAccessors) {
   EXPECT_EQ(t.values().size(), 1u);
 }
 
+TEST(Trace, GaplessTraceCarriesNoMask) {
+  // The validity vector only materializes on the first push_gap(), so the
+  // fault-free fast path stays allocation-identical to the legacy Trace.
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  for (int i = 0; i < 5; ++i) t.push(i);
+  EXPECT_TRUE(t.validity().empty());
+  EXPECT_TRUE(t.fully_valid());
+  EXPECT_EQ(t.gap_count(), 0u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_TRUE(t.valid(i));
+}
+
+TEST(Trace, PushGapBackfillsAndMarks) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  t.push(1.0);
+  t.push(2.0);
+  t.push_gap();
+  t.push(4.0);
+  t.push_gap();
+  ASSERT_EQ(t.size(), 5u);
+  ASSERT_EQ(t.validity().size(), 5u);  // backfilled on first gap
+  EXPECT_TRUE(t.valid(0));
+  EXPECT_TRUE(t.valid(1));
+  EXPECT_FALSE(t.valid(2));
+  EXPECT_TRUE(t.valid(3));
+  EXPECT_FALSE(t.valid(4));
+  EXPECT_DOUBLE_EQ(t[2], 0.0);  // gap placeholder
+  EXPECT_EQ(t.gap_count(), 2u);
+  EXPECT_FALSE(t.fully_valid());
+  // Timestamps/duration are unaffected: gaps occupy their sample slot.
+  EXPECT_EQ(t.duration(), sim::milliseconds(5));
+}
+
+TEST(Trace, GapBoundsChecked) {
+  Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
+  t.push(1.0);
+  t.push_gap();
+  EXPECT_THROW(static_cast<void>(t.valid(2)), std::out_of_range);
+}
+
 TEST(Trace, PrefixExtractsFeatures) {
   Trace t({}, sim::TimeNs{0}, sim::milliseconds(1));
   for (int i = 0; i < 10; ++i) t.push(i);

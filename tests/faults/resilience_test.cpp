@@ -1,0 +1,392 @@
+#include "amperebleed/core/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/faults/faults.hpp"
+#include "amperebleed/hwmon/vfs.hpp"
+#include "amperebleed/power/activity.hpp"
+#include "amperebleed/soc/soc.hpp"
+
+namespace amperebleed::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RetryPolicy backoff math.
+
+TEST(RetryPolicyBackoff, DeterministicAndJitterBounded) {
+  const RetryPolicy rp;
+  EXPECT_EQ(rp.backoff(0, 1).ns, 0);
+  for (std::uint64_t stream : {1ull, 0xfeedull}) {
+    for (std::size_t attempt = 1; attempt <= 8; ++attempt) {
+      const auto a = rp.backoff(attempt, stream);
+      const auto b = rp.backoff(attempt, stream);
+      EXPECT_EQ(a.ns, b.ns) << "backoff must be a pure function";
+      const double base =
+          std::min(static_cast<double>(rp.initial_backoff.ns) *
+                       std::pow(rp.multiplier, static_cast<double>(attempt - 1)),
+                   static_cast<double>(rp.max_backoff.ns));
+      EXPECT_GE(a.ns, static_cast<std::int64_t>(base * (1.0 - rp.jitter)) - 1);
+      EXPECT_LE(a.ns, static_cast<std::int64_t>(base * (1.0 + rp.jitter)) + 1);
+    }
+  }
+  // Different streams decorrelate the jitter.
+  EXPECT_NE(rp.backoff(1, 1).ns, rp.backoff(1, 2).ns);
+}
+
+TEST(RetryPolicyBackoff, NoJitterIsExactClampedExponential) {
+  RetryPolicy rp;
+  rp.jitter = 0.0;
+  EXPECT_EQ(rp.backoff(1, 9).ns, sim::microseconds(200).ns);
+  EXPECT_EQ(rp.backoff(2, 9).ns, sim::microseconds(400).ns);
+  EXPECT_EQ(rp.backoff(3, 9).ns, sim::microseconds(800).ns);
+  EXPECT_EQ(rp.backoff(6, 9).ns, sim::microseconds(6400).ns);
+  EXPECT_EQ(rp.backoff(7, 9).ns, rp.max_backoff.ns);   // clamped
+  EXPECT_EQ(rp.backoff(20, 9).ns, rp.max_backoff.ns);  // stays clamped
+}
+
+TEST(ChannelHealthNames, AllNamed) {
+  EXPECT_EQ(channel_health_name(ChannelHealth::Healthy), "healthy");
+  EXPECT_EQ(channel_health_name(ChannelHealth::Degraded), "degraded");
+  EXPECT_EQ(channel_health_name(ChannelHealth::Quarantined), "quarantined");
+  EXPECT_EQ(channel_health_name(ChannelHealth::Probing), "probing");
+}
+
+TEST(FallbackChain, TableThreeAccuracyOrderMinusPrimary) {
+  const Channel fpga_curr{power::Rail::FpgaLogic, Quantity::Current};
+  const Channel fpga_pow{power::Rail::FpgaLogic, Quantity::Power};
+  const Channel ddr_curr{power::Rail::Ddr, Quantity::Current};
+
+  const auto from_curr = fallback_chain(fpga_curr);
+  ASSERT_EQ(from_curr.size(), 2u);
+  EXPECT_EQ(from_curr[0], fpga_pow);
+  EXPECT_EQ(from_curr[1], ddr_curr);
+
+  const auto from_ddr = fallback_chain(ddr_curr);
+  ASSERT_EQ(from_ddr.size(), 2u);
+  EXPECT_EQ(from_ddr[0], fpga_curr);
+  EXPECT_EQ(from_ddr[1], fpga_pow);
+
+  // A channel outside the preference list falls back to the full list.
+  const auto from_volt =
+      fallback_chain({power::Rail::FpgaLogic, Quantity::Voltage});
+  EXPECT_EQ(from_volt.size(), 3u);
+}
+
+TEST(ResilienceConfig, StrictByDefault) {
+  const ResilienceConfig config;
+  EXPECT_FALSE(config.enabled);
+  EXPECT_FALSE(config.fallback_enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Sampler under injected faults.
+
+constexpr Channel kFpgaCurrent{power::Rail::FpgaLogic, Quantity::Current};
+
+std::unique_ptr<soc::Soc> make_soc(std::uint64_t seed = 1) {
+  auto soc = std::make_unique<soc::Soc>(soc::zcu102_config(seed));
+  power::RailActivity load;
+  load.on(power::Rail::FpgaLogic).append(sim::microseconds(1), 1.0);
+  soc->add_activity(load);
+  soc->finalize();
+  return soc;
+}
+
+ResilienceConfig enabled_config() {
+  ResilienceConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(ResilientSampler, RetriesRecoverTransientFaults) {
+  auto soc = make_soc();
+  faults::FaultInjector injector(faults::FaultPlan::transient_only(3, 0.25));
+  injector.attach(soc->hwmon().fs());
+
+  Sampler sampler(*soc);
+  sampler.set_resilience(enabled_config());
+  SamplerConfig config;
+  config.sample_count = 50;
+  const Trace t = sampler.collect(kFpgaCurrent, sim::milliseconds(40), config);
+  EXPECT_EQ(t.size(), 50u);
+  // A 25% transient rate against a 4-attempt budget loses almost nothing.
+  EXPECT_LE(t.gap_count(), 3u);
+  const auto stats = sampler.stats();
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_EQ(stats.fallback_substitutions, 0u);
+}
+
+TEST(ResilientSampler, EnabledPolicyIsExactNoOpOnCleanBoard) {
+  // Same board seed, no faults: strict and resilient collections must be
+  // bit-identical, and the resilience bookkeeping must stay all-zero.
+  SamplerConfig config;
+  config.sample_count = 40;
+
+  auto strict_soc = make_soc(77);
+  Sampler strict(*strict_soc);
+  const Trace a = strict.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  auto resilient_soc = make_soc(77);
+  Sampler resilient(*resilient_soc);
+  auto rc = enabled_config();
+  rc.fallback_enabled = true;
+  resilient.set_resilience(rc);
+  const Trace b =
+      resilient.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "sample " << i;  // bit-identical, not just close
+  }
+  EXPECT_TRUE(b.fully_valid());
+  const auto stats = resilient.stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.gap_samples, 0u);
+  EXPECT_EQ(stats.fallback_substitutions, 0u);
+  EXPECT_EQ(stats.failed_samples, 0u);
+  EXPECT_EQ(resilient.health(kFpgaCurrent), ChannelHealth::Healthy);
+}
+
+TEST(ResilientSampler, ChannelGoneCarriesContextInStrictMode) {
+  auto soc = make_soc();
+  faults::FaultPlan plan;
+  plan.rates[faults::FaultKind::Hotplug] = 1.0;
+  faults::FaultInjector injector(plan);
+  injector.attach(soc->hwmon().fs());
+
+  Sampler sampler(*soc);
+  soc->advance_to(sim::milliseconds(40));
+  try {
+    static_cast<void>(sampler.read_now(kFpgaCurrent));
+    FAIL() << "expected ChannelGone";
+  } catch (const ChannelGone& e) {
+    EXPECT_EQ(e.channel(), kFpgaCurrent);
+    EXPECT_NE(e.path().find("curr1_input"), std::string::npos);
+    EXPECT_EQ(e.attempts(), 1u);  // strict mode never retries
+    EXPECT_NE(std::string(e.what()).find("curr1_input"), std::string::npos);
+  }
+}
+
+TEST(ResilientSampler, TransientErrorReportsExhaustedAttempts) {
+  auto soc = make_soc();
+  faults::FaultInjector injector(faults::FaultPlan::transient_only(1, 1.0));
+  injector.attach(soc->hwmon().fs());
+
+  Sampler sampler(*soc);
+  auto rc = enabled_config();
+  rc.retry.max_attempts = 3;
+  sampler.set_resilience(rc);
+  soc->advance_to(sim::milliseconds(40));
+  try {
+    static_cast<void>(sampler.read_now(kFpgaCurrent));
+    FAIL() << "expected TransientError";
+  } catch (const TransientError& e) {
+    EXPECT_EQ(e.attempts(), 3u);
+  }
+  EXPECT_EQ(sampler.stats().retries, 2u);  // two backoffs between 3 attempts
+}
+
+TEST(ResilientSampler, GarbageTextSurfacesAsMalformedData) {
+  auto soc = make_soc();
+  faults::FaultPlan plan;
+  plan.rates[faults::FaultKind::GarbageText] = 1.0;
+  faults::FaultInjector injector(plan);
+  injector.attach(soc->hwmon().fs());
+
+  Sampler sampler(*soc);
+  soc->advance_to(sim::milliseconds(40));
+  EXPECT_THROW(static_cast<void>(sampler.read_now(kFpgaCurrent)),
+               MalformedData);
+}
+
+TEST(ResilientSampler, HealthDegradesThenQuarantinesThenProbes) {
+  auto soc = make_soc();
+  // Fail every unprivileged read of the FPGA current attribute, forever.
+  soc->hwmon().fs().set_read_fault_hook(
+      [](std::string_view path, bool, hwmon::VfsResult clean) {
+        if (path.find("curr1_input") != std::string_view::npos) {
+          return hwmon::VfsResult{hwmon::VfsStatus::NotFound, {}};
+        }
+        return clean;
+      });
+
+  Sampler sampler(*soc);
+  sampler.set_resilience(enabled_config());  // degrade 2 / quarantine 4 / probe 8
+  SamplerConfig config;
+  config.sample_count = 20;
+  const Trace t = sampler.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  // Everything is a gap: 4 polled failures, then quarantine skips with two
+  // recovery probes (instants 11 and 19) that both fail.
+  EXPECT_EQ(t.size(), 20u);
+  EXPECT_EQ(t.gap_count(), 20u);
+  EXPECT_EQ(sampler.health(kFpgaCurrent), ChannelHealth::Quarantined);
+  const auto stats = sampler.stats();
+  EXPECT_EQ(stats.failed_samples, 4u);
+  EXPECT_EQ(stats.probes, 2u);
+  EXPECT_EQ(stats.gap_samples, 20u);
+}
+
+TEST(ResilientSampler, RecoveryProbeReopensAHealedChannel) {
+  auto soc = make_soc();
+  soc::Soc* soc_raw = soc.get();
+  // The attribute is dead until t = 200 ms, then heals (driver re-bound).
+  soc->hwmon().fs().set_read_fault_hook(
+      [soc_raw](std::string_view path, bool, hwmon::VfsResult clean) {
+        if (soc_raw->now().ns < sim::milliseconds(200).ns &&
+            path.find("curr1_input") != std::string_view::npos) {
+          return hwmon::VfsResult{hwmon::VfsStatus::NotFound, {}};
+        }
+        return clean;
+      });
+
+  Sampler sampler(*soc);
+  sampler.set_resilience(enabled_config());
+  SamplerConfig config;
+  config.sample_count = 20;  // samples at 40 + 35*i ms
+  const Trace t = sampler.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  ASSERT_EQ(t.size(), 20u);
+  // Samples 0-3 fail and quarantine the channel; 4-10 are skipped; the
+  // probe at instant 11 (t = 425 ms, past the heal) succeeds and re-opens.
+  for (std::size_t i = 0; i < 11; ++i) EXPECT_FALSE(t.valid(i)) << i;
+  for (std::size_t i = 11; i < 20; ++i) EXPECT_TRUE(t.valid(i)) << i;
+  EXPECT_EQ(sampler.health(kFpgaCurrent), ChannelHealth::Healthy);
+  EXPECT_EQ(sampler.stats().probes, 1u);
+}
+
+TEST(ResilientSampler, FallbackSubstitutesNextBestChannel) {
+  auto soc = make_soc();
+  soc->hwmon().fs().set_read_fault_hook(
+      [](std::string_view path, bool, hwmon::VfsResult clean) {
+        if (path.find("curr1_input") != std::string_view::npos) {
+          return hwmon::VfsResult{hwmon::VfsStatus::NotFound, {}};
+        }
+        return clean;
+      });
+
+  Sampler sampler(*soc);
+  auto rc = enabled_config();
+  rc.fallback_enabled = true;
+  sampler.set_resilience(rc);
+  SamplerConfig config;
+  config.sample_count = 10;
+  const Trace t = sampler.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  // Every sample substitutes the FPGA power channel (Table III order), so
+  // the trace stays gap-free — in power units (uW), far above mA readings.
+  EXPECT_TRUE(t.fully_valid());
+  const auto stats = sampler.stats();
+  EXPECT_EQ(stats.fallback_substitutions, 10u);
+  EXPECT_EQ(stats.gap_samples, 0u);
+  for (double v : t.values()) EXPECT_GT(v, 100000.0);
+}
+
+TEST(ResilientSampler, PerSampleDeadlineFailsFast) {
+  auto soc = make_soc();
+  faults::FaultInjector injector(faults::FaultPlan::transient_only(1, 1.0));
+  injector.attach(soc->hwmon().fs());
+
+  Sampler sampler(*soc);
+  auto rc = enabled_config();
+  rc.retry.per_sample_deadline = sim::microseconds(50);  // < first backoff
+  sampler.set_resilience(rc);
+  SamplerConfig config;
+  config.sample_count = 5;
+  const Trace t = sampler.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  EXPECT_EQ(t.gap_count(), 5u);
+  const auto stats = sampler.stats();
+  EXPECT_EQ(stats.retries, 0u);  // the deadline vetoed every backoff
+  EXPECT_GT(stats.deadline_failures, 0u);
+}
+
+TEST(ResilientSampler, PerTraceBudgetExhaustsDeterministically) {
+  auto soc = make_soc();
+  faults::FaultInjector injector(faults::FaultPlan::transient_only(1, 1.0));
+  injector.attach(soc->hwmon().fs());
+
+  Sampler sampler(*soc);
+  auto rc = enabled_config();
+  rc.retry.jitter = 0.0;  // exact 200/400/800 us backoffs
+  rc.retry.per_trace_deadline = sim::microseconds(500);
+  rc.health.degrade_after = 1000;  // keep the health machine out of the way
+  rc.health.quarantine_after = 1000;
+  sampler.set_resilience(rc);
+  SamplerConfig config;
+  config.sample_count = 10;
+  const Trace t = sampler.collect(kFpgaCurrent, sim::milliseconds(40), config);
+
+  EXPECT_EQ(t.gap_count(), 10u);
+  const auto stats = sampler.stats();
+  // Sample 1 spends 200 us, sample 2 another 200 us; the 400 us follow-ups
+  // and every later first backoff exceed what remains of the 500 us budget.
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.deadline_failures, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// collect_multi under a mid-trace permission flip (udev race re-chmods the
+// attributes while a fingerprinting trace is in flight).
+
+hwmon::ReadFaultHook permission_flip_hook(soc::Soc* soc, sim::TimeNs flip) {
+  return [soc, flip](std::string_view, bool privileged,
+                     hwmon::VfsResult clean) {
+    if (!privileged && soc->now().ns >= flip.ns) {
+      return hwmon::VfsResult{hwmon::VfsStatus::PermissionDenied, {}};
+    }
+    return clean;
+  };
+}
+
+TEST(ResilientSampler, CollectMultiSurvivesMidTracePermissionFlip) {
+  const std::vector<Channel> channels = {
+      kFpgaCurrent, {power::Rail::FpgaLogic, Quantity::Power}};
+  const sim::TimeNs flip{sim::milliseconds(40).ns +
+                         10 * sim::milliseconds(35).ns};
+
+  auto soc = make_soc();
+  soc->hwmon().fs().set_read_fault_hook(permission_flip_hook(soc.get(), flip));
+  Sampler sampler(*soc);
+  sampler.set_resilience(enabled_config());
+  SamplerConfig config;
+  config.sample_count = 20;
+  const auto traces =
+      sampler.collect_multi(channels, sim::milliseconds(40), config);
+
+  ASSERT_EQ(traces.size(), 2u);
+  for (const Trace& t : traces) {
+    ASSERT_EQ(t.size(), 20u) << "gaps must keep their sample slots";
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_TRUE(t.valid(i)) << i;
+    for (std::size_t i = 10; i < 20; ++i) EXPECT_FALSE(t.valid(i)) << i;
+  }
+  EXPECT_EQ(sampler.health(kFpgaCurrent), ChannelHealth::Quarantined);
+}
+
+TEST(ResilientSampler, StrictModeStillThrowsOnThePermissionFlip) {
+  const sim::TimeNs flip{sim::milliseconds(40).ns +
+                         10 * sim::milliseconds(35).ns};
+  auto soc = make_soc();
+  soc->hwmon().fs().set_read_fault_hook(permission_flip_hook(soc.get(), flip));
+  Sampler sampler(*soc);  // resilience disabled: legacy semantics
+  SamplerConfig config;
+  config.sample_count = 20;
+  try {
+    static_cast<void>(
+        sampler.collect_multi({kFpgaCurrent}, sim::milliseconds(40), config));
+    FAIL() << "expected SamplingError";
+  } catch (const SamplingError& e) {
+    EXPECT_NE(std::string(e.what()).find("hwmon read denied"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace amperebleed::core

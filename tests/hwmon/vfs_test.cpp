@@ -145,6 +145,59 @@ TEST(VfsStatusName, AllNamed) {
   EXPECT_EQ(vfs_status_name(VfsStatus::PermissionDenied),
             "permission-denied");
   EXPECT_EQ(vfs_status_name(VfsStatus::InvalidArgument), "invalid-argument");
+  EXPECT_EQ(vfs_status_name(VfsStatus::TryAgain), "try-again");
+}
+
+TEST(VirtualFs, ReadFaultHookInterceptsReads) {
+  VirtualFs fs;
+  fs.add_file("/flaky", 0444, []() { return "42\n"; });
+  EXPECT_FALSE(fs.has_read_fault_hook());
+
+  int calls = 0;
+  fs.set_read_fault_hook(
+      [&](std::string_view path, bool privileged, VfsResult clean) {
+        ++calls;
+        EXPECT_EQ(path, "/flaky");
+        EXPECT_FALSE(privileged);
+        EXPECT_TRUE(clean.ok());
+        EXPECT_EQ(clean.data, "42\n");
+        if (calls == 1) return VfsResult{VfsStatus::TryAgain, {}};
+        return clean;
+      });
+  EXPECT_TRUE(fs.has_read_fault_hook());
+
+  // First read faulted, second surfaces the clean result untouched.
+  EXPECT_EQ(fs.read("/flaky", false).status, VfsStatus::TryAgain);
+  EXPECT_EQ(fs.read("/flaky", false).data, "42\n");
+  EXPECT_EQ(calls, 2);
+
+  // Only one injector may own the seam at a time; detaching frees it.
+  EXPECT_THROW(fs.set_read_fault_hook(
+                   [](std::string_view, bool, VfsResult clean) {
+                     return clean;
+                   }),
+               std::logic_error);
+  fs.set_read_fault_hook(nullptr);
+  EXPECT_FALSE(fs.has_read_fault_hook());
+  EXPECT_TRUE(fs.read("/flaky", false).ok());
+}
+
+TEST(VirtualFs, FaultHookSeesPermissionFailures) {
+  // The hook wraps the *clean result* of every read — including permission
+  // failures — so an injector sees every access and its per-path sequence
+  // numbers stay honest regardless of the policy in force.
+  VirtualFs fs;
+  fs.add_file("/root_only", 0400, []() { return "1\n"; });
+  int calls = 0;
+  fs.set_read_fault_hook(
+      [&](std::string_view, bool, VfsResult clean) {
+        ++calls;
+        EXPECT_EQ(clean.status, VfsStatus::PermissionDenied);
+        return clean;
+      });
+  EXPECT_EQ(fs.read("/root_only", false).status,
+            VfsStatus::PermissionDenied);
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(VfsStatusName, RoundTripsEveryStatus) {
@@ -201,6 +254,22 @@ TEST_F(VfsObsCounters, EveryReadBranchHasADistinctCounter) {
   EXPECT_EQ(reads(VfsStatus::PermissionDenied), 1u);
   EXPECT_EQ(reads(VfsStatus::NotWritable), 0u);
   EXPECT_EQ(reads(VfsStatus::InvalidArgument), 0u);
+  EXPECT_EQ(reads(VfsStatus::TryAgain), 0u);
+}
+
+TEST_F(VfsObsCounters, InjectedTryAgainLandsInItsOwnCounter) {
+  // The surfaced (possibly faulted) status is what is metered: an injected
+  // EAGAIN increments hwmon.vfs.read.try-again, not .ok.
+  VirtualFs fs;
+  fs.add_file("/flaky", 0444, []() { return "7\n"; });
+  int n = 0;
+  fs.set_read_fault_hook([&](std::string_view, bool, VfsResult clean) {
+    return ++n == 1 ? VfsResult{VfsStatus::TryAgain, {}} : clean;
+  });
+  EXPECT_EQ(fs.read("/flaky", false).status, VfsStatus::TryAgain);
+  EXPECT_TRUE(fs.read("/flaky", false).ok());
+  EXPECT_EQ(reads(VfsStatus::TryAgain), 1u);
+  EXPECT_EQ(reads(VfsStatus::Ok), 1u);
 }
 
 TEST_F(VfsObsCounters, EveryWriteBranchHasADistinctCounter) {
