@@ -6,10 +6,13 @@
 //   --metrics-out PATH     enable obs; write a metrics snapshot (.json/.csv)
 //   --trace-out PATH       enable obs; write a Chrome trace_event JSON
 //   --audit-out PATH       enable obs; write the hwmon access-audit log JSON
+//   --profile-out PATH     enable obs; write a collapsed-stack profile
+//                          folded from the completed trace spans (input
+//                          format of flame-graph renderers)
 //   --serve-port N         enable obs; serve live telemetry over HTTP while
 //                          the bench runs: GET /metrics (Prometheus text),
-//                          /healthz, /runrecord. N=0 picks a free port (the
-//                          chosen port is printed to stderr).
+//                          /healthz, /runrecord, /flamegraph, /slo. N=0
+//                          picks a free port (printed to stderr).
 //   --snapshot-out PATH    enable obs; periodically write a JSON telemetry
 //                          snapshot to PATH (atomic rename) while running
 //   --flush-interval-ms N  exporter flush/snapshot cadence (default 500)
@@ -31,6 +34,7 @@
 //   ... experiment; session.record().set_number("snr_db", snr) ...
 //   session.finish();   // also runs from the destructor
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -52,6 +56,7 @@ class ObsSession {
         metrics_out_(args.get_string("metrics-out", "")),
         trace_out_(args.get_string("trace-out", "")),
         audit_out_(args.get_string("audit-out", "")),
+        profile_out_(args.get_string("profile-out", "")),
         snapshot_out_(args.get_string("snapshot-out", "")),
         record_out_(args.get_string("record-out", "")),
         write_record_(!args.has("no-record")) {
@@ -73,9 +78,28 @@ class ObsSession {
     const bool want_serve = args.has("serve-port");
     const bool want_obs = args.has("obs") || !metrics_out_.empty() ||
                           !trace_out_.empty() || !audit_out_.empty() ||
-                          !snapshot_out_.empty() || want_serve;
+                          !profile_out_.empty() || !snapshot_out_.empty() ||
+                          want_serve;
     if (!want_obs) return;
     obs::init();
+
+    // The bench root span: every stage span, parallel_for task span and
+    // fault instant recorded on this thread (or captured into pool tasks)
+    // nests under it, giving the trace and flame graph a single root.
+    root_span_ = obs::span("bench." + record_.name(), "bench");
+
+    // Default SLO objectives, evaluated in virtual time by the sampler.
+    // acquire_virtual_latency is fully deterministic (virtual ns per
+    // sample; retry backoff from injected faults shows up here);
+    // classify_latency meters the wall-clock online-classify stage.
+    obs::slos().add({.name = "acquire_virtual_latency",
+                     .histogram = "sampler.sample_acquire_vns",
+                     .threshold = 1.0e6,   // 1 ms of virtual time per sample
+                     .target = 0.99});
+    obs::slos().add({.name = "classify_latency",
+                     .histogram = "pipeline.stage.classify_ns",
+                     .threshold = 5.0e7,   // 50 ms wall per classify unit
+                     .target = 0.95});
 
     // Live export layer: only spun up when explicitly requested, so the
     // default path never starts a thread.
@@ -98,11 +122,15 @@ class ObsSession {
                                                   http_config);
       http_->set_runrecord_provider(
           [this]() { return record_.to_json(); });
+      http_->set_flamegraph_provider(
+          []() { return obs::collapsed_stacks_text(obs::tracer()); });
+      http_->set_slo_provider(
+          []() { return obs::slos().to_json(obs::metrics()); });
       http_->start();
       // stderr so bench stdout stays exactly the experiment's output.
       std::fprintf(stderr,
-                   "obs: serving /metrics /healthz /runrecord on "
-                   "http://127.0.0.1:%d (flush every %d ms)\n",
+                   "obs: serving /metrics /healthz /runrecord /flamegraph "
+                   "/slo on http://127.0.0.1:%d (flush every %d ms)\n",
                    http_->port(),
                    exporter_ ? exporter_->config().flush_interval_ms : 0);
     }
@@ -126,6 +154,9 @@ class ObsSession {
     // (graceful shutdown), then the final snapshots are written.
     if (http_) http_->stop();
     if (exporter_) exporter_->stop();
+    // Close the bench root span before any trace-derived output: the
+    // collapsed-stack folder and the Chrome trace only see finished spans.
+    root_span_.finish();
     if (obs::metrics_enabled()) {
       // Fold a few universal counters into the run record so the BENCH_*
       // files are comparable across benches without opening the snapshots.
@@ -140,10 +171,37 @@ class ObsSession {
       record_.set_integer(
           "obs_sampler_reads",
           static_cast<std::int64_t>(m.counter_value("sampler.reads")));
+
+      // Per-stage pipeline attribution: informational keys (prefixed
+      // stage_ / slo_), excluded from the bench_compare perf gate.
+      static constexpr obs::Stage kStages[] = {
+          obs::Stage::Acquire, obs::Stage::Preprocess, obs::Stage::Features,
+          obs::Stage::Classify};
+      for (const obs::Stage stage : kStages) {
+        const auto stats = obs::timeline().stage_stats(stage);
+        const std::string prefix =
+            std::string("stage_") + obs::stage_name(stage);
+        record_.set_integer(prefix + "_count",
+                            static_cast<std::int64_t>(stats.count));
+        record_.set_number(prefix + "_total_ms", stats.total_ns / 1e6);
+        record_.set_number(prefix + "_p50_ms",
+                           approx_p50_ns(stats) / 1e6);
+      }
+      // Final SLO evaluation at the end of the virtual timeline.
+      for (const auto& status : obs::slos().evaluate_all(obs::metrics())) {
+        const std::string prefix = "slo_" + status.name;
+        record_.set_number(prefix + "_compliance", status.compliance);
+        record_.set_number(prefix + "_fast_burn", status.fast_burn);
+        record_.set_number(prefix + "_slow_burn", status.slow_burn);
+        record_.set_integer(prefix + "_breached", status.breached ? 1 : 0);
+      }
     }
     if (!metrics_out_.empty()) obs::metrics().write_snapshot(metrics_out_);
     if (!trace_out_.empty()) obs::tracer().write_chrome_trace(trace_out_);
     if (!audit_out_.empty()) obs::audit_log().write_json(audit_out_);
+    if (!profile_out_.empty()) {
+      obs::write_collapsed_stacks(obs::tracer(), profile_out_);
+    }
     if (write_record_) {
       record_.write(record_out_.empty() ? record_.default_path()
                                         : record_out_);
@@ -152,14 +210,34 @@ class ObsSession {
   }
 
  private:
+  /// Median estimate from the timeline's latency buckets: the upper bound
+  /// of the bucket holding the count midpoint (0 when empty).
+  [[nodiscard]] static double approx_p50_ns(
+      const obs::PipelineTimeline::StageStats& stats) {
+    if (stats.count == 0) return 0.0;
+    const std::uint64_t midpoint = (stats.count + 1) / 2;
+    std::uint64_t cumulative = 0;
+    for (const auto& bucket : stats.buckets) {
+      cumulative += bucket.count;
+      if (cumulative >= midpoint) {
+        // The overflow bucket has an infinite bound; report the stage max.
+        return std::isfinite(bucket.upper_ns) ? bucket.upper_ns
+                                              : stats.max_ns;
+      }
+    }
+    return stats.max_ns;
+  }
+
   obs::RunRecord record_;
   std::string metrics_out_;
   std::string trace_out_;
   std::string audit_out_;
+  std::string profile_out_;
   std::string snapshot_out_;
   std::string record_out_;
   std::unique_ptr<obs::Exporter> exporter_;
   std::unique_ptr<obs::HttpExporter> http_;
+  obs::ScopedSpan root_span_;  // inert unless obs was enabled
   bool write_record_ = true;
   bool finished_ = false;
 };

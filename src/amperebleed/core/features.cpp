@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/stats/descriptive.hpp"
 
 namespace amperebleed::core {
@@ -37,6 +38,10 @@ void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
         "add_trace: GapPolicy::Drop would change the feature length; use "
         "hold-last or linear-interpolate");
   }
+  // Preprocess stage: only holey traces pay it — gapless traces take the
+  // fast path above, so clean runs report a (correctly) empty stage.
+  obs::StageSpan stage(obs::Stage::Preprocess);
+  stage.span().set_arg("samples", static_cast<double>(trace.size()));
   std::vector<double> filled = fill_gaps(trace, policy);
   if (filled.size() < feature_count) {
     throw std::invalid_argument("add_trace: trace too short");

@@ -5,6 +5,7 @@
 #include "amperebleed/core/features.hpp"
 #include "amperebleed/core/sampler.hpp"
 #include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/parallel.hpp"
 #include "amperebleed/util/rng.hpp"
 
@@ -37,6 +38,11 @@ std::vector<dnn::Model> limited_zoo(std::size_t limit) {
 std::vector<Trace> record_run(const dnn::Model& model,
                               const FingerprintConfig& config,
                               std::size_t n_samples, std::uint64_t run_seed) {
+  // Acquire stage: the whole victim run — SoC build, DPU schedule, sensor
+  // polling — is one acquisition unit in the pipeline timeline.
+  obs::StageSpan stage(obs::Stage::Acquire);
+  stage.span().set_attr("model_id", model.name);
+
   util::Rng rng(run_seed);
   const sim::TimeNs jitter{static_cast<std::int64_t>(
       rng.uniform() *
@@ -116,6 +122,12 @@ FingerprintTraceSet collect_fingerprint_traces(
   out.per_channel.assign(table3_channels().size(),
                          ml::Dataset(out.samples_per_trace));
   for (std::size_t r = 0; r < runs; ++r) {
+    // Features stage: one recorded run folded into the per-channel datasets
+    // (gap preprocessing happens inside add_trace when a trace has holes).
+    obs::StageSpan stage(obs::Stage::Features);
+    stage.span().set_arg("run", static_cast<double>(r));
+    stage.span().set_attr("model_id",
+                          out.model_names[r / config.traces_per_model]);
     const int label = static_cast<int>(r / config.traces_per_model);
     for (std::size_t c = 0; c < out.per_channel.size(); ++c) {
       add_trace(out.per_channel[c], recorded[r][c], label,
@@ -145,6 +157,10 @@ Table3Result evaluate_fingerprint(const FingerprintTraceSet& traces,
       [&](std::size_t job) {
         const std::size_t c = job / n_durations;
         const std::size_t d = job % n_durations;
+        // Classify stage: one (channel, duration) cross-validation cell.
+        obs::StageSpan stage(obs::Stage::Classify);
+        stage.span().set_attr("channel", result.channel_names[c]);
+        stage.span().set_arg("duration_s", config.durations_s[d]);
         const std::size_t features = samples_for_duration(
             sim::from_seconds(config.durations_s[d]), traces.sample_period);
         if (features == 0 || features > traces.samples_per_trace) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "amperebleed/obs/obs.hpp"
+
 namespace amperebleed::core {
 
 OnlineFingerprinter::OnlineFingerprinter(OnlineFingerprinterConfig config)
@@ -67,6 +69,9 @@ OnlineFingerprinter::Verdict OnlineFingerprinter::verdict_from_proba(
 OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
     const Trace& trace) const {
   if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
+  // Classify stage: one online request, the unit the SLO engine meters.
+  obs::StageSpan stage(obs::Stage::Classify);
+  stage.span().set_attr("channel", channel_name(trace.channel()));
   const auto features = trace.prefix(feature_count_);
   return verdict_from_proba(forest_.predict_proba(features));
 }
@@ -74,6 +79,8 @@ OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
 std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
     const std::vector<Trace>& traces) const {
   if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
+  obs::StageSpan stage(obs::Stage::Classify);
+  stage.span().set_arg("batch", static_cast<double>(traces.size()));
   // Materialize feature rows first (prefix() copies), then hand the whole
   // batch to the forest in one predict_proba_many call: the cache-blocked
   // SoA arena kernel streams the packed trees once per block of rows (no

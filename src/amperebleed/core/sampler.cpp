@@ -192,8 +192,14 @@ void Sampler::publish_health(const Channel& channel, ChannelHealth h) const {
       .set(static_cast<double>(static_cast<int>(h)));
 }
 
+Sampler::HealthState& Sampler::health_state_locked(const Channel& channel) {
+  const auto [it, inserted] = health_.try_emplace(health_key(channel));
+  if (inserted) publish_health(channel, it->second.state);
+  return it->second;
+}
+
 void Sampler::note_sample_result_locked(const Channel& channel, bool ok) {
-  HealthState& hs = health_[health_key(channel)];
+  HealthState& hs = health_state_locked(channel);
   const ChannelHealth before = hs.state;
   if (ok) {
     hs.consecutive_failures = 0;
@@ -258,7 +264,7 @@ void Sampler::sample_resilient(const Channel& channel, Trace& trace,
   Action action = Action::Poll;
   {
     std::lock_guard<std::mutex> lock(res_mu_);
-    HealthState& hs = health_[health_key(channel)];
+    HealthState& hs = health_state_locked(channel);
     if (hs.state == ChannelHealth::Quarantined) {
       ++hs.skipped;
       if (hs.skipped >= resilience_.health.probe_after) {
@@ -293,7 +299,7 @@ void Sampler::sample_resilient(const Channel& channel, Trace& trace,
     {
       std::lock_guard<std::mutex> lock(res_mu_);
       ++stats_.probes;
-      HealthState& hs = health_[health_key(channel)];
+      HealthState& hs = health_state_locked(channel);
       if (r.ok) {
         hs.state = ChannelHealth::Healthy;
         hs.consecutive_failures = 0;
@@ -354,8 +360,16 @@ std::vector<Trace> Sampler::collect_multi(const std::vector<Channel>& channels,
   span.set_arg("channels", static_cast<double>(channels.size()));
   span.set_arg("samples", static_cast<double>(config.sample_count));
   span.set_arg("period_ms", config.period.millis());
+  if (span.active() && !channels.empty()) {
+    std::string joined = channel_name(channels.front());
+    for (std::size_t c = 1; c < channels.size(); ++c) {
+      joined += "," + channel_name(channels[c]);
+    }
+    span.set_attr("channel", std::move(joined));
+  }
 
   const bool instrumented = obs::metrics_enabled();
+  const std::int64_t entry_now_ns = instrumented ? soc_.now().ns : 0;
   const bool resilient = resilience_.enabled;
   std::int64_t prev_poll_ns = -1;
 
@@ -388,15 +402,31 @@ std::vector<Trace> Sampler::collect_multi(const std::vector<Channel>& channels,
       prev_poll_ns = now_ns;
     }
     for (std::size_t c = 0; c < channels.size(); ++c) {
+      // Virtual nanoseconds this one sample consumed beyond the scheduled
+      // cadence — 0 on a clean read, the summed backoff waits when faults
+      // forced retries. This is the acquire-latency SLI: deterministic (it
+      // measures the simulation clock, not the host), so SLO compliance is
+      // bit-reproducible for a given seed and fault plan.
+      const std::int64_t sample_v0 = instrumented ? soc_.now().ns : 0;
       if (resilient) {
         sample_resilient(channels[c], traces[c], trace_backoff_left);
       } else {
         traces[c].push(read_now(channels[c]));
       }
+      if (instrumented) {
+        obs::observe("sampler.sample_acquire_vns",
+                     static_cast<double>(soc_.now().ns - sample_v0));
+      }
     }
   }
   if (instrumented) {
     obs::count("sampler.collections");
+    // Feed the SLO engine's virtual clock with the simulated time this
+    // collection spanned, so burn-rate windows advance in virtual seconds.
+    const std::int64_t consumed_ns = soc_.now().ns - entry_now_ns;
+    if (consumed_ns > 0) {
+      obs::slos().advance(static_cast<double>(consumed_ns) * 1e-9);
+    }
   }
   span.set_virtual_ns(soc_.now());
   return traces;

@@ -216,6 +216,11 @@ class Sampler {
   /// state as an obs gauge when it changed. Caller holds res_mu_.
   void note_sample_result_locked(const Channel& channel, bool ok);
   void publish_health(const Channel& channel, ChannelHealth h) const;
+  /// The channel's health slot, created on first touch. First creation also
+  /// publishes the initial (Healthy) gauge so /healthz sees every observed
+  /// channel in its denominator, not just ones that transitioned. Caller
+  /// holds res_mu_.
+  HealthState& health_state_locked(const Channel& channel);
 
   soc::Soc& soc_;
   Principal principal_;

@@ -188,6 +188,14 @@ std::optional<FaultKind> FaultInjector::draw(PathState& state,
 void FaultInjector::note_injected(FaultKind k, std::string_view path,
                                   bool privileged) {
   ++stats_.injected[static_cast<std::size_t>(k)];
+  if (obs::tracing_enabled()) {
+    // Zero-duration span parented to whatever span is live on this thread
+    // (typically the acquire stage), stamping the fault kind into the
+    // causal trace.
+    obs::instant(util::format("fault.%s",
+                              std::string(fault_kind_name(k)).c_str()),
+                 "faults");
+  }
   if (obs::metrics_enabled()) {
     obs::metrics()
         .counter(util::format(

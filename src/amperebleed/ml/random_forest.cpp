@@ -50,6 +50,10 @@ void RandomForest::fit(const Dataset& data) {
   // (atomic counters, mutex-guarded histograms/tracer).
   std::vector<DecisionTree> trees(config_.n_trees, DecisionTree(config_.tree));
   util::parallel_for(config_.n_trees, [&](std::size_t t) {
+    // Per-tree span: nests under ml.rf.fit via the pool's context capture,
+    // giving the flame graph its root;fit;tree breakdown.
+    auto tree_span = obs::span("ml.tree_fit", "ml");
+    tree_span.set_arg("tree", static_cast<double>(t));
     const std::int64_t t0 = instrumented ? obs::tracer().wall_now_ns() : 0;
     util::Rng tree_rng = master.fork(t);
     std::vector<std::size_t> indices(n);
@@ -122,8 +126,10 @@ std::vector<std::vector<double>> RandomForest::predict_proba_many(
   const std::size_t blocks =
       (rows.size() + kPredictRowBlock - 1) / kPredictRowBlock;
   util::parallel_for(blocks, [&](std::size_t b) {
+    auto block_span = obs::span("ml.predict_block", "ml");
     const std::size_t lo = b * kPredictRowBlock;
     const std::size_t hi = std::min(lo + kPredictRowBlock, rows.size());
+    block_span.set_arg("rows", static_cast<double>(hi - lo));
     arena_.predict_proba_rows(rows, lo, hi, out);
   });
   return out;

@@ -254,15 +254,26 @@ CompareReport compare_records(const std::vector<BenchRecord>& baseline,
     check_env(base, cur, report);
 
     for (const auto& [key, base_value] : base.numbers) {
+      // stage_/slo_ keys are pipeline attribution, not gated perf metrics:
+      // hidden unless --stages, and informational (non-gating) even then.
+      const bool informational =
+          util::starts_with(key, "stage_") || util::starts_with(key, "slo_");
+      if (informational && !options.show_stages) continue;
       if (!key_matches(key, options.include, options.exclude)) continue;
       const auto cur_value = cur.numbers.find(key);
       if (cur_value == cur.numbers.end()) {
-        report.warnings.push_back(cur.bench + "." + key +
-                                  ": metric missing from current record");
+        // A record produced with obs off simply lacks stage keys — that is
+        // not a comparability warning.
+        if (!informational) {
+          report.warnings.push_back(cur.bench + "." + key +
+                                    ": metric missing from current record");
+        }
         continue;
       }
-      report.comparisons.push_back(compare_metric(
-          base, cur, key, base_value, cur_value->second, options));
+      MetricComparison comparison = compare_metric(
+          base, cur, key, base_value, cur_value->second, options);
+      comparison.informational = informational;
+      report.comparisons.push_back(std::move(comparison));
     }
   }
   for (const auto& [name, record] : base_by_name) {
@@ -282,7 +293,8 @@ std::size_t CompareReport::regressions() const {
   return static_cast<std::size_t>(
       std::count_if(comparisons.begin(), comparisons.end(),
                     [](const MetricComparison& c) {
-                      return c.verdict == Verdict::Regression;
+                      return !c.informational &&
+                             c.verdict == Verdict::Regression;
                     }));
 }
 
@@ -290,7 +302,8 @@ std::size_t CompareReport::improvements() const {
   return static_cast<std::size_t>(
       std::count_if(comparisons.begin(), comparisons.end(),
                     [](const MetricComparison& c) {
-                      return c.verdict == Verdict::Improvement;
+                      return !c.informational &&
+                             c.verdict == Verdict::Improvement;
                     }));
 }
 
@@ -312,6 +325,9 @@ util::Json CompareReport::to_json() const {
                                      ? "lower_is_better"
                                      : "higher_is_better"));
     entry.set("verdict", util::Json::string(verdict_name(c.verdict)));
+    if (c.informational) {
+      entry.set("informational", util::Json::boolean(true));
+    }
     if (c.used_mann_whitney) {
       entry.set("mann_whitney_p", util::Json::number(c.p_value));
     }
@@ -347,18 +363,28 @@ std::string CompareReport::to_table(bool verbose) const {
                         verdict.c_str());
   };
   // Interesting rows first; unchanged rows only in verbose mode.
+  // Informational (stage_/slo_) rows go in their own non-gating section.
   for (const auto& c : comparisons) {
-    if (c.verdict == Verdict::Regression) row(c);
+    if (!c.informational && c.verdict == Verdict::Regression) row(c);
   }
   for (const auto& c : comparisons) {
-    if (c.verdict == Verdict::Improvement) row(c);
+    if (!c.informational && c.verdict == Verdict::Improvement) row(c);
   }
   std::size_t unchanged = 0;
   for (const auto& c : comparisons) {
-    if (c.verdict == Verdict::Unchanged) {
+    if (!c.informational && c.verdict == Verdict::Unchanged) {
       if (verbose) row(c);
       ++unchanged;
     }
+  }
+  bool stage_header = false;
+  for (const auto& c : comparisons) {
+    if (!c.informational) continue;
+    if (!stage_header) {
+      out += "\nper-stage / SLO metrics (informational, never gate):\n";
+      stage_header = true;
+    }
+    row(c);
   }
   out += util::format(
       "\n%zu metric(s): %zu regression(s), %zu improvement(s), %zu "

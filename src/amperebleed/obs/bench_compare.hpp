@@ -80,6 +80,9 @@ struct MetricComparison {
   Verdict verdict = Verdict::Unchanged;
   bool used_mann_whitney = false;
   double p_value = 1.0;  // Mann-Whitney two-sided p (1 when unused)
+  /// Informational rows (stage_/slo_ pipeline attribution) never gate:
+  /// excluded from regressions()/improvements() regardless of verdict.
+  bool informational = false;
 };
 
 struct CompareOptions {
@@ -94,6 +97,11 @@ struct CompareOptions {
   std::vector<std::string> include;
   /// Skip metrics whose key contains one of these substrings.
   std::vector<std::string> exclude;
+  /// Surface per-stage pipeline attribution and SLO keys (stage_* / slo_*)
+  /// as informational rows. Off by default — stage latencies are wall-clock
+  /// observations, not gated perf metrics; even when shown they never count
+  /// toward regressions().
+  bool show_stages = false;
 };
 
 struct CompareReport {

@@ -1,0 +1,65 @@
+#include "amperebleed/obs/context.hpp"
+
+#include <atomic>
+
+namespace amperebleed::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_next_region_id{1};
+std::atomic<std::uint64_t> g_next_trace_id{1};
+
+thread_local SpanContext t_context;
+thread_local TaskSlot t_task_slot;
+
+}  // namespace
+
+std::uint64_t next_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_region_id() {
+  return g_next_region_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t new_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const SpanContext& current_context() { return t_context; }
+
+const TaskSlot& current_task_slot() { return t_task_slot; }
+
+namespace detail {
+
+SpanContext exchange_context(const SpanContext& ctx) {
+  const SpanContext prev = t_context;
+  t_context = ctx;
+  return prev;
+}
+
+TaskSlot exchange_task_slot(const TaskSlot& slot) {
+  const TaskSlot prev = t_task_slot;
+  t_task_slot = slot;
+  return prev;
+}
+
+}  // namespace detail
+
+TaskScope::TaskScope(const SpanContext& parent, std::uint64_t region_id,
+                     std::uint64_t task_index) {
+  prev_ctx_ = detail::exchange_context(parent);
+  TaskSlot slot;
+  slot.region_id = region_id;
+  slot.task_index = task_index;
+  slot.active = true;
+  prev_slot_ = detail::exchange_task_slot(slot);
+}
+
+TaskScope::~TaskScope() {
+  detail::exchange_context(prev_ctx_);
+  detail::exchange_task_slot(prev_slot_);
+}
+
+}  // namespace amperebleed::obs

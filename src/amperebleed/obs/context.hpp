@@ -1,0 +1,75 @@
+#pragma once
+// Causal span context: the (trace_id, span_id, parent_id) triple that links
+// spans into a tree across threads. Every live ScopedSpan installs its own
+// context into a thread-local slot; spans created afterwards on the same
+// thread parent to it. util::ThreadPool captures the submitting thread's
+// context when a parallel region is published and re-installs it inside each
+// worker task via TaskScope, so forest-fit trees, k-fold folds and batched
+// inference blocks nest under the span that logically spawned them — no
+// matter which host thread ran the work.
+//
+// Ids come from process-wide atomics: unique and monotonic, but NOT
+// deterministic across pool sizes (allocation order depends on scheduling).
+// Consumers that diff traces must therefore compare the canonical tree
+// *shape* with ids normalized (tools/trace_shape.py does exactly that).
+//
+// This header is dependency-free on purpose: util/thread_pool.hpp includes
+// it without dragging the whole obs layer into every util consumer.
+
+#include <cstdint>
+
+namespace amperebleed::obs {
+
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;    // the span this context belongs to
+  std::uint64_t parent_id = 0;  // 0 = root (no parent)
+
+  [[nodiscard]] bool valid() const { return span_id != 0; }
+};
+
+/// Logical identity of the pool task the calling thread is executing:
+/// which parallel region, and which index within it. Inactive outside
+/// ThreadPool tasks.
+struct TaskSlot {
+  std::uint64_t region_id = 0;
+  std::uint64_t task_index = 0;
+  bool active = false;
+};
+
+/// Process-unique ids, never 0. Allocation order is scheduling-dependent.
+std::uint64_t next_span_id();
+std::uint64_t next_region_id();
+std::uint64_t new_trace_id();
+
+/// The calling thread's current span context (invalid outside any span).
+[[nodiscard]] const SpanContext& current_context();
+/// The calling thread's current pool-task identity (inactive outside tasks).
+[[nodiscard]] const TaskSlot& current_task_slot();
+
+namespace detail {
+/// Install `ctx` as the thread's current context; returns the previous one.
+SpanContext exchange_context(const SpanContext& ctx);
+/// Install `slot` as the thread's current task slot; returns the previous.
+TaskSlot exchange_task_slot(const TaskSlot& slot);
+}  // namespace detail
+
+/// RAII scope for executing one pool task under the submitting region's
+/// captured context. Installs the parent SpanContext (so spans created by
+/// the task body parent correctly) plus the region/task identity (so those
+/// spans carry region_id/task_index attributes), and restores both on exit —
+/// including exceptional exit, which is how fail-fast cancellation unwinds.
+class TaskScope {
+ public:
+  TaskScope(const SpanContext& parent, std::uint64_t region_id,
+            std::uint64_t task_index);
+  ~TaskScope();
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  SpanContext prev_ctx_;
+  TaskSlot prev_slot_;
+};
+
+}  // namespace amperebleed::obs

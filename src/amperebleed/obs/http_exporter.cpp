@@ -64,6 +64,17 @@ void HttpExporter::set_runrecord_provider(
   runrecord_provider_ = std::move(provider);
 }
 
+void HttpExporter::set_flamegraph_provider(
+    std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  flamegraph_provider_ = std::move(provider);
+}
+
+void HttpExporter::set_slo_provider(std::function<util::Json()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  slo_provider_ = std::move(provider);
+}
+
 void HttpExporter::start() {
   if (running_.load(std::memory_order_acquire)) return;
 
@@ -190,8 +201,34 @@ std::string HttpExporter::build_response(const std::string& method,
                          to_prometheus_text(registry_));
   }
   if (path == "/healthz") {
+    // Fold the sampler's per-channel health gauges (published as
+    // sampler.health.<channel>, value = ChannelHealth ordinal) into
+    // per-state counts. All-quarantined means no channel can produce
+    // data: that is a 503, the signal an LB health check keys off.
+    const auto channel_gauges =
+        registry_.gauge_names_with_prefix("sampler.health.");
+    static constexpr const char* kStateNames[] = {"healthy", "degraded",
+                                                  "quarantined", "probing"};
+    std::size_t counts[4] = {0, 0, 0, 0};
+    for (const auto& name : channel_gauges) {
+      const auto state =
+          static_cast<std::int64_t>(registry_.gauge_value(name, 0.0));
+      if (state >= 0 && state < 4) ++counts[static_cast<std::size_t>(state)];
+    }
+    const bool all_quarantined =
+        !channel_gauges.empty() && counts[2] == channel_gauges.size();
+
+    auto channels = util::Json::object();
+    channels.set("total", util::Json::integer(static_cast<std::int64_t>(
+                              channel_gauges.size())));
+    for (std::size_t s = 0; s < 4; ++s) {
+      channels.set(kStateNames[s], util::Json::integer(
+                                       static_cast<std::int64_t>(counts[s])));
+    }
+
     auto body = util::Json::object();
-    body.set("status", util::Json::string("ok"));
+    body.set("status",
+             util::Json::string(all_quarantined ? "unhealthy" : "ok"));
     body.set("uptime_seconds",
              util::Json::number(std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -
@@ -200,8 +237,38 @@ std::string HttpExporter::build_response(const std::string& method,
     body.set("requests_served",
              util::Json::integer(static_cast<std::int64_t>(
                  requests_.load(std::memory_order_relaxed))));
+    body.set("channels", std::move(channels));
+    if (all_quarantined) {
+      return make_response(503, "Service Unavailable", "application/json",
+                           body.dump(2) + "\n");
+    }
     return make_response(200, "OK", "application/json",
                          body.dump(2) + "\n");
+  }
+  if (path == "/flamegraph") {
+    std::function<std::string()> provider;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      provider = flamegraph_provider_;
+    }
+    if (!provider) {
+      return make_response(503, "Service Unavailable", "text/plain",
+                           "no flamegraph provider wired\n");
+    }
+    return make_response(200, "OK", "text/plain; charset=utf-8", provider());
+  }
+  if (path == "/slo") {
+    std::function<util::Json()> provider;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      provider = slo_provider_;
+    }
+    if (!provider) {
+      return make_response(503, "Service Unavailable", "application/json",
+                           "{\"error\":\"no SLO registry wired\"}\n");
+    }
+    return make_response(200, "OK", "application/json",
+                         provider().dump(2) + "\n");
   }
   if (path == "/runrecord") {
     std::function<util::Json()> provider;
@@ -216,8 +283,9 @@ std::string HttpExporter::build_response(const std::string& method,
     return make_response(200, "OK", "application/json",
                          provider().dump(2) + "\n");
   }
-  return make_response(404, "Not Found", "text/plain",
-                       "unknown path; try /metrics /healthz /runrecord\n");
+  return make_response(
+      404, "Not Found", "text/plain",
+      "unknown path; try /metrics /healthz /runrecord /flamegraph /slo\n");
 }
 
 }  // namespace amperebleed::obs

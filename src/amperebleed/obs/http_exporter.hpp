@@ -3,9 +3,15 @@
 // bench runs, the same exposition model Prometheus-style stacks scrape
 // inference servers with:
 //
-//   GET /metrics    text/plain  — Prometheus text exposition of the registry
-//   GET /healthz    application/json — {"status":"ok","uptime_seconds":...}
-//   GET /runrecord  application/json — the current RunRecord (when wired)
+//   GET /metrics     text/plain  — Prometheus text exposition of the registry
+//   GET /healthz     application/json — status + per-channel health counts
+//   GET /runrecord   application/json — the current RunRecord (when wired)
+//   GET /flamegraph  text/plain  — collapsed-stack profile (when wired)
+//   GET /slo         application/json — SLO compliance + burn rates (wired)
+//
+// /healthz folds the sampler's ChannelHealth gauges into per-state counts
+// and degrades to 503 when every known channel is quarantined — the scrape
+// contract a load balancer health check expects.
 //
 // One accept thread, one request at a time, loopback bind by default. Scrape
 // handling never touches the instrumentation hot path — it reads the
@@ -47,6 +53,13 @@ class HttpExporter {
   /// one the endpoint answers 503.
   void set_runrecord_provider(std::function<util::Json()> provider);
 
+  /// Provider for /flamegraph: collapsed-stack text folded from completed
+  /// spans (see obs::collapsed_stacks_text). Without one: 503.
+  void set_flamegraph_provider(std::function<std::string()> provider);
+
+  /// Provider for /slo: the SLO registry's JSON evaluation. Without one: 503.
+  void set_slo_provider(std::function<util::Json()> provider);
+
   /// Bind + listen + spawn the serve thread. Throws std::runtime_error when
   /// the port cannot be bound. Idempotent.
   void start();
@@ -71,6 +84,8 @@ class HttpExporter {
   MetricsRegistry& registry_;
   Config config_;
   std::function<util::Json()> runrecord_provider_;
+  std::function<std::string()> flamegraph_provider_;
+  std::function<util::Json()> slo_provider_;
   std::mutex provider_mu_;
 
   int listen_fd_ = -1;

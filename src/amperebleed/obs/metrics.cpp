@@ -234,6 +234,31 @@ bool MetricsRegistry::has_counter(const std::string& name) const {
   return counters_.count(name) != 0;
 }
 
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    double fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second->value();
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names_with_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (auto it = gauges_.lower_bound(prefix); it != gauges_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    names.push_back(it->first);
+  }
+  return names;
+}
+
 std::size_t MetricsRegistry::instrument_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();

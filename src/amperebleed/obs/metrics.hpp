@@ -142,6 +142,15 @@ class MetricsRegistry {
   /// Value of a counter, or 0 if it does not exist (does not create).
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] bool has_counter(const std::string& name) const;
+  /// Histogram by name, or nullptr if it does not exist (does not create).
+  /// The pointer stays valid until reset().
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+  /// Gauge value, or `fallback` if it does not exist (does not create).
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   double fallback = 0.0) const;
+  /// Names of all gauges whose name starts with `prefix` (lexicographic).
+  [[nodiscard]] std::vector<std::string> gauge_names_with_prefix(
+      const std::string& prefix) const;
 
   [[nodiscard]] std::size_t instrument_count() const;
 

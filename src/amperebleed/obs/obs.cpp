@@ -38,6 +38,8 @@ void reset_data() {
   metrics().reset();
   tracer().clear();
   audit_log().clear();
+  timeline().reset();
+  slos().reset();
 }
 
 void shutdown() {

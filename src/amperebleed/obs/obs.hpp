@@ -20,8 +20,11 @@
 #include <string>
 
 #include "amperebleed/obs/audit.hpp"
+#include "amperebleed/obs/context.hpp"
 #include "amperebleed/obs/exporter.hpp"
 #include "amperebleed/obs/metrics.hpp"
+#include "amperebleed/obs/profile.hpp"
+#include "amperebleed/obs/slo.hpp"
 #include "amperebleed/obs/span.hpp"
 
 namespace amperebleed::obs {
@@ -99,6 +102,22 @@ inline void observe(const char* name, double v) {
                                      std::string category = "") {
   if (!tracing_enabled()) return ScopedSpan();
   return ScopedSpan(&tracer(), std::move(name), std::move(category));
+}
+
+/// Record an instantaneous (zero-duration) wall event parented to the
+/// calling thread's current span — fault injections, state transitions.
+inline void instant(std::string name, std::string category = "") {
+  if (!tracing_enabled()) return;
+  ScopedSpan s(&tracer(), std::move(name), std::move(category));
+  s.finish();
+}
+
+/// Record a cross-thread flow edge ('s' on the submitter, 'f' on a worker)
+/// against the global tracer; inert when tracing is off.
+inline void flow(char phase, std::uint64_t id, const char* name,
+                 const char* category = "pool") {
+  if (!tracing_enabled()) return;
+  tracer().add_flow_event(phase, id, name, category);
 }
 
 /// Record a virtual-time span against the global tracer.

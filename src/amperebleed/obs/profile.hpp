@@ -1,0 +1,114 @@
+#pragma once
+// Per-stage pipeline attribution + span-derived continuous profiling.
+//
+// The fingerprinting request path is staged exactly like the paper's
+// Table III pipeline: acquire (sensor polling) → preprocess (gap filling) →
+// features (dataset assembly) → classify (forest fit / predict). StageSpan
+// instruments one unit of stage work: it opens a causal trace span named
+// `pipeline.<stage>` (when tracing is on) and folds the wall duration into
+// both the global PipelineTimeline and a `pipeline.stage.<stage>_ns`
+// histogram (when metrics are on). PipelineTimeline keeps per-stage latency
+// buckets with an exemplar span_id per bucket — the trace span that last
+// landed there — so a slow bucket links straight to the causal trace.
+//
+// The profiler half turns a SpanTracer's completed wall spans into
+// collapsed-stack lines ("root;ml.rf.fit;ml.tree_fit 450"), the input format
+// of flame-graph renderers. Folding is by SELF time (duration minus the sum
+// of direct children), clamped at zero: with a single-threaded pool every
+// subtree then sums exactly to its root. Overlapping children from parallel
+// pool tasks can push a parent's self time to the zero clamp — wall time is
+// not additive across threads, which is exactly what the flame graph should
+// show.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "amperebleed/obs/span.hpp"
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+
+enum class Stage { Acquire = 0, Preprocess = 1, Features = 2, Classify = 3 };
+inline constexpr std::size_t kStageCount = 4;
+
+/// Lowercase stage name ("acquire", "preprocess", "features", "classify").
+const char* stage_name(Stage stage);
+
+/// Fixed-bucket per-stage latency distribution with one exemplar span per
+/// bucket. Thread-safe; pure observation (never read by experiment code).
+class PipelineTimeline {
+ public:
+  struct Bucket {
+    double upper_ns = 0.0;  // +inf on the overflow bucket
+    std::uint64_t count = 0;
+    std::uint64_t exemplar_span_id = 0;  // 0 = no exemplar recorded yet
+    double exemplar_ns = 0.0;
+  };
+  struct StageStats {
+    std::uint64_t count = 0;
+    double total_ns = 0.0;
+    double min_ns = 0.0;  // 0 when empty
+    double max_ns = 0.0;
+    std::vector<Bucket> buckets;
+  };
+
+  PipelineTimeline();
+
+  /// Fold one completed stage unit. `exemplar_span_id` may be 0 (tracing
+  /// off); the bucket then keeps its previous exemplar.
+  void record(Stage stage, double wall_ns, std::uint64_t exemplar_span_id);
+
+  [[nodiscard]] StageStats stage_stats(Stage stage) const;
+  /// {"acquire": {"count":..,"total_ns":..,"buckets":[{le,count,
+  ///  exemplar_span_id},..]}, ...} — stages with zero observations included.
+  [[nodiscard]] util::Json to_json() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::array<StageStats, kStageCount> stages_;
+};
+
+/// Process-wide timeline, recorded into by StageSpan when metrics are on.
+PipelineTimeline& timeline();
+
+/// RAII instrumentation for one unit of pipeline-stage work. Inert when the
+/// whole obs layer is off; otherwise traces a `pipeline.<stage>` span (the
+/// timeline exemplar) and records the duration at scope exit.
+class StageSpan {
+ public:
+  explicit StageSpan(Stage stage);
+  ~StageSpan() { finish(); }
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// The underlying trace span (inert when tracing is off) — attach channel
+  /// / model_id / fold attributes here.
+  [[nodiscard]] ScopedSpan& span() { return span_; }
+
+  void finish();
+
+ private:
+  Stage stage_ = Stage::Acquire;
+  bool measuring_ = false;
+  std::int64_t t0_ns_ = 0;
+  ScopedSpan span_;
+};
+
+// ---------------------------------------------------------------------------
+// Collapsed-stack profiler
+
+/// Fold a tracer's completed wall spans into collapsed-stack lines:
+/// "name;child;grandchild <self-microseconds>\n", sorted by stack for
+/// deterministic diffs. Root-less spans (parent not in the buffer) start
+/// their own stack. Flow events and virtual-time spans are ignored.
+std::string collapsed_stacks_text(const SpanTracer& tracer);
+
+/// collapsed_stacks_text() to a file; throws std::runtime_error on I/O
+/// failure.
+void write_collapsed_stacks(const SpanTracer& tracer, const std::string& path);
+
+}  // namespace amperebleed::obs

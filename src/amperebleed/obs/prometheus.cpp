@@ -1,6 +1,7 @@
 #include "amperebleed/obs/prometheus.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
@@ -23,9 +24,36 @@ std::string prometheus_metric_name(std::string_view raw) {
   return out;
 }
 
+std::string prometheus_escape_label_value(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 namespace {
 
-std::string fmt_value(double v) { return util::format("%.17g", v); }
+std::string fmt_value(double v) {
+  // printf renders non-finite doubles as "nan"/"inf"; the exposition format
+  // requires the exact tokens "NaN", "+Inf" and "-Inf".
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return util::format("%.17g", v);
+}
 
 // Renders from the registry's JSON snapshot — the one already-locked,
 // point-in-time view — so text and JSON exports can never disagree.

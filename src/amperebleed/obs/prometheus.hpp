@@ -24,6 +24,10 @@ namespace amperebleed::obs {
 /// Sanitize an instrument name into a valid Prometheus metric name.
 std::string prometheus_metric_name(std::string_view raw);
 
+/// Escape a label value per the exposition format: backslash, double quote
+/// and newline become \\ , \" and \n.
+std::string prometheus_escape_label_value(std::string_view raw);
+
 /// Render the whole registry. Deterministic: instruments appear in registry
 /// (lexicographic) order, so scrapes diff cleanly.
 std::string to_prometheus_text(const MetricsRegistry& registry);

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "amperebleed/obs/obs.hpp"
 #include "amperebleed/util/thread_pool.hpp"
 
 namespace amperebleed::util {
@@ -27,8 +28,14 @@ template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t max_threads = 0) {
   if (n == 0) return;
   ThreadPool& pool = ThreadPool::global();
-  if (n == 1 || max_threads == 1 || pool.size() <= 1 ||
-      ThreadPool::in_worker()) {
+  if (!obs::tracing_enabled() &&
+      (n == 1 || max_threads == 1 || pool.size() <= 1 ||
+       ThreadPool::in_worker())) {
+    // Untraced serial fast path: no type erasure, no region bookkeeping.
+    // With tracing on, every invocation goes through pool.run() instead so
+    // each iteration gets the same TaskScope (task parentage + region/task
+    // attributes) at any pool size — run() falls back to its own serial
+    // loop for these cases, producing an identical trace tree shape.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

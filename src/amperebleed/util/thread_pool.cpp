@@ -72,7 +72,7 @@ void ThreadPool::spawn_workers_locked() {
         --region->tickets;
         ++active_;
         lock.unlock();
-        execute(*region, obs::metrics_enabled());
+        execute(*region, obs::metrics_enabled(), /*is_caller=*/false);
         lock.lock();
         --active_;
         if (active_ == 0) done_cv_.notify_all();
@@ -111,8 +111,20 @@ void ThreadPool::run(std::size_t n,
 
   if (participants <= 1 || in_worker()) {
     // Exact serial fallback: caller's thread, index order; the first throw
-    // propagates immediately (nothing else is in flight).
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // propagates immediately (nothing else is in flight). With tracing on,
+    // each iteration still runs under a TaskScope so the trace tree (task
+    // parentage, region_id/task_index attributes) has the same shape the
+    // pooled path produces — pool size must not change the recorded tree.
+    if (obs::tracing_enabled()) {
+      const obs::SpanContext parent = obs::current_context();
+      const std::uint64_t region_id = obs::next_region_id();
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::TaskScope scope(parent, region_id, i);
+        fn(i);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
     return;
   }
 
@@ -132,6 +144,15 @@ void ThreadPool::run(std::size_t n,
   region.n = n;
   region.fn = &fn;
   region.chunk = std::max<std::size_t>(1, n / (participants * 4));
+  region.traced = obs::tracing_enabled();
+  if (region.traced) {
+    // Capture the submitting thread's causal context by value: workers
+    // restore it around each task, and the flow "s"/"f" pair draws the
+    // cross-thread edge in the trace viewer.
+    region.trace_ctx = obs::current_context();
+    region.region_id = obs::next_region_id();
+    obs::flow('s', region.region_id, "parallel_for");
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     region.tickets = participants - 1;  // the caller takes one slot itself
@@ -140,7 +161,7 @@ void ThreadPool::run(std::size_t n,
   }
   wake_cv_.notify_all();
 
-  execute(region, instrumented);
+  execute(region, instrumented, /*is_caller=*/true);
 
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -160,18 +181,24 @@ void ThreadPool::run(std::size_t n,
   }
 }
 
-void ThreadPool::execute(Region& region, bool instrumented) {
+void ThreadPool::execute(Region& region, bool instrumented, bool is_caller) {
   ++t_task_depth;
   if (instrumented) {
     const int occupied = occupancy_.fetch_add(1, std::memory_order_relaxed);
     obs::gauge_set("pool.active_workers", static_cast<double>(occupied + 1));
   }
+  // One flow-finish edge per non-caller participant, on its first task.
+  bool flow_bound = !region.traced || is_caller;
   bool draining = true;
   while (draining) {
     if (region.cancelled.load(std::memory_order_relaxed)) break;
     const std::size_t begin =
         region.next.fetch_add(region.chunk, std::memory_order_relaxed);
     if (begin >= region.n) break;
+    if (!flow_bound) {
+      obs::flow('f', region.region_id, "parallel_for");
+      flow_bound = true;
+    }
     const std::size_t end = std::min(begin + region.chunk, region.n);
     for (std::size_t i = begin; i < end; ++i) {
       // Fail-fast: re-check cancellation before every task so one thrown
@@ -182,7 +209,14 @@ void ThreadPool::execute(Region& region, bool instrumented) {
       }
       const std::int64_t t0 = instrumented ? obs::tracer().wall_now_ns() : 0;
       try {
-        (*region.fn)(i);
+        if (region.traced) {
+          // The TaskScope restores the previous context even on throw (it
+          // unwinds before the catch below).
+          obs::TaskScope scope(region.trace_ctx, region.region_id, i);
+          (*region.fn)(i);
+        } else {
+          (*region.fn)(i);
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(mu_);

@@ -40,6 +40,8 @@
 #include <thread>
 #include <vector>
 
+#include "amperebleed/obs/context.hpp"
+
 namespace amperebleed::util {
 
 class ThreadPool {
@@ -94,10 +96,16 @@ class ThreadPool {
     std::atomic<bool> cancelled{false};   // fail-fast flag
     std::size_t tickets = 0;              // worker slots left (guarded by mu_)
     std::exception_ptr error;             // first throw (guarded by mu_)
+    /// Causal-trace capture (tracing only): the submitting thread's span
+    /// context and this region's id, re-installed around every task via
+    /// obs::TaskScope so task spans parent to the submitter's span.
+    bool traced = false;
+    obs::SpanContext trace_ctx;
+    std::uint64_t region_id = 0;
   };
 
   void spawn_workers_locked();
-  void execute(Region& region, bool instrumented);
+  void execute(Region& region, bool instrumented, bool is_caller);
 
   mutable std::mutex mu_;
   std::condition_variable wake_cv_;  // workers sleep here between regions

@@ -113,6 +113,63 @@ TEST(CompareRecords, IncludeExcludeFilters) {
   EXPECT_EQ(report.comparisons[0].key, "top1_accuracy");
 }
 
+// Stage/SLO keys are informational: hidden by default, shown but never
+// gating under show_stages, and exempt from missing-metric warnings.
+BenchRecord make_staged_record(double accuracy, double classify_ms) {
+  const std::string text =
+      "{\"bench\":\"table3\",\"wall_seconds\":10.0,\"unix_time\":1700000000,"
+      "\"env\":{\"git_sha\":\"abc123\",\"hostname\":\"hostA\","
+      "\"build_type\":\"Release\"},"
+      "\"numbers\":{\"top1_accuracy\":" + std::to_string(accuracy) +
+      ",\"stage_classify_total_ms\":" + std::to_string(classify_ms) +
+      ",\"slo_acquire_virtual_latency_compliance\":0.99},\"text\":{}}";
+  return parse_bench_record(util::Json::parse(text));
+}
+
+TEST(CompareRecords, StageAndSloKeysAreHiddenByDefault) {
+  const auto base = make_staged_record(0.95, 100.0);
+  const auto cur = make_staged_record(0.95, 900.0);  // 9x "regression"
+  const auto report = compare_records({base}, {cur}, {});
+  EXPECT_EQ(report.regressions(), 0u);
+  for (const auto& c : report.comparisons) {
+    EXPECT_EQ(c.key.find("stage_"), std::string::npos) << c.key;
+    EXPECT_EQ(c.key.find("slo_"), std::string::npos) << c.key;
+  }
+}
+
+TEST(CompareRecords, ShowStagesSurfacesButNeverGates) {
+  const auto base = make_staged_record(0.95, 100.0);
+  const auto cur = make_staged_record(0.95, 900.0);
+  CompareOptions options;
+  options.show_stages = true;
+  const auto report = compare_records({base}, {cur}, options);
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_EQ(report.improvements(), 0u);
+  bool saw_stage = false;
+  bool saw_slo = false;
+  for (const auto& c : report.comparisons) {
+    if (c.key == "stage_classify_total_ms") {
+      saw_stage = true;
+      EXPECT_TRUE(c.informational);
+    }
+    if (c.key == "slo_acquire_virtual_latency_compliance") saw_slo = true;
+  }
+  EXPECT_TRUE(saw_stage);
+  EXPECT_TRUE(saw_slo);
+  // The table renders them in their own never-gating section.
+  EXPECT_NE(report.to_table().find("informational"), std::string::npos);
+}
+
+TEST(CompareRecords, ObsOffRunsMissingStageKeysDrawNoWarnings) {
+  const auto base = make_staged_record(0.95, 100.0);
+  const auto cur = make_record("table3", 0.95, 10.0);  // no stage_/slo_ keys
+  const auto report = compare_records({base}, {cur}, {});
+  for (const auto& warning : report.warnings) {
+    EXPECT_EQ(warning.find("stage_"), std::string::npos) << warning;
+    EXPECT_EQ(warning.find("slo_"), std::string::npos) << warning;
+  }
+}
+
 // Noise-aware path: identical sample distributions must neutralize an
 // apparently-large mean delta; clearly shifted distributions must not.
 TEST(CompareRecords, MannWhitneyGatesNoisyMetrics) {

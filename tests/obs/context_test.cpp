@@ -1,0 +1,246 @@
+#include "amperebleed/obs/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/parallel.hpp"
+#include "amperebleed/util/thread_pool.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+/// All completed wall spans, indexed by span id.
+std::map<std::uint64_t, TraceEvent> wall_spans_by_id() {
+  std::map<std::uint64_t, TraceEvent> out;
+  for (const auto& e : tracer().events_snapshot()) {
+    if (e.phase == 'X' && e.clock == SpanClock::Wall && e.span_id != 0) {
+      out[e.span_id] = e;
+    }
+  }
+  return out;
+}
+
+/// Canonical tree shape: the sorted multiset of root-to-leaf name paths.
+/// Ids are scheduling-dependent; the shape must not be.
+std::vector<std::string> canonical_shape(
+    const std::map<std::uint64_t, TraceEvent>& spans) {
+  std::vector<std::string> paths;
+  for (const auto& [id, e] : spans) {
+    (void)id;
+    std::vector<std::string> chain;
+    const TraceEvent* cursor = &e;
+    while (cursor != nullptr && chain.size() < 128) {
+      chain.push_back(cursor->name);
+      const auto parent = spans.find(cursor->parent_id);
+      cursor = parent == spans.end() ? nullptr : &parent->second;
+    }
+    std::string path;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (!path.empty()) path += ';';
+      path += *it;
+    }
+    paths.push_back(std::move(path));
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+double numeric_arg(const TraceEvent& e, const std::string& key,
+                   double fallback = -1.0) {
+  for (const auto& [k, v] : e.args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+TEST(SpanContext, IdsAreUniqueAndNonZero) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(SpanContext, TaskScopeInstallsAndRestores) {
+  const SpanContext before = current_context();
+  SpanContext parent;
+  parent.trace_id = new_trace_id();
+  parent.span_id = next_span_id();
+  {
+    TaskScope scope(parent, 42, 7);
+    EXPECT_EQ(current_context().span_id, parent.span_id);
+    EXPECT_TRUE(current_task_slot().active);
+    EXPECT_EQ(current_task_slot().region_id, 42u);
+    EXPECT_EQ(current_task_slot().task_index, 7u);
+  }
+  EXPECT_EQ(current_context().span_id, before.span_id);
+  EXPECT_FALSE(current_task_slot().active);
+}
+
+TEST(SpanContext, NestedSpansFormAChain) {
+  init();
+  reset_data();
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    auto outer = span("outer", "test");
+    outer_id = outer.context().span_id;
+    {
+      auto inner = span("inner", "test");
+      inner_id = inner.context().span_id;
+      EXPECT_EQ(inner.context().parent_id, outer_id);
+      EXPECT_EQ(inner.context().trace_id, outer.context().trace_id);
+    }
+  }
+  const auto spans = wall_spans_by_id();
+  ASSERT_EQ(spans.count(outer_id), 1u);
+  ASSERT_EQ(spans.count(inner_id), 1u);
+  EXPECT_EQ(spans.at(inner_id).parent_id, outer_id);
+  EXPECT_EQ(spans.at(outer_id).parent_id, 0u);
+  shutdown();
+}
+
+TEST(SpanContext, ParallelForTasksParentToSubmittingSpan) {
+  init();
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    SCOPED_TRACE("pool_size=" + std::to_string(pool_size));
+    util::ThreadPool::set_global_threads(pool_size);
+    reset_data();
+
+    std::uint64_t parent_id = 0;
+    {
+      auto parent = span("region_parent", "test");
+      parent_id = parent.context().span_id;
+      util::parallel_for(4, [&](std::size_t i) {
+        auto task = span("task", "test");
+        task.set_arg("i", static_cast<double>(i));
+      });
+    }
+
+    const auto spans = wall_spans_by_id();
+    std::size_t tasks = 0;
+    std::set<double> region_ids;
+    std::set<double> task_indices;
+    for (const auto& [id, e] : spans) {
+      (void)id;
+      if (e.name != "task") continue;
+      ++tasks;
+      // Every task span parents to the span live at parallel_for, no
+      // matter which worker thread ran it.
+      EXPECT_EQ(e.parent_id, parent_id);
+      region_ids.insert(numeric_arg(e, "region_id"));
+      task_indices.insert(numeric_arg(e, "task_index"));
+    }
+    EXPECT_EQ(tasks, 4u);
+    // One region; each task knows its index within it.
+    EXPECT_EQ(region_ids.size(), 1u);
+    EXPECT_EQ(task_indices,
+              (std::set<double>{0.0, 1.0, 2.0, 3.0}));
+  }
+  util::ThreadPool::set_global_threads(1);
+  shutdown();
+}
+
+TEST(SpanContext, TreeShapeIdenticalAcrossPoolSizes) {
+  init();
+  std::vector<std::vector<std::string>> shapes;
+  for (const std::size_t pool_size : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+    util::ThreadPool::set_global_threads(pool_size);
+    reset_data();
+    {
+      auto root = span("root", "test");
+      util::parallel_for(3, [&](std::size_t i) {
+        auto task = span("task", "test");
+        // A child created inside the task body nests under the task span.
+        auto leaf = span("leaf", "test");
+        static_cast<void>(i);
+      });
+    }
+    shapes.push_back(canonical_shape(wall_spans_by_id()));
+  }
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0], shapes[1]);
+  EXPECT_EQ(shapes[0], shapes[2]);
+  // 1 root + 3 tasks + 3 leaves.
+  EXPECT_EQ(shapes[0].size(), 7u);
+  EXPECT_EQ(std::count(shapes[0].begin(), shapes[0].end(),
+                       std::string("root;task;leaf")),
+            3);
+  util::ThreadPool::set_global_threads(1);
+  shutdown();
+}
+
+TEST(SpanContext, PooledRegionsEmitFlowEvents) {
+  init();
+  util::ThreadPool::set_global_threads(4);
+  reset_data();
+  util::parallel_for(64, [](std::size_t) {});
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  std::set<std::uint64_t> flow_ids;
+  for (const auto& e : tracer().events_snapshot()) {
+    if (e.phase == 's') {
+      ++starts;
+      flow_ids.insert(e.flow_id);
+    }
+    if (e.phase == 'f') {
+      ++finishes;
+      flow_ids.insert(e.flow_id);
+    }
+  }
+  // One 's' on the submitting thread; an 'f' per worker that claimed work
+  // (scheduling-dependent count, but at least zero and bound to the same
+  // region id as the start).
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(flow_ids.size(), 1u);
+  EXPECT_LE(finishes, 3u);
+  util::ThreadPool::set_global_threads(1);
+  shutdown();
+}
+
+TEST(SpanContext, InstantEventsParentToCurrentSpan) {
+  init();
+  reset_data();
+  std::uint64_t parent_id = 0;
+  {
+    auto parent = span("acquire", "test");
+    parent_id = parent.context().span_id;
+    instant("fault.transient", "faults");
+  }
+  const auto spans = wall_spans_by_id();
+  bool found = false;
+  for (const auto& [id, e] : spans) {
+    (void)id;
+    if (e.name != "fault.transient") continue;
+    found = true;
+    EXPECT_EQ(e.parent_id, parent_id);
+    EXPECT_EQ(e.category, "faults");
+  }
+  EXPECT_TRUE(found);
+  shutdown();
+}
+
+TEST(SpanContext, TracingOffMeansNoContextInstalls) {
+  shutdown();
+  {
+    auto s = span("never", "test");
+    EXPECT_FALSE(current_context().valid());
+  }
+  util::parallel_for(4, [](std::size_t) {
+    EXPECT_FALSE(current_task_slot().active);
+  });
+  EXPECT_EQ(tracer().size(), 0u);
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

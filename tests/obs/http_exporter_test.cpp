@@ -118,6 +118,73 @@ TEST_F(HttpExporterTest, RunRecordEndpoint) {
   server.stop();
 }
 
+TEST_F(HttpExporterTest, HealthzFoldsChannelHealthGauges) {
+  // ChannelHealth ordinals: Healthy=0, Degraded=1, Quarantined=2, Probing=3.
+  registry_.gauge("sampler.health.ch0").set(0.0);
+  registry_.gauge("sampler.health.ch1").set(2.0);
+  registry_.gauge("sampler.health.ch2").set(1.0);
+  HttpExporter server(registry_);
+  server.start();
+  const std::string response = http_get(server.port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const util::Json doc = util::Json::parse(body_of(response));
+  EXPECT_EQ(doc.find("status")->as_string(), "ok");
+  const auto* channels = doc.find("channels");
+  ASSERT_NE(channels, nullptr);
+  EXPECT_EQ(channels->find("total")->as_integer(), 3);
+  EXPECT_EQ(channels->find("healthy")->as_integer(), 1);
+  EXPECT_EQ(channels->find("degraded")->as_integer(), 1);
+  EXPECT_EQ(channels->find("quarantined")->as_integer(), 1);
+  EXPECT_EQ(channels->find("probing")->as_integer(), 0);
+  server.stop();
+}
+
+TEST_F(HttpExporterTest, HealthzDegradesWhenAllChannelsQuarantined) {
+  registry_.gauge("sampler.health.ch0").set(2.0);
+  registry_.gauge("sampler.health.ch1").set(2.0);
+  HttpExporter server(registry_);
+  server.start();
+  const std::string response = http_get(server.port(), "/healthz");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  const util::Json doc = util::Json::parse(body_of(response));
+  EXPECT_EQ(doc.find("status")->as_string(), "unhealthy");
+  EXPECT_EQ(doc.find("channels")->find("quarantined")->as_integer(), 2);
+  server.stop();
+}
+
+TEST_F(HttpExporterTest, FlamegraphEndpoint) {
+  HttpExporter server(registry_);
+  server.start();
+  // Without a provider: 503.
+  EXPECT_NE(http_get(server.port(), "/flamegraph").find("503"),
+            std::string::npos);
+  server.set_flamegraph_provider(
+      []() { return std::string("root;child 42\n"); });
+  const std::string response = http_get(server.port(), "/flamegraph");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_EQ(body_of(response), "root;child 42\n");
+  server.stop();
+}
+
+TEST_F(HttpExporterTest, SloEndpoint) {
+  HttpExporter server(registry_);
+  server.start();
+  EXPECT_NE(http_get(server.port(), "/slo").find("503"), std::string::npos);
+  server.set_slo_provider([]() {
+    auto j = util::Json::object();
+    j.set("now_s", util::Json::number(12.0));
+    j.set("objectives", util::Json::array());
+    return j;
+  });
+  const std::string response = http_get(server.port(), "/slo");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const util::Json doc = util::Json::parse(body_of(response));
+  EXPECT_DOUBLE_EQ(doc.find("now_s")->as_number(), 12.0);
+  ASSERT_NE(doc.find("objectives"), nullptr);
+  server.stop();
+}
+
 TEST_F(HttpExporterTest, UnknownPathAndMethod) {
   HttpExporter server(registry_);
   server.start();

@@ -1,0 +1,141 @@
+#include "amperebleed/obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace amperebleed::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusName, SanitizesInvalidRunes) {
+  EXPECT_EQ(prometheus_metric_name("sampler.reads"), "sampler_reads");
+  EXPECT_EQ(prometheus_metric_name("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(prometheus_metric_name("ok_name:sub"), "ok_name:sub");
+  // A leading digit is invalid even though digits are fine afterwards.
+  EXPECT_EQ(prometheus_metric_name("9lives"), "_lives");
+  EXPECT_EQ(prometheus_metric_name("lives9"), "lives9");
+  EXPECT_EQ(prometheus_metric_name(""), "_");
+}
+
+TEST(PrometheusEscape, EscapesQuoteBackslashNewline) {
+  EXPECT_EQ(prometheus_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(prometheus_escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(prometheus_escape_label_value(""), "");
+}
+
+TEST(PrometheusText, NonFiniteGaugesUseExpositionTokens) {
+  MetricsRegistry registry;
+  registry.gauge("g_nan").set(std::numeric_limits<double>::quiet_NaN());
+  registry.gauge("g_pinf").set(std::numeric_limits<double>::infinity());
+  registry.gauge("g_ninf").set(-std::numeric_limits<double>::infinity());
+  const std::string text = to_prometheus_text(registry);
+  EXPECT_NE(text.find("g_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("g_pinf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("g_ninf -Inf\n"), std::string::npos);
+  // The printf spellings must not leak through.
+  EXPECT_EQ(text.find("nan\n"), std::string::npos);
+  EXPECT_EQ(text.find(" inf"), std::string::npos);
+}
+
+TEST(PrometheusText, EmptyHistogramRendersZeroSamples) {
+  MetricsRegistry registry;
+  static_cast<void>(registry.histogram("empty.hist"));
+  const std::string text = to_prometheus_text(registry);
+  EXPECT_NE(text.find("# TYPE empty_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_count 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  HistogramConfig config;
+  config.bucket_bounds = {10.0, 100.0};
+  config.quantiles = {};
+  Histogram& h = registry.histogram("lat", config);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(1e6);
+  const std::string text = to_prometheus_text(registry);
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+}
+
+// Line-level grammar check: every non-comment, non-empty line must be
+// `name[{labels}] value` with a valid metric name and a parseable value.
+void expect_grammar_valid(const std::string& text) {
+  for (const std::string& line : lines_of(text)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+
+    // Value: a decimal or one of the special tokens.
+    if (value != "NaN" && value != "+Inf" && value != "-Inf") {
+      std::size_t parsed = 0;
+      EXPECT_NO_THROW(static_cast<void>(std::stod(value, &parsed))) << line;
+      EXPECT_EQ(parsed, value.size()) << line;
+    }
+
+    // Optional {label="value"} block; quotes must be balanced.
+    const std::size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      const std::string labels = series.substr(brace + 1,
+                                               series.size() - brace - 2);
+      std::size_t quotes = 0;
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (labels[i] == '"' && (i == 0 || labels[i - 1] != '\\')) ++quotes;
+      }
+      EXPECT_EQ(quotes % 2, 0u) << line;
+      series = series.substr(0, brace);
+    }
+
+    // Metric name: [a-zA-Z_:][a-zA-Z0-9_:]*
+    ASSERT_FALSE(series.empty()) << line;
+    const auto name_ok = [](char c, bool first) {
+      const auto uc = static_cast<unsigned char>(c);
+      return std::isalpha(uc) != 0 || c == '_' || c == ':' ||
+             (!first && std::isdigit(uc) != 0);
+    };
+    EXPECT_TRUE(name_ok(series[0], true)) << line;
+    for (std::size_t i = 1; i < series.size(); ++i) {
+      EXPECT_TRUE(name_ok(series[i], false)) << line;
+    }
+  }
+}
+
+TEST(PrometheusText, FullRegistryIsGrammarValid) {
+  MetricsRegistry registry;
+  registry.counter("requests.total").inc(3);
+  registry.gauge("temp.c").set(42.5);
+  registry.gauge("weird gauge-name/9").set(
+      std::numeric_limits<double>::quiet_NaN());
+  Histogram& h = registry.histogram("lat.ns");
+  h.observe(150.0);
+  h.observe(1e9);
+  static_cast<void>(registry.histogram("empty.h"));
+  expect_grammar_valid(to_prometheus_text(registry));
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

@@ -1,0 +1,236 @@
+#include "amperebleed/obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/faults/faults.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/power/activity.hpp"
+#include "amperebleed/soc/soc.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+HistogramConfig two_bucket_config() {
+  HistogramConfig config;
+  config.bucket_bounds = {10.0, 100.0};
+  config.quantiles = {};
+  return config;
+}
+
+SloObjective objective(double threshold = 10.0, double target = 0.9) {
+  SloObjective obj;
+  obj.name = "test_slo";
+  obj.histogram = "h";
+  obj.threshold = threshold;
+  obj.target = target;
+  return obj;
+}
+
+TEST(HistogramGoodTotal, BucketBoundSemantics) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", two_bucket_config());
+  h.observe(5.0);     // bucket le=10   -> good at threshold 10
+  h.observe(50.0);    // bucket le=100  -> bad at threshold 10
+  h.observe(1e9);     // +Inf overflow  -> never good
+  std::uint64_t good = 0;
+  std::uint64_t total = 0;
+  histogram_good_total(h, 10.0, good, total);
+  EXPECT_EQ(good, 1u);
+  EXPECT_EQ(total, 3u);
+  histogram_good_total(h, 100.0, good, total);
+  EXPECT_EQ(good, 2u);  // overflow still excluded
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Slo, CleanHistoryBurnsZero) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", two_bucket_config());
+  Slo slo(objective());
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  const SloStatus s = slo.evaluate(reg, 10.0);
+  EXPECT_EQ(s.good, 10u);
+  EXPECT_EQ(s.total, 10u);
+  EXPECT_DOUBLE_EQ(s.compliance, 1.0);
+  EXPECT_DOUBLE_EQ(s.fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(s.slow_burn, 0.0);
+  EXPECT_FALSE(s.breached);
+}
+
+TEST(Slo, BurnRateIsBadFractionOverBudget) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", two_bucket_config());
+  Slo slo(objective(10.0, 0.9));  // budget = 0.1
+  for (int i = 0; i < 10; ++i) h.observe(5.0);
+  slo.evaluate(reg, 10.0);
+  for (int i = 0; i < 10; ++i) h.observe(50.0);
+  // Window spans the whole history (clamped to the t=0 origin): 10 bad of
+  // 20 -> bad fraction 0.5 -> burn 0.5 / 0.1 = 5.
+  const SloStatus s = slo.evaluate(reg, 20.0);
+  EXPECT_EQ(s.good, 10u);
+  EXPECT_EQ(s.total, 20u);
+  EXPECT_DOUBLE_EQ(s.compliance, 0.5);
+  EXPECT_DOUBLE_EQ(s.fast_burn, 5.0);
+  EXPECT_DOUBLE_EQ(s.slow_burn, 5.0);
+  EXPECT_FALSE(s.fast_alert);  // 5 < 14.4
+  EXPECT_FALSE(s.breached);
+}
+
+TEST(Slo, FastWindowForgetsOldBadness) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", two_bucket_config());
+  Slo slo(objective(10.0, 0.9));
+  for (int i = 0; i < 100; ++i) h.observe(50.0);  // all bad
+  slo.evaluate(reg, 1000.0);
+  // 400 s later with no new observations: the 300 s fast window holds
+  // nothing (burn 0), while the 3600 s slow window still reaches the
+  // origin and sees bad fraction 1.0 -> burn 10.
+  const SloStatus s = slo.evaluate(reg, 1400.0);
+  EXPECT_DOUBLE_EQ(s.fast_burn, 0.0);
+  EXPECT_DOUBLE_EQ(s.slow_burn, 10.0);
+  EXPECT_FALSE(s.fast_alert);
+  EXPECT_TRUE(s.slow_alert);  // 10 > 6
+  EXPECT_FALSE(s.breached);   // page needs BOTH windows
+}
+
+TEST(Slo, TotalViolationPagesBothWindows) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", two_bucket_config());
+  Slo slo(objective(10.0, 0.99));  // budget = 0.01
+  for (int i = 0; i < 50; ++i) h.observe(5.0);
+  for (int i = 0; i < 50; ++i) h.observe(50.0);
+  // Bad fraction 0.5 against a 0.01 budget: burn 50 in both windows.
+  const SloStatus s = slo.evaluate(reg, 100.0);
+  EXPECT_NEAR(s.fast_burn, 50.0, 1e-9);
+  EXPECT_NEAR(s.slow_burn, 50.0, 1e-9);
+  EXPECT_TRUE(s.fast_alert);
+  EXPECT_TRUE(s.slow_alert);
+  EXPECT_TRUE(s.breached);
+}
+
+TEST(Slo, MissingHistogramCountsNothing) {
+  MetricsRegistry reg;
+  Slo slo(objective());
+  const SloStatus s = slo.evaluate(reg, 5.0);
+  EXPECT_EQ(s.total, 0u);
+  EXPECT_DOUBLE_EQ(s.compliance, 1.0);
+  EXPECT_DOUBLE_EQ(s.fast_burn, 0.0);
+}
+
+TEST(SloRegistry, AddReplacesByNameAndAdvancesClock) {
+  SloRegistry registry;
+  registry.add(objective());
+  registry.add(objective(100.0));  // same name: replace, not duplicate
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.has("test_slo"));
+  EXPECT_FALSE(registry.has("other"));
+  registry.advance(2.5);
+  registry.advance(-1.0);  // ignored
+  EXPECT_DOUBLE_EQ(registry.now_s(), 2.5);
+  registry.reset();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_DOUBLE_EQ(registry.now_s(), 0.0);
+}
+
+TEST(SloRegistry, JsonCarriesEveryObjective) {
+  SloRegistry registry;
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("h", two_bucket_config());
+  h.observe(5.0);
+  registry.add(objective());
+  registry.advance(7.0);
+  const auto doc = util::Json::parse(registry.to_json(reg).dump());
+  EXPECT_DOUBLE_EQ(doc.find("now_s")->as_number(), 7.0);
+  const auto* objectives = doc.find("objectives");
+  ASSERT_NE(objectives, nullptr);
+  ASSERT_EQ(objectives->size(), 1u);
+  const auto& entry = objectives->at(0);
+  EXPECT_EQ(entry.find("name")->as_string(), "test_slo");
+  EXPECT_DOUBLE_EQ(entry.find("compliance")->as_number(), 1.0);
+  ASSERT_NE(entry.find("fast_burn"), nullptr);
+  ASSERT_NE(entry.find("breached"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the sampler's virtual-time SLI under injected faults.
+
+constexpr core::Channel kFpgaCurrent{power::Rail::FpgaLogic,
+                                     core::Quantity::Current};
+
+std::unique_ptr<soc::Soc> make_soc(std::uint64_t seed = 1) {
+  auto soc = std::make_unique<soc::Soc>(soc::zcu102_config(seed));
+  power::RailActivity load;
+  load.on(power::Rail::FpgaLogic).append(sim::microseconds(1), 1.0);
+  soc->add_activity(load);
+  soc->finalize();
+  return soc;
+}
+
+SloObjective acquire_objective() {
+  SloObjective obj;
+  obj.name = "acquire_virtual_latency";
+  obj.histogram = "sampler.sample_acquire_vns";
+  obj.threshold = 1e3;  // virtual ns; clean samples consume 0
+  obj.target = 0.99;
+  return obj;
+}
+
+TEST(SloEndToEnd, CleanAcquisitionIsFullyCompliant) {
+  init();
+  reset_data();
+  slos().add(acquire_objective());
+
+  auto soc = make_soc();
+  core::Sampler sampler(*soc);
+  core::SamplerConfig config;
+  config.sample_count = 50;
+  static_cast<void>(
+      sampler.collect(kFpgaCurrent, sim::milliseconds(40), config));
+
+  // The collection advanced the virtual clock...
+  EXPECT_GT(slos().now_s(), 0.0);
+  // ...and every sample consumed zero virtual ns beyond the cadence.
+  const auto statuses = slos().evaluate_all(metrics());
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].total, 50u);
+  EXPECT_DOUBLE_EQ(statuses[0].compliance, 1.0);
+  EXPECT_DOUBLE_EQ(statuses[0].fast_burn, 0.0);
+  EXPECT_FALSE(statuses[0].breached);
+  shutdown();
+}
+
+TEST(SloEndToEnd, TransientFaultBackoffViolatesTheObjective) {
+  init();
+  reset_data();
+  slos().add(acquire_objective());
+
+  auto soc = make_soc();
+  // Transient read faults force retry backoff: the recovery consumes real
+  // virtual time, which is exactly what the acquire-latency SLI meters.
+  faults::FaultInjector injector(faults::FaultPlan::transient_only(3, 0.25));
+  injector.attach(soc->hwmon().fs());
+  core::Sampler sampler(*soc);
+  core::ResilienceConfig resilience;
+  resilience.enabled = true;
+  sampler.set_resilience(resilience);
+  core::SamplerConfig config;
+  config.sample_count = 50;
+  static_cast<void>(
+      sampler.collect(kFpgaCurrent, sim::milliseconds(40), config));
+
+  ASSERT_GT(sampler.stats().retries, 0u);
+  const auto statuses = slos().evaluate_all(metrics());
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].total, 50u);
+  // Backoff waits pushed some samples past the threshold: compliance
+  // dropped below target and the budget burns faster than sustainable.
+  EXPECT_LT(statuses[0].compliance, 0.99);
+  EXPECT_GT(statuses[0].fast_burn, 1.0);
+  shutdown();
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

@@ -15,6 +15,9 @@
 //   --metrics a,b,...    only compare metrics whose key contains a substring
 //   --exclude a,b,...    skip metrics whose key contains a substring
 //   --force              compare despite hostname/build-type mismatches
+//   --stages             surface per-stage pipeline attribution and SLO
+//                        keys (stage_* / slo_*) as informational rows —
+//                        shown, but never counted as regressions
 //   --json               machine-readable report on stdout
 //   --verbose            include unchanged rows in the table
 //
@@ -45,8 +48,8 @@ struct Cli {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: bench_compare [--threshold X] [--alpha X] [--metrics a,b]\n"
-      "                     [--exclude a,b] [--force] [--json] [--verbose]\n"
-      "                     SNAPSHOT SNAPSHOT [SNAPSHOT ...]\n"
+      "                     [--exclude a,b] [--force] [--stages] [--json]\n"
+      "                     [--verbose] SNAPSHOT SNAPSHOT [SNAPSHOT ...]\n"
       "       (SNAPSHOT = BENCH_*.json file or run_all.sh trajectory dir;\n"
       "        also accepts --baseline A --current B)\n",
       out);
@@ -86,6 +89,8 @@ Cli parse_cli(int argc, char** argv) {
       current = next();
     } else if (arg == "--force") {
       cli.options.force = true;
+    } else if (arg == "--stages") {
+      cli.options.show_stages = true;
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--verbose") {

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Canonicalize a Chrome trace_event JSON into its span-tree shape.
+
+Span/trace/region ids are allocated from process-wide atomics, so two runs
+of the same workload — or the same run at different thread-pool sizes —
+produce different ids even when the causal structure is identical.  This
+tool strips the ids and reduces the wall-clock span tree to a sorted
+multiset of root-to-leaf name paths, which IS stable across pool sizes.
+
+Usage:
+    trace_shape.py TRACE.json            # print the canonical shape
+    trace_shape.py A.json B.json [...]   # exit 1 unless all shapes match
+
+Only phase-'X' (complete) events on the wall-clock track with a span id
+are considered; flow events ('s'/'f'), metadata ('M'), and the virtual
+clock track carry ids or timestamps that legitimately differ.
+"""
+
+import json
+import sys
+from collections import Counter
+
+
+def load_spans(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    spans = {}
+    for e in events:
+        # pid 1 is the wall-clock track; pid 2 is the virtual sim clock.
+        if e.get("ph") != "X" or e.get("pid") == 2:
+            continue
+        args = e.get("args", {})
+        span_id = args.get("span_id", 0)
+        if not span_id:
+            continue
+        spans[span_id] = (args.get("parent_id", 0), e.get("name", "?"))
+    return spans
+
+
+def shape(spans):
+    """Sorted multiset of root-to-leaf name paths, ids erased."""
+    children = Counter()
+    for parent_id, _ in spans.values():
+        children[parent_id] += 1
+    paths = Counter()
+    for span_id, (parent_id, name) in spans.items():
+        if children[span_id]:
+            continue  # interior node; leaves spell out the full path
+        path = [name]
+        seen = {span_id}
+        while parent_id in spans and parent_id not in seen:
+            seen.add(parent_id)
+            path.append(spans[parent_id][1])
+            parent_id = spans[parent_id][0]
+        paths[";".join(reversed(path))] += 1
+    return sorted(paths.items())
+
+
+def render(paths):
+    return "".join(f"{count} {path}\n" for path, count in paths)
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    shapes = [(path, shape(load_spans(path))) for path in argv[1:]]
+    if len(shapes) == 1:
+        sys.stdout.write(render(shapes[0][1]))
+        return 0
+    reference_path, reference = shapes[0]
+    ok = True
+    for path, candidate in shapes[1:]:
+        if candidate != reference:
+            ok = False
+            sys.stderr.write(f"shape mismatch: {reference_path} vs {path}\n")
+            ref_lines = set(render(reference).splitlines())
+            cand_lines = set(render(candidate).splitlines())
+            for line in sorted(ref_lines - cand_lines):
+                sys.stderr.write(f"  - {line}\n")
+            for line in sorted(cand_lines - ref_lines):
+                sys.stderr.write(f"  + {line}\n")
+    if ok:
+        total = sum(count for _, count in reference)
+        print(f"trace shapes identical across {len(shapes)} files "
+              f"({total} leaf paths)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
