@@ -1,0 +1,328 @@
+// Ablation A12: inference-quality observability — does the drift/quality
+// layer fire exactly when it should? An OnlineFingerprinter is enrolled on
+// clean traces with drift monitoring on, then served four streams:
+//
+//   clean ×3 seeds  fresh traces from the enrolled victims. Expected:
+//                   zero Warning/Drifted transitions (no false alerts).
+//   frozen-sensor   traces recorded under a FrozenRegister + GarbageText
+//                   chaos plan (resilient sampler, hold-last gap fill):
+//                   flatlined runs + reconstructed gaps shift the feature
+//                   distribution and scramble the predicted class mix.
+//                   Expected: at least Warning (PSI + chi-square class-mix),
+//                   with the data-quality monitors tallying the gaps and
+//                   freeze runs that caused it.
+//   dvfs-shift      clean traces with a thermal/DVFS-style amplitude scale
+//                   (Hot Pixels-style operating-point shift). Expected:
+//                   Drifted via PSI/KS on the raw current features.
+//
+// Detection latency (observations from stream start to the first Warning /
+// Drifted transition) lands in the run record as drift_* keys. The whole
+// bench is byte-reproducible at any thread-pool size: traces are pure
+// functions of their seeds, classification feeds the monitor in input
+// order, and the quality tallies are order-independent sums.
+//
+// Flags: --models N        enrolled victim count (default 6; 4 with --quick)
+//        --train-traces N  enrollment traces per victim (default 8; 6 quick)
+//        --batches N       live batches per stream (default 8; one trace per
+//                          victim per batch)
+//        --trees N         forest size (default 40; 24 with --quick)
+//        --threads N       worker threads (default: hardware concurrency)
+//        --seed S          pipeline seed (default 0x9a1)
+//        --fault-seed S    chaos-plan seed (default AMPEREBLEED_FAULT_SEED
+//                          or 0xfa17)
+//        --shift X         amplitude scale of the dvfs-shift leg (1.10)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "amperebleed/core/online.hpp"
+#include "amperebleed/core/preprocess.hpp"
+#include "amperebleed/core/report.hpp"
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/faults/faults.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/obs/quality.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/parallel.hpp"
+#include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+constexpr core::Channel kChannel{power::Rail::FpgaLogic,
+                                 core::Quantity::Current};
+
+struct StreamConfig {
+  const faults::FaultPlan* fault_plan = nullptr;  // nullptr: clean reads
+  double scale = 1.0;  // amplitude factor applied to collected values
+};
+
+/// One victim run on a fresh SoC: DPU inference loop + single-channel
+/// collection, optionally under a chaos plan (resilient sampler, hold-last
+/// reconstruction) and/or an amplitude scale. Pure function of the seed.
+core::Trace record_trace(const dnn::Model& model, std::size_t n_samples,
+                         std::uint64_t seed, const StreamConfig& stream) {
+  dpu::DpuAccelerator dpu;
+  const sim::TimeNs run_end =
+      sim::seconds(1) + sim::milliseconds(200);
+  auto run = dpu.run(model, sim::TimeNs{0}, run_end,
+                     util::hash_combine(seed, 0xd9));
+  soc::Soc soc(soc::zcu102_config(util::hash_combine(seed, 0x50c)));
+  soc.fabric().deploy(dpu.descriptor());
+  soc.add_activity(run.activity);
+  soc.finalize();
+
+  std::optional<faults::FaultInjector> injector;
+  if (stream.fault_plan != nullptr && stream.fault_plan->any()) {
+    faults::FaultPlan plan = *stream.fault_plan;
+    plan.seed = util::hash_combine(plan.seed, seed);
+    injector.emplace(plan);
+    injector->attach(soc.hwmon().fs());
+  }
+
+  core::Sampler sampler(soc);
+  if (stream.fault_plan != nullptr) {
+    core::ResilienceConfig resilience;
+    resilience.enabled = true;
+    sampler.set_resilience(resilience);
+  }
+  core::SamplerConfig sc;
+  sc.sample_count = n_samples;
+  core::Trace raw = sampler.collect(kChannel, sim::TimeNs{0}, sc);
+  if (stream.fault_plan == nullptr && stream.scale == 1.0) return raw;
+
+  // Reconstruct gaps (hold-last, the A11 policy) and apply the amplitude
+  // scale, yielding the gapless trace the classifier actually consumes.
+  std::vector<double> values =
+      core::fill_gaps(raw, core::GapPolicy::HoldLast);
+  core::Trace out(raw.channel(), raw.start(), raw.period());
+  out.reserve(values.size());
+  for (double v : values) out.push(v * stream.scale);
+  return out;
+}
+
+/// Record `batches` batches — one trace per victim per batch — in parallel
+/// into deterministic slots.
+std::vector<std::vector<core::Trace>> record_batches(
+    const std::vector<dnn::Model>& zoo, std::size_t batches,
+    std::size_t n_samples, std::uint64_t stream_seed,
+    const StreamConfig& stream, std::size_t threads) {
+  // Trace has no default constructor; seed the slots with placeholder
+  // copies that every worker overwrites.
+  std::vector<core::Trace> flat(
+      batches * zoo.size(),
+      core::Trace(kChannel, sim::TimeNs{0}, sim::milliseconds(35)));
+  util::parallel_for(
+      flat.size(),
+      [&](std::size_t i) {
+        flat[i] = record_trace(zoo[i % zoo.size()], n_samples,
+                               util::hash_combine(stream_seed, i), stream);
+      },
+      threads);
+  std::vector<std::vector<core::Trace>> out(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    out[b].assign(flat.begin() + static_cast<std::ptrdiff_t>(b * zoo.size()),
+                  flat.begin() +
+                      static_cast<std::ptrdiff_t>((b + 1) * zoo.size()));
+  }
+  return out;
+}
+
+struct LegResult {
+  std::string name;
+  obs::DriftReport report;
+};
+
+/// Serve one stream to the fingerprinter: reset the monitor's window, then
+/// classify every batch (classify_many feeds the monitor in input order).
+LegResult run_leg(core::OnlineFingerprinter& service, std::string name,
+                  const std::vector<std::vector<core::Trace>>& batches) {
+  service.reset_drift_window();
+  for (const auto& batch : batches) {
+    (void)service.classify_many(batch);
+  }
+  LegResult leg;
+  leg.name = std::move(name);
+  leg.report = service.drift_monitor()->report();
+  return leg;
+}
+
+std::string fmt_obs(std::int64_t obs) {
+  return obs < 0 ? "-" : util::format("%lld", static_cast<long long>(obs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "ablation_quality");
+
+  const bool quick = args.has("quick");
+  const std::size_t n_models =
+      static_cast<std::size_t>(args.get_int("models", quick ? 4 : 6));
+  const std::size_t train_traces = static_cast<std::size_t>(
+      args.get_int("train-traces", quick ? 6 : 8));
+  const std::size_t batches =
+      static_cast<std::size_t>(args.get_int("batches", 8));
+  const std::size_t n_trees =
+      static_cast<std::size_t>(args.get_int("trees", quick ? 24 : 40));
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x9a1));
+  const double shift = args.get_double("shift", 1.10);
+  std::uint64_t fault_seed = faults::FaultPlan::from_env().seed;
+  if (args.has("fault-seed")) {
+    fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
+  const std::size_t n_samples = 28;  // 1 s at the 35 ms hwmon cadence
+
+  // Metrics + quality only: leg tallies come from the quality hub, and
+  // tracing/audit accumulation would add nothing to the table.
+  obs::init(obs::ObsConfig{.enabled = true,
+                           .metrics = true,
+                           .tracing = false,
+                           .audit = false,
+                           .quality = true});
+
+  auto zoo = dnn::build_zoo();
+  if (n_models < zoo.size()) zoo.resize(n_models);
+
+  std::printf(
+      "Ablation A12: streaming drift detection and data quality — "
+      "%zu victims, %zu train traces each,\nRF(%zu trees), %zu-sample "
+      "features, %zu live batches per stream, chaos seed 0x%llx\n\n",
+      zoo.size(), train_traces, n_trees, n_samples, batches,
+      static_cast<unsigned long long>(fault_seed));
+
+  // Enrollment: clean traces, recorded in parallel into ordered slots and
+  // enrolled serially (enroll order fixes the class-label mapping).
+  const StreamConfig clean_stream;
+  std::vector<core::Trace> enroll_traces(
+      zoo.size() * train_traces,
+      core::Trace(kChannel, sim::TimeNs{0}, sim::milliseconds(35)));
+  util::parallel_for(
+      enroll_traces.size(),
+      [&](std::size_t i) {
+        enroll_traces[i] =
+            record_trace(zoo[i / train_traces], n_samples,
+                         util::hash_combine(seed, 0xe0000 + i), clean_stream);
+      },
+      threads);
+
+  core::OnlineFingerprinterConfig config;
+  config.forest.n_trees = n_trees;
+  config.forest.tree.max_depth = 32;
+  config.drift.enabled = true;
+  config.drift.name = "ablation_quality";
+  config.drift.window = 2 * zoo.size() + zoo.size() / 2;  // ~2.5 batches
+  config.drift.stride = zoo.size();                       // once per batch
+  config.drift.confirm = 2;
+  core::OnlineFingerprinter service(config);
+  for (std::size_t i = 0; i < enroll_traces.size(); ++i) {
+    service.enroll(enroll_traces[i], zoo[i / train_traces].name);
+  }
+  service.train();
+
+  // The three streams. Chaos plan: frozen registers with long bursts plus
+  // occasional garbage reads — the classic degraded-sensor cocktail.
+  faults::FaultPlan chaos;
+  chaos.seed = fault_seed;
+  chaos.rates[faults::FaultKind::FrozenRegister] = 0.35;
+  chaos.rates[faults::FaultKind::GarbageText] = 0.15;
+  chaos.burst.continue_probability = 0.95;
+  chaos.burst.max_length = 96;
+  StreamConfig frozen_stream;
+  frozen_stream.fault_plan = &chaos;
+  StreamConfig shift_stream;
+  shift_stream.scale = shift;
+
+  std::vector<LegResult> legs;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    legs.push_back(run_leg(
+        service, util::format("clean-%llu", static_cast<unsigned long long>(s)),
+        record_batches(zoo, batches, n_samples,
+                       util::hash_combine(seed, 0xc1ea0 + s), clean_stream,
+                       threads)));
+  }
+  legs.push_back(run_leg(
+      service, "frozen-sensor",
+      record_batches(zoo, batches, n_samples, util::hash_combine(seed, 0xf0),
+                     frozen_stream, threads)));
+  legs.push_back(run_leg(
+      service, "dvfs-shift",
+      record_batches(zoo, batches, n_samples, util::hash_combine(seed, 0xd0),
+                     shift_stream, threads)));
+
+  core::TextTable table({"Stream", "Obs", "Evals", "State", "First warn",
+                         "First drift", "PSI mean", "KS min p"});
+  std::uint64_t clean_false_alerts = 0;
+  for (const auto& leg : legs) {
+    const auto& r = leg.report;
+    if (util::starts_with(leg.name, "clean")) {
+      clean_false_alerts += r.warnings + r.drifts;
+    }
+    table.add_row({leg.name,
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            r.observations)),
+                   util::format("%llu", static_cast<unsigned long long>(
+                                            r.evaluations)),
+                   std::string(obs::drift_state_name(r.state)),
+                   fmt_obs(r.first_warning_obs), fmt_obs(r.first_drifted_obs),
+                   util::format("%.3f", r.last.psi_mean),
+                   util::format("%.2e", r.last.ks_min_p)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // Acquisition-side data quality accumulated across every stream.
+  const auto channels = obs::quality_hub().data_quality().channels();
+  std::printf("\nData quality (all streams):\n");
+  for (const auto& channel : channels) {
+    std::printf(
+        "  %-24s traces=%llu gap=%.4f clip=%.4f frozen_traces=%llu\n",
+        channel.channel.c_str(),
+        static_cast<unsigned long long>(channel.traces),
+        channel.gap_fraction(), channel.clip_rate(),
+        static_cast<unsigned long long>(channel.frozen_events));
+  }
+
+  std::puts("\nReading: clean streams never leave Ok — the thresholds have");
+  std::puts("real margin, not luck. A frozen sensor raises Warning within a");
+  std::puts("few batches (class-mix + PSI) with the data-quality tallies");
+  std::puts("naming the guilty channel; a DVFS-style amplitude shift is a");
+  std::puts("full covariate shift and lands in Drifted.");
+
+  session.record().set_integer(
+      "drift_clean_false_alerts",
+      static_cast<std::int64_t>(clean_false_alerts));
+  for (const auto& leg : legs) {
+    if (util::starts_with(leg.name, "clean")) continue;
+    const std::string prefix =
+        "drift_" + std::string(util::starts_with(leg.name, "frozen")
+                                   ? "frozen"
+                                   : "shift");
+    session.record().set_integer(prefix + "_first_warning_obs",
+                                 leg.report.first_warning_obs);
+    session.record().set_integer(prefix + "_first_drifted_obs",
+                                 leg.report.first_drifted_obs);
+    session.record().set_number(prefix + "_psi_mean",
+                                leg.report.last.psi_mean);
+    session.record().set_integer(
+        prefix + "_detected",
+        leg.report.first_warning_obs >= 0 ? 1 : 0);
+  }
+  session.finish();
+
+  // Exit nonzero when the monitor misbehaved: any clean-stream alert, a
+  // frozen stream that never alerted, or an amplitude shift that did not
+  // reach Drifted.
+  const bool frozen_ok = legs[3].report.first_warning_obs >= 0;
+  const bool shift_ok = legs[4].report.state == obs::DriftState::Drifted;
+  return (clean_false_alerts == 0 && frozen_ok && shift_ok) ? 0 : 1;
+}

@@ -3,6 +3,10 @@
 // the same flags:
 //
 //   --obs                  enable instrumentation without writing snapshots
+//   --quality              enable obs AND the quality layer (drift + data-
+//                          quality monitors, the /quality endpoint, and
+//                          quality_*/drift_* run-record keys). Quality is
+//                          strictly opt-in: plain --obs leaves it off.
 //   --metrics-out PATH     enable obs; write a metrics snapshot (.json/.csv)
 //   --trace-out PATH       enable obs; write a Chrome trace_event JSON
 //   --audit-out PATH       enable obs; write the hwmon access-audit log JSON
@@ -34,6 +38,7 @@
 //   ... experiment; session.record().set_number("snr_db", snr) ...
 //   session.finish();   // also runs from the destructor
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -43,6 +48,7 @@
 #include "amperebleed/obs/exporter.hpp"
 #include "amperebleed/obs/http_exporter.hpp"
 #include "amperebleed/obs/obs.hpp"
+#include "amperebleed/obs/quality.hpp"
 #include "amperebleed/obs/run_record.hpp"
 #include "amperebleed/util/cli.hpp"
 #include "amperebleed/util/thread_pool.hpp"
@@ -76,12 +82,13 @@ class ObsSession {
           static_cast<std::int64_t>(util::ThreadPool::global().size()));
     }
     const bool want_serve = args.has("serve-port");
+    const bool want_quality = args.has("quality");
     const bool want_obs = args.has("obs") || !metrics_out_.empty() ||
                           !trace_out_.empty() || !audit_out_.empty() ||
                           !profile_out_.empty() || !snapshot_out_.empty() ||
-                          want_serve;
+                          want_serve || want_quality;
     if (!want_obs) return;
-    obs::init();
+    obs::init(obs::ObsConfig{.enabled = true, .quality = want_quality});
 
     // The bench root span: every stage span, parallel_for task span and
     // fault instant recorded on this thread (or captured into pool tasks)
@@ -126,11 +133,14 @@ class ObsSession {
           []() { return obs::collapsed_stacks_text(obs::tracer()); });
       http_->set_slo_provider(
           []() { return obs::slos().to_json(obs::metrics()); });
+      http_->set_quality_provider(
+          []() { return obs::quality_hub().to_json(); });
       http_->start();
       // stderr so bench stdout stays exactly the experiment's output.
       std::fprintf(stderr,
                    "obs: serving /metrics /healthz /runrecord /flamegraph "
-                   "/slo on http://127.0.0.1:%d (flush every %d ms)\n",
+                   "/slo /quality on http://127.0.0.1:%d (flush every %d "
+                   "ms)\n",
                    http_->port(),
                    exporter_ ? exporter_->config().flush_interval_ms : 0);
     }
@@ -195,6 +205,28 @@ class ObsSession {
         record_.set_number(prefix + "_slow_burn", status.slow_burn);
         record_.set_integer(prefix + "_breached", status.breached ? 1 : 0);
       }
+    }
+    if (obs::quality_enabled()) {
+      // Quality telemetry: informational keys (prefixed quality_ / drift_),
+      // excluded from the bench_compare perf gate like stage_/slo_.
+      const auto& dq = obs::quality_hub().data_quality();
+      double gap_max = 0.0;
+      double clip_max = 0.0;
+      std::int64_t frozen = 0;
+      std::int64_t traces = 0;
+      for (const auto& channel : dq.channels()) {
+        gap_max = std::max(gap_max, channel.gap_fraction());
+        clip_max = std::max(clip_max, channel.clip_rate());
+        if (channel.frozen_events > 0) ++frozen;
+        traces += static_cast<std::int64_t>(channel.traces);
+      }
+      record_.set_integer("quality_traces", traces);
+      record_.set_number("quality_gap_fraction_max", gap_max);
+      record_.set_number("quality_clip_rate_max", clip_max);
+      record_.set_integer("quality_frozen_channels", frozen);
+      record_.set_integer(
+          "quality_gap_filled_total",
+          static_cast<std::int64_t>(dq.gap_filled_total()));
     }
     if (!metrics_out_.empty()) obs::metrics().write_snapshot(metrics_out_);
     if (!trace_out_.empty()) obs::tracer().write_chrome_trace(trace_out_);

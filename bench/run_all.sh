@@ -102,6 +102,7 @@ if [ "$quick" -eq 1 ]; then
   run ablation_defenses --samples 500
   run ablation_detection --duration 20
   run ablation_faults --quick
+  run ablation_quality --quick
   run covert_channel
 else
   echo "Bench suite (paper scale) -> $out_abs"
@@ -121,6 +122,7 @@ else
   run ablation_defenses
   run ablation_detection
   run ablation_faults
+  run ablation_quality
   run covert_channel
 fi
 

@@ -43,6 +43,15 @@ void OnlineFingerprinter::train() {
   forest_ = ml::RandomForest(config_.forest);
   forest_.fit(data_);
   trained_ = true;
+  if (config_.drift.enabled) {
+    monitor_ = std::make_unique<obs::DriftMonitor>(
+        obs::ReferenceProfile::from_dataset(data_, config_.drift.sketch_bins),
+        config_.drift);
+  }
+}
+
+void OnlineFingerprinter::reset_drift_window() {
+  if (monitor_) monitor_->reset_window();
 }
 
 OnlineFingerprinter::Verdict OnlineFingerprinter::verdict_from_proba(
@@ -73,7 +82,9 @@ OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
   obs::StageSpan stage(obs::Stage::Classify);
   stage.span().set_attr("channel", channel_name(trace.channel()));
   const auto features = trace.prefix(feature_count_);
-  return verdict_from_proba(forest_.predict_proba(features));
+  Verdict verdict = verdict_from_proba(forest_.predict_proba(features));
+  if (monitor_) feed_monitor(features, verdict);
+  return verdict;
 }
 
 std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
@@ -98,10 +109,25 @@ std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
   const auto probas = forest_.predict_proba_many(row_spans);
   std::vector<Verdict> verdicts;
   verdicts.reserve(probas.size());
-  for (const auto& proba : probas) {
-    verdicts.push_back(verdict_from_proba(proba));
+  for (std::size_t i = 0; i < probas.size(); ++i) {
+    verdicts.push_back(verdict_from_proba(probas[i]));
+    // Feed the monitor serially in input order — drift evaluation is a pure
+    // function of the observation sequence, so batch classification stays
+    // bit-identical to per-trace classify() at any pool size.
+    if (monitor_) feed_monitor(rows[i], verdicts.back());
   }
   return verdicts;
+}
+
+void OnlineFingerprinter::feed_monitor(std::span<const double> features,
+                                       const Verdict& verdict) const {
+  // Winner index = position of the verdict's model in enrollment order;
+  // matches verdict_from_proba's stable_sort first-max tie-break.
+  const auto it = std::find(class_names_.begin(), class_names_.end(),
+                            verdict.model_name);
+  const int winner =
+      static_cast<int>(std::distance(class_names_.begin(), it));
+  monitor_->observe(features, winner, verdict.confidence);
 }
 
 }  // namespace amperebleed::core

@@ -6,6 +6,7 @@
 //     model outside the enrolled zoo yields "unknown" rather than a
 //     confidently wrong answer.
 
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "amperebleed/core/trace.hpp"
 #include "amperebleed/ml/dataset.hpp"
 #include "amperebleed/ml/random_forest.hpp"
+#include "amperebleed/obs/drift.hpp"
 
 namespace amperebleed::core {
 
@@ -23,6 +25,11 @@ struct OnlineFingerprinterConfig {
   double min_confidence = 0.30;
   /// Reject when (top1 - top2) probability margin is below this.
   double min_margin = 0.05;
+  /// Drift monitoring (off by default). With drift.enabled, train() captures
+  /// an obs::ReferenceProfile from the enrollment dataset and classify /
+  /// classify_many feed every prediction to an obs::DriftMonitor — pure
+  /// observation, verdicts are unchanged.
+  obs::DriftConfig drift{};
 };
 
 class OnlineFingerprinter {
@@ -64,11 +71,25 @@ class OnlineFingerprinter {
     return class_names_;
   }
 
+  /// The drift monitor (nullptr unless config.drift.enabled and trained).
+  [[nodiscard]] obs::DriftMonitor* drift_monitor() { return monitor_.get(); }
+  [[nodiscard]] const obs::DriftMonitor* drift_monitor() const {
+    return monitor_.get();
+  }
+  /// Clear the monitor's window and state (reference kept). No-op untrained
+  /// or with drift disabled. Used between evaluation legs.
+  void reset_drift_window();
+
  private:
   /// Shared verdict construction: rank classes by probability and apply the
   /// open-set rejection thresholds. classify and classify_many both funnel
   /// through here so single and batched paths agree bit-for-bit.
   [[nodiscard]] Verdict verdict_from_proba(std::span<const double> proba) const;
+
+  /// Feed one classified observation to the drift monitor (caller checks
+  /// monitor_ is live).
+  void feed_monitor(std::span<const double> features,
+                    const Verdict& verdict) const;
 
   OnlineFingerprinterConfig config_;
   std::size_t feature_count_ = 0;
@@ -76,6 +97,9 @@ class OnlineFingerprinter {
   ml::Dataset data_;
   ml::RandomForest forest_;
   bool trained_ = false;
+  /// Owned drift monitor; mutable because feeding observations is logically
+  /// const classification (the monitor is observation-only state).
+  mutable std::unique_ptr<obs::DriftMonitor> monitor_;
 };
 
 }  // namespace amperebleed::core

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "amperebleed/core/trace.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/obs/quality.hpp"
 #include "amperebleed/stats/correlation.hpp"
 #include "amperebleed/stats/regression.hpp"
 
@@ -37,6 +39,15 @@ std::vector<double> fill_gaps(std::span<const double> values,
   if (validity.empty()) return {values.begin(), values.end()};
   if (validity.size() != values.size()) {
     throw std::invalid_argument("fill_gaps: validity/values length mismatch");
+  }
+  if (obs::quality_enabled()) {
+    const auto filled = static_cast<std::size_t>(
+        std::count(validity.begin(), validity.end(), std::uint8_t{0}));
+    if (filled > 0) {
+      obs::quality_hub().data_quality().note_gap_fill(filled);
+      obs::count("quality.preprocess.gaps_filled",
+                 static_cast<std::uint64_t>(filled));
+    }
   }
 
   if (policy == GapPolicy::Drop) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "amperebleed/obs/obs.hpp"
+#include "amperebleed/obs/quality.hpp"
 #include "amperebleed/util/rng.hpp"
 #include "amperebleed/util/strings.hpp"
 
@@ -426,6 +427,16 @@ std::vector<Trace> Sampler::collect_multi(const std::vector<Channel>& channels,
     const std::int64_t consumed_ns = soc_.now().ns - entry_now_ns;
     if (consumed_ns > 0) {
       obs::slos().advance(static_cast<double>(consumed_ns) * 1e-9);
+    }
+  }
+  if (obs::quality_enabled()) {
+    // Data-quality pass: per-channel gap/clip/freeze tallies, correlated
+    // with the health tracker's current verdict. Channels are visited in
+    // collection order, so the quality snapshot is deterministic.
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      obs::quality_hub().data_quality().note_trace(
+          channel_name(channels[c]), traces[c].values(), traces[c].validity(),
+          static_cast<int>(health(channels[c])));
     }
   }
   span.set_virtual_ns(soc_.now());

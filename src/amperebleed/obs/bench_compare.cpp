@@ -254,11 +254,16 @@ CompareReport compare_records(const std::vector<BenchRecord>& baseline,
     check_env(base, cur, report);
 
     for (const auto& [key, base_value] : base.numbers) {
-      // stage_/slo_ keys are pipeline attribution, not gated perf metrics:
-      // hidden unless --stages, and informational (non-gating) even then.
-      const bool informational =
+      // stage_/slo_ keys are pipeline attribution and drift_/quality_ keys
+      // are quality telemetry, not gated perf metrics: hidden unless
+      // --stages / --quality, and informational (non-gating) even then.
+      const bool stage_key =
           util::starts_with(key, "stage_") || util::starts_with(key, "slo_");
-      if (informational && !options.show_stages) continue;
+      const bool quality_key = util::starts_with(key, "drift_") ||
+                               util::starts_with(key, "quality_");
+      const bool informational = stage_key || quality_key;
+      if (stage_key && !options.show_stages) continue;
+      if (quality_key && !options.show_quality) continue;
       if (!key_matches(key, options.include, options.exclude)) continue;
       const auto cur_value = cur.numbers.find(key);
       if (cur_value == cur.numbers.end()) {
@@ -381,7 +386,8 @@ std::string CompareReport::to_table(bool verbose) const {
   for (const auto& c : comparisons) {
     if (!c.informational) continue;
     if (!stage_header) {
-      out += "\nper-stage / SLO metrics (informational, never gate):\n";
+      out += "\nper-stage / SLO / quality metrics (informational, never "
+             "gate):\n";
       stage_header = true;
     }
     row(c);

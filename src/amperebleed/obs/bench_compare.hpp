@@ -102,6 +102,10 @@ struct CompareOptions {
   /// observations, not gated perf metrics; even when shown they never count
   /// toward regressions().
   bool show_stages = false;
+  /// Surface drift/data-quality keys (drift_* / quality_*) as informational
+  /// rows, same policy as show_stages: quality telemetry describes the
+  /// monitored stream, not the build under test, so it never gates.
+  bool show_quality = false;
 };
 
 struct CompareReport {

@@ -75,6 +75,11 @@ void HttpExporter::set_slo_provider(std::function<util::Json()> provider) {
   slo_provider_ = std::move(provider);
 }
 
+void HttpExporter::set_quality_provider(std::function<util::Json()> provider) {
+  std::lock_guard<std::mutex> lock(provider_mu_);
+  quality_provider_ = std::move(provider);
+}
+
 void HttpExporter::start() {
   if (running_.load(std::memory_order_acquire)) return;
 
@@ -270,6 +275,19 @@ std::string HttpExporter::build_response(const std::string& method,
     return make_response(200, "OK", "application/json",
                          provider().dump(2) + "\n");
   }
+  if (path == "/quality") {
+    std::function<util::Json()> provider;
+    {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      provider = quality_provider_;
+    }
+    if (!provider) {
+      return make_response(503, "Service Unavailable", "application/json",
+                           "{\"error\":\"no quality hub wired\"}\n");
+    }
+    return make_response(200, "OK", "application/json",
+                         provider().dump(2) + "\n");
+  }
   if (path == "/runrecord") {
     std::function<util::Json()> provider;
     {
@@ -285,7 +303,8 @@ std::string HttpExporter::build_response(const std::string& method,
   }
   return make_response(
       404, "Not Found", "text/plain",
-      "unknown path; try /metrics /healthz /runrecord /flamegraph /slo\n");
+      "unknown path; try /metrics /healthz /runrecord /flamegraph /slo "
+      "/quality\n");
 }
 
 }  // namespace amperebleed::obs

@@ -8,6 +8,7 @@
 //   GET /runrecord   application/json — the current RunRecord (when wired)
 //   GET /flamegraph  text/plain  — collapsed-stack profile (when wired)
 //   GET /slo         application/json — SLO compliance + burn rates (wired)
+//   GET /quality     application/json — drift + data-quality snapshot (wired)
 //
 // /healthz folds the sampler's ChannelHealth gauges into per-state counts
 // and degrades to 503 when every known channel is quarantined — the scrape
@@ -60,6 +61,10 @@ class HttpExporter {
   /// Provider for /slo: the SLO registry's JSON evaluation. Without one: 503.
   void set_slo_provider(std::function<util::Json()> provider);
 
+  /// Provider for /quality: the QualityHub snapshot (drift monitors +
+  /// per-channel data quality, see obs/quality.hpp). Without one: 503.
+  void set_quality_provider(std::function<util::Json()> provider);
+
   /// Bind + listen + spawn the serve thread. Throws std::runtime_error when
   /// the port cannot be bound. Idempotent.
   void start();
@@ -86,6 +91,7 @@ class HttpExporter {
   std::function<util::Json()> runrecord_provider_;
   std::function<std::string()> flamegraph_provider_;
   std::function<util::Json()> slo_provider_;
+  std::function<util::Json()> quality_provider_;
   std::mutex provider_mu_;
 
   int listen_fd_ = -1;

@@ -1,11 +1,14 @@
 #include "amperebleed/obs/obs.hpp"
 
+#include "amperebleed/obs/quality.hpp"
+
 namespace amperebleed::obs {
 
 namespace detail {
 std::atomic<bool> g_metrics_on{false};
 std::atomic<bool> g_tracing_on{false};
 std::atomic<bool> g_audit_on{false};
+std::atomic<bool> g_quality_on{false};
 }  // namespace detail
 
 MetricsRegistry& metrics() {
@@ -30,6 +33,8 @@ void init(const ObsConfig& config) {
                              std::memory_order_relaxed);
   detail::g_audit_on.store(config.enabled && config.audit,
                            std::memory_order_relaxed);
+  detail::g_quality_on.store(config.enabled && config.quality,
+                             std::memory_order_relaxed);
 }
 
 void disable() { init(ObsConfig{.enabled = false}); }
@@ -40,6 +45,7 @@ void reset_data() {
   audit_log().clear();
   timeline().reset();
   slos().reset();
+  quality_hub().reset();
 }
 
 void shutdown() {

@@ -35,12 +35,17 @@ struct ObsConfig {
   bool metrics = true;
   bool tracing = true;
   bool audit = true;
+  // Quality monitoring (drift + data-quality, see quality.hpp) is strictly
+  // opt-in: unlike the layers above it stays OFF even when enabled=true,
+  // because it adds per-trace and per-classification work to hot paths.
+  bool quality = false;
 };
 
 namespace detail {
 extern std::atomic<bool> g_metrics_on;
 extern std::atomic<bool> g_tracing_on;
 extern std::atomic<bool> g_audit_on;
+extern std::atomic<bool> g_quality_on;
 }  // namespace detail
 
 /// Apply `config` (default: everything on). Does not clear prior data —
@@ -65,8 +70,12 @@ void reset_data();
 [[nodiscard]] inline bool audit_enabled() {
   return detail::g_audit_on.load(std::memory_order_relaxed);
 }
+[[nodiscard]] inline bool quality_enabled() {
+  return detail::g_quality_on.load(std::memory_order_relaxed);
+}
 [[nodiscard]] inline bool enabled() {
-  return metrics_enabled() || tracing_enabled() || audit_enabled();
+  return metrics_enabled() || tracing_enabled() || audit_enabled() ||
+         quality_enabled();
 }
 
 /// Global registries (constructed on first use, never destroyed before

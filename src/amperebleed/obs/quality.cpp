@@ -1,0 +1,181 @@
+#include "amperebleed/obs/quality.hpp"
+
+#include <algorithm>
+
+#include "amperebleed/obs/drift.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/strings.hpp"
+
+namespace amperebleed::obs {
+
+util::Json ChannelQuality::to_json() const {
+  auto doc = util::Json::object();
+  doc.set("channel", util::Json::string(channel));
+  doc.set("traces", util::Json::integer(static_cast<std::int64_t>(traces)));
+  doc.set("samples", util::Json::integer(static_cast<std::int64_t>(samples)));
+  doc.set("gaps", util::Json::integer(static_cast<std::int64_t>(gaps)));
+  doc.set("clipped", util::Json::integer(static_cast<std::int64_t>(clipped)));
+  doc.set("frozen_events",
+          util::Json::integer(static_cast<std::int64_t>(frozen_events)));
+  doc.set("frozen_now", util::Json::boolean(frozen_now));
+  doc.set("gap_fraction", util::Json::number(gap_fraction()));
+  doc.set("clip_rate", util::Json::number(clip_rate()));
+  doc.set("last_gap_fraction", util::Json::number(last_gap_fraction));
+  doc.set("last_clip_rate", util::Json::number(last_clip_rate));
+  doc.set("health", util::Json::integer(health));
+  doc.set("warnings", util::Json::integer(static_cast<std::int64_t>(warnings)));
+  return doc;
+}
+
+void DataQualityMonitor::note_trace(std::string_view channel,
+                                    std::span<const double> values,
+                                    std::span<const std::uint8_t> validity,
+                                    int health) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    it = channels_.emplace(std::string(channel), ChannelQuality{}).first;
+    it->second.channel = std::string(channel);
+  }
+  ChannelQuality& q = it->second;
+
+  // Per-trace pass: gaps, clipping, and freeze runs. Freeze detection is
+  // deliberately trace-local (see DataQualityConfig::frozen_window): the
+  // tallies are then pure sums over traces, independent of the order
+  // parallel acquisition workers report them.
+  std::uint64_t gaps = 0;
+  std::uint64_t clipped = 0;
+  std::size_t run = 0;
+  double run_value = 0.0;
+  bool varied = false;
+  bool long_run = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const bool valid = validity.empty() || validity[i] != 0;
+    if (!valid) {
+      ++gaps;
+      continue;
+    }
+    const double v = values[i];
+    if (v <= cfg_.saturation_lo || v >= cfg_.saturation_hi) ++clipped;
+    if (run > 0 && v == run_value) {
+      ++run;
+    } else {
+      if (run > 0 && v != run_value) varied = true;
+      run = 1;
+      run_value = v;
+    }
+    if (run >= cfg_.frozen_window) long_run = true;
+  }
+  const bool frozen_run = long_run && varied;
+
+  ++q.traces;
+  q.samples += values.size();
+  q.gaps += gaps;
+  q.clipped += clipped;
+  q.health = health;
+  q.last_gap_fraction =
+      values.empty() ? 0.0
+                     : static_cast<double>(gaps) /
+                           static_cast<double>(values.size());
+  const std::uint64_t valid_count = values.size() - gaps;
+  q.last_clip_rate = valid_count == 0
+                         ? 0.0
+                         : static_cast<double>(clipped) /
+                               static_cast<double>(valid_count);
+  q.frozen_now = frozen_run;
+  if (frozen_run) ++q.frozen_events;
+  const bool warning = q.last_gap_fraction >= cfg_.gap_warning ||
+                       q.last_clip_rate >= cfg_.clip_warning || frozen_run;
+  if (warning) ++q.warnings;
+
+  if (metrics_enabled()) {
+    MetricsRegistry& reg = metrics();
+    const std::string prefix =
+        util::format("quality.channel.%s.", q.channel.c_str());
+    reg.gauge(prefix + "gap_fraction").set(q.last_gap_fraction);
+    reg.gauge(prefix + "clip_rate").set(q.last_clip_rate);
+    reg.gauge(prefix + "frozen").set(frozen_run ? 1.0 : 0.0);
+    reg.gauge(prefix + "health").set(static_cast<double>(health));
+    reg.counter("quality.traces_observed").inc();
+    if (warning) reg.counter("quality.trace_warnings").inc();
+  }
+}
+
+void DataQualityMonitor::note_gap_fill(std::size_t filled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gap_filled_ += filled;
+}
+
+std::vector<ChannelQuality> DataQualityMonitor::channels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ChannelQuality> out;
+  out.reserve(channels_.size());
+  for (const auto& [name, q] : channels_) out.push_back(q);
+  return out;
+}
+
+std::uint64_t DataQualityMonitor::gap_filled_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gap_filled_;
+}
+
+void DataQualityMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_.clear();
+  gap_filled_ = 0;
+}
+
+util::Json DataQualityMonitor::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto doc = util::Json::object();
+  auto channels = util::Json::array();
+  std::uint64_t traces = 0;
+  std::uint64_t warnings = 0;
+  for (const auto& [name, q] : channels_) {
+    channels.push_back(q.to_json());
+    traces += q.traces;
+    warnings += q.warnings;
+  }
+  doc.set("channels", std::move(channels));
+  doc.set("traces", util::Json::integer(static_cast<std::int64_t>(traces)));
+  doc.set("trace_warnings",
+          util::Json::integer(static_cast<std::int64_t>(warnings)));
+  doc.set("gap_filled_total",
+          util::Json::integer(static_cast<std::int64_t>(gap_filled_)));
+  return doc;
+}
+
+void QualityHub::attach(const DriftMonitor* monitor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  monitors_.push_back(monitor);
+}
+
+void QualityHub::detach(const DriftMonitor* monitor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  monitors_.erase(std::remove(monitors_.begin(), monitors_.end(), monitor),
+                  monitors_.end());
+}
+
+void QualityHub::reset() { data_quality_.reset(); }
+
+util::Json QualityHub::to_json() const {
+  auto doc = util::Json::object();
+  doc.set("enabled", util::Json::boolean(quality_enabled()));
+  doc.set("data_quality", data_quality_.to_json());
+  auto drift = util::Json::array();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const DriftMonitor* m : monitors_) {
+      drift.push_back(m->report().to_json());
+    }
+  }
+  doc.set("drift", std::move(drift));
+  return doc;
+}
+
+QualityHub& quality_hub() {
+  static QualityHub* hub = new QualityHub();
+  return *hub;
+}
+
+}  // namespace amperebleed::obs

@@ -1,0 +1,140 @@
+#pragma once
+// Acquisition-side data-quality monitoring and the process-wide QualityHub
+// behind the /quality endpoint.
+//
+// DataQualityMonitor watches the traces the resilient core::Sampler hands
+// back, per channel: gap fraction (invalid samples the fault model left
+// behind), saturation/clip rate (values pinned at the converter rails), and
+// variance collapse — a "frozen sensor" whose register repeats the same
+// reading long after it has been seen to vary. Each is correlated with the
+// sampler's ChannelHealth ordinal so one JSON object answers "which channel,
+// how degraded, and does the sampler agree?".
+//
+// QualityHub aggregates the data-quality monitor with every live
+// DriftMonitor (drift.hpp) into one snapshot. Like the rest of the obs
+// stack it is observation only, off by default (ObsConfig::quality), and
+// deterministic: note_trace() folds values in trace order, so snapshots are
+// bit-identical across thread-pool sizes as long as traces are reported in
+// a stable order per channel.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::obs {
+
+class DriftMonitor;
+
+struct DataQualityConfig {
+  /// Consecutive identical valid samples within one trace that flag a
+  /// frozen sensor. Detection is per-trace — a trace is frozen when it
+  /// holds such a run AND carries at least two distinct valid values
+  /// (a fully constant trace is indistinguishable from a constant-by-design
+  /// channel without cross-trace state, and cross-trace state would make
+  /// the tally depend on the order parallel workers report traces). One
+  /// sampling period at the bench's 35 ms cadence is ~29 samples/s, so 12
+  /// repeats is ~0.4 s of flatline.
+  std::size_t frozen_window = 12;
+  /// Values at or beyond these rails count as clipped. Defaults cover the
+  /// int16 millivolt/milliamp registers the virtual hwmon exposes.
+  double saturation_lo = -32768.0;
+  double saturation_hi = 32767.0;
+  /// Per-trace gap fraction at or above this raises the channel warning.
+  double gap_warning = 0.05;
+  /// Per-trace clip rate at or above this raises the channel warning.
+  double clip_warning = 0.01;
+};
+
+/// Running per-channel tallies. `health` mirrors the most recent
+/// core::ChannelHealth ordinal the sampler reported (0 = Healthy).
+struct ChannelQuality {
+  std::string channel;
+  std::uint64_t traces = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t gaps = 0;           // invalid samples
+  std::uint64_t clipped = 0;        // valid samples at the rails
+  std::uint64_t frozen_events = 0;  // traces containing a frozen run
+  bool frozen_now = false;          // frozen run in the most recent trace
+  double last_gap_fraction = 0.0;
+  double last_clip_rate = 0.0;
+  int health = 0;
+  std::uint64_t warnings = 0;  // traces breaching a gap/clip threshold
+
+  [[nodiscard]] double gap_fraction() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(gaps) /
+                              static_cast<double>(samples);
+  }
+  [[nodiscard]] double clip_rate() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(clipped) /
+                              static_cast<double>(samples);
+  }
+
+  [[nodiscard]] util::Json to_json() const;
+};
+
+/// Per-channel data-quality tally. Thread-safe; one mutex, uncontended in
+/// practice because the sampler reports traces serially per collection.
+class DataQualityMonitor {
+ public:
+  explicit DataQualityMonitor(DataQualityConfig config = {})
+      : cfg_(config) {}
+
+  /// Fold one collected trace. `values`/`validity` are the trace's sample
+  /// and validity-mask spans (validity empty means all-valid); `health` is
+  /// the sampler's ChannelHealth ordinal for the channel right now.
+  void note_trace(std::string_view channel, std::span<const double> values,
+                  std::span<const std::uint8_t> validity, int health);
+
+  /// Count gap-filled samples attributed by preprocess::fill_gaps.
+  void note_gap_fill(std::size_t filled);
+
+  [[nodiscard]] std::vector<ChannelQuality> channels() const;
+  [[nodiscard]] std::uint64_t gap_filled_total() const;
+  [[nodiscard]] const DataQualityConfig& config() const { return cfg_; }
+
+  void reset();
+
+  [[nodiscard]] util::Json to_json() const;
+
+ private:
+  DataQualityConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, ChannelQuality, std::less<>> channels_;
+  std::uint64_t gap_filled_ = 0;
+};
+
+/// Process-wide aggregation point: the data-quality monitor plus every live
+/// DriftMonitor. DriftMonitor's constructor/destructor attach/detach here,
+/// so to_json() always reflects exactly the monitors currently alive.
+class QualityHub {
+ public:
+  DataQualityMonitor& data_quality() { return data_quality_; }
+
+  void attach(const DriftMonitor* monitor);
+  void detach(const DriftMonitor* monitor);
+
+  /// Drop all recorded quality data (drift monitors stay attached; their
+  /// windows are owned by their fingerprinters, not reset here).
+  void reset();
+
+  /// {"enabled": bool, "data_quality": {...}, "drift": [reports...]}
+  [[nodiscard]] util::Json to_json() const;
+
+ private:
+  DataQualityMonitor data_quality_;
+  mutable std::mutex mu_;
+  std::vector<const DriftMonitor*> monitors_;  // attach order
+};
+
+/// The global hub (constructed on first use, never destroyed before exit).
+QualityHub& quality_hub();
+
+}  // namespace amperebleed::obs

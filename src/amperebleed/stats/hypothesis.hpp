@@ -42,8 +42,34 @@ struct MannWhitneyResult {
 MannWhitneyResult mann_whitney_u(std::span<const double> a,
                                  std::span<const double> b);
 
+struct ChiSquareResult {
+  double chi2 = 0.0;          // Pearson statistic over the merged buckets
+  double dof = 0.0;           // merged buckets - 1
+  double p_value = 1.0;       // upper tail, Q(dof/2, chi2/2)
+  std::size_t buckets_used = 0;  // bucket count after small-count merging
+};
+
+/// Chi-square goodness-of-fit of observed counts against expected counts
+/// (same length; `expected` may be unnormalized — it is rescaled to the
+/// observed total). Adjacent buckets are merged left-to-right until every
+/// merged bucket's expected count reaches `min_expected` (Cochran's rule;
+/// a deficient tail folds into the last bucket), which keeps the chi-square
+/// approximation honest for the sparse class-mix windows the drift monitor
+/// feeds in. Fewer than 2 surviving buckets degenerates to chi2 = 0, p = 1.
+/// Throws on length mismatch, empty input, any negative count, or a
+/// nonpositive expected total.
+ChiSquareResult chi_square_gof(std::span<const double> observed,
+                               std::span<const double> expected,
+                               double min_expected = 5.0);
+
 /// Regularized incomplete beta function I_x(a, b) (Lentz continued
 /// fraction); exposed because the t-test needs it and tests pin it down.
 double incomplete_beta(double a, double b, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) (series for x < a + 1,
+/// continued fraction otherwise). The chi-square survival function is
+/// Q(dof/2, chi2/2); exposed so tests can pin it against known critical
+/// values. Requires a > 0, x >= 0.
+double regularized_gamma_q(double a, double x);
 
 }  // namespace amperebleed::stats

@@ -43,7 +43,9 @@ class CliArgs {
                                      std::int64_t fallback) const {
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
-    return std::stoll(it->second);
+    // Base 0 auto-detects 0x/0 prefixes, so hex seeds (--fault-seed 0xfa17)
+    // parse as intended instead of silently stopping at the 'x'.
+    return std::stoll(it->second, nullptr, 0);
   }
 
   [[nodiscard]] double get_double(const std::string& name,

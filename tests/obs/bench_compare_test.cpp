@@ -160,6 +160,75 @@ TEST(CompareRecords, ShowStagesSurfacesButNeverGates) {
   EXPECT_NE(report.to_table().find("informational"), std::string::npos);
 }
 
+// Drift/quality keys follow the same informational policy as stage_/slo_,
+// behind their own --quality flag.
+BenchRecord make_quality_record(double accuracy, double psi) {
+  const std::string text =
+      "{\"bench\":\"abl_quality\",\"wall_seconds\":1.0,"
+      "\"unix_time\":1700000000,"
+      "\"env\":{\"git_sha\":\"abc123\",\"hostname\":\"hostA\","
+      "\"build_type\":\"Release\"},"
+      "\"numbers\":{\"top1_accuracy\":" + std::to_string(accuracy) +
+      ",\"drift_shift_psi_mean\":" + std::to_string(psi) +
+      ",\"quality_gap_fraction_max\":0.02},\"text\":{}}";
+  return parse_bench_record(util::Json::parse(text));
+}
+
+TEST(CompareRecords, DriftAndQualityKeysAreHiddenByDefault) {
+  const auto base = make_quality_record(0.95, 0.10);
+  const auto cur = make_quality_record(0.95, 1.50);  // 15x "regression"
+  const auto report = compare_records({base}, {cur}, {});
+  EXPECT_EQ(report.regressions(), 0u);
+  for (const auto& c : report.comparisons) {
+    EXPECT_EQ(c.key.find("drift_"), std::string::npos) << c.key;
+    EXPECT_EQ(c.key.find("quality_"), std::string::npos) << c.key;
+  }
+}
+
+TEST(CompareRecords, ShowQualitySurfacesButNeverGates) {
+  const auto base = make_quality_record(0.95, 0.10);
+  const auto cur = make_quality_record(0.95, 1.50);
+  CompareOptions options;
+  options.show_quality = true;
+  const auto report = compare_records({base}, {cur}, options);
+  EXPECT_EQ(report.regressions(), 0u);
+  EXPECT_EQ(report.improvements(), 0u);
+  bool saw_drift = false;
+  bool saw_quality = false;
+  for (const auto& c : report.comparisons) {
+    if (c.key == "drift_shift_psi_mean") {
+      saw_drift = true;
+      EXPECT_TRUE(c.informational);
+    }
+    if (c.key == "quality_gap_fraction_max") saw_quality = true;
+  }
+  EXPECT_TRUE(saw_drift);
+  EXPECT_TRUE(saw_quality);
+}
+
+TEST(CompareRecords, QualityFlagDoesNotSurfaceStageKeys) {
+  // The two informational families toggle independently.
+  const auto base = make_staged_record(0.95, 100.0);
+  const auto cur = make_staged_record(0.95, 900.0);
+  CompareOptions options;
+  options.show_quality = true;
+  const auto report = compare_records({base}, {cur}, options);
+  for (const auto& c : report.comparisons) {
+    EXPECT_EQ(c.key.find("stage_"), std::string::npos) << c.key;
+    EXPECT_EQ(c.key.find("slo_"), std::string::npos) << c.key;
+  }
+}
+
+TEST(CompareRecords, MissingQualityKeysDrawNoWarnings) {
+  const auto base = make_quality_record(0.95, 0.10);
+  const auto cur = make_record("abl_quality", 0.95, 1.0);  // quality off
+  const auto report = compare_records({base}, {cur}, {});
+  for (const auto& warning : report.warnings) {
+    EXPECT_EQ(warning.find("drift_"), std::string::npos) << warning;
+    EXPECT_EQ(warning.find("quality_"), std::string::npos) << warning;
+  }
+}
+
 TEST(CompareRecords, ObsOffRunsMissingStageKeysDrawNoWarnings) {
   const auto base = make_staged_record(0.95, 100.0);
   const auto cur = make_record("table3", 0.95, 10.0);  // no stage_/slo_ keys

@@ -1,0 +1,223 @@
+#include "amperebleed/obs/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/obs/drift.hpp"
+#include "amperebleed/obs/obs.hpp"
+
+namespace amperebleed::obs {
+namespace {
+
+std::vector<double> constant(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+TEST(DataQualityMonitor, CountsGapsFromValidityMask) {
+  DataQualityMonitor monitor;
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<std::uint8_t> validity = {1, 0, 0, 1};
+  monitor.note_trace("rail", values, validity, 1);
+  const auto channels = monitor.channels();
+  ASSERT_EQ(channels.size(), 1u);
+  const ChannelQuality& q = channels[0];
+  EXPECT_EQ(q.channel, "rail");
+  EXPECT_EQ(q.traces, 1u);
+  EXPECT_EQ(q.samples, 4u);
+  EXPECT_EQ(q.gaps, 2u);
+  EXPECT_DOUBLE_EQ(q.gap_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(q.last_gap_fraction, 0.5);
+  EXPECT_EQ(q.health, 1);
+  // 50% gaps breaches the 5% default threshold.
+  EXPECT_EQ(q.warnings, 1u);
+}
+
+TEST(DataQualityMonitor, EmptyValidityMeansAllValid) {
+  DataQualityMonitor monitor;
+  monitor.note_trace("rail", std::vector<double>{1.0, 2.0}, {}, 0);
+  const auto q = monitor.channels()[0];
+  EXPECT_EQ(q.gaps, 0u);
+  EXPECT_EQ(q.warnings, 0u);
+}
+
+TEST(DataQualityMonitor, CountsClippedSamplesAtTheRails) {
+  DataQualityConfig cfg;
+  cfg.saturation_lo = -10.0;
+  cfg.saturation_hi = 10.0;
+  DataQualityMonitor monitor(cfg);
+  const std::vector<double> values = {-11.0, -10.0, 0.0, 10.0, 11.0, 5.0};
+  monitor.note_trace("rail", values, {}, 0);
+  const auto q = monitor.channels()[0];
+  EXPECT_EQ(q.clipped, 4u);  // both rails inclusive
+  EXPECT_DOUBLE_EQ(q.last_clip_rate, 4.0 / 6.0);
+  EXPECT_EQ(q.warnings, 1u);  // breaches the 1% clip threshold
+}
+
+TEST(DataQualityMonitor, GapsExcludedFromClipDenominator) {
+  DataQualityConfig cfg;
+  cfg.saturation_hi = 10.0;
+  DataQualityMonitor monitor(cfg);
+  const std::vector<double> values = {10.0, 0.0, 0.0, 0.0};
+  const std::vector<std::uint8_t> validity = {1, 1, 0, 0};
+  monitor.note_trace("rail", values, validity, 0);
+  const auto q = monitor.channels()[0];
+  EXPECT_EQ(q.clipped, 1u);
+  EXPECT_DOUBLE_EQ(q.last_clip_rate, 0.5);  // 1 of 2 valid samples
+}
+
+TEST(DataQualityMonitor, FrozenNeedsLongRunAndVariation) {
+  DataQualityConfig cfg;
+  cfg.frozen_window = 4;
+  DataQualityMonitor monitor(cfg);
+
+  // A fully constant trace is NOT frozen: without variation it is
+  // indistinguishable from a constant-by-design channel.
+  monitor.note_trace("flat", constant(16, 7.0), {}, 0);
+  EXPECT_EQ(monitor.channels()[0].frozen_events, 0u);
+  EXPECT_FALSE(monitor.channels()[0].frozen_now);
+
+  // Varies, then flatlines for >= frozen_window samples: frozen.
+  std::vector<double> stuck = {1.0, 2.0, 3.0};
+  stuck.insert(stuck.end(), 6, 3.0);  // run of 7 threes
+  monitor.note_trace("stuck", stuck, {}, 2);
+  const auto channels = monitor.channels();
+  ASSERT_EQ(channels.size(), 2u);  // sorted: flat, stuck
+  EXPECT_EQ(channels[1].channel, "stuck");
+  EXPECT_EQ(channels[1].frozen_events, 1u);
+  EXPECT_TRUE(channels[1].frozen_now);
+  EXPECT_EQ(channels[1].warnings, 1u);
+
+  // A short run below the window never triggers.
+  monitor.note_trace("brisk", std::vector<double>{1.0, 2.0, 2.0, 2.0, 3.0},
+                     {}, 0);
+  EXPECT_EQ(monitor.channels()[0].frozen_events, 0u);  // "brisk" sorts first
+}
+
+TEST(DataQualityMonitor, FrozenRunInterruptedByGapsStillCounts) {
+  DataQualityConfig cfg;
+  cfg.frozen_window = 4;
+  DataQualityMonitor monitor(cfg);
+  // Invalid samples are skipped, so the frozen run continues across them.
+  const std::vector<double> values = {1.0, 5.0, 5.0, 0.0, 5.0, 5.0, 0.0, 5.0};
+  const std::vector<std::uint8_t> validity = {1, 1, 1, 0, 1, 1, 0, 1};
+  monitor.note_trace("rail", values, validity, 0);
+  const auto q = monitor.channels()[0];
+  EXPECT_EQ(q.frozen_events, 1u);  // run of 5 fives with prior variation
+}
+
+TEST(DataQualityMonitor, TalliesAccumulateAndResetClears) {
+  DataQualityMonitor monitor;
+  monitor.note_trace("a", constant(8, 1.0), {}, 0);
+  monitor.note_trace("a", constant(8, 2.0), {}, 0);
+  monitor.note_trace("b", constant(4, 3.0), {}, 0);
+  monitor.note_gap_fill(3);
+  monitor.note_gap_fill(2);
+  EXPECT_EQ(monitor.channels().size(), 2u);
+  EXPECT_EQ(monitor.channels()[0].traces, 2u);
+  EXPECT_EQ(monitor.channels()[0].samples, 16u);
+  EXPECT_EQ(monitor.gap_filled_total(), 5u);
+  monitor.reset();
+  EXPECT_TRUE(monitor.channels().empty());
+  EXPECT_EQ(monitor.gap_filled_total(), 0u);
+}
+
+TEST(DataQualityMonitor, JsonAggregatesAcrossChannels) {
+  DataQualityMonitor monitor;
+  const std::vector<std::uint8_t> one_gap = {1, 0, 1, 1};
+  monitor.note_trace("a", constant(4, 1.0), one_gap, 0);
+  monitor.note_trace("b", constant(4, 2.0), {}, 0);
+  monitor.note_gap_fill(1);
+  const util::Json doc = monitor.to_json();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("channels"), nullptr);
+  EXPECT_EQ(doc.find("channels")->size(), 2u);
+  EXPECT_EQ(doc.find("traces")->as_integer(), 2);
+  EXPECT_EQ(doc.find("trace_warnings")->as_integer(), 1);
+  EXPECT_EQ(doc.find("gap_filled_total")->as_integer(), 1);
+  const util::Json& ch = doc.find("channels")->at(0);
+  for (const char* key :
+       {"channel", "traces", "samples", "gaps", "clipped", "frozen_events",
+        "frozen_now", "gap_fraction", "clip_rate", "last_gap_fraction",
+        "last_clip_rate", "health", "warnings"}) {
+    ASSERT_NE(ch.find(key), nullptr) << key;
+  }
+}
+
+ReferenceProfile tiny_profile() {
+  ml::Dataset d(1);
+  for (int i = 0; i < 16; ++i) {
+    d.add(std::vector<double>{static_cast<double>(i % 4)}, i % 2);
+  }
+  return ReferenceProfile::from_dataset(d);
+}
+
+TEST(QualityHub, DriftMonitorsAttachAndDetachWithLifetime) {
+  QualityHub& hub = quality_hub();
+  const std::size_t before = hub.to_json().find("drift")->size();
+  {
+    DriftConfig cfg;
+    cfg.enabled = true;
+    cfg.name = "hub_lifetime";
+    DriftMonitor monitor(tiny_profile(), cfg);
+    const util::Json doc = hub.to_json();
+    EXPECT_EQ(doc.find("drift")->size(), before + 1);
+    bool found = false;
+    for (std::size_t i = 0; i < doc.find("drift")->size(); ++i) {
+      if (doc.find("drift")->at(i).find("name")->as_string() ==
+          "hub_lifetime") {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(hub.to_json().find("drift")->size(), before);
+}
+
+TEST(QualityHub, GoldenSnapshotShape) {
+  // The /quality endpoint serves exactly quality_hub().to_json(): pin the
+  // top-level shape so the HTTP surface cannot drift silently.
+  quality_hub().reset();
+  quality_hub().data_quality().note_trace("fpga_logic_current",
+                                          constant(8, 1.0), {}, 0);
+  const util::Json doc = quality_hub().to_json();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("enabled"), nullptr);
+  EXPECT_TRUE(doc.find("enabled")->is_boolean());
+  ASSERT_NE(doc.find("data_quality"), nullptr);
+  EXPECT_TRUE(doc.find("data_quality")->is_object());
+  ASSERT_NE(doc.find("drift"), nullptr);
+  EXPECT_TRUE(doc.find("drift")->is_array());
+  EXPECT_EQ(
+      doc.find("data_quality")->find("channels")->at(0).find("channel")
+          ->as_string(),
+      "fpga_logic_current");
+  quality_hub().reset();
+}
+
+TEST(QualityHub, ResetClearsDataQualityOnly) {
+  quality_hub().reset();
+  quality_hub().data_quality().note_trace("x", constant(4, 1.0), {}, 0);
+  DriftConfig cfg;
+  cfg.enabled = true;
+  cfg.name = "survives_reset";
+  DriftMonitor monitor(tiny_profile(), cfg);
+  quality_hub().reset();
+  const util::Json doc = quality_hub().to_json();
+  EXPECT_EQ(doc.find("data_quality")->find("traces")->as_integer(), 0);
+  // The drift monitor stays attached: its window belongs to its owner.
+  bool found = false;
+  for (std::size_t i = 0; i < doc.find("drift")->size(); ++i) {
+    if (doc.find("drift")->at(i).find("name")->as_string() ==
+        "survives_reset") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace amperebleed::obs

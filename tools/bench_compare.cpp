@@ -18,6 +18,9 @@
 //   --stages             surface per-stage pipeline attribution and SLO
 //                        keys (stage_* / slo_*) as informational rows —
 //                        shown, but never counted as regressions
+//   --quality            surface drift/data-quality telemetry keys
+//                        (drift_* / quality_*) as informational rows,
+//                        same never-gating policy as --stages
 //   --json               machine-readable report on stdout
 //   --verbose            include unchanged rows in the table
 //
@@ -48,8 +51,8 @@ struct Cli {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: bench_compare [--threshold X] [--alpha X] [--metrics a,b]\n"
-      "                     [--exclude a,b] [--force] [--stages] [--json]\n"
-      "                     [--verbose] SNAPSHOT SNAPSHOT [SNAPSHOT ...]\n"
+      "                     [--exclude a,b] [--force] [--stages] [--quality]\n"
+      "                     [--json] [--verbose] SNAPSHOT SNAPSHOT [...]\n"
       "       (SNAPSHOT = BENCH_*.json file or run_all.sh trajectory dir;\n"
       "        also accepts --baseline A --current B)\n",
       out);
@@ -91,6 +94,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.options.force = true;
     } else if (arg == "--stages") {
       cli.options.show_stages = true;
+    } else if (arg == "--quality") {
+      cli.options.show_quality = true;
     } else if (arg == "--json") {
       cli.json = true;
     } else if (arg == "--verbose") {
