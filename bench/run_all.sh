@@ -104,6 +104,7 @@ if [ "$quick" -eq 1 ]; then
   run ablation_faults --quick
   run ablation_quality --quick
   run covert_channel
+  run service_load --quick
 else
   echo "Bench suite (paper scale) -> $out_abs"
   run table1_boards
@@ -124,6 +125,7 @@ else
   run ablation_faults
   run ablation_quality
   run covert_channel
+  run service_load
 fi
 
 # google-benchmark micro suite (no ObsSession; own flag set). Its custom

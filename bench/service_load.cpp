@@ -1,0 +1,302 @@
+// Closed-loop load bench for the multi-tenant classification service
+// (amperebleed::serve): enroll N tenants through the request queue, then
+// drive a seeded closed loop of classify requests — submit a burst, tick the
+// virtual clock once, check every completed verdict against ground truth —
+// until the request budget is spent.
+//
+// The burst size deliberately exceeds the per-tick drain limit, so the queue
+// climbs to its high-water mark and admission control starts shedding load:
+// the bench exercises enrollment, coalesced classify sweeps, backpressure
+// and the virtual-latency SLO in one run.
+//
+// Everything on stdout is deterministic — counts, accuracy, and the
+// virtual-time latency quantiles depend only on (seed, flags), never on the
+// host or the thread-pool size. CI byte-diffs this output at
+// AMPEREBLEED_THREADS=1/4/8. Wall-clock throughput goes to stderr and to
+// perf-gate-excluded run-record keys.
+//
+// Flags: --requests N      classify requests (default 1000000)
+//        --tenants N       enrollment namespaces (default 6)
+//        --models N        architectures enrolled per tenant (default 4)
+//        --enroll N        enroll traces per (tenant, model) (default 6)
+//        --observations N  fresh traces per model in the probe pool (def. 8)
+//        --trees N         forest size per tenant (default 40)
+//        --samples N       samples per trace (default 64)
+//        --burst N         submits per tick (default 384)
+//        --batch N         coalescer drain limit per tick (default 256)
+//        --queue N         queue capacity (default 4096)
+//        --high-water N    admission-control threshold (default 3072)
+//        --tick-us N       virtual tick duration (default 1000)
+//        --seed N          load-schedule seed (default 0x5e21)
+//        --threads N       worker threads (default: hardware concurrency)
+//        --quick           = --requests 20000 --tenants 3 --models 3
+//                            --enroll 4 --observations 4 --trees 20
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "amperebleed/core/sampler.hpp"
+#include "amperebleed/dnn/zoo.hpp"
+#include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/serve/service.hpp"
+#include "amperebleed/soc/soc.hpp"
+#include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/strings.hpp"
+#include "obs_session.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+core::Trace record_trace(const std::string& model_name, std::size_t n_samples,
+                         std::uint64_t seed) {
+  const dnn::Model model = dnn::build_model(model_name);
+  dpu::DpuAccelerator dpu;
+  auto run = dpu.run(model, sim::TimeNs{0},
+                     sim::milliseconds(35 * static_cast<std::int64_t>(
+                                                n_samples + 4)),
+                     seed);
+  soc::Soc soc(soc::zcu102_config(util::hash_combine(seed, 0x0e)));
+  soc.fabric().deploy(dpu.descriptor());
+  soc.add_activity(run.activity);
+  soc.finalize();
+  core::Sampler sampler(soc);
+  core::SamplerConfig sc;
+  sc.sample_count = n_samples;
+  return sampler.collect({power::Rail::FpgaLogic, core::Quantity::Current},
+                         sim::TimeNs{0}, sc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  bench::ObsSession session(args, "service_load");
+  const bool quick = args.has("quick");
+
+  const auto requests = static_cast<std::uint64_t>(
+      args.get_int("requests", quick ? 20000 : 1000000));
+  const auto n_tenants =
+      static_cast<std::size_t>(args.get_int("tenants", quick ? 3 : 6));
+  const auto n_models =
+      static_cast<std::size_t>(args.get_int("models", quick ? 3 : 4));
+  const auto n_enroll =
+      static_cast<std::size_t>(args.get_int("enroll", quick ? 4 : 6));
+  const auto n_observations =
+      static_cast<std::size_t>(args.get_int("observations", quick ? 4 : 8));
+  const auto n_samples =
+      static_cast<std::size_t>(args.get_int("samples", 64));
+  const auto burst = static_cast<std::size_t>(args.get_int("burst", 384));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5e21));
+
+  serve::ServiceConfig config;
+  config.queue.capacity =
+      static_cast<std::size_t>(args.get_int("queue", 4096));
+  config.queue.high_water =
+      static_cast<std::size_t>(args.get_int("high-water", 3072));
+  config.max_batch = static_cast<std::size_t>(args.get_int("batch", 256));
+  config.tick = sim::microseconds(args.get_int("tick-us", 1000));
+  config.fingerprinter.forest.n_trees =
+      static_cast<std::size_t>(args.get_int("trees", quick ? 20 : 40));
+  config.fingerprinter.min_confidence = 0.60;
+  config.fingerprinter.min_margin = 0.20;
+
+  if (obs::metrics_enabled()) {
+    serve::ClassificationService::register_default_slo();
+  }
+  serve::ClassificationService service(config);
+
+  std::vector<std::string> models = dnn::zoo_model_names();
+  models.resize(n_models);
+
+  std::printf("Service load: closed-loop multi-tenant fingerprinting\n");
+  std::printf("  tenants=%zu models=%zu enroll=%zu observations=%zu "
+              "samples=%zu trees=%zu\n",
+              n_tenants, n_models, n_enroll, n_observations, n_samples,
+              config.fingerprinter.forest.n_trees);
+  std::printf("  queue=%zu high-water=%zu batch=%zu burst=%zu tick=%lld us\n\n",
+              config.queue.capacity, config.queue.high_water,
+              config.max_batch,
+              burst, static_cast<long long>(config.tick.ns / 1000));
+
+  // --- Offline: tenant enrollment through the service queue. Interleave
+  // tenants so control requests fence classify coalescing realistically.
+  std::printf("[enroll] %zu traces per tenant through the queue...\n",
+              n_models * n_enroll);
+  std::uint64_t enroll_ok = 0;
+  for (std::size_t rep = 0; rep < n_enroll; ++rep) {
+    for (std::size_t t = 0; t < n_tenants; ++t) {
+      for (std::size_t m = 0; m < n_models; ++m) {
+        serve::Request request;
+        request.kind = serve::RequestKind::Enroll;
+        request.tenant = util::format("tenant-%zu", t);
+        request.label = models[m];
+        request.trace = record_trace(
+            models[m], n_samples,
+            util::hash_combine(util::hash_combine(seed, t),
+                               util::hash_combine(m, rep)));
+        service.submit(std::move(request));
+      }
+    }
+  }
+  for (std::size_t t = 0; t < n_tenants; ++t) {
+    serve::Request request;
+    request.kind = serve::RequestKind::Train;
+    request.tenant = util::format("tenant-%zu", t);
+    service.submit(std::move(request));
+  }
+  for (const auto& response : service.drain()) {
+    if (response.ok()) {
+      ++enroll_ok;
+    } else {
+      std::printf("  !! %s %s: %s\n",
+                  std::string(kind_name(response.kind)).c_str(),
+                  response.tenant.c_str(), response.error.c_str());
+    }
+  }
+  std::printf("  %llu enroll/train requests ok, %zu tenants serving\n\n",
+              static_cast<unsigned long long>(enroll_ok),
+              service.tenant_names().size());
+
+  // --- Probe pool: fresh observations, shared by every tenant's load.
+  std::vector<std::vector<core::Trace>> pool(n_models);
+  for (std::size_t m = 0; m < n_models; ++m) {
+    for (std::size_t v = 0; v < n_observations; ++v) {
+      pool[m].push_back(record_trace(
+          models[m], n_samples,
+          util::hash_combine(util::hash_combine(seed, 0xb0b0),
+                             util::hash_combine(m, v))));
+    }
+  }
+
+  // --- Closed loop: burst submits, one tick, verdict audit. The burst
+  // exceeds max_batch, so the queue climbs to high-water and admission
+  // control sheds the overflow — deterministically, same schedule every run.
+  std::printf("[load]   %llu classify requests, burst %zu per tick...\n",
+              static_cast<unsigned long long>(requests), burst);
+  util::Rng rng(seed);
+  std::unordered_map<std::uint64_t, std::size_t> truth;
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t scored = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t failed = 0;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto audit = [&](const std::vector<serve::Response>& responses) {
+    for (const auto& response : responses) {
+      if (response.kind != serve::RequestKind::Classify) continue;
+      const auto it = truth.find(response.id);
+      if (!response.ok()) {
+        ++failed;
+        if (it != truth.end()) truth.erase(it);
+        continue;
+      }
+      ++scored;
+      if (!response.verdict.known) {
+        ++unknown;
+      } else if (it != truth.end() &&
+                 response.verdict.model_name == models[it->second]) {
+        ++correct;
+      }
+      if (it != truth.end()) truth.erase(it);
+    }
+  };
+
+  while (submitted < requests) {
+    const std::size_t n = std::min<std::uint64_t>(burst, requests - submitted);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t = static_cast<std::size_t>(rng.uniform_below(n_tenants));
+      const auto m = static_cast<std::size_t>(rng.uniform_below(n_models));
+      const auto v =
+          static_cast<std::size_t>(rng.uniform_below(n_observations));
+      serve::Request request;
+      request.kind = serve::RequestKind::Classify;
+      request.tenant = util::format("tenant-%zu", t);
+      request.trace = pool[m][v];
+      const auto result = service.submit(std::move(request));
+      ++submitted;
+      if (result.accepted) {
+        truth.emplace(result.id, m);
+      } else {
+        ++rejected;
+      }
+    }
+    audit(service.tick());
+  }
+  audit(service.drain());
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const auto stats = service.stats();
+  const auto& latency = service.latency_histogram();
+  const double p50 = latency.quantile(0.5);
+  const double p90 = latency.quantile(0.9);
+  const double p99 = latency.quantile(0.99);
+  const double accuracy =
+      scored > unknown ? static_cast<double>(correct) /
+                             static_cast<double>(scored - unknown)
+                       : 0.0;
+
+  std::printf("\n  submitted   %llu\n",
+              static_cast<unsigned long long>(submitted));
+  std::printf("  rejected    %llu (admission control at depth >= %zu)\n",
+              static_cast<unsigned long long>(rejected),
+              config.queue.high_water);
+  std::printf("  scored      %llu\n", static_cast<unsigned long long>(scored));
+  std::printf("  correct     %llu  (top-1 %.4f of closed-set verdicts)\n",
+              static_cast<unsigned long long>(correct), accuracy);
+  std::printf("  open-set    %llu rejected as unknown (%.4f)\n",
+              static_cast<unsigned long long>(unknown),
+              scored != 0 ? static_cast<double>(unknown) /
+                                static_cast<double>(scored)
+                          : 0.0);
+  std::printf("  failed      %llu non-ok responses\n",
+              static_cast<unsigned long long>(failed));
+  std::printf("  latency     p50 %.0f / p90 %.0f / p99 %.0f virtual us\n",
+              p50, p90, p99);
+  std::printf("  queue       max depth %zu of %zu\n", stats.max_queue_depth,
+              config.queue.capacity);
+  std::printf("  coalescer   %llu sweeps, %llu rows, %.1f rows/sweep mean\n",
+              static_cast<unsigned long long>(stats.sweeps),
+              static_cast<unsigned long long>(stats.coalesced_rows),
+              service.batch_histogram().mean());
+  std::printf("  ticks       %llu (%.3f s virtual)\n",
+              static_cast<unsigned long long>(stats.ticks),
+              service.now().seconds());
+
+  // Wall-clock throughput is host-dependent: stderr + excluded record keys
+  // only, so stdout stays byte-identical across hosts and pool sizes.
+  std::fprintf(stderr, "service_load: %.2f s wall, %.0f classify/s\n", wall_s,
+               wall_s > 0.0 ? static_cast<double>(scored) / wall_s : 0.0);
+
+  auto& record = session.record();
+  record.set_integer("requests", static_cast<std::int64_t>(submitted));
+  record.set_integer("admitted",
+                     static_cast<std::int64_t>(submitted - rejected));
+  record.set_integer("rejected", static_cast<std::int64_t>(rejected));
+  record.set_integer("scored", static_cast<std::int64_t>(scored));
+  record.set_integer("open_set_unknown", static_cast<std::int64_t>(unknown));
+  record.set_number("accuracy", accuracy);
+  record.set_number("vlat_p50_us", p50);
+  record.set_number("vlat_p90_us", p90);
+  record.set_number("vlat_p99_us", p99);
+  record.set_integer("max_queue_depth",
+                     static_cast<std::int64_t>(stats.max_queue_depth));
+  record.set_integer("sweeps", static_cast<std::int64_t>(stats.sweeps));
+  record.set_integer("ticks", static_cast<std::int64_t>(stats.ticks));
+  record.set_number("mean_rows_per_sweep", service.batch_histogram().mean());
+  record.set_number("classify_per_sec",
+                    wall_s > 0.0
+                        ? static_cast<double>(scored) / wall_s
+                        : 0.0);
+  session.finish();
+  return failed == 0 && enroll_ok != 0 ? 0 : 1;
+}

@@ -1,18 +1,20 @@
-// Example: packaging the attack as a long-running service with the
-// OnlineFingerprinter API — enroll-once / classify-many with open-set
-// rejection — plus trace preprocessing and period recovery.
+// Example: packaging the attack as a long-running multi-tenant service with
+// the amperebleed::serve API — typed requests through a bounded queue, batch
+// coalescing onto classify_many sweeps, per-tenant enrollment namespaces,
+// and open-set rejection.
 //
-// Scenario: the attacker knows four candidate accelerators. A fifth,
-// never-enrolled model must come back as "unknown" instead of a confident
-// misclassification.
+// Scenario: two independent attackers (tenants) share one service. Tenant
+// "lab-a" knows four candidate accelerators; tenant "lab-b" knows two. A
+// fifth, never-enrolled model must come back as "unknown" instead of a
+// confident misclassification — and after lab-b retires, its requests must
+// bounce with a typed status instead of stale verdicts.
 
 #include <cstdio>
 
-#include "amperebleed/core/online.hpp"
-#include "amperebleed/core/preprocess.hpp"
 #include "amperebleed/core/sampler.hpp"
 #include "amperebleed/dnn/zoo.hpp"
 #include "amperebleed/dpu/dpu.hpp"
+#include "amperebleed/serve/service.hpp"
 #include "amperebleed/soc/soc.hpp"
 #include "amperebleed/stats/spectral.hpp"
 #include "amperebleed/util/rng.hpp"
@@ -38,72 +40,129 @@ core::Trace record_trace(const std::string& model_name, std::size_t n_samples,
                          sim::TimeNs{0}, sc);
 }
 
-void report(const core::OnlineFingerprinter::Verdict& verdict,
-            const core::Trace& trace, const char* truth) {
-  const std::size_t period =
-      stats::dominant_period(trace.values(), trace.size() / 2);
-  std::printf("  truth=%-18s -> %s (confidence %.2f, margin %.2f)",
-              truth,
-              verdict.known ? verdict.model_name.c_str() : "UNKNOWN",
-              verdict.confidence, verdict.margin);
-  if (period != 0) {
-    std::printf("  [period ~%.0f ms]",
-                static_cast<double>(period) * trace.period().millis());
+serve::Request classify_request(const std::string& tenant,
+                                core::Trace trace) {
+  serve::Request request;
+  request.kind = serve::RequestKind::Classify;
+  request.tenant = tenant;
+  request.trace = std::move(trace);
+  return request;
+}
+
+void report(const serve::Response& response, const char* truth) {
+  std::printf("  [%s] truth=%-18s -> ", response.tenant.c_str(), truth);
+  if (!response.ok()) {
+    std::printf("%s (%s)\n",
+                std::string(serve::status_name(response.status)).c_str(),
+                response.error.c_str());
+    return;
   }
-  std::puts("");
+  const auto& verdict = response.verdict;
+  std::printf("%s (confidence %.2f, margin %.2f, %lld virtual us)\n",
+              verdict.known ? verdict.model_name.c_str() : "UNKNOWN",
+              verdict.confidence, verdict.margin,
+              static_cast<long long>(response.latency().ns / 1000));
 }
 
 }  // namespace
 
 int main() {
-  const std::vector<std::string> enrolled = {
-      "MobileNet-V1", "SqueezeNet", "ResNet-50", "VGG-16"};
+  const std::vector<std::string> lab_a = {"MobileNet-V1", "SqueezeNet",
+                                          "ResNet-50", "VGG-16"};
+  const std::vector<std::string> lab_b = {"Inception-V1", "DenseNet-121"};
   const std::size_t n_samples = 85;  // 3 s at 35 ms
 
-  std::puts("Online fingerprinting service with open-set rejection\n");
+  std::puts("Multi-tenant fingerprinting service with open-set rejection\n");
 
   // Thresholds tuned on enrolled-class validation traces (which classify at
   // ~0.95+ confidence with ~0.9 margins); anything well below that is
   // treated as outside the zoo.
-  core::OnlineFingerprinterConfig config;
-  config.forest.n_trees = 60;
-  config.min_confidence = 0.80;
-  config.min_margin = 0.55;
-  core::OnlineFingerprinter service(config);
+  serve::ServiceConfig config;
+  config.fingerprinter.forest.n_trees = 60;
+  config.fingerprinter.min_confidence = 0.80;
+  config.fingerprinter.min_margin = 0.55;
+  serve::ClassificationService service(config);
 
-  std::puts("[enroll] 8 traces per candidate architecture...");
-  for (std::size_t m = 0; m < enrolled.size(); ++m) {
-    for (std::size_t rep = 0; rep < 8; ++rep) {
-      service.enroll(record_trace(enrolled[m], n_samples,
-                                  util::hash_combine(m, rep)),
-                     enrolled[m]);
+  // --- Enroll both tenants through the request queue. Every trace is a
+  // typed request; the tick loop executes them in submission order.
+  std::puts("[enroll] 8 traces per candidate architecture, 2 tenants...");
+  const auto enroll_tenant = [&](const std::string& tenant,
+                                 const std::vector<std::string>& models) {
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      for (std::size_t rep = 0; rep < 8; ++rep) {
+        serve::Request request;
+        request.kind = serve::RequestKind::Enroll;
+        request.tenant = tenant;
+        request.label = models[m];
+        request.trace = record_trace(models[m], n_samples,
+                                     util::hash_combine(m, rep));
+        service.submit(std::move(request));
+      }
+    }
+    serve::Request train;
+    train.kind = serve::RequestKind::Train;
+    train.tenant = tenant;
+    service.submit(std::move(train));
+  };
+  enroll_tenant("lab-a", lab_a);
+  enroll_tenant("lab-b", lab_b);
+  for (const auto& response : service.drain()) {
+    if (!response.ok()) {
+      std::printf("  enrollment failed: %s\n", response.error.c_str());
+      return 1;
     }
   }
-  service.train();
-  std::printf("[train] forest over %zu traces, %zu classes\n\n",
-              service.enrolled_traces(), service.class_names().size());
-
-  // Batched classification: record all fresh observations, then score the
-  // whole batch in one classify_many call (forest inference for the batch
-  // runs in parallel on the thread pool; verdicts come back in input order,
-  // identical to per-trace classify()).
-  std::puts("[classify] fresh observations (batched):");
-  std::vector<core::Trace> observations;
-  observations.reserve(enrolled.size());
-  for (std::size_t m = 0; m < enrolled.size(); ++m) {
-    observations.push_back(
-        record_trace(enrolled[m], n_samples, 0xbeef00 + m));
-  }
-  const auto verdicts = service.classify_many(observations);
-  for (std::size_t m = 0; m < enrolled.size(); ++m) {
-    report(verdicts[m], observations[m], enrolled[m].c_str());
+  for (const auto& name : service.tenant_names()) {
+    const serve::TenantSession* tenant = service.tenant(name);
+    std::printf("[train]  %s: forest over %llu traces, %zu classes\n",
+                name.c_str(),
+                static_cast<unsigned long long>(tenant->enrolled()),
+                tenant->fingerprinter().class_names().size());
   }
 
-  // A model the service never saw: Inception-V4.
-  const auto alien = record_trace("Inception-V4", n_samples, 0xa11e4);
-  const auto verdict = service.classify(alien);
-  report(verdict, alien, "Inception-V4*");
+  // --- One mixed burst: fresh observations for both tenants, coalesced by
+  // the service into per-tenant classify_many sweeps in a single tick.
+  std::puts("\n[classify] fresh observations (one coalesced burst):");
+  std::vector<const char*> truth;
+  for (std::size_t m = 0; m < lab_a.size(); ++m) {
+    service.submit(classify_request(
+        "lab-a", record_trace(lab_a[m], n_samples, 0xbeef00 + m)));
+    truth.push_back(lab_a[m].c_str());
+  }
+  for (std::size_t m = 0; m < lab_b.size(); ++m) {
+    service.submit(classify_request(
+        "lab-b", record_trace(lab_b[m], n_samples, 0xcafe00 + m)));
+    truth.push_back(lab_b[m].c_str());
+  }
+  const auto verdicts = service.tick();
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    report(verdicts[i], truth[i]);
+  }
+  const auto stats = service.stats();
+  std::printf("  (%llu rows scored in %llu coalesced sweep(s))\n",
+              static_cast<unsigned long long>(stats.coalesced_rows),
+              static_cast<unsigned long long>(stats.sweeps));
+
+  // --- Open set: a model lab-a never saw, and a retired tenant.
+  std::puts("\n[open-set] never-enrolled model + retired tenant:");
+  service.submit(classify_request(
+      "lab-a", record_trace("Inception-V4", n_samples, 0xa11e4)));
+  serve::Request retire;
+  retire.kind = serve::RequestKind::Retire;
+  retire.tenant = "lab-b";
+  service.submit(std::move(retire));
+  service.submit(classify_request(
+      "lab-b", record_trace(lab_b[0], n_samples, 0xdead)));
+  const auto tail = service.drain();
+  report(tail[0], "Inception-V4*");
+  report(tail[2], lab_b[0].c_str());
+
+  const bool unknown_rejected = tail[0].ok() && !tail[0].verdict.known;
+  const bool retired_refused =
+      tail[2].status == serve::ServeStatus::TenantRetired;
   std::printf("\n(*) never enrolled — expected UNKNOWN; got %s\n",
-              verdict.known ? "a (wrong) classification" : "UNKNOWN");
-  return verdict.known ? 1 : 0;
+              unknown_rejected ? "UNKNOWN" : "a (wrong) classification");
+  std::printf("retired tenant refused with typed status: %s\n",
+              retired_refused ? "yes" : "NO");
+  return unknown_rejected && retired_refused ? 0 : 1;
 }

@@ -89,6 +89,14 @@ OnlineFingerprinter::Verdict OnlineFingerprinter::classify(
 
 std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
     const std::vector<Trace>& traces) const {
+  std::vector<const Trace*> rows;
+  rows.reserve(traces.size());
+  for (const Trace& trace : traces) rows.push_back(&trace);
+  return classify_many(std::span<const Trace* const>(rows));
+}
+
+std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
+    std::span<const Trace* const> traces) const {
   if (!trained_) throw std::logic_error("OnlineFingerprinter: not trained");
   obs::StageSpan stage(obs::Stage::Classify);
   stage.span().set_arg("batch", static_cast<double>(traces.size()));
@@ -99,8 +107,8 @@ std::vector<OnlineFingerprinter::Verdict> OnlineFingerprinter::classify_many(
   // and results come back in input order.
   std::vector<std::vector<double>> rows;
   rows.reserve(traces.size());
-  for (const auto& trace : traces) {
-    rows.push_back(trace.prefix(feature_count_));
+  for (const Trace* trace : traces) {
+    rows.push_back(trace->prefix(feature_count_));
   }
   std::vector<std::span<const double>> row_spans;
   row_spans.reserve(rows.size());

@@ -64,6 +64,12 @@ class OnlineFingerprinter {
   [[nodiscard]] std::vector<Verdict> classify_many(
       const std::vector<Trace>& traces) const;
 
+  /// Same batched path over borrowed traces — no copies of the inputs. The
+  /// serving layer coalesces queued requests into one sweep through here.
+  /// Every pointer must be non-null and outlive the call.
+  [[nodiscard]] std::vector<Verdict> classify_many(
+      std::span<const Trace* const> traces) const;
+
   [[nodiscard]] bool trained() const { return trained_; }
   [[nodiscard]] std::size_t enrolled_traces() const { return data_.size(); }
   [[nodiscard]] std::size_t feature_count() const { return feature_count_; }

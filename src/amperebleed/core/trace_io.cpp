@@ -84,18 +84,39 @@ Trace load_trace_csv(const std::string& path) {
   Trace trace(channel, start, period);
   std::string line;
   std::getline(in, line);  // column header
+  // Rows start after the magic header (line 1) and column header (line 2);
+  // every parse failure names its exact file:line so replay of archived
+  // (possibly hand-edited or truncated) acquisitions is diagnosable.
+  std::size_t line_number = 2;
   while (std::getline(in, line)) {
+    ++line_number;
     if (util::trim(line).empty()) continue;
     const auto cells = util::split(line, ',');
     if (cells.size() != 3 && cells.size() != 4) {
-      throw std::runtime_error("trace_io: malformed row in " + path);
+      throw std::runtime_error(
+          util::format("trace_io: malformed row at %s:%zu (%zu cells)",
+                       path.c_str(), line_number, cells.size()));
     }
     // Legacy 3-column rows are fully valid; a 4th column of 0 marks a gap
     // placeholder (its value cell is ignored on reconstruction anyway).
     if (cells.size() == 4 && util::trim(cells[3]) == "0") {
       trace.push_gap();
     } else {
-      trace.push(std::stod(cells[2]));
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(cells[2], &consumed);
+      } catch (const std::exception&) {
+        throw std::runtime_error(util::format(
+            "trace_io: bad value cell '%s' at %s:%zu", cells[2].c_str(),
+            path.c_str(), line_number));
+      }
+      if (consumed != cells[2].size()) {
+        throw std::runtime_error(util::format(
+            "trace_io: bad value cell '%s' at %s:%zu", cells[2].c_str(),
+            path.c_str(), line_number));
+      }
+      trace.push(value);
     }
   }
   return trace;

@@ -198,8 +198,18 @@ std::string HttpExporter::build_response(const std::string& method,
                                          const std::string& path) {
   if (method != "GET" && method != "HEAD") {
     return make_response(405, "Method Not Allowed", "text/plain",
-                         "only GET is supported\n");
+                         "only GET and HEAD are supported\n");
   }
+  std::string response = build_get_response(path);
+  if (method == "HEAD") {
+    // Headers only — Content-Length still advertises the GET body's size,
+    // which is the whole point of a HEAD probe.
+    response.resize(response.find("\r\n\r\n") + 4);
+  }
+  return response;
+}
+
+std::string HttpExporter::build_get_response(const std::string& path) {
   if (path == "/metrics") {
     return make_response(200, "OK",
                          "text/plain; version=0.0.4; charset=utf-8",

@@ -10,6 +10,9 @@
 //   GET /slo         application/json — SLO compliance + burn rates (wired)
 //   GET /quality     application/json — drift + data-quality snapshot (wired)
 //
+// HEAD on any route answers with the same status line and headers a GET
+// would produce (Content-Length included) and no body.
+//
 // /healthz folds the sampler's ChannelHealth gauges into per-state counts
 // and degrades to 503 when every known channel is quarantined — the scrape
 // contract a load balancer health check expects.
@@ -83,8 +86,12 @@ class HttpExporter {
  private:
   void serve_loop();
   void handle_connection(int client_fd);
+  /// Route + method handling; strips the body (keeping Content-Length) for
+  /// HEAD so probes see exactly the headers a GET would produce.
   [[nodiscard]] std::string build_response(const std::string& method,
                                            const std::string& path);
+  /// The full GET response for a path (status line + headers + body).
+  [[nodiscard]] std::string build_get_response(const std::string& path);
 
   MetricsRegistry& registry_;
   Config config_;

@@ -1,0 +1,59 @@
+#include "amperebleed/serve/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace amperebleed::serve {
+
+RequestQueue::RequestQueue(Config config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  config_.high_water =
+      std::clamp<std::size_t>(config_.high_water, 1, config_.capacity);
+}
+
+bool RequestQueue::try_push(Pending&& pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.size() >= config_.high_water) {
+    ++rejected_;
+    return false;
+  }
+  items_.push_back(std::move(pending));
+  ++accepted_;
+  max_depth_ = std::max(max_depth_, items_.size());
+  return true;
+}
+
+std::vector<Pending> RequestQueue::drain(std::size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n =
+      max == 0 ? items_.size() : std::min(max, items_.size());
+  std::vector<Pending> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  return out;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::uint64_t RequestQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+std::uint64_t RequestQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+std::size_t RequestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+}  // namespace amperebleed::serve

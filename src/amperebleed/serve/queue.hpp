@@ -1,0 +1,69 @@
+#pragma once
+// Bounded FIFO request queue with admission control, the front door of the
+// classification service. Producers (any thread) try_push; the service's
+// tick loop drains in submission order. Backpressure is a high-water mark
+// strictly below the hard capacity: once depth reaches high_water new work
+// is rejected with a typed Overloaded status, so the queue always keeps
+// headroom and latency stays bounded instead of growing without limit.
+//
+// Determinism: admission decisions depend only on the queue depth at the
+// moment of the call, which in the closed-loop benches is a pure function
+// of the submission/tick schedule — never of the thread-pool size.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "amperebleed/serve/types.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::serve {
+
+/// A queued request plus the bookkeeping the service stamps at admission.
+struct Pending {
+  Request request;
+  std::uint64_t id = 0;
+  sim::TimeNs admitted{0};
+};
+
+class RequestQueue {
+ public:
+  struct Config {
+    /// Hard bound on queued requests (try_push never exceeds it).
+    std::size_t capacity = 4096;
+    /// Admission-control threshold: try_push rejects when depth >= this.
+    /// Clamped into [1, capacity].
+    std::size_t high_water = 3072;
+  };
+
+  explicit RequestQueue(Config config);
+
+  /// Enqueue unless depth has reached the high-water mark (or capacity).
+  /// Returns false on rejection; the request is untouched in that case.
+  [[nodiscard]] bool try_push(Pending&& pending);
+
+  /// Pop up to `max` requests in FIFO order (all of them when max == 0).
+  [[nodiscard]] std::vector<Pending> drain(std::size_t max);
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool empty() const { return depth() == 0; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  /// Lifetime tallies (monotonic).
+  [[nodiscard]] std::uint64_t accepted() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+  /// Deepest the queue has ever been.
+  [[nodiscard]] std::size_t max_depth() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mu_;
+  std::deque<Pending> items_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace amperebleed::serve

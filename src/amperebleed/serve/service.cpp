@@ -1,0 +1,346 @@
+#include "amperebleed/serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "amperebleed/obs/obs.hpp"
+#include "amperebleed/util/parallel.hpp"
+
+namespace amperebleed::serve {
+
+namespace {
+
+/// Virtual-latency bucket layout: powers of two from one tick upward, so an
+/// SLO threshold of N default ticks is always an exact bucket bound.
+obs::HistogramConfig latency_vus_buckets(sim::TimeNs tick) {
+  const double start = tick.ns > 0 ? tick.micros() : 1000.0;
+  auto config = obs::exponential_buckets(start, 2.0, 16);
+  config.quantiles = {0.5, 0.9, 0.99};
+  return config;
+}
+
+obs::HistogramConfig batch_rows_buckets() {
+  auto config = obs::exponential_buckets(1.0, 2.0, 12);
+  config.quantiles = {0.5, 0.9, 0.99};
+  return config;
+}
+
+}  // namespace
+
+ClassificationService::ClassificationService(ServiceConfig config)
+    : config_(config),
+      queue_(config.queue),
+      latency_vus_(latency_vus_buckets(config.tick)),
+      batch_rows_(batch_rows_buckets()) {
+  if (config_.tick.ns <= 0) config_.tick = sim::milliseconds(1);
+  if (obs::metrics_enabled()) {
+    // Pin the exported histograms to the same bucket layout as the local
+    // ones so SLO thresholds land on exact bucket bounds.
+    obs::metrics().histogram("serve.request_latency_vus",
+                             latency_vus_buckets(config_.tick));
+    obs::metrics().histogram("serve.batch_rows", batch_rows_buckets());
+  }
+}
+
+SubmitResult ClassificationService::submit(Request request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.submitted");
+  Pending pending;
+  pending.request = std::move(request);
+  pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.admitted = sim::TimeNs{now_ns_.load(std::memory_order_relaxed)};
+  const std::uint64_t id = pending.id;
+  if (!queue_.try_push(std::move(pending))) {
+    obs::count("serve.rejected");
+    return SubmitResult{false, id, ServeStatus::Overloaded};
+  }
+  obs::count("serve.admitted");
+  return SubmitResult{true, id, ServeStatus::Ok};
+}
+
+std::vector<Response> ClassificationService::tick() {
+  std::vector<Pending> batch = queue_.drain(config_.max_batch);
+  now_ns_.fetch_add(config_.tick.ns, std::memory_order_relaxed);
+  ++ticks_;
+  if (obs::metrics_enabled()) {
+    // The SLO engine's burn windows run on the same virtual timeline as
+    // request latencies: one tick of simulated service time per tick().
+    obs::slos().advance(config_.tick.seconds());
+    obs::gauge_set("serve.queue_depth",
+                   static_cast<double>(queue_.depth()));
+    obs::gauge_set("serve.tenants", static_cast<double>(tenants_.size()));
+  }
+  std::vector<Response> responses(batch.size());
+
+  // Control requests execute in order and fence the coalescer; maximal runs
+  // of classify requests between them score as single sweeps.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    if (batch[i].request.kind == RequestKind::Classify) {
+      std::size_t j = i;
+      while (j < batch.size() &&
+             batch[j].request.kind == RequestKind::Classify) {
+        ++j;
+      }
+      sweep(batch, i, j, responses);
+      i = j;
+    } else {
+      responses[i] = control(batch[i]);
+      ++i;
+    }
+  }
+
+  const sim::TimeNs now{now_ns_.load(std::memory_order_relaxed)};
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    Response& r = responses[k];
+    r.id = batch[k].id;
+    r.kind = batch[k].request.kind;
+    r.tenant = std::move(batch[k].request.tenant);
+    r.admitted = batch[k].admitted;
+    r.completed = now;
+    ++completed_;
+    ++by_status_[static_cast<std::size_t>(r.status)];
+    if (r.ok()) {
+      if (r.kind == RequestKind::Classify) {
+        ++classified_;
+        if (!r.verdict.known) ++open_set_unknown_;
+      }
+    } else {
+      ++failed_;
+    }
+    const double latency_vus = r.latency().micros();
+    latency_vus_.observe(latency_vus);
+    obs::observe("serve.request_latency_vus", latency_vus);
+  }
+  if (!batch.empty()) obs::count("serve.completed", batch.size());
+  return responses;
+}
+
+std::vector<Response> ClassificationService::drain() {
+  std::vector<Response> all;
+  while (!queue_.empty()) {
+    auto responses = tick();
+    all.insert(all.end(), std::make_move_iterator(responses.begin()),
+               std::make_move_iterator(responses.end()));
+  }
+  return all;
+}
+
+sim::TimeNs ClassificationService::now() const {
+  return sim::TimeNs{now_ns_.load(std::memory_order_relaxed)};
+}
+
+ServiceStats ClassificationService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = queue_.accepted();
+  s.rejected = queue_.rejected();
+  s.completed = completed_;
+  s.classified = classified_;
+  s.open_set_unknown = open_set_unknown_;
+  s.failed = failed_;
+  s.ticks = ticks_;
+  s.sweeps = sweeps_;
+  s.coalesced_rows = coalesced_rows_;
+  s.max_queue_depth = queue_.max_depth();
+  s.by_status = by_status_;
+  return s;
+}
+
+std::vector<std::string> ClassificationService::tenant_names() const {
+  return tenant_order_;
+}
+
+const TenantSession* ClassificationService::tenant(
+    const std::string& name) const {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+TenantSession* ClassificationService::find_tenant(const std::string& name) {
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void ClassificationService::sweep(std::vector<Pending>& batch,
+                                  std::size_t begin, std::size_t end,
+                                  std::vector<Response>& responses) {
+  // Admission pass: validate every row sequentially, grouping the valid
+  // ones per tenant in first-appearance order.
+  std::vector<Group> groups;
+  for (std::size_t k = begin; k < end; ++k) {
+    Response& r = responses[k];
+    TenantSession* tenant = find_tenant(batch[k].request.tenant);
+    if (tenant == nullptr) {
+      r.status = ServeStatus::UnknownTenant;
+      r.error = "no such tenant '" + batch[k].request.tenant + "'";
+      continue;
+    }
+    r.status = tenant->admit_classify(batch[k].request, &r.error);
+    if (r.status != ServeStatus::Ok) continue;
+    auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [tenant](const Group& g) { return g.tenant == tenant; });
+    if (it == groups.end()) {
+      groups.push_back(Group{tenant, {}});
+      it = std::prev(groups.end());
+    }
+    it->rows.push_back(k);
+  }
+  if (groups.empty()) return;
+
+  // One classify_many arena pass per tenant, tenant groups sharded across
+  // the thread pool. Verdicts land in pre-sized response slots, and
+  // classify_many is bit-identical at any pool size, so the sweep is too.
+  util::parallel_for(groups.size(), [&](std::size_t g) {
+    const Group& group = groups[g];
+    std::vector<const core::Trace*> rows;
+    rows.reserve(group.rows.size());
+    for (const std::size_t k : group.rows) {
+      rows.push_back(&*batch[k].request.trace);
+    }
+    auto verdicts = group.tenant->fingerprinter().classify_many(rows);
+    for (std::size_t j = 0; j < group.rows.size(); ++j) {
+      responses[group.rows[j]].verdict = std::move(verdicts[j]);
+    }
+  });
+
+  std::size_t scored = 0;
+  for (Group& group : groups) {
+    group.tenant->add_classified(group.rows.size());
+    scored += group.rows.size();
+  }
+  ++sweeps_;
+  coalesced_rows_ += scored;
+  batch_rows_.observe(static_cast<double>(scored));
+  obs::observe("serve.batch_rows", static_cast<double>(scored));
+}
+
+Response ClassificationService::control(Pending& pending) {
+  Response r;
+  const Request& request = pending.request;
+  if (request.tenant.empty()) {
+    r.status = ServeStatus::InvalidRequest;
+    r.error = "request names no tenant";
+    return r;
+  }
+  TenantSession* tenant = find_tenant(request.tenant);
+  switch (request.kind) {
+    case RequestKind::Enroll: {
+      if (!request.trace.has_value() || request.trace->empty()) {
+        r.status = ServeStatus::InvalidRequest;
+        r.error = "enroll needs a non-empty trace";
+        return r;
+      }
+      if (tenant == nullptr) {
+        // First enroll opens the namespace.
+        auto session = std::make_unique<TenantSession>(
+            request.tenant, config_.fingerprinter);
+        tenant = session.get();
+        tenants_.emplace(request.tenant, std::move(session));
+        tenant_order_.push_back(request.tenant);
+        obs::count("serve.tenants_created");
+      }
+      r.status = tenant->enroll(*request.trace, request.label, &r.error);
+      return r;
+    }
+    case RequestKind::Train: {
+      if (tenant == nullptr) {
+        r.status = ServeStatus::UnknownTenant;
+        r.error = "no such tenant '" + request.tenant + "'";
+        return r;
+      }
+      r.status = tenant->train(&r.error);
+      return r;
+    }
+    case RequestKind::Retire: {
+      if (tenant == nullptr) {
+        r.status = ServeStatus::UnknownTenant;
+        r.error = "no such tenant '" + request.tenant + "'";
+        return r;
+      }
+      r.status = tenant->retire();
+      if (r.status == ServeStatus::TenantRetired) {
+        r.error = "tenant '" + request.tenant + "' already retired";
+      }
+      return r;
+    }
+    case RequestKind::Classify:
+      break;  // unreachable: tick() routes classify runs through sweep()
+  }
+  r.status = ServeStatus::InvalidRequest;
+  r.error = "unhandled request kind";
+  return r;
+}
+
+util::Json ClassificationService::to_json() const {
+  const ServiceStats s = stats();
+  auto stats_json = util::Json::object();
+  stats_json.set("submitted",
+                 util::Json::integer(static_cast<std::int64_t>(s.submitted)));
+  stats_json.set("admitted",
+                 util::Json::integer(static_cast<std::int64_t>(s.admitted)));
+  stats_json.set("rejected",
+                 util::Json::integer(static_cast<std::int64_t>(s.rejected)));
+  stats_json.set("completed",
+                 util::Json::integer(static_cast<std::int64_t>(s.completed)));
+  stats_json.set(
+      "classified",
+      util::Json::integer(static_cast<std::int64_t>(s.classified)));
+  stats_json.set("open_set_unknown",
+                 util::Json::integer(
+                     static_cast<std::int64_t>(s.open_set_unknown)));
+  stats_json.set("failed",
+                 util::Json::integer(static_cast<std::int64_t>(s.failed)));
+  stats_json.set("ticks",
+                 util::Json::integer(static_cast<std::int64_t>(s.ticks)));
+  stats_json.set("sweeps",
+                 util::Json::integer(static_cast<std::int64_t>(s.sweeps)));
+  stats_json.set(
+      "coalesced_rows",
+      util::Json::integer(static_cast<std::int64_t>(s.coalesced_rows)));
+  stats_json.set(
+      "max_queue_depth",
+      util::Json::integer(static_cast<std::int64_t>(s.max_queue_depth)));
+
+  auto latency = util::Json::object();
+  latency.set("count", util::Json::integer(static_cast<std::int64_t>(
+                           latency_vus_.count())));
+  latency.set("p50_vus", util::Json::number(latency_vus_.quantile(0.5)));
+  latency.set("p90_vus", util::Json::number(latency_vus_.quantile(0.9)));
+  latency.set("p99_vus", util::Json::number(latency_vus_.quantile(0.99)));
+
+  auto tenants = util::Json::array();
+  for (const std::string& name : tenant_order_) {
+    const TenantSession& session = *tenants_.at(name);
+    auto t = util::Json::object();
+    t.set("name", util::Json::string(name));
+    t.set("state", util::Json::string(std::string(state_name(
+                       session.state()))));
+    t.set("enrolled", util::Json::integer(static_cast<std::int64_t>(
+                          session.enrolled())));
+    t.set("classified", util::Json::integer(static_cast<std::int64_t>(
+                            session.classified())));
+    t.set("classes",
+          util::Json::integer(static_cast<std::int64_t>(
+              session.fingerprinter().class_names().size())));
+    tenants.push_back(std::move(t));
+  }
+
+  auto root = util::Json::object();
+  root.set("virtual_now_s", util::Json::number(now().seconds()));
+  root.set("stats", std::move(stats_json));
+  root.set("latency", std::move(latency));
+  root.set("tenants", std::move(tenants));
+  return root;
+}
+
+void ClassificationService::register_default_slo(double threshold_vus,
+                                                 double target) {
+  obs::slos().add({.name = "serve_latency",
+                   .histogram = "serve.request_latency_vus",
+                   .threshold = threshold_vus,
+                   .target = target});
+}
+
+}  // namespace amperebleed::serve

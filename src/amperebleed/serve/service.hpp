@@ -1,0 +1,168 @@
+#pragma once
+// amperebleed::serve — the multi-tenant asynchronous classification service
+// composing the pieces built across PRs 1-7: OnlineFingerprinter's batched
+// classify_many, the flat SoA ForestArena kernel, util::ThreadPool, and the
+// obs metrics/SLO/HTTP stack.
+//
+// Shape: producers submit() typed Requests into a bounded queue (admission
+// control rejects past the high-water mark with a typed Overloaded status);
+// the owner's tick() loop advances the service's VIRTUAL clock one tick at a
+// time, draining up to max_batch queued requests per tick. Consecutive
+// classify requests in a drained batch — regardless of tenant — coalesce
+// into one sweep: rows are grouped per tenant and the tenant groups are
+// sharded across the thread pool, each scoring its rows through a single
+// classify_many arena pass. Control requests (enroll/train/retire) execute
+// in submission order and act as sweep barriers, so the observable behaviour
+// is exactly that of processing the queue sequentially.
+//
+// Determinism: verdicts, response order, queue admission, and every virtual
+// latency are bit-identical at any thread-pool size — classify_many is
+// bit-identical by contract, tenant groups land in pre-sized slots, and all
+// timestamps come from the tick clock, never the host clock. The closed-loop
+// bench (bench/service_load) byte-diffs its stdout at pool sizes 1/4/8 in CI
+// on exactly this promise.
+//
+// Threading: submit() is safe from any thread; tick()/drain() must be called
+// by one owner thread at a time (the queue is the only shared state between
+// the two sides). Classification against Serving tenants runs concurrently
+// on pool workers; tenant lifecycle mutations happen only on the tick
+// thread.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amperebleed/core/online.hpp"
+#include "amperebleed/obs/metrics.hpp"
+#include "amperebleed/serve/queue.hpp"
+#include "amperebleed/serve/tenant.hpp"
+#include "amperebleed/serve/types.hpp"
+#include "amperebleed/sim/time.hpp"
+#include "amperebleed/util/json.hpp"
+
+namespace amperebleed::serve {
+
+struct ServiceConfig {
+  RequestQueue::Config queue{};
+  /// Coalescer drain limit: at most this many requests leave the queue per
+  /// tick (0 = unbounded, the whole queue every tick).
+  std::size_t max_batch = 256;
+  /// Virtual duration of one tick — the coalescing window. Latencies are
+  /// integer multiples of this.
+  sim::TimeNs tick = sim::milliseconds(1);
+  /// Applied to every tenant namespace created by its first Enroll.
+  core::OnlineFingerprinterConfig fingerprinter{};
+};
+
+/// Lifetime tallies, all monotonic. Door-side numbers (submitted/admitted/
+/// rejected) are exact under concurrent submitters; the rest are owned by
+/// the tick thread.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  // Overloaded at admission control
+  std::uint64_t completed = 0;
+  std::uint64_t classified = 0;         // Classify responses with status Ok
+  std::uint64_t open_set_unknown = 0;   // of those, rejected as outside zoo
+  std::uint64_t failed = 0;             // non-Ok responses
+  std::uint64_t ticks = 0;
+  std::uint64_t sweeps = 0;             // coalesced classify_many passes
+  std::uint64_t coalesced_rows = 0;     // rows scored through sweeps
+  std::size_t max_queue_depth = 0;
+  /// Responses per ServeStatus, indexed by the enum's ordinal.
+  std::array<std::uint64_t, 7> by_status{};
+};
+
+class ClassificationService {
+ public:
+  explicit ClassificationService(ServiceConfig config = {});
+
+  /// Hand one request to the service (any thread). Admission control may
+  /// reject with Overloaded; rejected requests never produce a Response.
+  SubmitResult submit(Request request);
+
+  /// Advance one virtual tick: drain up to max_batch requests, run control
+  /// requests in order, coalesce classify runs into per-tenant arena sweeps
+  /// sharded across the thread pool. Returns the completed responses in
+  /// admission order (empty when the queue was idle). Owner thread only.
+  std::vector<Response> tick();
+
+  /// Tick until the queue is empty; all responses, in admission order.
+  std::vector<Response> drain();
+
+  /// The virtual clock (ticks elapsed x tick duration).
+  [[nodiscard]] sim::TimeNs now() const;
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+
+  /// Virtual request latency (microseconds of virtual time), P2 quantiles
+  /// at 0.5 / 0.9 / 0.99. Deterministic: same request schedule, same
+  /// estimates, any pool size.
+  [[nodiscard]] const obs::Histogram& latency_histogram() const {
+    return latency_vus_;
+  }
+  /// Valid rows per coalesced sweep — the throughput shape of the batcher.
+  [[nodiscard]] const obs::Histogram& batch_histogram() const {
+    return batch_rows_;
+  }
+
+  /// Tenant namespaces in creation order.
+  [[nodiscard]] std::vector<std::string> tenant_names() const;
+  /// Lookup (nullptr when the namespace does not exist). The pointer stays
+  /// valid for the service's lifetime — namespaces are never erased, a
+  /// retired tenant keeps its name reserved.
+  [[nodiscard]] const TenantSession* tenant(const std::string& name) const;
+
+  /// Service snapshot: virtual clock, stats, latency quantiles, tenants.
+  [[nodiscard]] util::Json to_json() const;
+
+  /// Register the service's default latency SLO (virtual-time request
+  /// latency over the serve.request_latency_vus histogram) on the global
+  /// obs::slos() registry — served live on /slo by the HTTP exporter.
+  /// `threshold_vus` must be one of the histogram's bucket bounds to count
+  /// exactly; the default is 16 default ticks.
+  static void register_default_slo(double threshold_vus = 16000.0,
+                                   double target = 0.95);
+
+ private:
+  struct Group {
+    TenantSession* tenant = nullptr;
+    std::vector<std::size_t> rows;  // indices into the drained batch
+  };
+
+  [[nodiscard]] TenantSession* find_tenant(const std::string& name);
+  /// Coalesce batch[begin, end) — all Classify — into per-tenant sweeps.
+  void sweep(std::vector<Pending>& batch, std::size_t begin, std::size_t end,
+             std::vector<Response>& responses);
+  [[nodiscard]] Response control(Pending& pending);
+
+  ServiceConfig config_;
+  RequestQueue queue_;
+  std::map<std::string, std::unique_ptr<TenantSession>> tenants_;
+  std::vector<std::string> tenant_order_;
+  std::atomic<std::int64_t> now_ns_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+
+  // Tick-thread bookkeeping.
+  std::uint64_t completed_ = 0;
+  std::uint64_t classified_ = 0;
+  std::uint64_t open_set_unknown_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t coalesced_rows_ = 0;
+  std::array<std::uint64_t, 7> by_status_{};
+
+  obs::Histogram latency_vus_;
+  obs::Histogram batch_rows_;
+};
+
+}  // namespace amperebleed::serve

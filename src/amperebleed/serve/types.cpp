@@ -1,0 +1,39 @@
+#include "amperebleed/serve/types.hpp"
+
+namespace amperebleed::serve {
+
+std::string_view kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Enroll:
+      return "enroll";
+    case RequestKind::Train:
+      return "train";
+    case RequestKind::Classify:
+      return "classify";
+    case RequestKind::Retire:
+      return "retire";
+  }
+  return "?";
+}
+
+std::string_view status_name(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::Ok:
+      return "ok";
+    case ServeStatus::Overloaded:
+      return "overloaded";
+    case ServeStatus::UnknownTenant:
+      return "unknown-tenant";
+    case ServeStatus::NotTrained:
+      return "not-trained";
+    case ServeStatus::AlreadyTrained:
+      return "already-trained";
+    case ServeStatus::TenantRetired:
+      return "tenant-retired";
+    case ServeStatus::InvalidRequest:
+      return "invalid-request";
+  }
+  return "?";
+}
+
+}  // namespace amperebleed::serve

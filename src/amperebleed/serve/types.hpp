@@ -1,0 +1,89 @@
+#pragma once
+// Typed request/response surface of the multi-tenant classification service
+// (serve/service.hpp). A Request is one unit of work addressed to a tenant's
+// enrollment namespace; a Response carries a typed status plus — for
+// classification — the open-set verdict and the request's virtual-time
+// latency (admission to completion). Everything here is plain data: the
+// structs cross the bounded queue by value and never reference service
+// internals, so callers may keep them arbitrarily long.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "amperebleed/core/online.hpp"
+#include "amperebleed/core/trace.hpp"
+#include "amperebleed/sim/time.hpp"
+
+namespace amperebleed::serve {
+
+/// The four operations of a tenant session's lifecycle. Enroll opens the
+/// namespace (first enroll creates it), Train freezes it into serving form,
+/// Classify queries it, Retire closes it for good.
+enum class RequestKind { Enroll, Train, Classify, Retire };
+
+std::string_view kind_name(RequestKind kind);
+
+/// Typed completion status. Ok is the only success; everything else names
+/// the exact admission or lifecycle rule the request tripped over, so load
+/// generators and tests can assert on causes instead of parsing messages.
+enum class ServeStatus {
+  Ok,
+  /// Rejected at the door: the queue stood at or above its high-water mark
+  /// when the request arrived (admission control, counted in obs).
+  Overloaded,
+  /// The tenant namespace does not exist (never enrolled).
+  UnknownTenant,
+  /// Classify before a successful Train.
+  NotTrained,
+  /// Enroll/Train after the tenant was already trained.
+  AlreadyTrained,
+  /// Any request against a retired tenant (and Retire twice).
+  TenantRetired,
+  /// Malformed payload: missing/empty/short trace, too few classes, ...
+  InvalidRequest,
+};
+
+std::string_view status_name(ServeStatus status);
+
+/// One unit of work. `trace` is required for Enroll and Classify; `label`
+/// names the enrolled model (Enroll only). Ids are assigned by the service
+/// at admission, not by the caller.
+struct Request {
+  RequestKind kind = RequestKind::Classify;
+  std::string tenant;
+  std::optional<core::Trace> trace;
+  std::string label;
+};
+
+/// Completion record, returned from ClassificationService::tick() in
+/// admission order. Timestamps are virtual (the service's tick clock), so
+/// latency() is bit-identical at any thread-pool size.
+struct Response {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::Classify;
+  std::string tenant;
+  ServeStatus status = ServeStatus::Ok;
+  /// Human-readable context on non-Ok statuses (empty on success).
+  std::string error;
+  /// Open-set verdict; meaningful only for Classify with status Ok.
+  core::OnlineFingerprinter::Verdict verdict;
+  sim::TimeNs admitted{0};
+  sim::TimeNs completed{0};
+
+  [[nodiscard]] bool ok() const { return status == ServeStatus::Ok; }
+  /// Queue wait + processing in virtual time (>= one tick).
+  [[nodiscard]] sim::TimeNs latency() const { return completed - admitted; }
+};
+
+/// Outcome of ClassificationService::submit. Rejected requests never enter
+/// the queue and never produce a Response; `status` says why (Overloaded is
+/// the only rejection admission control itself issues).
+struct SubmitResult {
+  bool accepted = false;
+  std::uint64_t id = 0;  // valid when accepted
+  ServeStatus status = ServeStatus::Ok;
+};
+
+}  // namespace amperebleed::serve

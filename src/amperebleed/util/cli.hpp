@@ -1,6 +1,10 @@
 #pragma once
 // Minimal command-line flag parsing for the bench/example binaries:
-// --name value or --name=value; unknown flags throw. Header-only.
+// --name value or --name=value. Positional (non-flag) arguments throw, and
+// get_int/get_double reject values with unparsed trailing characters
+// ("--threads 4abc", "--rate 0.1x") instead of silently truncating them.
+// Unknown flags are NOT diagnosed — CliArgs has no schema to check against.
+// Header-only.
 
 #include <cstdint>
 #include <map>
@@ -45,14 +49,30 @@ class CliArgs {
     if (it == values_.end()) return fallback;
     // Base 0 auto-detects 0x/0 prefixes, so hex seeds (--fault-seed 0xfa17)
     // parse as intended instead of silently stopping at the 'x'.
-    return std::stoll(it->second, nullptr, 0);
+    std::size_t consumed = 0;
+    std::int64_t value = 0;
+    try {
+      value = std::stoll(it->second, &consumed, 0);
+    } catch (const std::exception&) {
+      throw invalid_value(name, it->second);
+    }
+    if (consumed != it->second.size()) throw invalid_value(name, it->second);
+    return value;
   }
 
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const {
     const auto it = values_.find(name);
     if (it == values_.end()) return fallback;
-    return std::stod(it->second);
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(it->second, &consumed);
+    } catch (const std::exception&) {
+      throw invalid_value(name, it->second);
+    }
+    if (consumed != it->second.size()) throw invalid_value(name, it->second);
+    return value;
   }
 
   [[nodiscard]] std::string get_string(const std::string& name,
@@ -62,6 +82,12 @@ class CliArgs {
   }
 
  private:
+  [[nodiscard]] static std::invalid_argument invalid_value(
+      const std::string& name, const std::string& value) {
+    return std::invalid_argument("invalid value for --" + name + ": '" +
+                                 value + "'");
+  }
+
   std::map<std::string, std::string> values_;
 };
 

@@ -129,9 +129,10 @@ TEST(OnlineFingerprinter, ClassifyManyMatchesPerTraceClassify) {
 
 TEST(OnlineFingerprinter, ClassifyManyEmptyBatchAndLifecycle) {
   OnlineFingerprinter untrained;
-  EXPECT_THROW(untrained.classify_many({}), std::logic_error);
+  EXPECT_THROW(untrained.classify_many(std::vector<Trace>{}),
+               std::logic_error);
   const auto service = trained_service();
-  EXPECT_TRUE(service.classify_many({}).empty());
+  EXPECT_TRUE(service.classify_many(std::vector<Trace>{}).empty());
 }
 
 TEST(OnlineFingerprinter, HighThresholdsRejectEverything) {

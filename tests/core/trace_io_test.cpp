@@ -77,6 +77,65 @@ TEST_F(TraceIoTest, RejectsMalformedRows) {
   EXPECT_THROW(load_trace_csv(path_), std::runtime_error);
 }
 
+TEST_F(TraceIoTest, BadValueCellNamesFileAndLine) {
+  // Regression: a non-numeric value cell used to surface std::stod's bare
+  // "stod" exception with no hint of which file or row was bad. The error
+  // must name the offending cell and its exact file:line.
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=current rail=ddr start_ns=0 "
+           "period_ns=1000\n";
+    out << "index,time_ms,value\n";
+    out << "0,0.0,1.25\n";
+    out << "1,1.0,garbage\n";  // line 4
+  }
+  try {
+    (void)load_trace_csv(path_);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad value cell 'garbage'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find(path_ + ":4"), std::string::npos) << what;
+  }
+  // Trailing garbage after a valid prefix is just as rejected ("1.5x" must
+  // not silently load as 1.5).
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=current rail=ddr start_ns=0 "
+           "period_ns=1000\n";
+    out << "index,time_ms,value\n";
+    out << "0,0.0,1.5x\n";
+  }
+  try {
+    (void)load_trace_csv(path_);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path_ + ":3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(TraceIoTest, MalformedRowNamesFileAndLine) {
+  {
+    std::ofstream out(path_);
+    out << "# amperebleed-trace quantity=current rail=ddr start_ns=0 "
+           "period_ns=1000\n";
+    out << "index,time_ms,value\n";
+    out << "0,0.0,1.0\n";
+    out << "\n";           // blank lines don't advance the error context
+    out << "2,2.0\n";      // line 5: missing column
+  }
+  try {
+    (void)load_trace_csv(path_);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("malformed row"), std::string::npos) << what;
+    EXPECT_NE(what.find(path_ + ":5"), std::string::npos) << what;
+  }
+}
+
 TEST_F(TraceIoTest, RejectsBadMetadata) {
   {
     std::ofstream out(path_);

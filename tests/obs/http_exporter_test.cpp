@@ -197,6 +197,34 @@ TEST_F(HttpExporterTest, UnknownPathAndMethod) {
   server.stop();
 }
 
+TEST_F(HttpExporterTest, HeadSendsHeadersOnlyWithGetContentLength) {
+  // Regression: HEAD used to answer with the full GET body attached. A HEAD
+  // probe must get the same status line and headers — Content-Length still
+  // advertising the would-be GET body — and not a single body byte.
+  HttpExporter server(registry_);
+  server.start();
+
+  const std::string get = http_get(server.port(), "/metrics");
+  const std::string head = http_get(server.port(), "/metrics", "HEAD");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_TRUE(body_of(head).empty()) << head;
+  // Identical headers: the HEAD response is exactly the GET response
+  // truncated after the blank line.
+  const std::size_t get_headers_end = get.find("\r\n\r\n");
+  ASSERT_NE(get_headers_end, std::string::npos);
+  EXPECT_EQ(head, get.substr(0, get_headers_end + 4));
+  // And the advertised Content-Length matches the GET body actually served.
+  const std::size_t cl = head.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  EXPECT_EQ(std::stoul(head.substr(cl + 16)), body_of(get).size());
+
+  // Non-200 routes keep the same contract.
+  const std::string missing = http_get(server.port(), "/nope", "HEAD");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+  EXPECT_TRUE(body_of(missing).empty()) << missing;
+  server.stop();
+}
+
 TEST_F(HttpExporterTest, StartStopIdempotentAndRebindable) {
   HttpExporter server(registry_);
   server.start();

@@ -1,0 +1,81 @@
+#include "amperebleed/serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace amperebleed::serve {
+namespace {
+
+Pending make_pending(std::uint64_t id) {
+  Pending p;
+  p.id = id;
+  p.request.kind = RequestKind::Classify;
+  p.request.tenant = "t";
+  return p;
+}
+
+TEST(RequestQueue, FifoOrderAcrossDrains) {
+  RequestQueue queue({.capacity = 16, .high_water = 16});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_TRUE(queue.try_push(make_pending(id)));
+  }
+  EXPECT_EQ(queue.depth(), 5u);
+  const auto first = queue.drain(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].id, 1u);
+  EXPECT_EQ(first[1].id, 2u);
+  const auto rest = queue.drain(0);  // 0 = everything
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0].id, 3u);
+  EXPECT_EQ(rest[2].id, 5u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestQueue, HighWaterMarkShedsLoad) {
+  RequestQueue queue({.capacity = 8, .high_water = 3});
+  EXPECT_TRUE(queue.try_push(make_pending(1)));
+  EXPECT_TRUE(queue.try_push(make_pending(2)));
+  EXPECT_TRUE(queue.try_push(make_pending(3)));
+  // At the high-water mark: admission control turns the door away.
+  EXPECT_FALSE(queue.try_push(make_pending(4)));
+  EXPECT_FALSE(queue.try_push(make_pending(5)));
+  EXPECT_EQ(queue.accepted(), 3u);
+  EXPECT_EQ(queue.rejected(), 2u);
+  EXPECT_EQ(queue.max_depth(), 3u);
+  // Draining reopens it.
+  (void)queue.drain(1);
+  EXPECT_TRUE(queue.try_push(make_pending(6)));
+  EXPECT_EQ(queue.accepted(), 4u);
+}
+
+TEST(RequestQueue, ConfigClampsDegenerateValues) {
+  // high_water above capacity clamps to capacity; zero capacity clamps to 1.
+  RequestQueue queue({.capacity = 0, .high_water = 100});
+  EXPECT_TRUE(queue.try_push(make_pending(1)));
+  EXPECT_FALSE(queue.try_push(make_pending(2)));
+  EXPECT_EQ(queue.rejected(), 1u);
+}
+
+TEST(RequestQueue, CountersExactUnderConcurrentSubmitters) {
+  RequestQueue queue({.capacity = 4096, .high_water = 4096});
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 500;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&queue, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        (void)queue.try_push(
+            make_pending(static_cast<std::uint64_t>(t) * kPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  EXPECT_EQ(queue.accepted() + queue.rejected(), kThreads * kPerThread);
+  EXPECT_EQ(queue.drain(0).size(), queue.accepted());
+}
+
+}  // namespace
+}  // namespace amperebleed::serve

@@ -49,5 +49,38 @@ TEST(CliArgs, RejectsPositionalArguments) {
   EXPECT_THROW(parse({"positional"}), std::invalid_argument);
 }
 
+TEST(CliArgs, RejectsTrailingGarbageOnNumericValues) {
+  // "4abc" used to silently parse as 4 and "0.1x" as 0.1 — a typo'd flag
+  // would quietly run the wrong experiment.
+  const auto args = parse({"--threads", "4abc", "--rate", "0.1x"});
+  EXPECT_THROW(args.get_int("threads", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("rate", 0.0), std::invalid_argument);
+  try {
+    (void)args.get_int("threads", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid value for --threads"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("4abc"), std::string::npos);
+  }
+}
+
+TEST(CliArgs, RejectsNonNumericValues) {
+  const auto args = parse({"--n", "abc", "--x", "fast"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgs, HexAndFloatFormsStillParse) {
+  // Strictness must not cost the formats benches rely on: hex fault seeds
+  // (base-0 auto-detection) and exponent-form doubles.
+  const auto args = parse({"--fault-seed", "0xfa17", "--eps", "1e-3",
+                           "--neg", "-12"});
+  EXPECT_EQ(args.get_int("fault-seed", 0), 0xfa17);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 1e-3);
+  EXPECT_EQ(args.get_int("neg", 0), -12);
+}
+
 }  // namespace
 }  // namespace amperebleed::util
