@@ -20,7 +20,9 @@
 #include <utility>
 #include <vector>
 
+#include "amperebleed/core/features.hpp"
 #include "amperebleed/core/preprocess.hpp"
+#include "amperebleed/core/preprocess_reference.hpp"
 #include "amperebleed/core/sampler.hpp"
 #include "amperebleed/crypto/modexp.hpp"
 #include "amperebleed/crypto/montgomery.hpp"
@@ -32,6 +34,7 @@
 #include "amperebleed/sim/signal.hpp"
 #include "amperebleed/soc/soc.hpp"
 #include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/simd.hpp"
 #include "amperebleed/util/thread_pool.hpp"
 
 namespace {
@@ -263,6 +266,10 @@ const ml::RandomForest& batch_forest() {
 }
 
 void BM_ForestPredictBatch(benchmark::State& state) {
+  // Forced-scalar tier: this pair measures the PR 4 layout win (SoA arena
+  // vs per-tree pointer walk) in isolation; the dispatch win on top of it
+  // is BM_ForestPredictSimd's job.
+  util::simd::ScopedTier tier(util::simd::SimdTier::kScalar);
   const ml::Dataset& data = tree_fit_dataset();
   const ml::RandomForest& forest = batch_forest();
   std::vector<std::span<const double>> rows;
@@ -288,6 +295,59 @@ void BM_ForestPredictBatchReference(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredictBatchReference)->Unit(benchmark::kMicrosecond);
 
+/// PR 9 dispatch A/B: the same paper-scale batch through the best SIMD tier
+/// the host offers (branchless lockstep / AVX2 gathers) vs the retained
+/// per-tree pointer walk. forest_predict_simd_speedup = reference/simd.
+void BM_ForestPredictSimd(benchmark::State& state) {
+  util::simd::ScopedTier tier(util::simd::detect_best_tier());
+  const ml::Dataset& data = tree_fit_dataset();
+  const ml::RandomForest& forest = batch_forest();
+  std::vector<std::span<const double>> rows;
+  for (std::size_t i = 0; i < data.size(); ++i) rows.push_back(data.row(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_proba_many(rows));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_ForestPredictSimd)->Unit(benchmark::kMicrosecond);
+
+void BM_ForestPredictSimdReference(benchmark::State& state) {
+  const ml::Dataset& data = tree_fit_dataset();
+  const ml::RandomForest& forest = batch_forest();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      benchmark::DoNotOptimize(forest.predict_proba_reference(data.row(i)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ForestPredictSimdReference)->Unit(benchmark::kMicrosecond);
+
+/// Opt-in int16 threshold quantization on top of the lockstep walk
+/// (informational _ns row; not part of a gated ratio).
+void BM_ForestPredictQuantized(benchmark::State& state) {
+  util::simd::ScopedTier tier(util::simd::detect_best_tier());
+  static const ml::RandomForest quantized = [] {
+    ml::ForestConfig config;
+    config.n_trees = 100;
+    config.quantize_thresholds = true;
+    ml::RandomForest f(config);
+    f.fit(tree_fit_dataset());
+    return f;
+  }();
+  const ml::Dataset& data = tree_fit_dataset();
+  std::vector<std::span<const double>> rows;
+  for (std::size_t i = 0; i < data.size(); ++i) rows.push_back(data.row(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantized.predict_proba_many(rows));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows.size()));
+}
+BENCHMARK(BM_ForestPredictQuantized)->Unit(benchmark::kMicrosecond);
+
 /// The attacker-side trace cleanup chain feeding the classifier: dedup the
 /// oversampled register reads, detrend thermal drift, resample to the
 /// feature width, then smooth.
@@ -307,6 +367,137 @@ void BM_PreprocessPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PreprocessPipeline);
+
+/// Same chain through the retained pre-PR9 naive kernels;
+/// preprocess_pipeline_speedup = reference/optimized.
+void BM_PreprocessPipelineReference(benchmark::State& state) {
+  util::Rng rng(0x9e9);
+  std::vector<double> raw(8192);
+  double level = 1.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i % 3 == 0) level = 1.0 + rng.gaussian(0.0, 0.05);
+    raw[i] = level + static_cast<double>(i) * 1e-5;
+  }
+  for (auto _ : state) {
+    auto dedup = core::deduplicate_runs(raw);
+    core::reference::detrend(dedup);
+    auto resampled = core::resample(dedup, 160);
+    benchmark::DoNotOptimize(core::reference::sliding_mean(resampled, 4, 2));
+  }
+}
+BENCHMARK(BM_PreprocessPipelineReference);
+
+// ---------------------------------------------------------------------------
+// Per-kernel preprocess A/B pairs (informational _ns rows; the gated ratio
+// is the whole-pipeline pair above). Inputs are hwmon-shaped: a noisy level
+// with drift, long enough (8k samples) that the kernels stream from L2.
+// ---------------------------------------------------------------------------
+
+std::vector<double> preprocess_input(std::size_t n) {
+  util::Rng rng(0x51de);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = 1.0 + rng.gaussian(0.0, 0.05) + static_cast<double>(i) * 1e-5;
+  }
+  return xs;
+}
+
+void BM_SlidingMean(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sliding_mean(xs, 32, 4));
+  }
+}
+BENCHMARK(BM_SlidingMean);
+
+void BM_SlidingMeanReference(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::reference::sliding_mean(xs, 32, 4));
+  }
+}
+BENCHMARK(BM_SlidingMeanReference);
+
+void BM_Standardize(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  for (auto _ : state) {
+    auto copy = xs;
+    core::standardize(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Standardize);
+
+void BM_StandardizeReference(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  for (auto _ : state) {
+    auto copy = xs;
+    core::reference::standardize(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_StandardizeReference);
+
+void BM_Detrend(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  for (auto _ : state) {
+    auto copy = xs;
+    core::detrend(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_Detrend);
+
+void BM_DetrendReference(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  for (auto _ : state) {
+    auto copy = xs;
+    core::reference::detrend(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+}
+BENCHMARK(BM_DetrendReference);
+
+void BM_Alignment(benchmark::State& state) {
+  const auto ref = preprocess_input(2048);
+  const auto probe = core::shift(ref, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_alignment_shift(ref, probe, 64));
+  }
+}
+BENCHMARK(BM_Alignment)->Unit(benchmark::kMicrosecond);
+
+void BM_AlignmentReference(benchmark::State& state) {
+  const auto ref = preprocess_input(2048);
+  const auto probe = core::shift(ref, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::reference::best_alignment_shift(ref, probe, 64));
+  }
+}
+BENCHMARK(BM_AlignmentReference)->Unit(benchmark::kMicrosecond);
+
+void BM_FillGapsHoldLast(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  std::vector<std::uint8_t> validity(xs.size(), 1);
+  for (std::size_t i = 0; i < validity.size(); i += 3) validity[i] = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::fill_gaps(xs, validity, core::GapPolicy::HoldLast));
+  }
+}
+BENCHMARK(BM_FillGapsHoldLast);
+
+void BM_FillGapsHoldLastReference(benchmark::State& state) {
+  const auto xs = preprocess_input(8192);
+  std::vector<std::uint8_t> validity(xs.size(), 1);
+  for (std::size_t i = 0; i < validity.size(); i += 3) validity[i] = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::reference::fill_gaps(xs, validity, core::GapPolicy::HoldLast));
+  }
+}
+BENCHMARK(BM_FillGapsHoldLastReference);
 
 // ---------------------------------------------------------------------------
 // Custom main: single-thread pool, console output, and an obs::RunRecord of
@@ -372,8 +563,16 @@ void write_record(const RecordingReporter& reporter, const std::string& path) {
   const double tree_fit = ratio("BM_TreeFitReference", "BM_TreeFit");
   const double batch =
       ratio("BM_ForestPredictBatchReference", "BM_ForestPredictBatch");
+  const double simd =
+      ratio("BM_ForestPredictSimdReference", "BM_ForestPredictSimd");
+  const double preprocess =
+      ratio("BM_PreprocessPipelineReference", "BM_PreprocessPipeline");
   if (tree_fit > 0.0) record.set_number("tree_fit_speedup", tree_fit);
   if (batch > 0.0) record.set_number("forest_predict_batch_speedup", batch);
+  if (simd > 0.0) record.set_number("forest_predict_simd_speedup", simd);
+  if (preprocess > 0.0) {
+    record.set_number("preprocess_pipeline_speedup", preprocess);
+  }
   record.set_integer("benchmarks",
                      static_cast<std::int64_t>(reporter.results().size()));
   record.write(path);
@@ -382,13 +581,19 @@ void write_record(const RecordingReporter& reporter, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --record-out PATH before google-benchmark parses the flags.
+  // Strip --record-out PATH and --simd TIER before google-benchmark parses
+  // the flags. --simd overrides the default dispatch for benches that don't
+  // pin a tier themselves (the A/B pairs above pin via ScopedTier).
   std::string record_path;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--record-out" && i + 1 < argc) {
       record_path = argv[++i];
+      continue;
+    }
+    if (std::string_view(argv[i]) == "--simd" && i + 1 < argc) {
+      util::simd::set_active_tier(util::simd::tier_from_name(argv[++i]));
       continue;
     }
     args.push_back(argv[i]);

@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "amperebleed/obs/obs.hpp"
-#include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/util/simd_kernels.hpp"
 
 namespace amperebleed::core {
 
@@ -14,17 +14,39 @@ std::size_t samples_for_duration(sim::TimeNs duration, sim::TimeNs period) {
 }
 
 void standardize(std::vector<double>& xs) {
-  const auto s = stats::summarize(xs);
-  if (s.stddev == 0.0) {
+  if (xs.empty()) return;
+  // Mean and sum-of-squares accumulate in exactly stats::summarize's order
+  // (sum += x, then ss += d*d over the same sequence), so mean/stddev — and
+  // hence every standardized bit — match the pre-PR9 summarize-based
+  // version; we just skip its min/max bookkeeping. The transform itself
+  // goes through the dispatched elementwise kernel (sub + div only, so all
+  // SIMD tiers agree exactly; see DESIGN.md §14).
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    ss += d * d;
+  }
+  const double stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  if (stddev == 0.0) {
     for (double& x : xs) x = 0.0;
     return;
   }
-  for (double& x : xs) x = (x - s.mean) / s.stddev;
+  util::simd::normalize(xs.data(), xs.size(), mean, stddev);
 }
 
 void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
                std::size_t feature_count) {
-  dataset.add(trace.prefix(feature_count), label);
+  // Hand the prefix to the dataset as a subspan of the trace's own storage:
+  // Trace::prefix() would materialize a temporary vector only for add() to
+  // copy it again.
+  const auto values = trace.values();
+  if (feature_count > values.size()) {
+    throw std::invalid_argument("Trace::prefix: trace too short");
+  }
+  dataset.add(values.first(feature_count), label);
 }
 
 void add_trace(ml::Dataset& dataset, const Trace& trace, int label,
@@ -54,6 +76,9 @@ ml::Dataset build_dataset(
     const std::vector<std::vector<Trace>>& traces_by_label,
     std::size_t feature_count) {
   ml::Dataset dataset(feature_count);
+  std::size_t total = 0;
+  for (const auto& group : traces_by_label) total += group.size();
+  dataset.reserve(total);
   for (std::size_t label = 0; label < traces_by_label.size(); ++label) {
     for (const auto& trace : traces_by_label[label]) {
       add_trace(dataset, trace, static_cast<int>(label), feature_count);

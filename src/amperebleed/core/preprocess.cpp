@@ -1,14 +1,13 @@
 #include "amperebleed/core/preprocess.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <cmath>
 #include <stdexcept>
 
 #include "amperebleed/core/trace.hpp"
 #include "amperebleed/obs/obs.hpp"
 #include "amperebleed/obs/quality.hpp"
-#include "amperebleed/stats/correlation.hpp"
-#include "amperebleed/stats/regression.hpp"
+#include "amperebleed/util/simd_kernels.hpp"
 
 namespace amperebleed::core {
 
@@ -76,13 +75,14 @@ std::vector<double> fill_gaps(std::span<const double> values,
 
   if (policy == GapPolicy::HoldLast) {
     for (std::size_t i = 0; i < first_valid; ++i) out[i] = out[first_valid];
+    // Branchless forward fill: a pair of selects (cmov) instead of a
+    // data-dependent branch per sample — same values, no mispredicts on
+    // random gap patterns.
     double last = out[first_valid];
     for (std::size_t i = first_valid; i < out.size(); ++i) {
-      if (validity[i] != 0) {
-        last = out[i];
-      } else {
-        out[i] = last;
-      }
+      const double v = out[i];
+      last = validity[i] != 0 ? v : last;
+      out[i] = last;
     }
     return out;
   }
@@ -118,17 +118,43 @@ std::vector<double> fill_gaps(std::span<const double> values,
 }
 
 std::vector<double> fill_gaps(const Trace& trace, GapPolicy policy) {
-  return fill_gaps(trace.values(), trace.validity(), policy);
+  // Gapless fast path: no validity mask was ever materialized, so skip the
+  // policy dispatch / quality bookkeeping entirely and copy the samples
+  // straight out.
+  const auto values = trace.values();
+  if (trace.validity().empty()) return {values.begin(), values.end()};
+  return fill_gaps(values, trace.validity(), policy);
 }
 
 void detrend(std::vector<double>& xs) {
   if (xs.size() < 2) return;
-  std::vector<double> t(xs.size());
-  std::iota(t.begin(), t.end(), 0.0);
-  const stats::LinearFit fit = stats::linear_fit(t, xs);
+  // Inline least-squares fit against t[i] = i, accumulated in exactly the
+  // order stats::linear_fit uses — same slope/intercept bits — without
+  // materializing the iota vector or paying linear_fit's r^2 pass.
+  const auto n = static_cast<double>(xs.size());
+  double mx = 0.0;
+  double my = 0.0;
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    xs[i] -= fit.slope * static_cast<double>(i) + fit.intercept;
+    mx += static_cast<double>(i);
+    my += xs[i];
   }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = static_cast<double>(i) - mx;
+    const double dy = xs[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+  }
+  double slope = 0.0;
+  double intercept = my;
+  if (sxx != 0.0) {
+    slope = sxy / sxx;
+    intercept = my - slope * mx;
+  }
+  util::simd::remove_trend(xs.data(), xs.size(), slope, intercept);
 }
 
 std::vector<double> resample(std::span<const double> xs,
@@ -154,6 +180,7 @@ std::vector<double> resample(std::span<const double> xs,
 
 std::vector<double> deduplicate_runs(std::span<const double> xs) {
   std::vector<double> out;
+  out.reserve(xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     if (i == 0 || xs[i] != xs[i - 1]) out.push_back(xs[i]);
   }
@@ -167,17 +194,36 @@ int best_alignment_shift(std::span<const double> reference,
   const auto overlap_corr = [&](int lag) -> double {
     // Overlap of probe[i] with reference[i - lag]: a positive result means
     // the probe is the reference delayed by `lag` samples, i.e.
-    // shift(reference, lag) ~ probe.
-    std::vector<double> a;
-    std::vector<double> b;
-    for (std::size_t i = 0; i < probe.size(); ++i) {
-      const std::int64_t j = static_cast<std::int64_t>(i) - lag;
-      if (j < 0 || j >= static_cast<std::int64_t>(reference.size())) continue;
-      a.push_back(reference[static_cast<std::size_t>(j)]);
-      b.push_back(probe[i]);
+    // shift(reference, lag) ~ probe. The overlap is a contiguous index
+    // range, so the Pearson accumulation runs straight over both spans —
+    // same pairs in the same order as extracting them into temporaries and
+    // calling stats::pearson, with zero allocations and vectorizable loops.
+    const std::int64_t i0 = std::max<std::int64_t>(0, lag);
+    const std::int64_t i1 =
+        std::min<std::int64_t>(static_cast<std::int64_t>(probe.size()),
+                               static_cast<std::int64_t>(reference.size()) + lag);
+    if (i1 - i0 < 4) return -2.0;
+    const auto n = static_cast<double>(i1 - i0);
+    double mx = 0.0;
+    double my = 0.0;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      mx += reference[static_cast<std::size_t>(i - lag)];
+      my += probe[static_cast<std::size_t>(i)];
     }
-    if (a.size() < 4) return -2.0;
-    return stats::pearson(a, b);
+    mx /= n;
+    my /= n;
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const double dx = reference[static_cast<std::size_t>(i - lag)] - mx;
+      const double dy = probe[static_cast<std::size_t>(i)] - my;
+      sxy += dx * dy;
+      sxx += dx * dx;
+      syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0) return 0.0;
+    return sxy / std::sqrt(sxx * syy);
   };
   int best_lag = 0;
   double best = overlap_corr(0);
@@ -210,10 +256,34 @@ std::vector<double> sliding_mean(std::span<const double> xs,
   if (window == 0 || stride == 0) {
     throw std::invalid_argument("sliding_mean: window/stride must be >= 1");
   }
+  if (window > xs.size()) return {};
+  // O(n) rolling sum: roll the window by subtracting the samples that leave
+  // and adding the ones that enter (stride-length folds) instead of
+  // re-summing all `window` samples per output. To keep rounding error from
+  // accumulating, re-anchor with a fresh full fold once per window's worth
+  // of outputs — on inputs whose partial sums are exactly representable
+  // (integer-grained hwmon counts, dyadic constants, denormals) every output
+  // is bit-identical to the naive fold, which the regression test in
+  // tests/core/preprocess_simd_test.cpp asserts.
+  const std::size_t count = (xs.size() - window) / stride + 1;
   std::vector<double> out;
-  for (std::size_t start = 0; start + window <= xs.size(); start += stride) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < window; ++i) sum += xs[start + i];
+  out.reserve(count);
+  const std::size_t refresh = (window + stride - 1) / stride;
+  double sum = 0.0;
+  for (std::size_t o = 0; o < count; ++o) {
+    const std::size_t start = o * stride;
+    if (o % refresh == 0) {
+      sum = 0.0;
+      for (std::size_t i = 0; i < window; ++i) sum += xs[start + i];
+    } else {
+      double leave = 0.0;
+      double enter = 0.0;
+      for (std::size_t i = 0; i < stride; ++i) {
+        leave += xs[start - stride + i];
+        enter += xs[start + window - stride + i];
+      }
+      sum = (sum - leave) + enter;
+    }
     out.push_back(sum / static_cast<double>(window));
   }
   return out;

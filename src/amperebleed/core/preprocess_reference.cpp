@@ -1,0 +1,140 @@
+#include "amperebleed/core/preprocess_reference.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "amperebleed/stats/correlation.hpp"
+#include "amperebleed/stats/descriptive.hpp"
+#include "amperebleed/stats/regression.hpp"
+
+namespace amperebleed::core::reference {
+
+std::vector<double> sliding_mean(std::span<const double> xs,
+                                 std::size_t window, std::size_t stride) {
+  std::vector<double> out;
+  for (std::size_t start = 0; start + window <= xs.size(); start += stride) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i) sum += xs[start + i];
+    out.push_back(sum / static_cast<double>(window));
+  }
+  return out;
+}
+
+int best_alignment_shift(std::span<const double> reference,
+                         std::span<const double> probe,
+                         std::size_t max_shift) {
+  if (reference.size() < 4 || probe.size() < 4) return 0;
+  const auto overlap_corr = [&](int lag) -> double {
+    std::vector<double> a;
+    std::vector<double> b;
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      const std::int64_t j = static_cast<std::int64_t>(i) - lag;
+      if (j < 0 || j >= static_cast<std::int64_t>(reference.size())) continue;
+      a.push_back(reference[static_cast<std::size_t>(j)]);
+      b.push_back(probe[i]);
+    }
+    if (a.size() < 4) return -2.0;
+    return stats::pearson(a, b);
+  };
+  int best_lag = 0;
+  double best = overlap_corr(0);
+  for (int lag = 1; lag <= static_cast<int>(max_shift); ++lag) {
+    for (int signed_lag : {lag, -lag}) {
+      const double r = overlap_corr(signed_lag);
+      if (r > best) {
+        best = r;
+        best_lag = signed_lag;
+      }
+    }
+  }
+  return best_lag;
+}
+
+void standardize(std::vector<double>& xs) {
+  const auto s = stats::summarize(xs);
+  if (s.stddev == 0.0) {
+    for (double& x : xs) x = 0.0;
+    return;
+  }
+  for (double& x : xs) x = (x - s.mean) / s.stddev;
+}
+
+void detrend(std::vector<double>& xs) {
+  if (xs.size() < 2) return;
+  std::vector<double> t(xs.size());
+  std::iota(t.begin(), t.end(), 0.0);
+  const stats::LinearFit fit = stats::linear_fit(t, xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] -= fit.slope * static_cast<double>(i) + fit.intercept;
+  }
+}
+
+std::vector<double> fill_gaps(std::span<const double> values,
+                              std::span<const std::uint8_t> validity,
+                              GapPolicy policy) {
+  if (validity.empty()) return {values.begin(), values.end()};
+
+  if (policy == GapPolicy::Drop) {
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (validity[i] != 0) out.push_back(values[i]);
+    }
+    return out;
+  }
+
+  std::vector<double> out(values.begin(), values.end());
+  std::size_t first_valid = values.size();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (validity[i] != 0) {
+      first_valid = i;
+      break;
+    }
+  }
+  if (first_valid == values.size()) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+
+  if (policy == GapPolicy::HoldLast) {
+    for (std::size_t i = 0; i < first_valid; ++i) out[i] = out[first_valid];
+    double last = out[first_valid];
+    for (std::size_t i = first_valid; i < out.size(); ++i) {
+      if (validity[i] != 0) {
+        last = out[i];
+      } else {
+        out[i] = last;
+      }
+    }
+    return out;
+  }
+
+  for (std::size_t i = 0; i < first_valid; ++i) out[i] = out[first_valid];
+  std::size_t prev_valid = first_valid;
+  std::size_t i = first_valid + 1;
+  while (i < out.size()) {
+    if (validity[i] != 0) {
+      prev_valid = i;
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < out.size() && validity[j] == 0) ++j;
+    if (j == out.size()) {
+      for (std::size_t k = i; k < j; ++k) out[k] = out[prev_valid];
+    } else {
+      const double lo = out[prev_valid];
+      const double hi = out[j];
+      const double span_len = static_cast<double>(j - prev_valid);
+      for (std::size_t k = i; k < j; ++k) {
+        const double frac = static_cast<double>(k - prev_valid) / span_len;
+        out[k] = lo * (1.0 - frac) + hi * frac;
+      }
+    }
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace amperebleed::core::reference

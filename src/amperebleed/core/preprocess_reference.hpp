@@ -1,0 +1,39 @@
+#pragma once
+// Naive reference implementations of the preprocess/feature kernels that PR 9
+// rewrote for speed (DESIGN.md §14). These are the pre-rewrite loops, kept
+// verbatim as oracles: the property tests in
+// tests/core/preprocess_simd_test.cpp pit every optimized kernel against its
+// reference over adversarial inputs, and bench/micro_primitives uses them as
+// the slow side of the A/B speedup ratios. Not for production use.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "amperebleed/core/preprocess.hpp"
+
+namespace amperebleed::core::reference {
+
+/// O(n * window) per-window fold (the pre-PR9 sliding_mean).
+std::vector<double> sliding_mean(std::span<const double> xs,
+                                 std::size_t window, std::size_t stride);
+
+/// Allocation-per-lag overlap extraction + stats::pearson (the pre-PR9
+/// best_alignment_shift).
+int best_alignment_shift(std::span<const double> reference,
+                         std::span<const double> probe, std::size_t max_shift);
+
+/// stats::summarize + scalar transform loop (the pre-PR9 standardize).
+void standardize(std::vector<double>& xs);
+
+/// Materialized iota + stats::linear_fit + scalar subtraction (the pre-PR9
+/// detrend).
+void detrend(std::vector<double>& xs);
+
+/// Branchy per-sample gap reconstruction (the pre-PR9 fill_gaps). Same
+/// semantics for every GapPolicy; no obs/quality side effects.
+std::vector<double> fill_gaps(std::span<const double> values,
+                              std::span<const std::uint8_t> validity,
+                              GapPolicy policy);
+
+}  // namespace amperebleed::core::reference

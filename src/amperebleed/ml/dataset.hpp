@@ -40,6 +40,14 @@ class Dataset {
   /// Append one sample. Throws std::invalid_argument on width mismatch.
   void add(std::span<const double> features, int label);
 
+  /// Pre-size the backing storage for `rows` samples (rows * feature_count
+  /// doubles + labels), so bulk loaders like features::build_dataset append
+  /// without reallocation.
+  void reserve(std::size_t rows) {
+    data_.reserve(rows * feature_count_);
+    labels_.reserve(rows);
+  }
+
   [[nodiscard]] std::size_t size() const { return labels_.size(); }
   [[nodiscard]] std::size_t feature_count() const { return feature_count_; }
   [[nodiscard]] bool empty() const { return labels_.empty(); }

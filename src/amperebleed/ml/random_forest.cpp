@@ -93,6 +93,7 @@ void RandomForest::fit(const Dataset& data) {
   arena_.dists.reserve(total_dists);
   arena_.roots.reserve(trees_.size());
   for (const auto& tree : trees_) tree.append_to(arena_);
+  if (config_.quantize_thresholds) arena_.build_quantized();
   obs::gauge_set("ml.forest.arena_bytes", static_cast<double>(arena_.bytes()));
 }
 

@@ -27,6 +27,14 @@ struct ForestConfig {
   TreeConfig tree{};
   bool bootstrap = true;
   std::uint64_t seed = 0x5eed;
+  /// Explicit opt-in: additionally pack int16-quantized split thresholds
+  /// into the arena and walk them with integer compares (halves the hot
+  /// split metadata). Quantization is monotone but lossy — predictions may
+  /// differ from the exact walk inside one quantization bucket — so this is
+  /// OFF by default and gated by the accuracy-delta test in
+  /// tests/ml/quantized_test.cpp. predict_proba_reference always stays
+  /// exact.
+  bool quantize_thresholds = false;
 };
 
 class RandomForest {

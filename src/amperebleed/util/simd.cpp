@@ -1,0 +1,93 @@
+#include "amperebleed/util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace amperebleed::util::simd {
+
+namespace {
+
+/// Active tier + 1; 0 means "not resolved yet" so the first active_tier()
+/// call can lazily apply AMPEREBLEED_SIMD.
+std::atomic<int> g_active{0};
+
+bool host_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+SimdTier clamp_to_available(SimdTier tier) {
+  if (tier == SimdTier::kAvx2 && !host_has_avx2()) {
+    return detect_best_tier();
+  }
+  return tier;
+}
+
+SimdTier resolve_from_env() {
+  const char* env = std::getenv("AMPEREBLEED_SIMD");
+  if (env == nullptr || *env == '\0') return detect_best_tier();
+  return clamp_to_available(tier_from_name(env));
+}
+
+}  // namespace
+
+std::string_view tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kInterleaved:
+      return "interleaved";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdTier tier_from_name(std::string_view name) {
+  if (name == "scalar" || name == "off") return SimdTier::kScalar;
+  if (name == "interleaved" || name == "neon") return SimdTier::kInterleaved;
+  if (name == "avx2") return SimdTier::kAvx2;
+  if (name == "auto") return detect_best_tier();
+  throw std::invalid_argument(
+      "simd: unknown tier '" + std::string(name) +
+      "' (expected off|scalar|interleaved|neon|avx2|auto)");
+}
+
+SimdTier detect_best_tier() {
+  return host_has_avx2() ? SimdTier::kAvx2 : SimdTier::kInterleaved;
+}
+
+std::vector<SimdTier> available_tiers() {
+  std::vector<SimdTier> tiers{SimdTier::kScalar, SimdTier::kInterleaved};
+  if (host_has_avx2()) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+SimdTier active_tier() {
+  int raw = g_active.load(std::memory_order_relaxed);
+  if (raw == 0) {
+    const SimdTier resolved = resolve_from_env();
+    // First resolver wins; a concurrent set_active_tier keeps its value.
+    int expected = 0;
+    g_active.compare_exchange_strong(expected,
+                                     static_cast<int>(resolved) + 1,
+                                     std::memory_order_relaxed);
+    raw = g_active.load(std::memory_order_relaxed);
+  }
+  return static_cast<SimdTier>(raw - 1);
+}
+
+std::string_view active_tier_name() { return tier_name(active_tier()); }
+
+SimdTier set_active_tier(SimdTier tier) {
+  const SimdTier installed = clamp_to_available(tier);
+  g_active.store(static_cast<int>(installed) + 1, std::memory_order_relaxed);
+  return installed;
+}
+
+}  // namespace amperebleed::util::simd

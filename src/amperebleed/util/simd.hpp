@@ -1,0 +1,87 @@
+#pragma once
+// Runtime-dispatched SIMD kernel tiers for the inference and preprocessing
+// hot paths (DESIGN.md §14).
+//
+// Three tiers, selected once per process and readable from any thread:
+//
+//   kScalar       the original branchy row-at-a-time kernels. Forced with
+//                 AMPEREBLEED_SIMD=off (or =scalar) / --simd off — the CI
+//                 determinism leg byte-diffs this tier against auto.
+//   kInterleaved  branchless multi-row lockstep kernels written in plain
+//                 C++ selects (cmov / compiler-autovectorizable). This is
+//                 the NEON tier: on aarch64 the lane loops vectorize to
+//                 NEON compare/bit-select; "neon" is accepted as an alias.
+//   kAvx2         the same lockstep kernels with AVX2 gather/blend
+//                 intrinsics (x86-64 only, runtime-detected via cpuid).
+//
+// Every tier is bit-identical for the forest traversal and for the
+// preprocess kernels that feed features: traversal is pure comparisons and
+// the accumulation order never changes, so the dispatch-sweep tests assert
+// EXACT equality across tiers (see tests/ml/simd_dispatch_test.cpp).
+//
+// Selection precedence: explicit set_active_tier() (the --simd flag, via
+// bench::ObsSession) > AMPEREBLEED_SIMD env > detect_best_tier(). Asking
+// for an unavailable tier (e.g. avx2 on ARM) clamps to the best available
+// one rather than failing — a forced-scalar request is always honoured.
+// The selected tier is exported as the simd.tier obs gauge and lands in
+// every RunRecord's env provenance as "simd_tier", so bench_compare can
+// refuse cross-tier perf comparisons.
+
+#include <string_view>
+#include <vector>
+
+namespace amperebleed::util::simd {
+
+enum class SimdTier : int {
+  kScalar = 0,
+  kInterleaved = 1,  // the NEON tier: branchless lockstep, autovectorized
+  kAvx2 = 2,
+};
+
+/// Canonical tier name: "scalar" | "interleaved" | "avx2".
+std::string_view tier_name(SimdTier tier);
+
+/// Parse a tier name. Accepts the canonical names plus the aliases
+/// "off" -> kScalar, "neon" -> kInterleaved, and "auto" -> detect_best_tier().
+/// Throws std::invalid_argument on anything else.
+SimdTier tier_from_name(std::string_view name);
+
+/// Best tier this host can run: kAvx2 on x86-64 with AVX2, else
+/// kInterleaved (the branchless kernels need no special instructions).
+SimdTier detect_best_tier();
+
+/// Tiers runnable on this host, ascending (always includes kScalar and
+/// kInterleaved; kAvx2 when the CPU has it). The dispatch-sweep tests
+/// iterate this.
+std::vector<SimdTier> available_tiers();
+
+/// The process-wide active tier. First call resolves AMPEREBLEED_SIMD (via
+/// tier_from_name; unset/empty means auto), clamped to available tiers.
+/// Thread-safe; subsequent calls are a relaxed atomic load.
+SimdTier active_tier();
+std::string_view active_tier_name();
+
+/// Override the active tier (the --simd flag). Clamps an unavailable
+/// request down to detect_best_tier(); kScalar is always honoured.
+/// Returns the tier actually installed.
+SimdTier set_active_tier(SimdTier tier);
+
+/// RAII tier override for tests: forces `tier` for the scope, restores the
+/// previous tier on destruction.
+class ScopedTier {
+ public:
+  explicit ScopedTier(SimdTier tier)
+      : previous_(active_tier()), installed_(set_active_tier(tier)) {}
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+  ~ScopedTier() { set_active_tier(previous_); }
+
+  /// The tier actually installed (a clamp may have applied).
+  [[nodiscard]] SimdTier installed() const { return installed_; }
+
+ private:
+  SimdTier previous_;
+  SimdTier installed_;
+};
+
+}  // namespace amperebleed::util::simd

@@ -1,0 +1,91 @@
+#include "amperebleed/util/simd_kernels.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include "amperebleed/util/simd.hpp"
+
+namespace amperebleed::util::simd {
+
+namespace {
+
+void normalize_scalar(double* xs, std::size_t n, double mean, double stddev) {
+  for (std::size_t i = 0; i < n; ++i) xs[i] = (xs[i] - mean) / stddev;
+}
+
+// Deliberately unfused mul+add: the pre-PR9 detrend compiled this shape for
+// baseline x86-64, where no FMA contraction is possible. A fused trend value
+// differs by an ulp, and the subtraction below cancels — amplifying that ulp
+// into the residual. Keeping two roundings in every tier is what makes the
+// rewrite bit-identical.
+void remove_trend_scalar(double* xs, std::size_t n, double slope,
+                         double intercept) {
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] -= slope * static_cast<double>(i) + intercept;
+  }
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("avx2"))) void normalize_avx2(double* xs, std::size_t n,
+                                                    double mean,
+                                                    double stddev) {
+  const __m256d vm = _mm256_set1_pd(mean);
+  const __m256d vs = _mm256_set1_pd(stddev);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs + i);
+    _mm256_storeu_pd(xs + i, _mm256_div_pd(_mm256_sub_pd(x, vm), vs));
+  }
+  for (; i < n; ++i) xs[i] = (xs[i] - mean) / stddev;
+}
+
+// target("avx2") WITHOUT fma: enabling FMA would let the compiler contract
+// the mul+add intrinsic pair into vfmadd, breaking the unfused contract
+// remove_trend_scalar documents.
+__attribute__((target("avx2"))) void remove_trend_avx2(double* xs,
+                                                       std::size_t n,
+                                                       double slope,
+                                                       double intercept) {
+  const __m256d vslope = _mm256_set1_pd(slope);
+  const __m256d vinter = _mm256_set1_pd(intercept);
+  const __m256d step = _mm256_set1_pd(4.0);
+  __m256d idx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(xs + i);
+    const __m256d trend = _mm256_add_pd(_mm256_mul_pd(vslope, idx), vinter);
+    _mm256_storeu_pd(xs + i, _mm256_sub_pd(x, trend));
+    idx = _mm256_add_pd(idx, step);
+  }
+  for (; i < n; ++i) {
+    xs[i] -= slope * static_cast<double>(i) + intercept;
+  }
+}
+
+#endif  // x86
+
+}  // namespace
+
+void normalize(double* xs, std::size_t n, double mean, double stddev) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (active_tier() == SimdTier::kAvx2) {
+    normalize_avx2(xs, n, mean, stddev);
+    return;
+  }
+#endif
+  normalize_scalar(xs, n, mean, stddev);
+}
+
+void remove_trend(double* xs, std::size_t n, double slope, double intercept) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (active_tier() == SimdTier::kAvx2) {
+    remove_trend_avx2(xs, n, slope, intercept);
+    return;
+  }
+#endif
+  remove_trend_scalar(xs, n, slope, intercept);
+}
+
+}  // namespace amperebleed::util::simd

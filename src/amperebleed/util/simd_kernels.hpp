@@ -1,0 +1,24 @@
+#pragma once
+// Elementwise double kernels shared by the trace->vector pipeline, runtime
+// dispatched on util::simd::active_tier() (DESIGN.md §14).
+//
+// Both kernels are bit-identical across tiers by construction:
+//   normalize     (x - mean) / stddev — sub + div only, no fusable
+//                 multiply-add shape, so scalar and AVX2 agree exactly.
+//   remove_trend  x -= slope * i + intercept — deliberately UNFUSED
+//                 (two roundings) in every tier, matching the shape the
+//                 pre-PR9 detrend compiled to on baseline x86-64 where no
+//                 FMA contraction exists. A fused trend would differ by an
+//                 ulp that the cancelling subtraction amplifies.
+
+#include <cstddef>
+
+namespace amperebleed::util::simd {
+
+/// xs[i] = (xs[i] - mean) / stddev for i in [0, n).
+void normalize(double* xs, std::size_t n, double mean, double stddev);
+
+/// xs[i] -= slope * i + intercept for i in [0, n), unfused in every tier.
+void remove_trend(double* xs, std::size_t n, double slope, double intercept);
+
+}  // namespace amperebleed::util::simd

@@ -1,0 +1,172 @@
+// Opt-in int16 threshold quantization (ForestConfig::quantize_thresholds):
+// monotonicity of the transform, exact agreement on integer-grid features
+// (bucket width < sample spacing), and the accuracy-delta gate on
+// continuous data. predict_proba_reference always stays exact, which is
+// what every comparison below leans on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/forest_arena.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+#include "amperebleed/util/rng.hpp"
+
+namespace {
+
+using namespace amperebleed;
+
+constexpr std::size_t kFeatures = 24;
+
+/// Integer-grid dataset: features are whole numbers in [0, 200], so split
+/// thresholds land on half-integers. The per-feature quantization bucket is
+/// range/65534 << 0.5, hence quantized and exact walks take identical
+/// branches on every training row.
+ml::Dataset integer_grid_data() {
+  util::Rng rng(0x1d5);
+  ml::Dataset data(kFeatures);
+  std::vector<double> row(kFeatures);
+  for (int c = 0; c < 6; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      for (std::size_t f = 0; f < kFeatures; ++f) {
+        const double center = 100.0 + 12.0 * c * ((f % 2) + 1);
+        row[f] = std::clamp(std::round(rng.gaussian(center, 8.0)), 0.0, 200.0);
+      }
+      data.add(row, c);
+    }
+  }
+  return data;
+}
+
+ml::Dataset gaussian_data() {
+  util::Rng rng(0x6a5);
+  ml::Dataset data(kFeatures);
+  std::vector<double> row(kFeatures);
+  for (int c = 0; c < 6; ++c) {
+    for (int i = 0; i < 30; ++i) {
+      for (std::size_t f = 0; f < kFeatures; ++f) {
+        row[f] = rng.gaussian(0.5 * c * ((f % 3) + 1), 1.0);
+      }
+      data.add(row, c);
+    }
+  }
+  return data;
+}
+
+ml::RandomForest fit(const ml::Dataset& data, bool quantize) {
+  ml::ForestConfig config;
+  config.n_trees = 20;
+  config.quantize_thresholds = quantize;
+  ml::RandomForest forest(config);
+  forest.fit(data);
+  return forest;
+}
+
+TEST(Quantized, OffByDefault) {
+  const auto forest = fit(gaussian_data(), /*quantize=*/false);
+  EXPECT_FALSE(forest.arena().quantized.built());
+  EXPECT_FALSE(ml::ForestConfig{}.quantize_thresholds);
+}
+
+TEST(Quantized, OptInBuildsTables) {
+  const auto forest = fit(gaussian_data(), /*quantize=*/true);
+  const auto& arena = forest.arena();
+  ASSERT_TRUE(arena.quantized.built());
+  EXPECT_EQ(arena.quantized.qthreshold.size(), arena.node_count());
+  EXPECT_EQ(arena.quantized.lo.size(), arena.referenced_feature_count());
+  EXPECT_EQ(arena.quantized.scale.size(), arena.referenced_feature_count());
+}
+
+// The transform is monotone and threshold-consistent: a node's stored
+// quantized threshold equals quantize_value() of its exact threshold, and
+// values strictly below/above a threshold never land on the wrong side.
+TEST(Quantized, TransformMonotoneAndConsistent) {
+  const auto forest = fit(gaussian_data(), /*quantize=*/true);
+  const auto& arena = forest.arena();
+  for (std::size_t i = 0; i < arena.node_count(); ++i) {
+    if (arena.feature[i] < 0) continue;
+    const auto f = static_cast<std::size_t>(arena.feature[i]);
+    const double thr = arena.threshold[i];
+    const std::int32_t qthr = arena.quantized.qthreshold[i];
+    // x == thr quantizes into the same bucket -> still goes left.
+    EXPECT_EQ(arena.quantize_value(f, thr), qthr);
+    // Sentinels bracket every stored threshold.
+    EXPECT_LE(arena.quantize_value(
+                  f, -std::numeric_limits<double>::infinity()),
+              qthr);
+    EXPECT_GT(
+        arena.quantize_value(f, std::numeric_limits<double>::infinity()),
+        qthr);
+    EXPECT_GT(arena.quantize_value(
+                  f, std::numeric_limits<double>::quiet_NaN()),
+              qthr);
+  }
+}
+
+// Integer-grid features: bucket width << sample spacing, so the quantized
+// walk agrees with the exact walk on every row — bit-identical
+// probabilities.
+TEST(Quantized, ExactOnIntegerGridData) {
+  const ml::Dataset data = integer_grid_data();
+  const auto exact = fit(data, /*quantize=*/false);
+  const auto quantized = fit(data, /*quantize=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto p_exact = exact.predict_proba_reference(data.row(i));
+    const auto p_quant = quantized.predict_proba(data.row(i));
+    ASSERT_EQ(p_exact.size(), p_quant.size());
+    for (std::size_t c = 0; c < p_exact.size(); ++c) {
+      EXPECT_EQ(p_exact[c], p_quant[c]) << "row " << i << " class " << c;
+    }
+  }
+}
+
+// Continuous features: quantization may flip decisions only inside one
+// bucket, so training-set accuracy moves by at most a couple of points.
+// This is the accuracy-delta gate for the opt-in.
+TEST(Quantized, AccuracyDeltaGate) {
+  const ml::Dataset data = gaussian_data();
+  const auto exact = fit(data, /*quantize=*/false);
+  const auto quantized = fit(data, /*quantize=*/true);
+  std::size_t exact_hits = 0;
+  std::size_t quant_hits = 0;
+  std::size_t proba_flips = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (exact.predict(data.row(i)) == data.label(i)) ++exact_hits;
+    const int q = quantized.predict(data.row(i));
+    if (q == data.label(i)) ++quant_hits;
+    if (q != exact.predict(data.row(i))) ++proba_flips;
+  }
+  const double n = static_cast<double>(data.size());
+  const double delta =
+      std::abs(static_cast<double>(exact_hits) - static_cast<double>(quant_hits)) / n;
+  EXPECT_LE(delta, 0.02) << "quantization moved accuracy by more than 2%";
+  // And the label-level disagreement itself stays rare.
+  EXPECT_LE(static_cast<double>(proba_flips) / n, 0.02);
+}
+
+// Batched prediction with quantization enabled matches the single-row
+// quantized walk (the block kernel quantizes rows identically).
+TEST(Quantized, BatchMatchesSingleRow) {
+  const ml::Dataset data = gaussian_data();
+  const auto quantized = fit(data, /*quantize=*/true);
+  std::vector<std::span<const double>> rows;
+  for (std::size_t i = 0; i < data.size(); ++i) rows.push_back(data.row(i));
+  const auto batch = quantized.predict_proba_many(rows);
+  ASSERT_EQ(batch.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto single = quantized.predict_proba(data.row(i));
+    ASSERT_EQ(batch[i].size(), single.size());
+    for (std::size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(batch[i][c], single[c]) << "row " << i << " class " << c;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Exact-equality dispatch sweep for the ForestArena SIMD tiers (DESIGN.md
+// §14): every tier available on the host must produce BIT-IDENTICAL
+// probabilities to the retained per-tree pointer walk
+// (predict_proba_reference), over adversarial rows (NaN, ±Inf, denormals,
+// constants), every block-remainder shape, and multiple pool sizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/forest_arena.hpp"
+#include "amperebleed/ml/random_forest.hpp"
+#include "amperebleed/util/rng.hpp"
+#include "amperebleed/util/simd.hpp"
+#include "amperebleed/util/thread_pool.hpp"
+
+namespace {
+
+using namespace amperebleed;
+namespace simd = util::simd;
+
+constexpr std::size_t kFeatures = 40;
+
+ml::Dataset training_data() {
+  util::Rng rng(0x51d);
+  ml::Dataset data(kFeatures);
+  std::vector<double> row(kFeatures);
+  for (int c = 0; c < 8; ++c) {
+    for (int i = 0; i < 24; ++i) {
+      for (std::size_t f = 0; f < kFeatures; ++f) {
+        row[f] = rng.gaussian(c * 0.4 * ((f % 3) + 1), 1.0);
+      }
+      data.add(row, c);
+    }
+  }
+  return data;
+}
+
+const ml::RandomForest& forest() {
+  static const ml::RandomForest f = [] {
+    ml::ForestConfig config;
+    config.n_trees = 25;
+    ml::RandomForest forest(config);
+    forest.fit(training_data());
+    return forest;
+  }();
+  return f;
+}
+
+/// Prediction rows including every adversarial shape the kernels must agree
+/// on: NaN (compares false -> go right in all tiers), ±Inf, denormals,
+/// constant rows, and ordinary Gaussian rows.
+std::vector<std::vector<double>> adversarial_rows(std::size_t count) {
+  util::Rng rng(0xad5e);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    std::vector<double> row(kFeatures);
+    switch (r % 6) {
+      case 0:
+        for (auto& v : row) v = rng.gaussian(0.0, 2.0);
+        break;
+      case 1:  // NaN-poisoned
+        for (std::size_t f = 0; f < kFeatures; ++f) {
+          row[f] = (f % 4 == 1) ? std::numeric_limits<double>::quiet_NaN()
+                                : rng.gaussian(0.0, 2.0);
+        }
+        break;
+      case 2:  // ±Inf spikes
+        for (std::size_t f = 0; f < kFeatures; ++f) {
+          row[f] = (f % 5 == 0) ? std::numeric_limits<double>::infinity()
+                   : (f % 5 == 1)
+                       ? -std::numeric_limits<double>::infinity()
+                       : rng.gaussian(0.0, 2.0);
+        }
+        break;
+      case 3:  // denormal-heavy
+        for (std::size_t f = 0; f < kFeatures; ++f) {
+          row[f] = static_cast<double>(f % 7) * 5e-324;
+        }
+        break;
+      case 4:  // constant row
+        for (auto& v : row) v = 0.75;
+        break;
+      default:
+        for (auto& v : row) v = rng.gaussian(1.0, 0.25);
+        break;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::span<const double>> as_spans(
+    const std::vector<std::vector<double>>& rows) {
+  std::vector<std::span<const double>> spans;
+  spans.reserve(rows.size());
+  for (const auto& row : rows) spans.emplace_back(row);
+  return spans;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+  }
+}
+
+class PoolSizeGuard {
+ public:
+  PoolSizeGuard() : before_(util::ThreadPool::global().size()) {}
+  ~PoolSizeGuard() { util::ThreadPool::set_global_threads(before_); }
+
+ private:
+  std::size_t before_;
+};
+
+// Every available tier, every remainder shape (row counts around the
+// 8-lane / 16-row block sizes), bit-identical to predict_proba_reference.
+TEST(SimdDispatch, AllTiersMatchReferenceExactly) {
+  const auto& f = forest();
+  for (const std::size_t count : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{8}, std::size_t{9},
+                                  std::size_t{16}, std::size_t{17},
+                                  std::size_t{48}}) {
+    const auto rows = adversarial_rows(count);
+    const auto spans = as_spans(rows);
+    std::vector<std::vector<double>> expected;
+    expected.reserve(count);
+    for (const auto& row : rows) {
+      expected.push_back(f.predict_proba_reference(row));
+    }
+    for (const simd::SimdTier tier : simd::available_tiers()) {
+      simd::ScopedTier scoped(tier);
+      const auto got = f.predict_proba_many(spans);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t r = 0; r < got.size(); ++r) {
+        SCOPED_TRACE(std::string("tier=") +
+                     std::string(simd::tier_name(tier)) +
+                     " rows=" + std::to_string(count) +
+                     " row=" + std::to_string(r));
+        expect_bitwise_equal(got[r], expected[r]);
+      }
+    }
+  }
+}
+
+// Empty batch: every tier returns an empty result without touching rows.
+TEST(SimdDispatch, EmptyBatch) {
+  const auto& f = forest();
+  for (const simd::SimdTier tier : simd::available_tiers()) {
+    simd::ScopedTier scoped(tier);
+    EXPECT_TRUE(f.predict_proba_many({}).empty());
+  }
+}
+
+// Kernel-level pit: the per-tier arena entry points against each other on
+// the same pre-sized output, bypassing predict_proba_many's dispatch.
+TEST(SimdDispatch, KernelEntryPointsAgree) {
+  const auto& arena = forest().arena();
+  const auto rows = adversarial_rows(21);
+  const auto spans = as_spans(rows);
+
+  std::vector<std::vector<double>> scalar_out(rows.size());
+  arena.predict_proba_rows_scalar(spans, 0, rows.size(), scalar_out);
+
+  std::vector<std::vector<double>> inter_out(rows.size());
+  arena.predict_proba_rows_interleaved(spans, 0, rows.size(), inter_out);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    SCOPED_TRACE("interleaved row=" + std::to_string(r));
+    expect_bitwise_equal(inter_out[r], scalar_out[r]);
+  }
+
+#if defined(__x86_64__) || defined(__i386__)
+  const auto tiers = simd::available_tiers();
+  if (std::find(tiers.begin(), tiers.end(), simd::SimdTier::kAvx2) !=
+      tiers.end()) {
+    std::vector<std::vector<double>> avx2_out(rows.size());
+    arena.predict_proba_rows_avx2(spans, 0, rows.size(), avx2_out);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      SCOPED_TRACE("avx2 row=" + std::to_string(r));
+      expect_bitwise_equal(avx2_out[r], scalar_out[r]);
+    }
+  }
+#endif
+
+  // Sub-range contract: kernels only touch out[lo, hi).
+  std::vector<std::vector<double>> partial(rows.size());
+  arena.predict_proba_rows_interleaved(spans, 3, 11, partial);
+  for (std::size_t r = 3; r < 11; ++r) {
+    expect_bitwise_equal(partial[r], scalar_out[r]);
+  }
+  EXPECT_TRUE(partial[0].empty());
+  EXPECT_TRUE(partial[11].empty());
+}
+
+// Pool-size sweep at the best tier: batched inference is bit-identical at
+// any thread count (blocks are independent; within a block nothing changes).
+TEST(SimdDispatch, PoolSizesBitIdentical) {
+  PoolSizeGuard guard;
+  const auto& f = forest();
+  const auto rows = adversarial_rows(33);
+  const auto spans = as_spans(rows);
+  simd::ScopedTier scoped(simd::detect_best_tier());
+
+  util::ThreadPool::set_global_threads(1);
+  const auto serial = f.predict_proba_many(spans);
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{8}}) {
+    util::ThreadPool::set_global_threads(threads);
+    const auto parallel = f.predict_proba_many(spans);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " row=" + std::to_string(r));
+      expect_bitwise_equal(parallel[r], serial[r]);
+    }
+  }
+}
+
+// Single-row predict_proba (arena accumulate) also matches the reference —
+// the online service path.
+TEST(SimdDispatch, SingleRowAccumulateMatchesReference) {
+  const auto& f = forest();
+  const auto rows = adversarial_rows(12);
+  for (const auto& row : rows) {
+    expect_bitwise_equal(f.predict_proba(row),
+                         f.predict_proba_reference(row));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// util::simd dispatch-layer behavior: name round-trips, aliases, detection
+// consistency, clamping, and the ScopedTier RAII override.
+
+#include "amperebleed/util/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace simd = amperebleed::util::simd;
+
+TEST(Simd, TierNamesRoundTrip) {
+  for (const simd::SimdTier tier : simd::available_tiers()) {
+    EXPECT_EQ(simd::tier_from_name(simd::tier_name(tier)), tier);
+  }
+}
+
+TEST(Simd, AcceptsAliases) {
+  EXPECT_EQ(simd::tier_from_name("off"), simd::SimdTier::kScalar);
+  EXPECT_EQ(simd::tier_from_name("scalar"), simd::SimdTier::kScalar);
+  EXPECT_EQ(simd::tier_from_name("neon"), simd::SimdTier::kInterleaved);
+  EXPECT_EQ(simd::tier_from_name("interleaved"), simd::SimdTier::kInterleaved);
+  EXPECT_EQ(simd::tier_from_name("auto"), simd::detect_best_tier());
+}
+
+TEST(Simd, RejectsUnknownNames) {
+  EXPECT_THROW(simd::tier_from_name("sse9"), std::invalid_argument);
+  EXPECT_THROW(simd::tier_from_name(""), std::invalid_argument);
+  EXPECT_THROW(simd::tier_from_name("AVX2"), std::invalid_argument);
+}
+
+TEST(Simd, AvailableTiersAscendingAndContainBest) {
+  const auto tiers = simd::available_tiers();
+  ASSERT_GE(tiers.size(), 2u);
+  EXPECT_EQ(tiers.front(), simd::SimdTier::kScalar);
+  EXPECT_TRUE(std::is_sorted(tiers.begin(), tiers.end()));
+  EXPECT_NE(std::find(tiers.begin(), tiers.end(), simd::detect_best_tier()),
+            tiers.end());
+}
+
+TEST(Simd, SetActiveTierHonoursScalarAndClampsUnavailable) {
+  const simd::SimdTier before = simd::active_tier();
+  const simd::SimdTier installed =
+      simd::set_active_tier(simd::SimdTier::kScalar);
+  EXPECT_EQ(installed, simd::SimdTier::kScalar);
+  EXPECT_EQ(simd::active_tier(), simd::SimdTier::kScalar);
+  EXPECT_EQ(simd::active_tier_name(), "scalar");
+
+  // Requesting AVX2 either installs it (host supports it) or clamps to the
+  // best available tier — never fails, never installs an unrunnable tier.
+  const simd::SimdTier avx2 = simd::set_active_tier(simd::SimdTier::kAvx2);
+  const auto tiers = simd::available_tiers();
+  EXPECT_NE(std::find(tiers.begin(), tiers.end(), avx2), tiers.end());
+
+  simd::set_active_tier(before);
+}
+
+TEST(Simd, ScopedTierRestores) {
+  const simd::SimdTier before = simd::active_tier();
+  {
+    simd::ScopedTier scoped(simd::SimdTier::kScalar);
+    EXPECT_EQ(scoped.installed(), simd::SimdTier::kScalar);
+    EXPECT_EQ(simd::active_tier(), simd::SimdTier::kScalar);
+    {
+      simd::ScopedTier nested(simd::SimdTier::kInterleaved);
+      EXPECT_EQ(simd::active_tier(), simd::SimdTier::kInterleaved);
+    }
+    EXPECT_EQ(simd::active_tier(), simd::SimdTier::kScalar);
+  }
+  EXPECT_EQ(simd::active_tier(), before);
+}
