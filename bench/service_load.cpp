@@ -29,11 +29,20 @@
 //        --tick-us N       virtual tick duration (default 1000)
 //        --seed N          load-schedule seed (default 0x5e21)
 //        --threads N       worker threads (default: hardware concurrency)
+//        --journal-dir P   durable tenant state: WAL + snapshots in P
+//                          (wiped at startup; default: durability off)
+//        --restart-at N    after N classify submits, drain, destroy the
+//                          service and recover it from --journal-dir; the
+//                          pre/post verdict probe must be byte-identical
+//                          (exit 1 on mismatch). Requires --journal-dir.
 //        --quick           = --requests 20000 --tenants 3 --models 3
 //                            --enroll 4 --observations 4 --trees 20
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +53,7 @@
 #include "amperebleed/serve/service.hpp"
 #include "amperebleed/soc/soc.hpp"
 #include "amperebleed/util/cli.hpp"
+#include "amperebleed/util/fs.hpp"
 #include "amperebleed/util/rng.hpp"
 #include "amperebleed/util/strings.hpp"
 #include "obs_session.hpp"
@@ -71,6 +81,37 @@ core::Trace record_trace(const std::string& model_name, std::size_t n_samples,
                          sim::TimeNs{0}, sc);
 }
 
+/// Deterministic fingerprint of every serving tenant's classify behaviour:
+/// one verdict per (tenant, model) over the shared probe pool, every ranking
+/// probability at full precision. The restart check byte-compares this
+/// before destruction and after recovery.
+std::string verdict_probe(const serve::ClassificationService& service,
+                          const std::vector<std::vector<core::Trace>>& pool) {
+  std::string out;
+  char buf[64];
+  for (const std::string& name : service.tenant_names()) {
+    const serve::TenantSession* tenant = service.tenant(name);
+    out += name;
+    out += '|';
+    out += serve::state_name(tenant->state());
+    if (tenant->state() != serve::TenantSession::State::Serving) {
+      out += '\n';
+      continue;
+    }
+    for (const auto& traces : pool) {
+      const auto verdict = tenant->fingerprinter().classify(traces.front());
+      out += verdict.known ? "|+" : "|-";
+      out += verdict.model_name;
+      for (const auto& [label, proba] : verdict.ranking) {
+        std::snprintf(buf, sizeof(buf), " %.17g", proba);
+        out += buf;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,6 +133,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("samples", 64));
   const auto burst = static_cast<std::size_t>(args.get_int("burst", 384));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5e21));
+  const std::string journal_dir = args.get_string("journal-dir", "");
+  const auto restart_at =
+      static_cast<std::uint64_t>(args.get_int("restart-at", 0));
+  if (restart_at > 0 && journal_dir.empty()) {
+    std::fprintf(stderr, "service_load: --restart-at needs --journal-dir\n");
+    return 1;
+  }
 
   serve::ServiceConfig config;
   config.queue.capacity =
@@ -104,11 +152,21 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("trees", quick ? 20 : 40));
   config.fingerprinter.min_confidence = 0.60;
   config.fingerprinter.min_margin = 0.20;
+  if (!journal_dir.empty()) {
+    // Stale state from a previous run would make enrollment non-idempotent
+    // (AlreadyTrained): start every run from an empty directory.
+    if (util::path_exists(journal_dir)) {
+      for (const std::string& name : util::list_dir(journal_dir)) {
+        util::remove_file(journal_dir + "/" + name);
+      }
+    }
+    config.durability.dir = journal_dir;
+  }
 
   if (obs::metrics_enabled()) {
     serve::ClassificationService::register_default_slo();
   }
-  serve::ClassificationService service(config);
+  auto service = std::make_unique<serve::ClassificationService>(config);
 
   std::vector<std::string> models = dnn::zoo_model_names();
   models.resize(n_models);
@@ -139,7 +197,7 @@ int main(int argc, char** argv) {
             models[m], n_samples,
             util::hash_combine(util::hash_combine(seed, t),
                                util::hash_combine(m, rep)));
-        service.submit(std::move(request));
+        service->submit(std::move(request));
       }
     }
   }
@@ -147,9 +205,9 @@ int main(int argc, char** argv) {
     serve::Request request;
     request.kind = serve::RequestKind::Train;
     request.tenant = util::format("tenant-%zu", t);
-    service.submit(std::move(request));
+    service->submit(std::move(request));
   }
-  for (const auto& response : service.drain()) {
+  for (const auto& response : service->drain()) {
     if (response.ok()) {
       ++enroll_ok;
     } else {
@@ -160,7 +218,7 @@ int main(int argc, char** argv) {
   }
   std::printf("  %llu enroll/train requests ok, %zu tenants serving\n\n",
               static_cast<unsigned long long>(enroll_ok),
-              service.tenant_names().size());
+              service->tenant_names().size());
 
   // --- Probe pool: fresh observations, shared by every tenant's load.
   std::vector<std::vector<core::Trace>> pool(n_models);
@@ -187,6 +245,12 @@ int main(int argc, char** argv) {
   std::uint64_t unknown = 0;
   std::uint64_t failed = 0;
 
+  // Tallies carried across a --restart-at recovery (the new service object
+  // starts its own counters from zero).
+  serve::ServiceStats carried{};
+  bool restarted = false;
+  bool restart_mismatch = false;
+
   const auto wall_start = std::chrono::steady_clock::now();
   const auto audit = [&](const std::vector<serve::Response>& responses) {
     for (const auto& response : responses) {
@@ -209,6 +273,28 @@ int main(int argc, char** argv) {
   };
 
   while (submitted < requests) {
+    if (restart_at > 0 && !restarted && submitted >= restart_at) {
+      // Restart midway: finish what is in flight, destroy the service, and
+      // recover it from the journal directory. The verdict probe before and
+      // after must be byte-identical — that IS the durability contract.
+      restarted = true;
+      audit(service->drain());
+      const std::string before = verdict_probe(*service, pool);
+      carried = service->stats();
+      service.reset();
+      service = std::make_unique<serve::ClassificationService>(config);
+      const auto storage = service->storage();
+      const std::string after = verdict_probe(*service, pool);
+      restart_mismatch = after != before;
+      std::printf("\n[restart] after %llu submits: recovered %llu tenants "
+                  "(snapshot seq %llu, %llu journal records), verdict probe "
+                  "%s\n\n",
+                  static_cast<unsigned long long>(submitted),
+                  static_cast<unsigned long long>(storage.recovered_tenants),
+                  static_cast<unsigned long long>(storage.snapshot_seq),
+                  static_cast<unsigned long long>(storage.recovered_records),
+                  restart_mismatch ? "MISMATCH" : "identical");
+    }
     const std::size_t n = std::min<std::uint64_t>(burst, requests - submitted);
     for (std::size_t i = 0; i < n; ++i) {
       const auto t = static_cast<std::size_t>(rng.uniform_below(n_tenants));
@@ -219,7 +305,7 @@ int main(int argc, char** argv) {
       request.kind = serve::RequestKind::Classify;
       request.tenant = util::format("tenant-%zu", t);
       request.trace = pool[m][v];
-      const auto result = service.submit(std::move(request));
+      const auto result = service->submit(std::move(request));
       ++submitted;
       if (result.accepted) {
         truth.emplace(result.id, m);
@@ -227,16 +313,22 @@ int main(int argc, char** argv) {
         ++rejected;
       }
     }
-    audit(service.tick());
+    audit(service->tick());
   }
-  audit(service.drain());
+  audit(service->drain());
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
 
-  const auto stats = service.stats();
-  const auto& latency = service.latency_histogram();
+  auto stats = service->stats();
+  // Fold in the pre-restart tallies so the report covers the whole run.
+  stats.sweeps += carried.sweeps;
+  stats.coalesced_rows += carried.coalesced_rows;
+  stats.ticks += carried.ticks;
+  stats.max_queue_depth =
+      std::max(stats.max_queue_depth, carried.max_queue_depth);
+  const auto& latency = service->latency_histogram();
   const double p50 = latency.quantile(0.5);
   const double p90 = latency.quantile(0.9);
   const double p99 = latency.quantile(0.99);
@@ -267,10 +359,10 @@ int main(int argc, char** argv) {
   std::printf("  coalescer   %llu sweeps, %llu rows, %.1f rows/sweep mean\n",
               static_cast<unsigned long long>(stats.sweeps),
               static_cast<unsigned long long>(stats.coalesced_rows),
-              service.batch_histogram().mean());
+              service->batch_histogram().mean());
   std::printf("  ticks       %llu (%.3f s virtual)\n",
               static_cast<unsigned long long>(stats.ticks),
-              service.now().seconds());
+              static_cast<double>(stats.ticks) * config.tick.seconds());
 
   // Wall-clock throughput is host-dependent: stderr + excluded record keys
   // only, so stdout stays byte-identical across hosts and pool sizes.
@@ -292,11 +384,11 @@ int main(int argc, char** argv) {
                      static_cast<std::int64_t>(stats.max_queue_depth));
   record.set_integer("sweeps", static_cast<std::int64_t>(stats.sweeps));
   record.set_integer("ticks", static_cast<std::int64_t>(stats.ticks));
-  record.set_number("mean_rows_per_sweep", service.batch_histogram().mean());
+  record.set_number("mean_rows_per_sweep", service->batch_histogram().mean());
   record.set_number("classify_per_sec",
                     wall_s > 0.0
                         ? static_cast<double>(scored) / wall_s
                         : 0.0);
   session.finish();
-  return failed == 0 && enroll_ok != 0 ? 0 : 1;
+  return failed == 0 && enroll_ok != 0 && !restart_mismatch ? 0 : 1;
 }

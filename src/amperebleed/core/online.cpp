@@ -10,6 +10,47 @@ namespace amperebleed::core {
 OnlineFingerprinter::OnlineFingerprinter(OnlineFingerprinterConfig config)
     : config_(config), forest_(config.forest) {}
 
+OnlineFingerprinter OnlineFingerprinter::restore(
+    OnlineFingerprinterConfig config, RestoredState state) {
+  if (state.trained && state.arena.empty()) {
+    throw std::invalid_argument(
+        "OnlineFingerprinter::restore: trained state without a forest");
+  }
+  if (!state.data.empty() &&
+      state.data.feature_count() != state.feature_count) {
+    throw std::invalid_argument(
+        "OnlineFingerprinter::restore: dataset width disagrees with "
+        "feature_count");
+  }
+  for (const int label : state.data.labels()) {
+    if (label < 0 ||
+        static_cast<std::size_t>(label) >= state.class_names.size()) {
+      throw std::invalid_argument(
+          "OnlineFingerprinter::restore: label outside class_names");
+    }
+  }
+  OnlineFingerprinter fp(config);
+  fp.feature_count_ = state.feature_count;
+  fp.class_names_ = std::move(state.class_names);
+  fp.data_ = std::move(state.data);
+  if (fp.feature_count_ != 0 && fp.data_.empty() &&
+      fp.data_.feature_count() != fp.feature_count_) {
+    fp.data_ = ml::Dataset(fp.feature_count_);
+  }
+  if (state.trained) {
+    fp.forest_ =
+        ml::RandomForest::from_arena(config.forest, std::move(state.arena));
+    fp.trained_ = true;
+    if (config.drift.enabled && state.drift_reference.has_value()) {
+      // Rebuilt with an empty observation window: drift monitoring is
+      // observation-only, so restored classify verdicts stay bit-identical.
+      fp.monitor_ = std::make_unique<obs::DriftMonitor>(
+          std::move(*state.drift_reference), config.drift);
+    }
+  }
+  return fp;
+}
+
 void OnlineFingerprinter::enroll(const Trace& trace,
                                  const std::string& model_name) {
   if (trained_) {

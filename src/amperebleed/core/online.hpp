@@ -7,6 +7,7 @@
 //     confidently wrong answer.
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -35,6 +36,27 @@ struct OnlineFingerprinterConfig {
 class OnlineFingerprinter {
  public:
   explicit OnlineFingerprinter(OnlineFingerprinterConfig config = {});
+
+  /// Everything a persisted fingerprinter needs to come back bit-identical
+  /// (persist/state.hpp carries this across restarts).
+  struct RestoredState {
+    std::size_t feature_count = 0;
+    std::vector<std::string> class_names;
+    ml::Dataset data;
+    bool trained = false;
+    ml::ForestArena arena;  // the fitted forest; non-empty when trained
+    /// Drift reference captured at train time. The monitor is rebuilt with
+    /// an EMPTY observation window — drift state is observation-only, so
+    /// classify verdicts are unchanged either way.
+    std::optional<obs::ReferenceProfile> drift_reference;
+  };
+
+  /// Rebuild a fingerprinter from persisted state. Classify verdicts on the
+  /// restored instance are bit-identical to the original (the forest arena
+  /// round-trips doubles exactly). Throws std::invalid_argument on
+  /// inconsistent state (trained without a forest, class/label mismatch).
+  [[nodiscard]] static OnlineFingerprinter restore(
+      OnlineFingerprinterConfig config, RestoredState state);
 
   /// Offline phase: add one labelled trace. The first enrollment fixes the
   /// feature width; later traces must be at least as long (extra samples
@@ -76,6 +98,11 @@ class OnlineFingerprinter {
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return class_names_;
   }
+  /// The enrollment dataset (persisted so a recovered tenant can keep
+  /// enrolling / retrain exactly where it left off).
+  [[nodiscard]] const ml::Dataset& enrollment_data() const { return data_; }
+  /// The fitted forest (meaningful once trained()).
+  [[nodiscard]] const ml::RandomForest& forest() const { return forest_; }
 
   /// The drift monitor (nullptr unless config.drift.enabled and trained).
   [[nodiscard]] obs::DriftMonitor* drift_monitor() { return monitor_.get(); }

@@ -88,6 +88,7 @@ Trace load_trace_csv(const std::string& path) {
   // every parse failure names its exact file:line so replay of archived
   // (possibly hand-edited or truncated) acquisitions is diagnosable.
   std::size_t line_number = 2;
+  std::size_t expected_cells = 0;  // locked by the first data row
   while (std::getline(in, line)) {
     ++line_number;
     if (util::trim(line).empty()) continue;
@@ -96,6 +97,17 @@ Trace load_trace_csv(const std::string& path) {
       throw std::runtime_error(
           util::format("trace_io: malformed row at %s:%zu (%zu cells)",
                        path.c_str(), line_number, cells.size()));
+    }
+    // The first data row fixes the file's shape (3-column legacy or
+    // 4-column gap-aware); a mid-file switch means a truncated rewrite or
+    // a botched concatenation, and silently mixing the two would misread
+    // validity flags as values (or vice versa).
+    if (expected_cells == 0) {
+      expected_cells = cells.size();
+    } else if (cells.size() != expected_cells) {
+      throw std::runtime_error(util::format(
+          "trace_io: column count changed from %zu to %zu at %s:%zu",
+          expected_cells, cells.size(), path.c_str(), line_number));
     }
     // Legacy 3-column rows are fully valid; a 4th column of 0 marks a gap
     // placeholder (its value cell is ignored on reconstruction anyway).

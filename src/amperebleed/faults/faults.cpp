@@ -290,4 +290,102 @@ FaultInjector::Stats FaultInjector::stats() const {
   return stats_;
 }
 
+// ---------------------------------------------------------------------------
+// Storage kill-points.
+
+namespace {
+
+struct StoragePoints {
+  std::mutex mu;
+  std::uint64_t crossings = 0;
+  std::uint64_t crash_at = 0;       // 1-based crossing; 0 = disarmed
+  std::uint64_t io_fail_from = 0;   // 1-based crossing; 0 = disarmed
+  std::uint64_t io_fail_count = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> sites;
+
+  void tally(std::string_view site) {
+    for (auto& [name, hits] : sites) {
+      if (name == site) {
+        ++hits;
+        return;
+      }
+    }
+    sites.emplace_back(std::string(site), 1);
+  }
+};
+
+StoragePoints& storage_points() {
+  static StoragePoints points;
+  return points;
+}
+
+}  // namespace
+
+void storage_points_reset() {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.crossings = 0;
+  p.crash_at = 0;
+  p.io_fail_from = 0;
+  p.io_fail_count = 0;
+  p.sites.clear();
+}
+
+void storage_points_arm_crash(std::uint64_t nth) {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.crossings = 0;
+  p.crash_at = nth;
+}
+
+void storage_points_arm_io_failure(std::uint64_t nth, std::uint64_t count) {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.crossings = 0;
+  p.io_fail_from = nth;
+  p.io_fail_count = count;
+}
+
+std::uint64_t storage_point_crossings() {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  return p.crossings;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> storage_point_sites() {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  return p.sites;
+}
+
+void storage_point(std::string_view site) {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  ++p.crossings;
+  p.tally(site);
+  obs::count("faults.storage_point_crossings");
+  if (p.crash_at != 0 && p.crossings == p.crash_at) {
+    obs::count("faults.storage_crashes_injected");
+    throw SimulatedCrash(std::string(site));
+  }
+}
+
+bool storage_io_ok(std::string_view site) {
+  StoragePoints& p = storage_points();
+  std::lock_guard<std::mutex> lock(p.mu);
+  ++p.crossings;
+  p.tally(site);
+  obs::count("faults.storage_point_crossings");
+  if (p.crash_at != 0 && p.crossings == p.crash_at) {
+    obs::count("faults.storage_crashes_injected");
+    throw SimulatedCrash(std::string(site));
+  }
+  if (p.io_fail_from != 0 && p.crossings >= p.io_fail_from &&
+      p.crossings < p.io_fail_from + p.io_fail_count) {
+    obs::count("faults.storage_io_failures_injected");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace amperebleed::faults

@@ -28,6 +28,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "amperebleed/hwmon/vfs.hpp"
 #include "amperebleed/sensors/i2c.hpp"
@@ -171,5 +173,60 @@ class FaultInjector {
   hwmon::VirtualFs* fs_ = nullptr;
   sensors::I2cBus* bus_ = nullptr;
 };
+
+// ---------------------------------------------------------------------------
+// Storage kill-points (DESIGN.md §15).
+//
+// The persist write paths (journal append, snapshot write, journal reset,
+// snapshot pruning) cross a named storage point at every durable
+// intermediate state. A process-global registry counts the crossings, and a
+// crash-recovery harness can arm it two ways:
+//
+//   * crash at the n-th crossing — the crossing throws SimulatedCrash,
+//     abandoning the write mid-flight exactly where a power cut would,
+//     with real partial files left on disk;
+//   * IO failure at the n-th crossing — storage_io_ok() reports failure at
+//     its (pre-write) decision sites, which persist maps to IoError and the
+//     service maps to Degraded mode.
+//
+// Crossings are counted on the service's tick thread only (all persist
+// writes happen there), so the crossing sequence is a pure function of the
+// request schedule — the same determinism contract as FaultInjector, one
+// layer up.
+
+/// Thrown by an armed storage point. Deliberately NOT derived from
+/// std::exception: nothing between the persist write site and the harness
+/// may catch and "handle" a simulated crash, the torn state on disk is the
+/// test fixture.
+class SimulatedCrash {
+ public:
+  explicit SimulatedCrash(std::string site) : site_(std::move(site)) {}
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// Forget all arming, crossing counts and site tallies.
+void storage_points_reset();
+/// Throw SimulatedCrash at the nth crossing from now (1-based; 0 disarms).
+void storage_points_arm_crash(std::uint64_t nth);
+/// Report IO failure from storage_io_ok() for `count` crossings starting at
+/// the nth from now (1-based; 0 disarms).
+void storage_points_arm_io_failure(std::uint64_t nth, std::uint64_t count);
+/// Crossings since the last reset — a clean run's total is the sweep bound
+/// for the crash harness.
+[[nodiscard]] std::uint64_t storage_point_crossings();
+/// (site, crossings) tallies in first-crossing order — the kill-point map.
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+storage_point_sites();
+
+/// Cross a named kill-point (persist write paths call this after every
+/// durable step). Throws SimulatedCrash when the crash arming hits.
+void storage_point(std::string_view site);
+/// Decision site before a write: false = the armed IO failure fires and the
+/// caller must surface IoError without touching the medium. Also counts as
+/// a crossing for crash arming.
+[[nodiscard]] bool storage_io_ok(std::string_view site);
 
 }  // namespace amperebleed::faults

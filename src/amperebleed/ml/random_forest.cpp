@@ -97,9 +97,27 @@ void RandomForest::fit(const Dataset& data) {
   obs::gauge_set("ml.forest.arena_bytes", static_cast<double>(arena_.bytes()));
 }
 
+RandomForest RandomForest::from_arena(ForestConfig config, ForestArena arena) {
+  if (arena.empty()) {
+    throw std::invalid_argument("RandomForest::from_arena: empty arena");
+  }
+  RandomForest forest(config);
+  forest.class_count_ = arena.class_count;
+  forest.arena_ = std::move(arena);
+  // The quantized table is not persisted (pure function of the exact
+  // thresholds) — rebuild it so restored and fitted forests take the same
+  // predict path.
+  if (config.quantize_thresholds && !forest.arena_.quantized.built()) {
+    forest.arena_.build_quantized();
+  }
+  obs::gauge_set("ml.forest.arena_bytes",
+                 static_cast<double>(forest.arena_.bytes()));
+  return forest;
+}
+
 std::vector<double> RandomForest::predict_proba(
     std::span<const double> features) const {
-  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
   std::vector<double> acc(static_cast<std::size_t>(class_count_), 0.0);
   arena_.accumulate(features.data(), acc.data());
   const double inv = 1.0 / static_cast<double>(arena_.tree_count());
@@ -109,7 +127,12 @@ std::vector<double> RandomForest::predict_proba(
 
 std::vector<double> RandomForest::predict_proba_reference(
     std::span<const double> features) const {
-  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  if (trees_.empty()) {
+    throw std::logic_error(
+        "RandomForest: reference walk unavailable on an arena-restored "
+        "forest (per-tree form is not persisted)");
+  }
   std::vector<double> acc(static_cast<std::size_t>(class_count_), 0.0);
   for (const auto& tree : trees_) {
     const auto p = tree.predict_proba(features);
@@ -122,7 +145,7 @@ std::vector<double> RandomForest::predict_proba_reference(
 
 std::vector<std::vector<double>> RandomForest::predict_proba_many(
     std::span<const std::span<const double>> rows) const {
-  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
   std::vector<std::vector<double>> out(rows.size());
   const std::size_t blocks =
       (rows.size() + kPredictRowBlock - 1) / kPredictRowBlock;

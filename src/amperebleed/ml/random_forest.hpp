@@ -44,6 +44,16 @@ class RandomForest {
   /// Fit on the full dataset. Throws on an empty dataset.
   void fit(const Dataset& data);
 
+  /// Rebuild a forest from a persisted arena (persist/state.hpp): the
+  /// arena-walk predict paths work exactly as on a freshly fitted forest —
+  /// bit-identical probabilities — and the quantized table is rebuilt when
+  /// the config asks for it. The per-tree pointer representation is NOT
+  /// restored, so predict_proba_reference throws std::logic_error on a
+  /// restored forest (the arena paths are the production surface).
+  /// Throws std::invalid_argument on an empty arena.
+  [[nodiscard]] static RandomForest from_arena(ForestConfig config,
+                                               ForestArena arena);
+
   /// Most probable class (averaged leaf distributions).
   [[nodiscard]] int predict(std::span<const double> features) const;
 
@@ -73,8 +83,13 @@ class RandomForest {
   [[nodiscard]] std::vector<int> predict_top_k(std::span<const double> features,
                                                std::size_t k) const;
 
-  [[nodiscard]] bool fitted() const { return !trees_.empty(); }
-  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+  /// True for a trained or arena-restored forest.
+  [[nodiscard]] bool fitted() const {
+    return !trees_.empty() || !arena_.empty();
+  }
+  [[nodiscard]] std::size_t tree_count() const {
+    return trees_.empty() ? arena_.tree_count() : trees_.size();
+  }
   [[nodiscard]] const ForestConfig& config() const { return config_; }
   [[nodiscard]] int class_count() const { return class_count_; }
   /// The packed SoA forest (valid once fitted).

@@ -78,6 +78,23 @@ class StreamingSketch {
   [[nodiscard]] util::Json to_json() const;
   static StreamingSketch from_json(const util::Json& doc);
 
+  /// Exact internal state for the binary persistence codec (persist::).
+  /// Unlike to_json (whose %.12g number formatting is lossy), raw() /
+  /// from_raw round-trip the moment accumulators bit-for-bit, so a sketch
+  /// restored from a snapshot is operator== to the original.
+  struct Raw {
+    double lo = 0.0;
+    double hi = 1.0;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Raw raw() const;
+  static StreamingSketch from_raw(Raw raw);
+
   friend bool operator==(const StreamingSketch&,
                          const StreamingSketch&) = default;
 

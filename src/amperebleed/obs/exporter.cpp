@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "amperebleed/util/fs.hpp"
+
 namespace amperebleed::obs {
 
 namespace detail {
@@ -144,20 +146,9 @@ void SnapshotSink::flush(const MetricsRegistry& registry,
   for (const auto& event : recent_) recent.push_back(event_to_json(event));
   root.set("recent_events", std::move(recent));
 
-  // Write-then-rename so a concurrent reader never sees a torn snapshot.
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("SnapshotSink: cannot open '" + tmp + "'");
-    }
-    out << root.dump(2) << "\n";
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("SnapshotSink: rename to '" + path_ +
-                             "' failed");
-  }
+  // Write-then-fsync-then-rename (util::atomic_write_file) so a concurrent
+  // reader never sees a torn snapshot, even across a crash.
+  util::atomic_write_file(path_, root.dump(2) + "\n");
   ++writes_;
 }
 

@@ -241,9 +241,29 @@ std::string HttpExporter::build_get_response(const std::string& path) {
                                        static_cast<std::int64_t>(counts[s])));
     }
 
+    // Durable-storage health (published by serve:: when durability is on).
+    // Degraded storage keeps classify serving, so it is a 200 with status
+    // "degraded" — visible to operators, invisible to LB liveness.
+    const auto storage_gauges =
+        registry_.gauge_names_with_prefix("serve.storage.degraded");
+    const bool storage_present = !storage_gauges.empty();
+    const bool storage_degraded =
+        storage_present &&
+        registry_.gauge_value("serve.storage.degraded", 0.0) != 0.0;
+
     auto body = util::Json::object();
     body.set("status",
-             util::Json::string(all_quarantined ? "unhealthy" : "ok"));
+             util::Json::string(all_quarantined  ? "unhealthy"
+                                : storage_degraded ? "degraded"
+                                                   : "ok"));
+    if (storage_present) {
+      auto storage = util::Json::object();
+      storage.set("degraded", util::Json::boolean(storage_degraded));
+      storage.set("last_seq",
+                  util::Json::integer(static_cast<std::int64_t>(
+                      registry_.gauge_value("serve.storage.last_seq", 0.0))));
+      body.set("storage", std::move(storage));
+    }
     body.set("uptime_seconds",
              util::Json::number(std::chrono::duration<double>(
                                     std::chrono::steady_clock::now() -

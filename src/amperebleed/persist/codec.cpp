@@ -1,0 +1,263 @@
+#include "amperebleed/persist/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace amperebleed::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Encoder.
+
+void Encoder::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<char>(v & 0xFF));
+  buf_.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Encoder::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Encoder::str(std::string_view s) {
+  u64(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void Encoder::u64_vec(std::span<const std::uint64_t> v) {
+  u64(v.size());
+  for (const std::uint64_t x : v) u64(x);
+}
+
+void Encoder::i32_vec(std::span<const std::int32_t> v) {
+  u64(v.size());
+  for (const std::int32_t x : v) i32(x);
+}
+
+void Encoder::f64_vec(std::span<const double> v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+void Encoder::u8_vec(std::span<const std::uint8_t> v) {
+  u64(v.size());
+  for (const std::uint8_t x : v) u8(x);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder.
+
+void Decoder::fail(const std::string& what) const {
+  throw DecodeError(context_ + ": " + what + " at offset " +
+                    std::to_string(pos_));
+}
+
+std::uint8_t Decoder::u8() {
+  if (remaining() < 1) fail("truncated (need 1 byte)");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t Decoder::u16() {
+  if (remaining() < 2) fail("truncated (need 2 bytes)");
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(
+                static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+                << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Decoder::u32() {
+  if (remaining() < 4) fail("truncated (need 4 bytes)");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  if (remaining() < 8) fail("truncated (need 8 bytes)");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Decoder::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void Decoder::check_count(std::uint64_t count, std::size_t elem_size) {
+  // Any length prefix whose elements cannot fit in the remaining bytes is
+  // corruption; rejecting it here keeps a flipped length bit from turning
+  // into a multi-gigabyte allocation.
+  if (elem_size == 0 || count > remaining() / elem_size) {
+    fail("implausible element count " + std::to_string(count));
+  }
+}
+
+std::string Decoder::str() {
+  const std::uint64_t n = u64();
+  check_count(n, 1);
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+std::string_view Decoder::bytes(std::size_t n) {
+  if (remaining() < n) {
+    fail("truncated (need " + std::to_string(n) + " bytes)");
+  }
+  const std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint64_t> Decoder::u64_vec() {
+  const std::uint64_t n = u64();
+  check_count(n, 8);
+  std::vector<std::uint64_t> out(n);
+  for (auto& x : out) x = u64();
+  return out;
+}
+
+std::vector<std::int32_t> Decoder::i32_vec() {
+  const std::uint64_t n = u64();
+  check_count(n, 4);
+  std::vector<std::int32_t> out(n);
+  for (auto& x : out) x = i32();
+  return out;
+}
+
+std::vector<double> Decoder::f64_vec() {
+  const std::uint64_t n = u64();
+  check_count(n, 8);
+  std::vector<double> out(n);
+  for (auto& x : out) x = f64();
+  return out;
+}
+
+std::vector<std::uint8_t> Decoder::u8_vec() {
+  const std::uint64_t n = u64();
+  check_count(n, 1);
+  std::vector<std::uint8_t> out(n);
+  for (auto& x : out) x = u8();
+  return out;
+}
+
+void Decoder::expect_end() const {
+  if (pos_ != data_.size()) {
+    throw DecodeError(context_ + ": " + std::to_string(data_.size() - pos_) +
+                      " trailing bytes at offset " + std::to_string(pos_));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Section framing.
+
+std::string section_tag_name(std::uint32_t tag) {
+  std::string name;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+    name += (c >= 0x20 && c < 0x7F) ? c : '?';
+  }
+  return name;
+}
+
+FileWriter::FileWriter(std::uint32_t magic, std::uint16_t version,
+                       std::uint16_t kind) {
+  enc_.u32(magic);
+  enc_.u16(version);
+  enc_.u16(kind);
+}
+
+void FileWriter::section(std::uint32_t tag, std::string_view payload) {
+  enc_.u32(tag);
+  enc_.u64(payload.size());
+  enc_.u32(crc32(payload));
+  enc_.bytes(payload);
+}
+
+FileReader::FileReader(std::string_view data, std::uint32_t magic,
+                       std::uint16_t version, std::uint16_t kind,
+                       std::string context)
+    : dec_(data, context), context_(std::move(context)) {
+  if (dec_.u32() != magic) dec_.fail("bad magic");
+  const std::uint16_t got_version = dec_.u16();
+  if (got_version != version) {
+    dec_.fail("unsupported format version " + std::to_string(got_version));
+  }
+  const std::uint16_t got_kind = dec_.u16();
+  if (got_kind != kind) {
+    dec_.fail("wrong payload kind " + std::to_string(got_kind));
+  }
+}
+
+std::string_view FileReader::section(std::uint32_t tag) {
+  const std::uint32_t got = dec_.u32();
+  if (got != tag) {
+    dec_.fail("expected section '" + section_tag_name(tag) + "', found '" +
+              section_tag_name(got) + "'");
+  }
+  const std::uint64_t len = dec_.u64();
+  const std::uint32_t expected_crc = dec_.u32();
+  const std::string_view payload = dec_.bytes(len);
+  if (crc32(payload) != expected_crc) {
+    dec_.fail("CRC mismatch in section '" + section_tag_name(tag) + "'");
+  }
+  return payload;
+}
+
+}  // namespace amperebleed::persist

@@ -1,0 +1,94 @@
+#pragma once
+// Typed binary codecs for the service's durable state (DESIGN.md §15):
+// ForestArena, enrollment Dataset, obs::ReferenceProfile, and the composite
+// per-tenant / whole-service snapshot. All formats are versioned, CRC-framed
+// little-endian files built on persist/codec.hpp; decoding validates not
+// just framing but structure (node indices in bounds, strictly increasing
+// child links, matching array lengths), so even a CRC-valid but nonsensical
+// file yields a DecodeError rather than an out-of-bounds arena walk.
+//
+// The forest/dataset codec here is the foundation the out-of-core columnar
+// trace store (ROADMAP open item 2) is slated to reuse.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "amperebleed/ml/dataset.hpp"
+#include "amperebleed/ml/forest_arena.hpp"
+#include "amperebleed/obs/drift.hpp"
+#include "amperebleed/persist/codec.hpp"
+
+namespace amperebleed::persist {
+
+/// Shared file magic ("ABPS" = AmpereBleed Persisted State).
+inline constexpr std::uint32_t kFileMagic = section_tag("ABPS");
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// Payload kinds (the u16 after the version in every file header).
+inline constexpr std::uint16_t kKindSnapshot = 1;
+inline constexpr std::uint16_t kKindForest = 2;
+inline constexpr std::uint16_t kKindDataset = 3;
+inline constexpr std::uint16_t kKindProfile = 4;
+
+// --- Field-level codecs (compose into larger payloads) ---------------------
+
+void encode_arena(Encoder& enc, const ml::ForestArena& arena);
+/// Decodes and structurally validates; the returned arena is safe to walk.
+/// The quantized threshold table is not serialized — callers rebuild it
+/// (build_quantized() is a pure function of the exact thresholds).
+[[nodiscard]] ml::ForestArena decode_arena(Decoder& dec);
+
+void encode_dataset(Encoder& enc, const ml::Dataset& data);
+[[nodiscard]] ml::Dataset decode_dataset(Decoder& dec);
+
+void encode_profile(Encoder& enc, const obs::ReferenceProfile& profile);
+[[nodiscard]] obs::ReferenceProfile decode_profile(Decoder& dec);
+
+// --- Whole-file codecs ------------------------------------------------------
+
+/// One tenant session as plain data, decoupled from serve:: so the codec
+/// layer has no dependency on the service (serve depends on persist).
+struct TenantState {
+  std::string name;
+  std::uint8_t state = 0;  // serve::TenantSession::State ordinal
+  std::uint64_t enrolled = 0;
+  std::uint64_t classified = 0;
+  std::uint64_t feature_count = 0;
+  std::vector<std::string> class_names;
+  ml::Dataset data;
+  bool trained = false;
+  ml::ForestArena arena;  // fitted forest; empty unless trained
+  bool has_profile = false;
+  obs::ReferenceProfile profile;  // drift reference; valid when has_profile
+};
+
+/// Checkpoint of the whole service: every tenant in creation order, plus
+/// the sequence number of the last journal record folded in. Recovery loads
+/// this and replays only journal records with seq > last_seq.
+struct ServiceSnapshot {
+  std::uint64_t last_seq = 0;
+  std::vector<TenantState> tenants;
+};
+
+[[nodiscard]] std::string encode_snapshot(const ServiceSnapshot& snap);
+[[nodiscard]] ServiceSnapshot decode_snapshot(std::string_view bytes,
+                                              const std::string& context);
+
+/// Standalone forest file: save→load→predict_proba_many is bit-identical to
+/// the in-memory arena (tests/persist/codec_test.cpp proves it).
+[[nodiscard]] std::string encode_forest_file(const ml::ForestArena& arena);
+[[nodiscard]] ml::ForestArena decode_forest_file(std::string_view bytes,
+                                                 const std::string& context);
+
+[[nodiscard]] std::string encode_dataset_file(const ml::Dataset& data);
+[[nodiscard]] ml::Dataset decode_dataset_file(std::string_view bytes,
+                                              const std::string& context);
+
+[[nodiscard]] std::string encode_profile_file(
+    const obs::ReferenceProfile& profile);
+[[nodiscard]] obs::ReferenceProfile decode_profile_file(
+    std::string_view bytes, const std::string& context);
+
+}  // namespace amperebleed::persist

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "amperebleed/obs/obs.hpp"
+#include "amperebleed/persist/journal.hpp"
+#include "amperebleed/persist/store.hpp"
 #include "amperebleed/util/parallel.hpp"
 
 namespace amperebleed::serve {
@@ -25,6 +27,32 @@ obs::HistogramConfig batch_rows_buckets() {
   return config;
 }
 
+persist::JournalOp journal_op_of(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::Enroll:
+      return persist::JournalOp::Enroll;
+    case RequestKind::Train:
+      return persist::JournalOp::Train;
+    case RequestKind::Retire:
+      return persist::JournalOp::Retire;
+    case RequestKind::Classify:
+      break;  // never journalled
+  }
+  throw std::logic_error("journal_op_of: classify is not a control request");
+}
+
+RequestKind request_kind_of(persist::JournalOp op) {
+  switch (op) {
+    case persist::JournalOp::Enroll:
+      return RequestKind::Enroll;
+    case persist::JournalOp::Train:
+      return RequestKind::Train;
+    case persist::JournalOp::Retire:
+      return RequestKind::Retire;
+  }
+  throw std::logic_error("request_kind_of: invalid journal op");
+}
+
 }  // namespace
 
 ClassificationService::ClassificationService(ServiceConfig config)
@@ -40,6 +68,78 @@ ClassificationService::ClassificationService(ServiceConfig config)
                              latency_vus_buckets(config_.tick));
     obs::metrics().histogram("serve.batch_rows", batch_rows_buckets());
   }
+  if (!config_.durability.dir.empty()) {
+    persist::TenantStore::Config store_config;
+    store_config.dir = config_.durability.dir;
+    store_config.snapshot_every = config_.durability.snapshot_every;
+    store_ = std::make_unique<persist::TenantStore>(std::move(store_config));
+    recover_from_store();
+  }
+}
+
+ClassificationService::~ClassificationService() = default;
+
+void ClassificationService::recover_from_store() {
+  if (store_->snapshot().has_value()) {
+    for (const persist::TenantState& t : store_->snapshot()->tenants) {
+      core::OnlineFingerprinter::RestoredState state;
+      state.feature_count = t.feature_count;
+      state.class_names = t.class_names;
+      state.data = t.data;
+      state.trained = t.trained;
+      state.arena = t.arena;
+      if (t.has_profile) state.drift_reference = t.profile;
+      // CRC-valid but semantically inconsistent tenants are skipped — the
+      // rest of the snapshot still recovers (replay handles any dangling
+      // references with UnknownTenant).
+      try {
+        auto fingerprinter = core::OnlineFingerprinter::restore(
+            config_.fingerprinter, std::move(state));
+        tenants_.emplace(
+            t.name,
+            std::make_unique<TenantSession>(TenantSession::restore(
+                t.name, static_cast<TenantSession::State>(t.state),
+                t.enrolled, t.classified, std::move(fingerprinter))));
+        tenant_order_.push_back(t.name);
+      } catch (const std::invalid_argument&) {
+        obs::count("serve.storage.tenants_discarded");
+      }
+    }
+  }
+  // Replay the journal tail. apply_control is deterministic, so rerunning
+  // each record — including ones that originally failed — reproduces the
+  // exact pre-crash state; the responses were already delivered (or never
+  // were, for the torn tail) and are discarded here.
+  for (const persist::JournalRecord& record : store_->tail()) {
+    Request request;
+    request.kind = request_kind_of(record.op);
+    request.tenant = record.tenant;
+    request.label = record.label;
+    if (record.has_trace) request.trace = persist::trace_from_record(record);
+    (void)apply_control(request);
+  }
+  recovered_tenants_ = tenant_order_.size();
+
+  const persist::RecoveryStats& recovery = store_->recovery();
+  obs::gauge_set("serve.storage.degraded", 0.0);
+  obs::gauge_set("serve.storage.last_seq",
+                 static_cast<double>(store_->last_seq()));
+  if (recovery.recovered_records > 0) {
+    obs::count("serve.storage.recovered_records",
+               recovery.recovered_records);
+  }
+  if (recovery.skipped_records > 0) {
+    obs::count("serve.storage.skipped_records", recovery.skipped_records);
+  }
+  if (recovery.discarded_records > 0) {
+    obs::count("serve.storage.discarded_records",
+               recovery.discarded_records);
+  }
+  if (recovery.snapshots_discarded > 0) {
+    obs::count("serve.storage.snapshots_discarded",
+               recovery.snapshots_discarded);
+  }
+  if (recovery.recovered) obs::count("serve.storage.recoveries");
 }
 
 SubmitResult ClassificationService::submit(Request request) {
@@ -217,13 +317,65 @@ void ClassificationService::sweep(std::vector<Pending>& batch,
 }
 
 Response ClassificationService::control(Pending& pending) {
-  Response r;
   const Request& request = pending.request;
   if (request.tenant.empty()) {
+    Response r;
     r.status = ServeStatus::InvalidRequest;
     r.error = "request names no tenant";
     return r;
   }
+  if (store_ != nullptr) {
+    if (degraded_) {
+      Response r;
+      r.status = ServeStatus::StorageUnavailable;
+      r.error = "durable storage degraded; control requests are read-only "
+                "until restart";
+      return r;
+    }
+    // WAL discipline: journal EVERY control request before applying it —
+    // even ones that will fail. apply_control is a deterministic function
+    // of (request, state), so replay reproduces failures (and their side
+    // effects, e.g. the namespace an invalid enroll still created)
+    // identically. On journal failure the request is NOT applied: durable
+    // and in-memory state stay consistent.
+    persist::JournalRecord record;
+    record.seq = store_->last_seq() + 1;
+    record.op = journal_op_of(request.kind);
+    record.tenant = request.tenant;
+    record.label = request.label;
+    if (request.trace.has_value()) {
+      persist::record_set_trace(record, *request.trace);
+    }
+    try {
+      store_->append(record);
+      ++journal_appends_;
+      consecutive_journal_failures_ = 0;
+      obs::count("serve.storage.journal_appends");
+      obs::gauge_set("serve.storage.last_seq",
+                     static_cast<double>(store_->last_seq()));
+    } catch (const persist::IoError& e) {
+      ++journal_failures_;
+      ++consecutive_journal_failures_;
+      obs::count("serve.storage.journal_failures");
+      if (consecutive_journal_failures_ >=
+          config_.durability.max_consecutive_failures) {
+        degraded_ = true;
+        obs::gauge_set("serve.storage.degraded", 1.0);
+        obs::count("serve.storage.degradations");
+      }
+      Response r;
+      r.status = ServeStatus::StorageUnavailable;
+      r.error = std::string("journal write failed: ") + e.what();
+      return r;
+    }
+  }
+  Response r = apply_control(request);
+  if (store_ != nullptr) maybe_snapshot();
+  return r;
+}
+
+Response ClassificationService::apply_control(const Request& request) {
+  Response r;
   TenantSession* tenant = find_tenant(request.tenant);
   switch (request.kind) {
     case RequestKind::Enroll: {
@@ -271,6 +423,80 @@ Response ClassificationService::control(Pending& pending) {
   r.status = ServeStatus::InvalidRequest;
   r.error = "unhandled request kind";
   return r;
+}
+
+persist::ServiceSnapshot ClassificationService::build_snapshot() const {
+  persist::ServiceSnapshot snap;
+  snap.last_seq = store_->last_seq();
+  snap.tenants.reserve(tenant_order_.size());
+  for (const std::string& name : tenant_order_) {
+    const TenantSession& session = *tenants_.at(name);
+    const core::OnlineFingerprinter& fp = session.fingerprinter();
+    persist::TenantState t;
+    t.name = name;
+    t.state = static_cast<std::uint8_t>(session.state());
+    t.enrolled = session.enrolled();
+    t.classified = session.classified();
+    t.feature_count = fp.feature_count();
+    t.class_names = fp.class_names();
+    t.data = fp.enrollment_data();
+    t.trained = fp.trained();
+    if (t.trained) t.arena = fp.forest().arena();
+    if (const obs::DriftMonitor* monitor = fp.drift_monitor()) {
+      t.has_profile = true;
+      t.profile = monitor->reference();
+    }
+    snap.tenants.push_back(std::move(t));
+  }
+  return snap;
+}
+
+bool ClassificationService::write_snapshot_guarded() {
+  try {
+    store_->write_snapshot(build_snapshot());
+  } catch (const persist::IoError&) {
+    // The journal still holds every record, so durability is intact; the
+    // snapshot retries once the journal grows past the threshold again.
+    ++snapshot_failures_;
+    obs::count("serve.storage.snapshot_failures");
+    return false;
+  }
+  ++snapshots_written_;
+  obs::count("serve.storage.snapshots_written");
+  return true;
+}
+
+void ClassificationService::maybe_snapshot() {
+  if (store_ == nullptr || degraded_) return;
+  if (store_->records_since_snapshot() < store_->snapshot_every()) return;
+  (void)write_snapshot_guarded();
+}
+
+bool ClassificationService::snapshot_now() {
+  if (store_ == nullptr || degraded_) return false;
+  if (store_->records_since_snapshot() == 0) return false;  // nothing new
+  return write_snapshot_guarded();
+}
+
+StorageStats ClassificationService::storage() const {
+  StorageStats s;
+  if (store_ == nullptr) return s;
+  s.enabled = true;
+  s.degraded = degraded_;
+  s.last_seq = store_->last_seq();
+  s.journal_appends = journal_appends_;
+  s.journal_failures = journal_failures_;
+  s.snapshots_written = snapshots_written_;
+  s.snapshot_failures = snapshot_failures_;
+  const persist::RecoveryStats& recovery = store_->recovery();
+  s.recovered = recovery.recovered;
+  s.snapshot_seq = recovery.snapshot_seq;
+  s.snapshots_discarded = recovery.snapshots_discarded;
+  s.recovered_records = recovery.recovered_records;
+  s.skipped_records = recovery.skipped_records;
+  s.discarded_records = recovery.discarded_records;
+  s.recovered_tenants = recovered_tenants_;
+  return s;
 }
 
 util::Json ClassificationService::to_json() const {
@@ -332,6 +558,40 @@ util::Json ClassificationService::to_json() const {
   root.set("stats", std::move(stats_json));
   root.set("latency", std::move(latency));
   root.set("tenants", std::move(tenants));
+  if (store_ != nullptr) {
+    const StorageStats st = storage();
+    auto storage_json = util::Json::object();
+    storage_json.set("degraded", util::Json::boolean(st.degraded));
+    storage_json.set(
+        "last_seq",
+        util::Json::integer(static_cast<std::int64_t>(st.last_seq)));
+    storage_json.set("journal_appends",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.journal_appends)));
+    storage_json.set("journal_failures",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.journal_failures)));
+    storage_json.set("snapshots_written",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.snapshots_written)));
+    storage_json.set("snapshot_failures",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.snapshot_failures)));
+    storage_json.set("recovered", util::Json::boolean(st.recovered));
+    storage_json.set("recovered_records",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.recovered_records)));
+    storage_json.set("skipped_records",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.skipped_records)));
+    storage_json.set("discarded_records",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.discarded_records)));
+    storage_json.set("recovered_tenants",
+                     util::Json::integer(
+                         static_cast<std::int64_t>(st.recovered_tenants)));
+    root.set("storage", std::move(storage_json));
+  }
   return root;
 }
 

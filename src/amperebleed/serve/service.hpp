@@ -45,7 +45,32 @@
 #include "amperebleed/sim/time.hpp"
 #include "amperebleed/util/json.hpp"
 
+namespace amperebleed::persist {
+struct JournalRecord;
+struct ServiceSnapshot;
+class TenantStore;
+}  // namespace amperebleed::persist
+
 namespace amperebleed::serve {
+
+/// Durable tenant state (DESIGN.md §15). With a non-empty `dir` the service
+/// write-ahead-journals EVERY control request (enroll/train/retire) before
+/// applying it and periodically folds the journal into an atomic-rename
+/// snapshot. Constructing a service on an existing directory IS recovery:
+/// load the newest valid snapshot, replay the journal tail, and resume with
+/// bit-identical classify behaviour. Classify requests are never journalled
+/// (they do not change durable state; per-tenant classified tallies are
+/// restored as of the snapshot — observability, not correctness).
+struct DurabilityConfig {
+  /// Storage directory; empty = durability off (the default, zero cost).
+  std::string dir;
+  /// Journal records between automatic snapshots.
+  std::uint64_t snapshot_every = 64;
+  /// Consecutive journal-append failures before the service degrades to
+  /// read-only: control requests answer StorageUnavailable, classify keeps
+  /// serving. Restart (which re-runs recovery) is the only way back.
+  std::uint64_t max_consecutive_failures = 3;
+};
 
 struct ServiceConfig {
   RequestQueue::Config queue{};
@@ -57,6 +82,8 @@ struct ServiceConfig {
   sim::TimeNs tick = sim::milliseconds(1);
   /// Applied to every tenant namespace created by its first Enroll.
   core::OnlineFingerprinterConfig fingerprinter{};
+  /// Checkpoint/WAL persistence (off unless dir is set).
+  DurabilityConfig durability{};
 };
 
 /// Lifetime tallies, all monotonic. Door-side numbers (submitted/admitted/
@@ -75,12 +102,39 @@ struct ServiceStats {
   std::uint64_t coalesced_rows = 0;     // rows scored through sweeps
   std::size_t max_queue_depth = 0;
   /// Responses per ServeStatus, indexed by the enum's ordinal.
-  std::array<std::uint64_t, 7> by_status{};
+  std::array<std::uint64_t, kServeStatusCount> by_status{};
+};
+
+/// Durability-layer tallies (all zero with durability off). The recovery
+/// numbers account for every journal record the store found on disk:
+/// recovered (replayed) + skipped (already in the snapshot) + discarded
+/// (torn/corrupt) covers them all.
+struct StorageStats {
+  bool enabled = false;
+  bool degraded = false;
+  std::uint64_t last_seq = 0;
+  std::uint64_t journal_appends = 0;
+  std::uint64_t journal_failures = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t snapshot_failures = 0;
+  // Recovery (what construction found in the directory).
+  bool recovered = false;
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t snapshots_discarded = 0;
+  std::uint64_t recovered_records = 0;
+  std::uint64_t skipped_records = 0;
+  std::uint64_t discarded_records = 0;
+  std::uint64_t recovered_tenants = 0;
 };
 
 class ClassificationService {
  public:
+  /// With config.durability.dir set, construction recovers from the
+  /// directory (snapshot load + journal replay). Corrupted content on disk
+  /// is discarded and counted, never fatal; an unusable directory throws
+  /// persist::IoError.
   explicit ClassificationService(ServiceConfig config = {});
+  ~ClassificationService();
 
   /// Hand one request to the service (any thread). Admission control may
   /// reject with Overloaded; rejected requests never produce a Response.
@@ -99,6 +153,15 @@ class ClassificationService {
   [[nodiscard]] sim::TimeNs now() const;
 
   [[nodiscard]] ServiceStats stats() const;
+  /// Durability tallies (enabled == false with durability off).
+  [[nodiscard]] StorageStats storage() const;
+  /// True once persistent journal failures degraded the service to
+  /// read-only (control requests answer StorageUnavailable).
+  [[nodiscard]] bool degraded() const { return degraded_; }
+  /// Force a snapshot now (durable mode only). Returns true when written;
+  /// false with durability off, in Degraded mode, or on an IO failure
+  /// (counted in storage().snapshot_failures). Owner thread only.
+  bool snapshot_now();
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
 
@@ -141,7 +204,19 @@ class ClassificationService {
   /// Coalesce batch[begin, end) — all Classify — into per-tenant sweeps.
   void sweep(std::vector<Pending>& batch, std::size_t begin, std::size_t end,
              std::vector<Response>& responses);
+  /// WAL wrapper: journal the request (durable mode), then apply_control.
   [[nodiscard]] Response control(Pending& pending);
+  /// Apply one control request to in-memory state. Deterministic function
+  /// of (request, state) — journal replay reruns it to reach the identical
+  /// post-crash state, responses discarded.
+  [[nodiscard]] Response apply_control(const Request& request);
+  /// Rebuild tenants from the store's snapshot and replay its journal tail.
+  void recover_from_store();
+  /// Current in-memory state as a persistable snapshot.
+  [[nodiscard]] persist::ServiceSnapshot build_snapshot() const;
+  /// Write a snapshot when the journal grew past durability.snapshot_every.
+  void maybe_snapshot();
+  bool write_snapshot_guarded();
 
   ServiceConfig config_;
   RequestQueue queue_;
@@ -159,7 +234,17 @@ class ClassificationService {
   std::uint64_t ticks_ = 0;
   std::uint64_t sweeps_ = 0;
   std::uint64_t coalesced_rows_ = 0;
-  std::array<std::uint64_t, 7> by_status_{};
+  std::array<std::uint64_t, kServeStatusCount> by_status_{};
+
+  // Durability (null with durability off). All touched on the tick thread.
+  std::unique_ptr<persist::TenantStore> store_;
+  bool degraded_ = false;
+  std::uint64_t consecutive_journal_failures_ = 0;
+  std::uint64_t journal_appends_ = 0;
+  std::uint64_t journal_failures_ = 0;
+  std::uint64_t snapshots_written_ = 0;
+  std::uint64_t snapshot_failures_ = 0;
+  std::uint64_t recovered_tenants_ = 0;
 
   obs::Histogram latency_vus_;
   obs::Histogram batch_rows_;

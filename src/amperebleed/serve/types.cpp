@@ -32,6 +32,8 @@ std::string_view status_name(ServeStatus status) {
       return "tenant-retired";
     case ServeStatus::InvalidRequest:
       return "invalid-request";
+    case ServeStatus::StorageUnavailable:
+      return "storage-unavailable";
   }
   return "?";
 }

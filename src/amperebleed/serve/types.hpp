@@ -7,6 +7,7 @@
 // structs cross the bounded queue by value and never reference service
 // internals, so callers may keep them arbitrarily long.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -43,7 +44,15 @@ enum class ServeStatus {
   TenantRetired,
   /// Malformed payload: missing/empty/short trace, too few classes, ...
   InvalidRequest,
+  /// Durable mode only: the write-ahead journal could not record this state
+  /// transition, so it was NOT applied. Classify is unaffected (it is never
+  /// journalled); once the service degrades, every control request answers
+  /// this until restart.
+  StorageUnavailable,
 };
+
+/// Number of ServeStatus values (by_status arrays size against this).
+inline constexpr std::size_t kServeStatusCount = 8;
 
 std::string_view status_name(ServeStatus status);
 

@@ -185,6 +185,11 @@ std::string Json::escape(const std::string& s) {
 }
 
 void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (depth > kMaxDepth) {
+    throw std::runtime_error(
+        "Json::dump: nesting too deep (depth > " +
+        std::to_string(kMaxDepth) + ")");
+  }
   const auto newline = [&](int d) {
     if (indent <= 0) return;
     out += '\n';
@@ -286,7 +291,7 @@ class Parser {
 
   Json parse_value() {
     skip_ws();
-    if (depth_ > kMaxDepth) fail("nesting too deep");
+    if (depth_ > Json::kMaxDepth) fail("nesting too deep");
     switch (peek()) {
       case '{':
         return parse_object();
@@ -489,7 +494,6 @@ class Parser {
     return Json::number(d);
   }
 
-  static constexpr int kMaxDepth = 256;
   std::string_view text_;
   std::size_t pos_ = 0;
   int depth_ = 0;

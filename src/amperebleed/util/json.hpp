@@ -17,6 +17,13 @@ namespace amperebleed::util {
 /// serialize with dump(). Object keys keep insertion order.
 class Json {
  public:
+  /// Hard cap on container nesting, enforced by both parse() (hostile
+  /// documents — e.g. a snapshot or run-record file of 1M '['s — would
+  /// otherwise recurse the descent parser off the stack) and dump()
+  /// (programmatically built cycles/towers). Crossing it throws
+  /// std::runtime_error mentioning "nesting too deep".
+  static constexpr int kMaxDepth = 256;
+
   Json() : value_(nullptr) {}  // null
 
   static Json boolean(bool v);
@@ -61,6 +68,7 @@ class Json {
   [[nodiscard]] std::vector<std::string> keys() const;
 
   /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  /// Throws std::runtime_error when containers nest deeper than kMaxDepth.
   [[nodiscard]] std::string dump(int indent = 0) const;
 
   /// JSON string escaping (exposed for tests).

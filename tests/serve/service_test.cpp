@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "amperebleed/util/fs.hpp"
 #include "amperebleed/util/rng.hpp"
 #include "amperebleed/util/thread_pool.hpp"
 
@@ -303,6 +304,50 @@ TEST(ClassificationService, SnapshotJsonShape) {
   EXPECT_NE(dump.find("\"p99_vus\""), std::string::npos);
 }
 
+TEST(ClassificationService, DurableModeSurvivesRestart) {
+  const std::string dir = ::testing::TempDir() + "service_durable";
+  if (util::path_exists(dir)) {
+    for (const std::string& name : util::list_dir(dir)) {
+      util::remove_file(dir + "/" + name);
+    }
+  }
+  ServiceConfig config = small_config();
+  config.durability.dir = dir;
+
+  Response before;
+  {
+    ClassificationService service(config);
+    EXPECT_TRUE(service.storage().enabled);
+    EXPECT_FALSE(service.degraded());
+    bring_up(service, "acme");
+    EXPECT_EQ(service.storage().last_seq, 13u);  // 12 enrolls + 1 train
+    (void)service.submit(classify_request("acme", 1, 0xfeed));
+    auto responses = service.drain();
+    ASSERT_EQ(responses.size(), 1u);
+    before = std::move(responses[0]);
+    ASSERT_TRUE(before.ok());
+    // The durable state shows up in the JSON snapshot.
+    EXPECT_NE(service.to_json().dump(0).find("\"storage\""),
+              std::string::npos);
+  }
+
+  // Reconstruction on the same directory IS recovery — and the recovered
+  // tenant classifies the same trace bit-identically.
+  ClassificationService recovered(config);
+  EXPECT_TRUE(recovered.storage().recovered);
+  EXPECT_EQ(recovered.storage().recovered_tenants, 1u);
+  EXPECT_EQ(recovered.storage().last_seq, 13u);
+  ASSERT_NE(recovered.tenant("acme"), nullptr);
+  EXPECT_EQ(recovered.tenant("acme")->state(), TenantSession::State::Serving);
+  (void)recovered.submit(classify_request("acme", 1, 0xfeed));
+  const auto responses = recovered.drain();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].status, ServeStatus::Ok);
+  EXPECT_EQ(responses[0].verdict.model_name, before.verdict.model_name);
+  EXPECT_EQ(responses[0].verdict.confidence, before.verdict.confidence);
+  EXPECT_EQ(responses[0].verdict.margin, before.verdict.margin);
+}
+
 TEST(ServeTypes, NamesAreStable) {
   EXPECT_EQ(kind_name(RequestKind::Enroll), "enroll");
   EXPECT_EQ(kind_name(RequestKind::Retire), "retire");
@@ -310,6 +355,11 @@ TEST(ServeTypes, NamesAreStable) {
   EXPECT_EQ(status_name(ServeStatus::Overloaded), "overloaded");
   EXPECT_EQ(status_name(ServeStatus::TenantRetired), "tenant-retired");
   EXPECT_EQ(status_name(ServeStatus::InvalidRequest), "invalid-request");
+  EXPECT_EQ(status_name(ServeStatus::StorageUnavailable),
+            "storage-unavailable");
+  // by_status arrays are sized against this; keep them in lockstep.
+  EXPECT_EQ(kServeStatusCount,
+            static_cast<std::size_t>(ServeStatus::StorageUnavailable) + 1);
 }
 
 }  // namespace
