@@ -227,6 +227,7 @@ JournalWriter::JournalWriter(std::string path, std::uint64_t valid_bytes)
   if (::lseek(fd_, keep, SEEK_SET) < 0) io_fail("seek", path_);
   if (fresh) write_all(journal_header());
   if (::fsync(fd_) != 0) io_fail("fsync", path_);
+  end_ = fresh ? kJournalHeaderBytes : valid_bytes;
 }
 
 JournalWriter::~JournalWriter() {
@@ -246,6 +247,10 @@ void JournalWriter::write_all(std::string_view bytes) {
 }
 
 void JournalWriter::append(const JournalRecord& record) {
+  if (poisoned_) {
+    throw IoError("journal: writer disabled after failed rollback on '" +
+                  path_ + "'");
+  }
   if (!faults::storage_io_ok("journal.append")) {
     throw IoError("journal: injected IO failure on append to '" + path_ +
                   "'");
@@ -254,26 +259,62 @@ void JournalWriter::append(const JournalRecord& record) {
   const std::string framed = frame(payload);
   // Write the frame in two halves so an armed crash between them leaves a
   // genuinely torn record on disk — the artifact recovery must tolerate.
+  //
+  // An IO FAILURE is different from a crash: the service stays up, answers
+  // storage-unavailable and does NOT apply the op — so the frame bytes must
+  // not stay behind either. Without the rollback a later acknowledged
+  // append lands past the orphan bytes, where the prefix scan (seq break)
+  // discards it on recovery: an acked record silently vanishes while the
+  // orphan — never applied — replays. SimulatedCrash deliberately bypasses
+  // the catch (it does not derive from IoError): a dead process cannot
+  // clean up.
   const std::size_t half = framed.size() / 2;
-  write_all(std::string_view(framed).substr(0, half));
-  faults::storage_point("journal.append.partial");
-  write_all(std::string_view(framed).substr(half));
-  faults::storage_point("journal.append.written");
-  if (::fsync(fd_) != 0) io_fail("fsync", path_);
+  try {
+    write_all(std::string_view(framed).substr(0, half));
+    faults::storage_point("journal.append.partial");
+    write_all(std::string_view(framed).substr(half));
+    faults::storage_point("journal.append.written");
+    if (!faults::storage_io_ok("journal.append.fsync")) {
+      throw IoError("journal: injected IO failure on fsync of '" + path_ +
+                    "'");
+    }
+    if (::fsync(fd_) != 0) io_fail("fsync", path_);
+  } catch (const IoError&) {
+    rollback();
+    throw;
+  }
+  end_ += framed.size();
   faults::storage_point("journal.append.synced");
 }
 
+void JournalWriter::rollback() {
+  if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(end_), SEEK_SET) < 0 ||
+      ::fsync(fd_) != 0) {
+    poisoned_ = true;
+  }
+}
+
 void JournalWriter::reset() {
+  if (poisoned_) {
+    throw IoError("journal: writer disabled after failed rollback on '" +
+                  path_ + "'");
+  }
   if (!faults::storage_io_ok("journal.reset")) {
     throw IoError("journal: injected IO failure on reset of '" + path_ + "'");
   }
   if (::ftruncate(fd_, static_cast<off_t>(kJournalHeaderBytes)) != 0) {
-    io_fail("truncate", path_);
+    io_fail("truncate", path_);  // nothing changed; the writer stays usable
   }
+  end_ = kJournalHeaderBytes;
   if (::lseek(fd_, static_cast<off_t>(kJournalHeaderBytes), SEEK_SET) < 0) {
+    poisoned_ = true;  // file position unknown relative to end_
     io_fail("seek", path_);
   }
-  if (::fsync(fd_) != 0) io_fail("fsync", path_);
+  if (::fsync(fd_) != 0) {
+    poisoned_ = true;  // dirty-page state undefined after a failed fsync
+    io_fail("fsync", path_);
+  }
   faults::storage_point("journal.reset.synced");
 }
 

@@ -103,7 +103,12 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   /// Frame, write and fsync one record. Throws IoError on failure; crosses
-  /// the journal.* kill-points at every durable intermediate state.
+  /// the journal.* kill-points at every durable intermediate state. A
+  /// failed append never leaves frame bytes behind: the file is truncated
+  /// back to the last durable frame boundary before the IoError surfaces,
+  /// so a later acknowledged append can never land past orphan bytes the
+  /// recovery scan would then discard. (A SimulatedCrash is different — the
+  /// process is dead, the torn frame on disk IS the recovery fixture.)
   void append(const JournalRecord& record);
 
   /// Truncate back to the bare header (after a snapshot absorbed every
@@ -112,9 +117,17 @@ class JournalWriter {
 
  private:
   void write_all(std::string_view bytes);
+  /// Undo a failed append: truncate + seek back to the last durable frame
+  /// boundary and fsync. When the rollback itself fails the writer poisons
+  /// itself — every later append/reset throws — because acknowledging a
+  /// record after unremovable orphan bytes would hand recovery a frame it
+  /// must discard.
+  void rollback();
 
   std::string path_;
   int fd_ = -1;
+  std::uint64_t end_ = 0;  // offset one past the last durable frame
+  bool poisoned_ = false;  // failed rollback: orphan bytes may remain
 };
 
 }  // namespace amperebleed::persist

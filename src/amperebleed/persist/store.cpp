@@ -1,6 +1,7 @@
 #include "amperebleed/persist/store.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -34,7 +35,13 @@ std::optional<std::uint64_t> snapshot_seq_of(std::string_view name) {
   std::uint64_t seq = 0;
   for (const char c : digits) {
     if (c < '0' || c > '9') return std::nullopt;
-    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (seq > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      // Would wrap u64 — a forged/garbage name that must never shadow the
+      // genuine newest snapshot.
+      return std::nullopt;
+    }
+    seq = seq * 10 + digit;
   }
   return seq;
 }
@@ -129,6 +136,9 @@ void TenantStore::recover() {
   recovery_.recovered = snapshot_.has_value() || !tail_.empty();
 
   journal_ = std::make_unique<JournalWriter>(journal_path, truncate_to);
+  // Recovery created the journal and unlinked *.tmp leftovers: sync the
+  // directory so its own cleanup survives a power cut too.
+  util::fsync_dir(config_.dir);
 }
 
 void TenantStore::append(const JournalRecord& record) {
@@ -173,6 +183,7 @@ void TenantStore::write_snapshot(const ServiceSnapshot& snap) {
       util::remove_file(join(config_.dir, other));
     }
   }
+  util::fsync_dir(config_.dir);  // make the unlinks durable
   faults::storage_point("snapshot.pruned");
 }
 

@@ -102,6 +102,7 @@ void ClassificationService::recover_from_store() {
                 t.enrolled, t.classified, std::move(fingerprinter))));
         tenant_order_.push_back(t.name);
       } catch (const std::invalid_argument&) {
+        discarded_tenants_.push_back(t.name);
         obs::count("serve.storage.tenants_discarded");
       }
     }
@@ -109,8 +110,17 @@ void ClassificationService::recover_from_store() {
   // Replay the journal tail. apply_control is deterministic, so rerunning
   // each record — including ones that originally failed — reproduces the
   // exact pre-crash state; the responses were already delivered (or never
-  // were, for the torn tail) and are discarded here.
+  // were, for the torn tail) and are discarded here. Records referencing a
+  // tenant the snapshot carried but restore discarded are dropped, not
+  // replayed: an Enroll would recreate the namespace empty, quietly
+  // spreading the damage past the one discarded tenant.
   for (const persist::JournalRecord& record : store_->tail()) {
+    if (std::find(discarded_tenants_.begin(), discarded_tenants_.end(),
+                  record.tenant) != discarded_tenants_.end()) {
+      ++replay_dropped_records_;
+      obs::count("serve.storage.replay_dropped_records");
+      continue;
+    }
     Request request;
     request.kind = request_kind_of(record.op);
     request.tenant = record.tenant;
@@ -496,6 +506,8 @@ StorageStats ClassificationService::storage() const {
   s.skipped_records = recovery.skipped_records;
   s.discarded_records = recovery.discarded_records;
   s.recovered_tenants = recovered_tenants_;
+  s.discarded_tenants = discarded_tenants_;
+  s.replay_dropped_records = replay_dropped_records_;
   return s;
 }
 
@@ -590,6 +602,15 @@ util::Json ClassificationService::to_json() const {
     storage_json.set("recovered_tenants",
                      util::Json::integer(
                          static_cast<std::int64_t>(st.recovered_tenants)));
+    auto discarded = util::Json::array();
+    for (const std::string& name : st.discarded_tenants) {
+      discarded.push_back(util::Json::string(name));
+    }
+    storage_json.set("discarded_tenants", std::move(discarded));
+    storage_json.set(
+        "replay_dropped_records",
+        util::Json::integer(
+            static_cast<std::int64_t>(st.replay_dropped_records)));
     root.set("storage", std::move(storage_json));
   }
   return root;

@@ -125,6 +125,15 @@ struct StorageStats {
   std::uint64_t skipped_records = 0;
   std::uint64_t discarded_records = 0;
   std::uint64_t recovered_tenants = 0;
+  /// Snapshot tenants whose restore failed semantic validation, by name
+  /// (also on the service JSON surface, so an operator can see exactly
+  /// which namespaces recovery dropped — not just a count).
+  std::vector<std::string> discarded_tenants;
+  /// Journal-tail records referencing a discarded tenant. They are dropped
+  /// rather than replayed: replaying (e.g. an Enroll) would recreate the
+  /// namespace empty and the recovered state would silently diverge beyond
+  /// the one discarded tenant.
+  std::uint64_t replay_dropped_records = 0;
 };
 
 class ClassificationService {
@@ -245,6 +254,8 @@ class ClassificationService {
   std::uint64_t snapshots_written_ = 0;
   std::uint64_t snapshot_failures_ = 0;
   std::uint64_t recovered_tenants_ = 0;
+  std::vector<std::string> discarded_tenants_;
+  std::uint64_t replay_dropped_records_ = 0;
 
   obs::Histogram latency_vus_;
   obs::Histogram batch_rows_;

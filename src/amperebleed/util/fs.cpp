@@ -65,7 +65,24 @@ void atomic_write_file(const std::string& path, std::string_view bytes,
     std::remove(tmp.c_str());
     fail("atomic_write_file: rename failed for", path);
   }
+  // The rename is only durable once the directory entry is synced; the
+  // "renamed" kill-point must not fire before that happens-before edge.
+  const std::size_t slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
   if (observer) observer("renamed");
+}
+
+void fsync_dir(const std::string& path) {
+  const std::string dir = path.empty() ? "." : path;
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) fail("fsync_dir: cannot open", dir);
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("fsync_dir: fsync failed for", dir);
+  }
+  ::close(fd);
 }
 
 std::string read_file(const std::string& path) {

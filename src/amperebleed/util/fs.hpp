@@ -21,10 +21,17 @@ namespace amperebleed::util {
 using AtomicWriteObserver = std::function<void(std::string_view phase)>;
 
 /// Write `bytes` to `path` atomically: write `path + ".tmp"`, fsync it,
-/// rename over `path`. On rename failure the temporary is removed. Throws
-/// std::runtime_error on any IO failure.
+/// rename over `path`, then fsync the containing directory so the rename
+/// itself is durable (without that a power cut can resurrect the old file
+/// even though later writes survived). On rename failure the temporary is
+/// removed. Throws std::runtime_error on any IO failure.
 void atomic_write_file(const std::string& path, std::string_view bytes,
                        const AtomicWriteObserver& observer = {});
+
+/// fsync a directory so recent entry changes in it (create/rename/unlink)
+/// are durable. Filesystems that reject directory fsync (EINVAL/ENOTSUP)
+/// are tolerated; anything else throws std::runtime_error.
+void fsync_dir(const std::string& path);
 
 /// Whole file as a byte string. Throws std::runtime_error when the file
 /// cannot be opened or read.

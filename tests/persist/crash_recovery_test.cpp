@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "amperebleed/faults/faults.hpp"
+#include "amperebleed/persist/state.hpp"
 #include "amperebleed/serve/service.hpp"
 #include "amperebleed/util/fs.hpp"
 #include "amperebleed/util/rng.hpp"
@@ -359,6 +360,111 @@ TEST_F(CrashRecoveryTest, PersistentJournalFailureDegradesToReadOnly) {
   ClassificationService recovered(durable_config(dir, 1000));
   EXPECT_FALSE(recovered.degraded());
   EXPECT_EQ(probe(recovered, seed), before);
+}
+
+// The review-critical append-failure shape: the frame is FULLY written when
+// the fsync fails, the op is answered storage-unavailable and never applied
+// — the writer must truncate the orphan frame back out, or the next acked
+// append lands past it and the recovery prefix scan (duplicate seq)
+// discards the acked record while replaying the unapplied orphan.
+TEST_F(CrashRecoveryTest, FailedAppendAfterFullWriteLeavesNoOrphan) {
+  const std::uint64_t seed = faults::FaultPlan::from_env().seed;
+  const std::vector<Request> script = make_script(seed);
+  const std::string dir = fresh_dir("rollback");
+  auto service =
+      std::make_unique<ClassificationService>(durable_config(dir, 1000));
+  run_script(*service, script);
+
+  // Fail the next append at its pre-fsync decision (crossing 4 of 5).
+  faults::storage_points_reset();
+  faults::storage_points_arm_io_failure(4, 1);
+  ASSERT_TRUE(
+      service->submit(enroll_request("delta", 0, seed + 400)).accepted);
+  EXPECT_EQ(service->drain()[0].status, ServeStatus::StorageUnavailable);
+  faults::storage_points_reset();
+  EXPECT_EQ(service->tenant("delta"), nullptr);
+
+  // The retried enroll is acked and applied ...
+  ASSERT_TRUE(
+      service->submit(enroll_request("delta", 0, seed + 400)).accepted);
+  EXPECT_EQ(service->drain()[0].status, ServeStatus::Ok);
+  const std::string before = probe(*service, seed);
+
+  // ... and survives a restart with nothing discarded.
+  service.reset();
+  ClassificationService recovered(durable_config(dir, 1000));
+  EXPECT_EQ(recovered.storage().discarded_records, 0u);
+  ASSERT_NE(recovered.tenant("delta"), nullptr);
+  EXPECT_EQ(recovered.tenant("delta")->enrolled(), 1u);
+  EXPECT_EQ(probe(recovered, seed), before);
+}
+
+// A snapshot tenant that fails semantic validation on restore must take its
+// journal-tail records with it: replaying them (e.g. an Enroll) would
+// recreate the namespace empty, silently diverging past the one discarded
+// tenant. The dropped names and record count are surfaced, not just a tally.
+TEST_F(CrashRecoveryTest, DiscardedSnapshotTenantIsNotRecreatedByReplay) {
+  const std::uint64_t seed = faults::FaultPlan::from_env().seed;
+  const std::vector<Request> script = make_script(seed);
+  const std::string dir = fresh_dir("discarded");
+  {
+    // snapshot_every=12: the snapshot lands right after gamma's enroll
+    // (seq 12), leaving gamma's Retire and failing Train in the tail.
+    ClassificationService service(durable_config(dir, 12));
+    run_script(service, script);
+  }
+  // Doctor the snapshot so gamma decodes fine (valid CRCs) but fails
+  // OnlineFingerprinter::restore's semantic validation.
+  std::string snap_name;
+  for (const std::string& name : util::list_dir(dir)) {
+    if (name.rfind("snapshot-", 0) == 0) snap_name = name;
+  }
+  ASSERT_FALSE(snap_name.empty());
+  persist::ServiceSnapshot snap = persist::decode_snapshot(
+      util::read_file(dir + "/" + snap_name), snap_name);
+  bool doctored = false;
+  for (persist::TenantState& t : snap.tenants) {
+    if (t.name != "gamma") continue;
+    // Leaves the enrollment labels pointing outside class_names — the one
+    // inconsistency the codec's structural checks cannot see (labels and
+    // class names live in different sections) but restore rejects.
+    t.class_names.clear();
+    doctored = true;
+  }
+  ASSERT_TRUE(doctored);
+  util::atomic_write_file(dir + "/" + snap_name,
+                          persist::encode_snapshot(snap));
+
+  ClassificationService recovered(durable_config(dir, 12));
+  const StorageStats storage = recovered.storage();
+  EXPECT_EQ(storage.discarded_tenants, std::vector<std::string>{"gamma"});
+  EXPECT_EQ(storage.replay_dropped_records, 2u);  // Retire + failing Train
+  EXPECT_EQ(recovered.tenant("gamma"), nullptr);
+  // The other tenants recover untouched.
+  EXPECT_NE(recovered.tenant("alpha"), nullptr);
+  EXPECT_NE(recovered.tenant("beta"), nullptr);
+  EXPECT_NE(recovered.tenant("limbo"), nullptr);
+}
+
+// A garbage file whose digit run would wrap u64 must not be treated as a
+// snapshot at all — before the overflow guard it could sort as "newest" and
+// shadow the genuine snapshot.
+TEST_F(CrashRecoveryTest, OverlongSnapshotNameCannotShadowTheRealOne) {
+  const std::uint64_t seed = faults::FaultPlan::from_env().seed;
+  const std::vector<Request> script = make_script(seed);
+  const std::string dir = fresh_dir("overflow");
+  std::string expected;
+  {
+    ClassificationService service(durable_config(dir, 1000));
+    run_script(service, script);
+    ASSERT_TRUE(service.snapshot_now());
+    expected = probe(service, seed);
+  }
+  util::atomic_write_file(dir + "/snapshot-99999999999999999999999.bin",
+                          "not a snapshot");
+  ClassificationService recovered(durable_config(dir, 1000));
+  EXPECT_EQ(recovered.storage().snapshots_discarded, 0u);
+  EXPECT_EQ(probe(recovered, seed), expected);
 }
 
 TEST_F(CrashRecoveryTest, SnapshotFailureLeavesJournalAuthoritative) {

@@ -224,13 +224,36 @@ TEST_F(JournalTest, ArmedIoFailureSurfacesAsIoErrorBeforeWriting) {
             2u);
 }
 
+TEST_F(JournalTest, FsyncFailureAfterFullWriteRollsBackTheFrame) {
+  JournalWriter writer(path_, 0);
+  writer.append(make_record(1));
+  const std::string before = util::read_file(path_);
+  // Crossings per append: io_ok, partial, written, fsync io_ok, synced.
+  // Failing the 4th leaves a fully written frame that fsync never made
+  // durable — the writer must truncate it back out before the IoError
+  // surfaces, or the next acked append lands past orphan bytes the prefix
+  // scan then discards.
+  faults::storage_points_arm_io_failure(4, 1);
+  EXPECT_THROW(writer.append(make_record(2)), IoError);
+  faults::storage_points_reset();
+  EXPECT_EQ(util::read_file(path_), before);
+  // The retried append lands exactly where the rolled-back one was: the
+  // scan sees consecutive seqs and discards nothing.
+  writer.append(make_record(2));
+  const JournalScan scan = scan_journal(util::read_file(path_), path_);
+  EXPECT_EQ(scan.recovered_records, 2u);
+  EXPECT_EQ(scan.discarded_records, 0u);
+  EXPECT_EQ(scan.records[1].seq, 2u);
+}
+
 TEST_F(JournalTest, StoragePointSitesTallyCrossings) {
   JournalWriter writer(path_, 0);
   writer.append(make_record(1));
   const auto sites = faults::storage_point_sites();
   ASSERT_FALSE(sites.empty());
-  // io_ok decision + 3 append phases = 4 crossings for one append.
-  EXPECT_EQ(faults::storage_point_crossings(), 4u);
+  // Two io_ok decisions (pre-write + pre-fsync) + 3 append phases =
+  // 5 crossings for one append.
+  EXPECT_EQ(faults::storage_point_crossings(), 5u);
 }
 
 }  // namespace

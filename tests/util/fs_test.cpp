@@ -84,6 +84,13 @@ TEST_F(FsTest, ListDirReturnsSortedNames) {
   for (const std::string& name : names) remove_file(dir + "/" + name);
 }
 
+TEST_F(FsTest, FsyncDirSyncsExistingDirectoryOnly) {
+  const std::string dir = ::testing::TempDir() + "fs_test_sync";
+  make_dirs(dir);
+  fsync_dir(dir);  // no throw
+  EXPECT_THROW(fsync_dir(dir + "/missing"), std::runtime_error);
+}
+
 TEST_F(FsTest, RemoveFileIsIdempotent) {
   atomic_write_file(path_, "x");
   remove_file(path_);
